@@ -1,0 +1,18 @@
+"""EXP-ABL — ablation of the self-weight alpha (speed vs accuracy)."""
+
+from conftest import run_once
+from repro.experiments.exp_alpha_ablation import run
+
+
+def test_exp_abl_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    (table,) = tables
+    alphas = table.column("alpha")
+    times = dict(zip(alphas, table.column("T_measured")))
+    variances = dict(zip(alphas, table.column("Var_measured")))
+    # Speed: both extremes slower than alpha = 0.5.
+    assert times[0.5] < times[0.9]
+    assert times[0.5] < times[0.1] * 2.0
+    # Accuracy: variance decreases with alpha (monotone within MC noise).
+    assert variances[0.9] < variances[0.1]

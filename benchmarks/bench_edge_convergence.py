@@ -1,0 +1,23 @@
+"""EXP-T241 — EdgeModel T_eps vs Theorem 2.4(1), incl. irregular graphs."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core.edge_model import EdgeModel
+from repro.experiments.exp_edge_convergence import run
+from repro.graphs.generators import barbell_graph
+
+
+def test_exp_t241_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    (table,) = tables
+    ratios = table.column("ratio")
+    assert max(ratios) / min(ratios) < 20.0
+
+
+def test_edge_model_step_throughput(benchmark):
+    graph = barbell_graph(128)
+    initial = np.random.default_rng(5).normal(size=128)
+    process = EdgeModel(graph, initial, alpha=0.5, seed=6)
+    benchmark(process.run, 10_000)

@@ -1,0 +1,31 @@
+"""EXP-F1 — regenerate Figure 1 (duality worked example, k = 1).
+
+Also micro-benchmarks the duality coupling kernel (forward averaging run
++ reversed diffusion replay) since it is the primitive under every
+duality experiment.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.dual.duality import run_coupled
+from repro.experiments.exp_fig_duality import run_figure1
+from repro.graphs.generators import random_regular_graph
+
+
+def test_exp_f1_tables(benchmark, show):
+    tables = run_once(benchmark, run_figure1, fast=True, seed=0)
+    show(tables)
+    figure = tables[0]
+    assert all(figure.column("match"))
+
+
+def test_duality_kernel_throughput(benchmark):
+    graph = random_regular_graph(32, 4, seed=1)
+    initial = np.random.default_rng(1).normal(size=32)
+
+    def kernel():
+        return run_coupled(graph, initial, alpha=0.5, k=1, steps=200, seed=2)
+
+    trace = benchmark(kernel)
+    assert trace.max_error < 1e-9

@@ -1,0 +1,10 @@
+"""EXP-F4 — regenerate Figure 4 (duality worked example, k = 2)."""
+
+from conftest import run_once
+from repro.experiments.exp_fig_duality import run_figure4
+
+
+def test_exp_f4_tables(benchmark, show):
+    tables = run_once(benchmark, run_figure4, fast=True, seed=0)
+    show(tables)
+    assert all(tables[0].column("match"))

@@ -1,0 +1,14 @@
+"""EXP-MOM — higher moments of F (future work, Section 6)."""
+
+from conftest import run_once
+from repro.experiments.exp_higher_moments import run
+
+
+def test_exp_mom_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    (table,) = tables
+    rows = list(zip(table.column("initial"), table.column("skewness")))
+    rademacher_skews = [s for name, s in rows if name == "rademacher"]
+    # Symmetric initial values -> near-symmetric F.
+    assert max(abs(s) for s in rademacher_skews) < 0.8

@@ -1,0 +1,13 @@
+"""EXP-T221K — near-independence of T_eps from k (Theorem 2.2(1) detail)."""
+
+from conftest import run_once
+from repro.experiments.exp_k_dependence import run
+
+
+def test_exp_t221k_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    (table,) = tables
+    ratios = table.column("T(k)/T(1)")
+    # k varies 8x; T varies by at most ~2x either way (paper: factor <= 2).
+    assert 0.3 < min(ratios) and max(ratios) < 1.7

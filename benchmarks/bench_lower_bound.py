@@ -1,0 +1,12 @@
+"""EXP-T221LB — tightness from the eigenvector-aligned worst case (Prop B.2)."""
+
+from conftest import run_once
+from repro.experiments.exp_lower_bound import run
+
+
+def test_exp_t221lb_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    (table,) = tables
+    ratios = table.column("ratio")
+    assert min(ratios) > 0.02  # bounded away from zero: Omega(.) is realised

@@ -1,0 +1,12 @@
+"""EXP-L41 — the martingale structure (Lemma 4.1 / Prop D.1(i))."""
+
+from conftest import run_once
+from repro.experiments.exp_martingale import run
+
+
+def test_exp_l41_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    exact, empirical = tables
+    assert max(exact.column("max_drift")) < 1e-12
+    assert max(abs(z) for z in empirical.column("z_score")) < 4.0

@@ -1,0 +1,28 @@
+"""EXP-T221 — NodeModel T_eps vs Theorem 2.2(1) across graph families.
+
+The extra micro-benchmark measures the simulator's step throughput,
+which determines the feasible sweep sizes.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core.node_model import NodeModel
+from repro.experiments.exp_node_convergence import run
+from repro.graphs.generators import random_regular_graph
+
+
+def test_exp_t221_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    (table,) = tables
+    ratios = table.column("ratio")
+    # Theorem 2.2(1): measured/bound stays in an O(1) band across the sweep.
+    assert max(ratios) / min(ratios) < 10.0
+
+
+def test_node_model_step_throughput(benchmark):
+    graph = random_regular_graph(256, 4, seed=3)
+    initial = np.random.default_rng(3).normal(size=256)
+    process = NodeModel(graph, initial, alpha=0.5, k=1, seed=4)
+    benchmark(process.run, 10_000)

@@ -1,0 +1,11 @@
+"""EXP-PB1 — one-step potential contraction (Prop B.1 / D.1(ii))."""
+
+from conftest import run_once
+from repro.experiments.exp_potential_drop import run
+
+
+def test_exp_pb1_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    (table,) = tables
+    assert all(table.column("ok"))

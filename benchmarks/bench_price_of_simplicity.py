@@ -1,0 +1,14 @@
+"""EXP-PRICE — consensus-value spread: averaging vs gossip vs voter."""
+
+from conftest import run_once
+from repro.experiments.exp_price_of_simplicity import run
+
+
+def test_exp_price_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    (table,) = tables
+    stds = dict(zip(table.column("protocol"), table.column("std_F")))
+    # The ordering the paper's introduction predicts.
+    assert stds["pairwise gossip"] < 1e-6
+    assert stds["pairwise gossip"] < stds["NodeModel (paper)"] < stds["voter model"]

@@ -1,0 +1,28 @@
+"""EXP-L57 — Lemma 5.7 closed form vs numeric stationary distribution.
+
+The micro-benchmark times the Q-chain construction + numeric solve on
+the Petersen graph (a 100-state chain), the kernel behind the table.
+"""
+
+from conftest import run_once
+from repro.dual.qchain import QChain
+from repro.experiments.exp_qchain import run
+from repro.graphs.generators import petersen_graph
+
+
+def test_exp_l57_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    (table,) = tables
+    assert max(table.column("max|closed-numeric|")) < 1e-10
+
+
+def test_qchain_solve_kernel(benchmark):
+    graph = petersen_graph()
+
+    def kernel():
+        chain = QChain(graph, alpha=0.5, k=2)
+        return chain.stationary_numeric()
+
+    mu = benchmark(kernel)
+    assert abs(mu.sum() - 1.0) < 1e-9

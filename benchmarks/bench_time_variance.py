@@ -1,0 +1,11 @@
+"""EXP-CE2 — any-time variance envelopes (Corollary E.2)."""
+
+from conftest import run_once
+from repro.experiments.exp_time_variance import run
+
+
+def test_exp_ce2_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    (table,) = tables
+    assert all(table.column("ok"))

@@ -1,0 +1,14 @@
+"""EXP-T242 — EdgeModel Var(F) equals NodeModel(k=1) on regular graphs."""
+
+from conftest import run_once
+from repro.experiments.exp_variance_edge import run
+
+
+def test_exp_t242_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    (table,) = tables
+    variances = table.column("Var_measured")
+    # Pairs of rows (edge vs node) per graph should be close.
+    for edge_var, node_var in zip(variances[::2], variances[1::2]):
+        assert 0.4 < edge_var / node_var < 2.5

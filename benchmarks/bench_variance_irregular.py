@@ -1,0 +1,11 @@
+"""EXP-IRR — Var(F) on irregular graphs (future work, Section 6)."""
+
+from conftest import run_once
+from repro.experiments.exp_variance_irregular import run
+
+
+def test_exp_irr_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    (table,) = tables
+    assert len(table.rows) == 6  # 3 graphs x 2 models

@@ -1,0 +1,12 @@
+"""EXP-VT — exact Var(Avg(t)) trajectory vs Monte Carlo (duality pipeline)."""
+
+from conftest import run_once
+from repro.experiments.exp_variance_trajectory import run
+
+
+def test_exp_vt_tables(benchmark, show):
+    tables = run_once(benchmark, run, fast=True, seed=0)
+    show(tables)
+    for table in tables:
+        ratios = table.column("mc/exact")
+        assert all(0.8 < r < 1.25 for r in ratios)

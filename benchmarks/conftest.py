@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one paper artefact (see DESIGN.md's
+experiment index):
+
+* the *timed* section benchmarks the experiment's computational kernel via
+  pytest-benchmark (single round for the Monte-Carlo-heavy ones — the
+  numbers of interest are the table rows, not nanosecond timings);
+* the experiment's result tables are printed to the terminal with capture
+  disabled, so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+  records the measured-vs-paper rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capfd):
+    """Print result tables live, bypassing pytest's capture."""
+
+    def _show(tables):
+        with capfd.disabled():
+            for table in tables:
+                print()
+                print(table.render())
+
+    return _show
+
+
+def run_once(benchmark, runner, **kwargs):
+    """Benchmark ``runner`` with a single round (Monte-Carlo scale)."""
+    return benchmark.pedantic(
+        runner, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,44 @@
+"""Duality demo: the paper's Figures 1 and 4, executed.
+
+Replays the exact worked examples from the paper — the triangle graph
+with opinions [6, 8, 9] and alpha = 1/2 — and checks Lemma 5.2's identity
+``W(T) = xi(T)^T`` (averaging forward == diffusion backward), then
+stress-tests the identity on a random graph and schedule.
+
+Run:  python examples/duality_demo.py
+"""
+
+import numpy as np
+
+from repro import run_coupled, verify_duality
+from repro.dual.duality import figure1_trace, figure4_trace
+from repro.graphs.generators import erdos_renyi_graph
+
+
+def show_figure(name: str, figure) -> None:
+    print(f"--- {name} ---")
+    for t, (row, paper) in enumerate(zip(figure.trace.xi, figure.expected_xi)):
+        ok = "ok" if np.allclose(row, paper) else "MISMATCH"
+        print(f"  t={t}: xi = {np.round(row, 6).tolist()}   paper = "
+              f"{np.round(paper, 6).tolist()}   [{ok}]")
+    print(f"  diffusion (reversed) cost W(T) = "
+          f"{np.round(figure.trace.w_final, 6).tolist()}")
+    print(f"  max |W(T) - xi(T)| = {figure.trace.max_error:.2e}\n")
+
+
+def main() -> None:
+    show_figure("Figure 1: alpha = 1/2, k = 1", figure1_trace())
+    show_figure("Figure 4: alpha = 1/2, k = 2", figure4_trace())
+
+    graph = erdos_renyi_graph(25, 0.25, seed=1)
+    initial = np.random.default_rng(1).normal(size=25)
+    trace = run_coupled(graph, initial, alpha=0.4, k=1, steps=500, seed=2)
+    print("random G(25, 0.25), 500 random steps:")
+    print(f"  duality exact: {verify_duality(trace)} "
+          f"(max error {trace.max_error:.2e})")
+    print("\nLemma 5.2 is an exact, per-schedule identity — the coupling "
+          "works for every graph, alpha, k and selection sequence.")
+
+
+if __name__ == "__main__":
+    main()

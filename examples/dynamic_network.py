@@ -1,0 +1,68 @@
+"""Averaging while the network itself changes.
+
+Social graphs are not static: contacts appear and disappear.  This
+example runs the NodeModel over a rotating sequence of connected
+snapshots (as in the dynamic-graph voter analyses cited in Section 3)
+and shows that
+
+* consensus is still reached — the convex-hull/discrepancy invariants
+  are per-step facts that do not care about the snapshot;
+* when all snapshots are regular with the same degree the consensus
+  value still concentrates near the (invariant) simple average;
+* heterogeneous-degree snapshots break the martingale, shifting F.
+
+Run:  python examples/dynamic_network.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.core.dynamic import DynamicAveraging
+from repro.core.initial import center_simple, rademacher_values
+
+N = 30
+REPLICAS = 60
+
+
+def consensus_values(snapshots, initial, label):
+    finals = []
+    for seed in range(REPLICAS):
+        process = DynamicAveraging(
+            snapshots, initial, model="node", alpha=0.5, k=1,
+            switch_every=40, seed=seed,
+        )
+        value, _ = process.run_to_consensus(discrepancy_tol=1e-7)
+        finals.append(value)
+    finals = np.asarray(finals)
+    print(f"{label:<34} mean F = {finals.mean():+.4f}   "
+          f"std = {finals.std(ddof=1):.4f}")
+    return finals
+
+
+def main() -> None:
+    initial = center_simple(rademacher_values(N, seed=1))
+    print(f"n = {N}, centered +-1 opinions (Avg(0) = 0), "
+          f"{REPLICAS} replicas each\n")
+
+    regular_snapshots = [
+        nx.random_regular_graph(4, N, seed=s) for s in range(4)
+    ]
+    consensus_values(regular_snapshots, initial,
+                     "rotating 4-regular snapshots")
+
+    mixed_snapshots = [
+        nx.random_regular_graph(4, N, seed=9),
+        nx.star_graph(N - 1),
+        nx.barbell_graph(N // 2, 0),
+    ]
+    consensus_values(mixed_snapshots, initial,
+                     "regular + star + barbell rotation")
+
+    print("\nwith same-degree snapshots the average stays a martingale and "
+          "F concentrates at 0; mixing in hub-dominated snapshots biases "
+          "activation and widens/shifts F — the dynamic analogue of the "
+          "paper's regular-vs-irregular dichotomy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: run both averaging processes and compare with theory.
+
+Builds a 4-regular random graph, runs the NodeModel and the EdgeModel to
+consensus from the same initial opinions, and prints the convergence
+value ``F`` next to the initial average, plus the predicted spread of
+``F`` from Theorem 2.2(2).
+
+Run:  python examples/quickstart.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro import EdgeModel, NodeModel, run_to_consensus, variance_envelope
+from repro.core.initial import center_simple
+
+N = 100
+ALPHA = 0.5  # self-weight: keep half your opinion, average the rest
+SEED = 7
+
+
+def main() -> None:
+    graph = nx.random_regular_graph(4, N, seed=SEED)
+    rng = np.random.default_rng(SEED)
+    opinions = center_simple(rng.normal(size=N))  # centered: Avg(0) = 0
+
+    print(f"graph: 4-regular, n = {N}; initial average = {opinions.mean():+.4f}")
+    print(f"initial spread (max - min) = {np.ptp(opinions):.3f}\n")
+
+    node = NodeModel(graph, opinions, alpha=ALPHA, k=2, seed=SEED)
+    result = run_to_consensus(node)
+    print(f"NodeModel(k=2): consensus F = {result.value:+.5f} "
+          f"after {result.t} steps")
+
+    edge = EdgeModel(graph, opinions, alpha=ALPHA, seed=SEED + 1)
+    result_edge = run_to_consensus(edge)
+    print(f"EdgeModel:      consensus F = {result_edge.value:+.5f} "
+          f"after {result_edge.t} steps\n")
+
+    norm_sq = float(np.sum(opinions**2))
+    low, high = variance_envelope(N, 4, 2, ALPHA, norm_sq)
+    print("Theorem 2.2(2): E[F] = 0 and Var(F) in "
+          f"[{low:.2e}, {high:.2e}]  (std ~ {np.sqrt(high):.4f})")
+    print("so a single run's F lands within a few such standard deviations "
+          "of the true average — the price of coordination-free averaging.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Sensor-network averaging: unilateral pulls vs coordinated protocols.
+
+A classic use of distributed averaging (Boyd et al. [14]): sensors in the
+unit square each hold a noisy temperature reading and want the network-
+wide mean without a coordinator.  We compare, on the same random
+geometric graph:
+
+* EdgeModel           — the paper's unilateral pull (no coordination),
+* pairwise gossip     — coordinated simultaneous averaging (exact),
+* push-sum            — unilateral push with weight bookkeeping (exact).
+
+The EdgeModel lands within the Theorem 2.4(2)-scale error of the truth;
+the exact protocols recover it to machine precision but need either
+coordination or extra per-node state.
+
+Run:  python examples/sensor_network.py
+"""
+
+import numpy as np
+
+from repro import EdgeModel, run_to_consensus
+from repro.baselines.gossip import PairwiseGossip
+from repro.baselines.pushsum import PushSum
+from repro.graphs.generators import random_geometric_connected
+
+N = 80
+SEED = 3
+
+
+def main() -> None:
+    graph = random_geometric_connected(N, seed=SEED)
+    rng = np.random.default_rng(SEED)
+    true_field = 20.0
+    readings = true_field + rng.normal(0.0, 0.5, size=N)
+    truth = float(readings.mean())
+
+    print(f"geometric sensor network: n = {N}, m = {graph.number_of_edges()}")
+    print(f"true mean reading: {truth:.6f}\n")
+    print(f"{'protocol':<18} {'estimate':>12} {'error':>12} {'steps':>9}")
+    print("-" * 55)
+
+    edge = EdgeModel(graph, readings, alpha=0.5, seed=SEED)
+    result = run_to_consensus(edge, discrepancy_tol=1e-9)
+    print(f"{'EdgeModel':<18} {result.value:12.6f} "
+          f"{abs(result.value - truth):12.2e} {result.t:9d}")
+
+    gossip = PairwiseGossip(graph, readings, seed=SEED)
+    value, steps = gossip.run_to_consensus(discrepancy_tol=1e-9)
+    print(f"{'pairwise gossip':<18} {value:12.6f} "
+          f"{abs(value - truth):12.2e} {steps:9d}")
+
+    pushsum = PushSum(graph, readings, seed=SEED)
+    value, steps = pushsum.run_to_accuracy(tol=1e-9)
+    print(f"{'push-sum':<18} {value:12.6f} "
+          f"{abs(value - truth):12.2e} {steps:9d}")
+
+    print("\nthe EdgeModel's residual error is the 'price of simplicity': "
+          "Theta(||xi - mean||/n) standard deviation, no coordination needed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Social-network polling: the degree bias of limited-information updates.
+
+The paper's motivating scenario (Section 1): users of a social network
+form an opinion — say, how much to budget for a vacation — by asking a
+few random friends rather than polling their whole friend list.
+
+This example runs the NodeModel on a network with hubs (a lollipop graph:
+a celebrity clique plus a chain of casual users) and shows that the
+consensus budget is pulled towards the *degree-weighted* average — highly
+connected users' opinions count more (Lemma 4.1) — while the EdgeModel
+converges to the fair simple average in expectation.
+
+Run:  python examples/social_poll.py
+"""
+
+import numpy as np
+
+from repro import EdgeModel, NodeModel, run_to_consensus
+from repro.graphs.generators import lollipop_graph
+from repro.graphs.spectral import stationary_distribution
+
+N = 40
+ALPHA = 0.5
+REPLICAS = 20
+# Budgets are in dollars; cent-level agreement is plenty.
+TOLERANCE = 1e-2
+
+
+def main() -> None:
+    graph = lollipop_graph(N)
+    degrees = np.array([d for _, d in graph.degree()], float)
+
+    # Clique members (high degree) want lavish budgets; the chain of
+    # casual users (degree <= 2) wants cheap trips.
+    budgets = np.where(degrees > 2, 3000.0, 500.0)
+    simple_average = float(budgets.mean())
+    pi = stationary_distribution(graph)
+    weighted_average = float(np.sum(pi * budgets))
+
+    print(f"lollipop network: n = {N}, clique size = {(degrees > 2).sum()}")
+    print(f"fair (simple) average budget      : {simple_average:8.1f}")
+    print(f"degree-weighted average (Lemma 4.1): {weighted_average:8.1f}\n")
+
+    node_values = []
+    edge_values = []
+    for seed in range(REPLICAS):
+        node = NodeModel(graph, budgets, alpha=ALPHA, k=1, seed=seed)
+        node_values.append(run_to_consensus(node, discrepancy_tol=TOLERANCE).value)
+        edge = EdgeModel(graph, budgets, alpha=ALPHA, seed=1000 + seed)
+        edge_values.append(run_to_consensus(edge, discrepancy_tol=TOLERANCE).value)
+
+    node_mean = float(np.mean(node_values))
+    edge_mean = float(np.mean(edge_values))
+    print(f"NodeModel consensus (mean of {REPLICAS} runs): {node_mean:8.1f}"
+          f"   <- near the degree-weighted average")
+    print(f"EdgeModel consensus (mean of {REPLICAS} runs): {edge_mean:8.1f}"
+          f"   <- near the fair average")
+    print("\ntakeaway: asking 'a few random friends' is not neutral — "
+          "hub opinions dominate under node-driven updates; edge-driven "
+          "updates restore the simple average in expectation.")
+
+
+if __name__ == "__main__":
+    main()

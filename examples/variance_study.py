@@ -1,0 +1,59 @@
+"""Variance study: 'the clique and the cycle have the same Var(F)'.
+
+Theorem 2.2(2)'s most striking consequence: the variance of the
+convergence value does not depend on the graph structure — only on
+``||xi(0)||^2 / n^2``.  This script estimates Var(F) by Monte Carlo on
+four regular topologies carrying the *same* initial values and prints the
+estimates against the Proposition 5.8 interval.
+
+Run:  python examples/variance_study.py       (~1 minute)
+"""
+
+import numpy as np
+
+from repro import NodeModel, estimate_moments, sample_f_values, variance_bounds
+from repro.core.initial import center_simple, rademacher_values
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    random_regular_graph,
+    torus_graph,
+)
+
+N = 36
+ALPHA = 0.5
+REPLICAS = 150
+
+
+def main() -> None:
+    values = center_simple(rademacher_values(N, seed=1))
+    norm_sq = float(np.sum(values**2))
+    print(f"n = {N}, same +-1 initial values everywhere, "
+          f"||xi||^2 = {norm_sq:.1f}")
+    print(f"Theorem 2.2(2) scale ||xi||^2/n^2 = {norm_sq / N**2:.4f}\n")
+    print(f"{'graph':<24} {'Var(F) est.':>12} {'95% CI':>22} {'Prop 5.8 core':>14}")
+    print("-" * 76)
+
+    for name, graph in [
+        ("cycle (d=2)", cycle_graph(N)),
+        ("torus (d=4)", torus_graph(N)),
+        ("random regular (d=4)", random_regular_graph(N, 4, seed=2)),
+        ("complete (d=35)", complete_graph(N)),
+    ]:
+        bounds = variance_bounds(graph, values, alpha=ALPHA, k=1)
+
+        def make(rng, graph=graph):
+            return NodeModel(graph, values, alpha=ALPHA, k=1, seed=rng)
+
+        sample = sample_f_values(make, REPLICAS, seed=3, discrepancy_tol=1e-6)
+        estimate = estimate_moments(sample, seed=3)
+        lo, hi = estimate.variance_ci
+        print(f"{name:<24} {estimate.variance:12.5f} "
+              f"[{lo:9.5f}, {hi:9.5f}] {bounds.core:14.5f}")
+
+    print("\nall four topologies land on the same Var(F) — the structure "
+          "independence of Theorem 2.2(2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro — a reproduction of "Distributed Averaging in Opinion Dynamics".
+
+Berenbrink, Cooper, Gava, Mallmann-Trenn, Radzik, Kohan Marzagão, Rivera —
+PODC 2023 (arXiv:2211.17125).
+
+Quickstart::
+
+    import networkx as nx
+    from repro import NodeModel, run_to_consensus
+
+    graph = nx.random_regular_graph(4, 100, seed=1)
+    values = [float(i % 10) for i in range(100)]
+    process = NodeModel(graph, values, alpha=0.5, k=2, seed=7)
+    result = run_to_consensus(process)
+    print(result.value)   # close to the (degree-weighted) initial average
+
+Subpackages
+-----------
+``repro.core``
+    The NodeModel / EdgeModel averaging processes, potentials,
+    convergence measurement, initial-value workloads.
+``repro.graphs``
+    Graph generators, compact adjacency, spectral toolkit.
+``repro.dual``
+    The Diffusion Process, Random Walk Process, Q-chain and the
+    executable duality of Section 5.
+``repro.theory``
+    Closed-form bounds: convergence times, contraction factors,
+    ``Var(F)`` envelopes, martingale structure.
+``repro.baselines``
+    Voter model, pairwise gossip, DeGroot, Friedkin–Johnsen,
+    Hegselmann–Krause, synchronous diffusion, push-sum.
+``repro.sim`` / ``repro.analysis``
+    Monte-Carlo replication, moment estimation, scaling fits, tables.
+``repro.experiments``
+    One module per paper artefact (figures, theorems); each regenerates
+    the corresponding result table.
+"""
+
+from repro.core import (
+    EdgeModel,
+    NodeModel,
+    Schedule,
+    measure_t_eps,
+    run_to_consensus,
+)
+from repro.dual import (
+    DiffusionProcess,
+    QChain,
+    RandomWalkProcess,
+    run_coupled,
+    verify_duality,
+)
+from repro.exceptions import (
+    ConvergenceError,
+    GraphError,
+    NotConnectedError,
+    NotRegularError,
+    ParameterError,
+    ReproError,
+    ScheduleError,
+)
+from repro.graphs import Adjacency, make_graph
+from repro.sim import ResultTable, estimate_moments, sample_f_values
+from repro.theory import variance_bounds, variance_envelope
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adjacency",
+    "ConvergenceError",
+    "DiffusionProcess",
+    "EdgeModel",
+    "GraphError",
+    "NodeModel",
+    "NotConnectedError",
+    "NotRegularError",
+    "ParameterError",
+    "QChain",
+    "RandomWalkProcess",
+    "ReproError",
+    "ResultTable",
+    "Schedule",
+    "ScheduleError",
+    "estimate_moments",
+    "make_graph",
+    "measure_t_eps",
+    "run_coupled",
+    "run_to_consensus",
+    "sample_f_values",
+    "variance_bounds",
+    "variance_envelope",
+    "verify_duality",
+]

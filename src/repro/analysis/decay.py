@@ -1,0 +1,103 @@
+"""Exponential-decay fits for potential trajectories.
+
+Proposition B.1 / D.1(ii) say ``E[phi(t)] <= factor^t phi(0)``; a recorded
+trajectory therefore decays exponentially with per-step rate at least
+``1 - factor``.  :func:`fit_decay_rate` extracts the empirical rate from a
+:class:`~repro.core.runner.Trajectory` by least squares on
+``log phi``, and :func:`decay_summary` packages the comparison with the
+theoretical factor (used by the ablation experiment and available to
+users profiling their own graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.runner import Trajectory
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class DecayFit:
+    """Result of an exponential fit ``phi(t) ~ phi0 * exp(-rate * t)``.
+
+    ``rate`` is per step; ``half_life`` the step count halving ``phi``;
+    ``r_squared`` the goodness of the log-linear fit.
+    """
+
+    rate: float
+    phi0: float
+    r_squared: float
+
+    @property
+    def half_life(self) -> float:
+        if self.rate <= 0:
+            return float("inf")
+        return float(np.log(2.0) / self.rate)
+
+    def factor(self) -> float:
+        """Equivalent per-step contraction factor ``exp(-rate)``."""
+        return float(np.exp(-self.rate))
+
+
+def fit_decay_rate(
+    trajectory: Trajectory, floor: float = 1e-13, min_points: int = 3
+) -> DecayFit:
+    """Least-squares fit of ``log phi`` against ``t``.
+
+    Samples where ``phi <= floor`` are discarded (they sit on the
+    floating-point noise floor and would bias the slope).
+    """
+    mask = trajectory.phi > floor
+    times = trajectory.times[mask].astype(np.float64)
+    phis = trajectory.phi[mask]
+    if len(times) < min_points:
+        raise ParameterError(
+            f"need at least {min_points} samples above the floor, "
+            f"got {len(times)}"
+        )
+    log_phi = np.log(phis)
+    slope, intercept = np.polyfit(times, log_phi, deg=1)
+    predicted = slope * times + intercept
+    residual = float(np.sum((log_phi - predicted) ** 2))
+    total = float(np.sum((log_phi - log_phi.mean()) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return DecayFit(rate=-float(slope), phi0=float(np.exp(intercept)),
+                    r_squared=r_squared)
+
+
+@dataclass(frozen=True)
+class DecaySummary:
+    """Empirical vs theoretical per-step decay."""
+
+    fit: DecayFit
+    theoretical_factor: float
+
+    @property
+    def measured_factor(self) -> float:
+        return self.fit.factor()
+
+    @property
+    def rate_ratio(self) -> float:
+        """measured rate / theoretical rate (>= 1 when the bound is loose).
+
+        The theoretical factor bounds ``E[phi]`` from above, so the
+        measured decay should be at least as fast: ratio >= ~1 up to
+        stochastic fluctuation and multi-mode transients.
+        """
+        theoretical_rate = 1.0 - self.theoretical_factor
+        if theoretical_rate <= 0:
+            return float("inf")
+        return self.fit.rate / theoretical_rate
+
+
+def decay_summary(trajectory: Trajectory, theoretical_factor: float) -> DecaySummary:
+    """Fit ``trajectory`` and pair it with ``theoretical_factor``."""
+    if not 0.0 < theoretical_factor < 1.0:
+        raise ParameterError(
+            f"theoretical_factor must be in (0, 1), got {theoretical_factor}"
+        )
+    return DecaySummary(fit=fit_decay_rate(trajectory),
+                        theoretical_factor=theoretical_factor)

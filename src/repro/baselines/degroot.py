@@ -1,0 +1,102 @@
+"""Synchronous DeGroot opinion dynamics [23].
+
+Every round, *all* nodes simultaneously move to a weighted average of
+their neighbourhood:
+
+    xi(t+1) = W xi(t),
+
+with ``W`` row-stochastic.  The default weighting is the lazy walk matrix
+``W = (I + D^{-1} A) / 2`` whose fixed point is the degree-weighted
+average — the synchronous, deterministic analogue of the NodeModel.  The
+paper's Section 3 discusses this lineage; we include it as the
+deterministic baseline whose convergence rate ``~ log(1/eps) /
+(1 - lambda_2)`` the asynchronous processes pay an extra factor ``n``
+for (one update per step instead of ``n``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ParameterError
+from repro.graphs.adjacency import Adjacency
+from repro.graphs.spectral import lazy_walk_matrix, simple_walk_matrix
+
+
+class DeGrootModel:
+    """Deterministic synchronous averaging ``xi <- W xi``."""
+
+    def __init__(
+        self,
+        graph: nx.Graph | Adjacency,
+        initial_values: Sequence[float],
+        lazy: bool = True,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        adjacency = (
+            graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+        )
+        self.adjacency = adjacency
+        n = adjacency.n
+        values = np.asarray(initial_values, dtype=np.float64).copy()
+        if values.shape != (n,):
+            raise ParameterError(
+                f"initial_values must have shape ({n},), got {values.shape}"
+            )
+        if weights is None:
+            weights = lazy_walk_matrix(adjacency) if lazy else simple_walk_matrix(adjacency)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n, n):
+            raise ParameterError(f"weights must have shape ({n}, {n})")
+        if np.any(weights < 0) or not np.allclose(weights.sum(axis=1), 1.0):
+            raise ParameterError("weights must be row-stochastic")
+        self.weights = weights
+        self.values = values
+        self.t = 0
+
+    @property
+    def n(self) -> int:
+        return self.adjacency.n
+
+    @property
+    def discrepancy(self) -> float:
+        return float(self.values.max() - self.values.min())
+
+    def fixed_point(self) -> float:
+        """The limit value: left-Perron-weighted initial average.
+
+        For walk-matrix weights this is the degree-weighted average
+        ``sum_u pi_u xi_u(0)`` — the same ``E[F]`` as the NodeModel's.
+        """
+        eigenvalues, vectors = np.linalg.eig(self.weights.T)
+        index = int(np.argmin(np.abs(eigenvalues - 1.0)))
+        left = np.real(vectors[:, index])
+        left = left / left.sum()
+        return float(left @ self.values)
+
+    def step(self) -> None:
+        """One synchronous round."""
+        self.t += 1
+        self.values = self.weights @ self.values
+
+    def run(self, rounds: int) -> None:
+        if rounds < 0:
+            raise ParameterError(f"rounds must be non-negative, got {rounds}")
+        for _ in range(rounds):
+            self.step()
+
+    def run_to_consensus(
+        self, discrepancy_tol: float = 1e-9, max_rounds: int = 1_000_000
+    ) -> tuple[float, int]:
+        """Iterate until spread <= tol; return ``(value, rounds)``."""
+        start = self.t
+        while self.discrepancy > discrepancy_tol:
+            if self.t - start >= max_rounds:
+                raise ConvergenceError(
+                    f"discrepancy {self.discrepancy:.3e} after {max_rounds} rounds"
+                )
+            self.step()
+        return float(self.values.mean()), self.t - start

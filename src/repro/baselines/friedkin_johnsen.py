@@ -1,0 +1,175 @@
+"""Friedkin–Johnsen dynamics [29] and the limited-information variant [27].
+
+FJ extends DeGroot with *stubbornness*: each agent ``u`` keeps an
+immutable private opinion ``s_u`` and expresses
+
+    xi(t+1) = lambda W xi(t) + (1 - lambda) s,
+
+converging to the unique fixed point
+``xi* = (1 - lambda) (I - lambda W)^{-1} s`` for ``lambda in [0, 1)``.
+
+The randomized *limited-information* variant of Fotakis et al. [27] —
+explicitly cited by the paper as the closest relative of its NodeModel —
+updates one uniform node per step using only ``k`` sampled neighbours:
+
+    xi_u <- (1 - lambda) s_u + lambda / k * sum_i xi_{v_i}.
+
+With full stubbornness removed (``lambda -> 1``) this *is* the NodeModel
+with ``alpha = 0``; with ``s = xi(0)`` it anchors opinions near their
+origins.  Including it lets EXP-PRICE show where the paper's model sits
+between DeGroot-style full communication and FJ-style anchored dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graphs.adjacency import Adjacency
+from repro.graphs.spectral import simple_walk_matrix
+from repro.rng import SeedLike, as_generator
+
+
+class FriedkinJohnsenModel:
+    """Synchronous FJ dynamics with susceptibility ``lambda``."""
+
+    def __init__(
+        self,
+        graph: nx.Graph | Adjacency,
+        private_opinions: Sequence[float],
+        susceptibility: float = 0.5,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        adjacency = (
+            graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+        )
+        self.adjacency = adjacency
+        n = adjacency.n
+        private = np.asarray(private_opinions, dtype=np.float64).copy()
+        if private.shape != (n,):
+            raise ParameterError(
+                f"private_opinions must have shape ({n},), got {private.shape}"
+            )
+        if not 0.0 <= susceptibility < 1.0:
+            raise ParameterError(
+                f"susceptibility must be in [0, 1), got {susceptibility}"
+            )
+        if weights is None:
+            weights = simple_walk_matrix(adjacency)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n, n):
+            raise ParameterError(f"weights must have shape ({n}, {n})")
+        self.private = private
+        self.susceptibility = float(susceptibility)
+        self.weights = weights
+        self.values = private.copy()
+        self.t = 0
+
+    @property
+    def n(self) -> int:
+        return self.adjacency.n
+
+    def step(self) -> None:
+        """One synchronous FJ round."""
+        self.t += 1
+        lam = self.susceptibility
+        self.values = lam * (self.weights @ self.values) + (1.0 - lam) * self.private
+
+    def run(self, rounds: int) -> None:
+        if rounds < 0:
+            raise ParameterError(f"rounds must be non-negative, got {rounds}")
+        for _ in range(rounds):
+            self.step()
+
+    def fixed_point(self) -> np.ndarray:
+        """Exact equilibrium ``(1-lambda)(I - lambda W)^{-1} s``."""
+        n = self.n
+        lam = self.susceptibility
+        return (1.0 - lam) * np.linalg.solve(
+            np.eye(n) - lam * self.weights, self.private
+        )
+
+    def distance_to_fixed_point(self) -> float:
+        """Sup-norm distance of the current state from the equilibrium."""
+        return float(np.abs(self.values - self.fixed_point()).max())
+
+
+class LimitedInfoFriedkinJohnsen:
+    """Asynchronous, k-sample FJ updates (Fotakis et al. [27]).
+
+    Each step: a uniform node ``u`` samples ``k`` distinct neighbours and
+    sets ``xi_u <- (1 - lambda) s_u + lambda * mean(sampled values)``.
+    In expectation this contracts towards the FJ fixed point; it is the
+    NodeModel's closest published relative.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph | Adjacency,
+        private_opinions: Sequence[float],
+        susceptibility: float = 0.5,
+        k: int = 1,
+        seed: SeedLike = None,
+    ) -> None:
+        adjacency = (
+            graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+        )
+        self.adjacency = adjacency
+        n = adjacency.n
+        private = np.asarray(private_opinions, dtype=np.float64).copy()
+        if private.shape != (n,):
+            raise ParameterError(
+                f"private_opinions must have shape ({n},), got {private.shape}"
+            )
+        if not 0.0 <= susceptibility < 1.0:
+            raise ParameterError(
+                f"susceptibility must be in [0, 1), got {susceptibility}"
+            )
+        if int(k) != k or not 1 <= k <= adjacency.d_min:
+            raise ParameterError(
+                f"k must be in [1, {adjacency.d_min}], got {k}"
+            )
+        self.private = private
+        self.susceptibility = float(susceptibility)
+        self.k = int(k)
+        self.values = private.copy()
+        self.rng = as_generator(seed)
+        self.t = 0
+
+    @property
+    def n(self) -> int:
+        return self.adjacency.n
+
+    def step(self) -> None:
+        """One limited-information update."""
+        self.t += 1
+        adj = self.adjacency
+        node = int(self.rng.integers(adj.n))
+        start = adj.offsets[node]
+        degree = int(adj.offsets[node + 1] - start)
+        if self.k == 1:
+            sample_mean = float(
+                self.values[adj.neighbors[start + int(self.rng.integers(degree))]]
+            )
+        else:
+            pool = adj.neighbors[start : start + degree]
+            chosen = self.rng.choice(pool, size=self.k, replace=False)
+            sample_mean = float(self.values[chosen].mean())
+        lam = self.susceptibility
+        self.values[node] = (1.0 - lam) * self.private[node] + lam * sample_mean
+
+    def run(self, steps: int) -> None:
+        if steps < 0:
+            raise ParameterError(f"steps must be non-negative, got {steps}")
+        for _ in range(steps):
+            self.step()
+
+    def expected_fixed_point(self) -> np.ndarray:
+        """Fixed point of the *expected* dynamics = the synchronous FJ one."""
+        synchronous = FriedkinJohnsenModel(
+            self.adjacency, self.private, susceptibility=self.susceptibility
+        )
+        return synchronous.fixed_point()

@@ -1,0 +1,111 @@
+"""Randomized pairwise gossip averaging (Boyd, Ghosh, Prabhakar, Shah).
+
+At each step a uniform random edge ``{u, v}`` is selected and *both*
+endpoints move to their midpoint:
+
+    xi_u, xi_v  <-  (xi_u + xi_v) / 2.
+
+This is the "stronger communication model" of the paper's introduction:
+the update matrix is doubly stochastic, so the simple average is
+*invariant* (not merely a martingale) and the process converges to the
+exact initial average with ``Var(F) = 0``.  The price is coordination —
+two nodes must update simultaneously.  EXP-PRICE quantifies what the
+paper calls the *price of simplicity* by comparing the spread of ``F``
+under the NodeModel/EdgeModel against this zero-variance baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.core.potentials import PotentialTracker, discrepancy
+from repro.exceptions import ConvergenceError, ParameterError
+from repro.graphs.adjacency import Adjacency
+from repro.rng import SeedLike, as_generator
+
+
+class PairwiseGossip:
+    """Coordinated pairwise averaging on a connected graph."""
+
+    def __init__(
+        self,
+        graph: nx.Graph | Adjacency,
+        initial_values: Sequence[float],
+        seed: SeedLike = None,
+    ) -> None:
+        self.adjacency = (
+            graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+        )
+        values = np.asarray(initial_values, dtype=np.float64).copy()
+        if values.shape != (self.adjacency.n,):
+            raise ParameterError(
+                f"initial_values must have shape ({self.adjacency.n},), "
+                f"got {values.shape}"
+            )
+        self.values = values
+        self.rng = as_generator(seed)
+        self.t = 0
+        # Uniform pi: phi tracker measures the uniform potential phi_V / n.
+        self._pi = np.full(self.adjacency.n, 1.0 / self.adjacency.n)
+        self._tracker = PotentialTracker(self._pi, self.values)
+        # Undirected edge endpoints (one orientation suffices).
+        mask = self.adjacency.edge_tails < self.adjacency.edge_heads
+        self._u = self.adjacency.edge_tails[mask]
+        self._v = self.adjacency.edge_heads[mask]
+
+    @property
+    def n(self) -> int:
+        return self.adjacency.n
+
+    @property
+    def average(self) -> float:
+        """The invariant simple average."""
+        return float(self.values.mean())
+
+    @property
+    def phi(self) -> float:
+        """Uniform-weight potential ``<xi,xi>_u - <1,xi>_u^2`` (= phi_V / n)."""
+        return self._tracker.phi
+
+    @property
+    def discrepancy(self) -> float:
+        return discrepancy(self.values)
+
+    def step(self) -> None:
+        """Average a uniform random adjacent pair."""
+        self.t += 1
+        index = int(self.rng.integers(len(self._u)))
+        u, v = int(self._u[index]), int(self._v[index])
+        old_u, old_v = float(self.values[u]), float(self.values[v])
+        mid = 0.5 * (old_u + old_v)
+        self.values[u] = mid
+        self.values[v] = mid
+        self._tracker.update(u, old_u, mid, self.values)
+        self._tracker.update(v, old_v, mid, self.values)
+
+    def run(self, steps: int) -> None:
+        if steps < 0:
+            raise ParameterError(f"steps must be non-negative, got {steps}")
+        for _ in range(steps):
+            self.step()
+
+    def run_to_consensus(
+        self, discrepancy_tol: float = 1e-9, max_steps: int = 50_000_000
+    ) -> tuple[float, int]:
+        """Run until spread <= tol; return ``(consensus_value, steps)``.
+
+        The consensus value equals the initial average exactly (up to
+        floating point) — that is the point of this baseline.
+        """
+        start = self.t
+        while self.discrepancy > discrepancy_tol:
+            if self.t - start >= max_steps:
+                raise ConvergenceError(
+                    f"discrepancy {self.discrepancy:.3e} > {discrepancy_tol:.3e} "
+                    f"after {max_steps} steps"
+                )
+            self.run(min(64, max_steps - (self.t - start)))
+        return self.average, self.t - start

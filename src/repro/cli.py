@@ -1,0 +1,92 @@
+"""Command-line entry point: ``python -m repro.cli [ids...]``.
+
+Runs the experiments of DESIGN.md by id (default: all) and prints their
+result tables.  ``--slow`` switches to the larger EXPERIMENTS.md-scale
+parameters; ``--markdown`` emits GitHub-flavoured tables; ``--list``
+shows the available ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments import EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce experiments from 'Distributed Averaging in Opinion "
+            "Dynamics' (PODC 2023)"
+        ),
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids (e.g. EXP-F1 EXP-T222); default: all",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--slow",
+        action="store_true",
+        help="use the full-scale parameters recorded in EXPERIMENTS.md",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--markdown", action="store_true", help="render tables as markdown"
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="archive result tables as JSON bundles under DIR",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for key in EXPERIMENTS:
+            print(key)
+        return 0
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known ids: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for experiment_id in ids:
+        runner = EXPERIMENTS[experiment_id]
+        started = time.perf_counter()
+        tables = runner(fast=not args.slow, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print(f"\n### {experiment_id}  ({elapsed:.1f}s)\n")
+        for table in tables:
+            print(table.render_markdown() if args.markdown else table.render())
+            print()
+        if args.save:
+            from repro.io import ResultBundle, save_bundle
+
+            path = save_bundle(
+                ResultBundle(
+                    experiment_id=experiment_id,
+                    seed=args.seed,
+                    fast=not args.slow,
+                    tables=list(tables),
+                ),
+                args.save,
+            )
+            print(f"saved -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""Core averaging processes: the paper's primary contribution.
+
+* :class:`repro.core.node_model.NodeModel` — Definition 2.1,
+* :class:`repro.core.edge_model.EdgeModel` — Definition 2.3,
+* :mod:`repro.core.potentials` — the ``pi``-weighted potential ``phi``
+  (Eq. 3), the uniform potential ``phi_V`` (Proposition D.1), discrepancy,
+  all maintained incrementally,
+* :mod:`repro.core.schedule` — recorded selection sequences ``chi`` enabling
+  the exact duality replay of Lemma 5.2,
+* :mod:`repro.core.initial` — initial-value workloads, including the
+  worst-case eigenvector-aligned states of Proposition B.2,
+* :mod:`repro.core.convergence` — ``eps``-convergence detection and
+  ``T_eps`` measurement,
+* :mod:`repro.core.runner` — trajectory recording and convergence-value
+  sampling for the Monte-Carlo harness.
+"""
+
+from repro.core.base import AveragingProcess, StepRecord
+from repro.core.continuous import (
+    PoissonClock,
+    edge_model_event_rate,
+    node_model_event_rate,
+    steps_to_time,
+    time_to_steps,
+)
+from repro.core.dynamic import DynamicAveraging
+from repro.core.convergence import measure_t_eps, run_to_consensus
+from repro.core.edge_model import EdgeModel
+from repro.core.initial import (
+    INITIAL_FAMILIES,
+    center_degree_weighted,
+    center_simple,
+    fiedler_aligned,
+    gaussian_values,
+    indicator_values,
+    linear_ramp,
+    make_initial,
+    rademacher_values,
+    second_eigenvector_aligned,
+    uniform_values,
+)
+from repro.core.node_model import NodeModel
+from repro.core.potentials import (
+    PotentialTracker,
+    discrepancy,
+    phi_pi,
+    phi_uniform,
+)
+from repro.core.runner import Trajectory, record_trajectory, sample_convergence_value
+from repro.core.schedule import Schedule, SelectionStep
+
+__all__ = [
+    "AveragingProcess",
+    "DynamicAveraging",
+    "PoissonClock",
+    "EdgeModel",
+    "INITIAL_FAMILIES",
+    "NodeModel",
+    "PotentialTracker",
+    "Schedule",
+    "SelectionStep",
+    "StepRecord",
+    "Trajectory",
+    "center_degree_weighted",
+    "center_simple",
+    "discrepancy",
+    "edge_model_event_rate",
+    "fiedler_aligned",
+    "gaussian_values",
+    "indicator_values",
+    "linear_ramp",
+    "make_initial",
+    "measure_t_eps",
+    "node_model_event_rate",
+    "phi_pi",
+    "phi_uniform",
+    "rademacher_values",
+    "record_trajectory",
+    "run_to_consensus",
+    "sample_convergence_value",
+    "second_eigenvector_aligned",
+    "steps_to_time",
+    "time_to_steps",
+    "uniform_values",
+]

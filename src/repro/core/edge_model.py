@@ -1,0 +1,106 @@
+"""The EdgeModel (Definition 2.3).
+
+At each step a *directed* edge ``(u, v)`` is chosen uniformly among all
+``2m`` directed edges, and the tail updates unilaterally:
+
+    xi_u(t) = alpha * xi_u(t-1) + (1 - alpha) * xi_v(t-1).
+
+Node ``u`` is therefore selected with probability proportional to its
+degree, which is exactly why the *simple* average ``Avg(t)`` — not the
+degree-weighted one — is the EdgeModel's martingale (Proposition D.1(i)),
+even on irregular graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.core.base import AveragingProcess
+from repro.graphs.adjacency import Adjacency
+from repro.rng import SeedLike
+
+
+class EdgeModel(AveragingProcess):
+    """Asynchronous edge-driven averaging (Definition 2.3).
+
+    Equivalent in law to the NodeModel with ``k = 1`` on regular graphs
+    (both pick a uniform directed edge); the two differ on irregular
+    graphs, where the EdgeModel biases activation towards high-degree
+    nodes.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph | Adjacency,
+        initial_values: Sequence[float],
+        alpha: float,
+        seed: SeedLike = None,
+        lazy: bool = False,
+        record_schedule: bool = False,
+    ) -> None:
+        super().__init__(
+            graph,
+            initial_values,
+            alpha,
+            seed=seed,
+            lazy=lazy,
+            record_schedule=record_schedule,
+        )
+        self._tails = self.adjacency.edge_tails
+        self._heads = self.adjacency.edge_heads
+
+    def _fast_loop(self, steps: int, epsilon: float | None) -> int:
+        """Batched inner loop (identical law, ~10x fewer RNG calls)."""
+        if self.schedule is not None:
+            return super()._fast_loop(steps, epsilon)
+
+        tails = self._tails.tolist()
+        heads = self._heads.tolist()
+        pi = self._pi.tolist()
+        values = self.values
+        rng = self.rng
+        alpha = self.alpha
+        beta = 1.0 - alpha
+        lazy = self.lazy
+        s1, s2 = self._tracker.moments
+
+        num_edges = len(tails)
+        executed = 0
+        batch = 8192
+        stop = False
+        while executed < steps and not stop:
+            size = min(batch, steps - executed)
+            indices = rng.integers(num_edges, size=size).tolist()
+            coins = rng.random(size).tolist() if lazy else None
+            for i in range(size):
+                executed += 1
+                if coins is not None and coins[i] < 0.5:
+                    continue
+                index = indices[i]
+                u = tails[index]
+                old = float(values[u])
+                new = alpha * old + beta * float(values[heads[index]])
+                values[u] = new
+                weight = pi[u]
+                s1 += weight * (new - old)
+                s2 += weight * (new * new - old * old)
+                if epsilon is not None and s2 - s1 * s1 <= epsilon:
+                    stop = True
+                    break
+            self._tracker.reset(values)
+            s1, s2 = self._tracker.moments
+        self.t += executed
+        return executed
+
+    def _select(self) -> tuple[int, np.ndarray]:
+        index = int(self.rng.integers(len(self._tails)))
+        return int(self._tails[index]), self._heads[index : index + 1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EdgeModel(n={self.n}, m={self.adjacency.m}, alpha={self.alpha}, "
+            f"lazy={self.lazy}, t={self.t})"
+        )

@@ -1,0 +1,159 @@
+"""The NodeModel (Definition 2.1).
+
+At each step a node ``u`` is chosen uniformly at random; ``u`` samples
+``k`` of its neighbours uniformly at random *without replacement* and
+updates unilaterally to
+
+    xi_u(t) = alpha * xi_u(t-1) + (1 - alpha)/k * sum_{i=1}^{k} xi_{v_i}(t-1).
+
+Special cases: ``k = 1, alpha = 0`` is the voter model with continuous
+opinions; on regular graphs with ``k = 1`` the NodeModel coincides in law
+with the EdgeModel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.core.base import AveragingProcess
+from repro.exceptions import ParameterError
+from repro.graphs.adjacency import Adjacency
+from repro.rng import SeedLike
+
+
+class NodeModel(AveragingProcess):
+    """Asynchronous node-driven averaging (Definition 2.1).
+
+    Parameters beyond :class:`~repro.core.base.AveragingProcess`:
+
+    k:
+        Neighbour fan-in, ``1 <= k <= d_min`` (the sample is drawn without
+        replacement, so a node can never request more neighbours than it
+        has; requiring ``k <= d_min`` keeps the model well defined at
+        every node, matching the paper's setup).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph | Adjacency,
+        initial_values: Sequence[float],
+        alpha: float,
+        k: int = 1,
+        seed: SeedLike = None,
+        lazy: bool = False,
+        record_schedule: bool = False,
+    ) -> None:
+        super().__init__(
+            graph,
+            initial_values,
+            alpha,
+            seed=seed,
+            lazy=lazy,
+            record_schedule=record_schedule,
+        )
+        if int(k) != k or k < 1:
+            raise ParameterError(f"k must be a positive integer, got {k}")
+        k = int(k)
+        if k > self.adjacency.d_min:
+            raise ParameterError(
+                f"k = {k} exceeds the minimum degree {self.adjacency.d_min}; "
+                "the NodeModel samples k distinct neighbours"
+            )
+        self.k = k
+
+    def _fast_loop(self, steps: int, epsilon: float | None) -> int:
+        """Batched inner loop (identical law, ~10x fewer RNG calls).
+
+        Falls back to the generic loop when a schedule is being recorded
+        (records need per-step bookkeeping anyway).
+        """
+        if self.schedule is not None:
+            return super()._fast_loop(steps, epsilon)
+
+        adj = self.adjacency
+        neighbors = adj.neighbors.tolist()
+        offsets = adj.offsets.tolist()
+        degrees = adj.degrees.tolist()
+        pi = self._pi.tolist()
+        values = self.values
+        rng = self.rng
+        alpha = self.alpha
+        beta = 1.0 - alpha
+        k = self.k
+        lazy = self.lazy
+        s1, s2 = self._tracker.moments
+
+        n = adj.n
+        executed = 0
+        batch = 8192
+        stop = False
+        while executed < steps and not stop:
+            size = min(batch, steps - executed)
+            nodes = rng.integers(n, size=size).tolist()
+            coins = rng.random(size).tolist() if lazy else None
+            picks = rng.random(size * max(k, 1)).tolist()
+            for i in range(size):
+                executed += 1
+                if coins is not None and coins[i] < 0.5:
+                    continue
+                u = nodes[i]
+                start = offsets[u]
+                degree = degrees[u]
+                if k == 1:
+                    v = neighbors[start + int(picks[i] * degree)]
+                    neighbour_mean = float(values[v])
+                elif k == degree:
+                    total = 0.0
+                    for j in range(degree):
+                        total += float(values[neighbors[start + j]])
+                    neighbour_mean = total / degree
+                else:
+                    # k distinct indices in [0, degree): rejection sampling
+                    # on pre-drawn floats (uniform over ordered k-tuples of
+                    # distinct indices == uniform k-subset for our mean).
+                    base = i * k
+                    chosen = [int(picks[base + j] * degree) for j in range(k)]
+                    while len(set(chosen)) != k:
+                        chosen = [int(f * degree) for f in rng.random(k)]
+                    total = 0.0
+                    for j in chosen:
+                        total += float(values[neighbors[start + j]])
+                    neighbour_mean = total / k
+                old = float(values[u])
+                new = alpha * old + beta * neighbour_mean
+                values[u] = new
+                weight = pi[u]
+                s1 += weight * (new - old)
+                s2 += weight * (new * new - old * old)
+                if epsilon is not None and s2 - s1 * s1 <= epsilon:
+                    stop = True
+                    break
+            # Resynchronise the exact moments once per batch to kill drift.
+            self._tracker.reset(values)
+            s1, s2 = self._tracker.moments
+        self.t += executed
+        return executed
+
+    def _select(self) -> tuple[int, np.ndarray]:
+        adj = self.adjacency
+        rng = self.rng
+        node = int(rng.integers(adj.n))
+        start = adj.offsets[node]
+        degree = int(adj.offsets[node + 1] - start)
+        if self.k == 1:
+            # Fast path: one uniform neighbour.
+            sample = adj.neighbors[start + int(rng.integers(degree))]
+            return node, np.array([sample], dtype=np.int64)
+        if self.k == degree:
+            return node, adj.neighbors[start : start + degree]
+        pool = adj.neighbors[start : start + degree]
+        return node, rng.choice(pool, size=self.k, replace=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NodeModel(n={self.n}, alpha={self.alpha}, k={self.k}, "
+            f"lazy={self.lazy}, t={self.t})"
+        )

@@ -1,0 +1,109 @@
+"""Potential functions of Section 4 and Appendix D, tracked incrementally.
+
+The convergence analysis measures progress by
+
+* ``phi(xi) = <xi, xi>_pi - <1, xi>_pi^2``  (Eq. 3, ``pi``-weighted), equal
+  to ``(1/2) sum_{u,v} pi_u pi_v (xi_u - xi_v)^2``;
+* ``phi_V(xi) = (1/2n) sum_{x,y} (xi_x - xi_y)^2
+  = sum_x xi_x^2 - (sum_x xi_x)^2 / n``  (Appendix D, uniform weights);
+* the discrepancy ``K = max_u xi_u - min_u xi_u``.
+
+Because each process step changes a single coordinate, both weighted sums
+can be maintained in O(1) per step; :class:`PotentialTracker` does exactly
+that, making exact ``T_eps`` measurement cheap even on million-step runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def phi_pi(pi: np.ndarray, values: np.ndarray) -> float:
+    """The paper's potential ``phi`` (Eq. 3) computed from scratch."""
+    weighted_mean = float(np.sum(pi * values))
+    weighted_square = float(np.sum(pi * values * values))
+    return max(weighted_square - weighted_mean**2, 0.0)
+
+
+def phi_pi_pairwise(pi: np.ndarray, values: np.ndarray) -> float:
+    """``phi`` via the pairwise form ``(1/2) sum pi_u pi_v (xi_u - xi_v)^2``.
+
+    O(n^2); exists to cross-validate :func:`phi_pi` in tests.
+    """
+    diff = values[:, None] - values[None, :]
+    weights = pi[:, None] * pi[None, :]
+    return 0.5 * float(np.sum(weights * diff * diff))
+
+
+def phi_uniform(values: np.ndarray) -> float:
+    """Uniform potential ``phi_V`` of Proposition D.1."""
+    n = len(values)
+    total = float(values.sum())
+    return max(float(np.sum(values * values)) - total * total / n, 0.0)
+
+
+def discrepancy(values: np.ndarray) -> float:
+    """Discrepancy ``K = max_u xi_u - min_u xi_u``."""
+    return float(values.max() - values.min())
+
+
+class PotentialTracker:
+    """Incrementally maintained ``pi``-weighted first and second moments.
+
+    Tracks ``s1 = <1, xi>_pi`` and ``s2 = <xi, xi>_pi`` so that
+    ``phi = s2 - s1^2`` is available in O(1) after each single-coordinate
+    update.  Floating-point drift is bounded by periodically resynchronising
+    from the full vector (every ``resync_every`` updates).
+    """
+
+    def __init__(self, pi: np.ndarray, values: np.ndarray, resync_every: int = 1_000_000):
+        self._pi = np.asarray(pi, dtype=np.float64)
+        if resync_every < 1:
+            raise ValueError("resync_every must be positive")
+        self._resync_every = resync_every
+        self._updates_since_resync = 0
+        self.reset(values)
+
+    def reset(self, values: np.ndarray) -> None:
+        """Recompute both moments from ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        self._s1 = float(np.sum(self._pi * values))
+        self._s2 = float(np.sum(self._pi * values * values))
+        self._updates_since_resync = 0
+
+    def update(self, node: int, old: float, new: float, values: np.ndarray) -> None:
+        """Account for coordinate ``node`` changing from ``old`` to ``new``.
+
+        ``values`` must already contain the new coordinate; it is used only
+        for periodic resynchronisation.
+        """
+        weight = self._pi[node]
+        self._s1 += weight * (new - old)
+        self._s2 += weight * (new * new - old * old)
+        self._updates_since_resync += 1
+        if self._updates_since_resync >= self._resync_every:
+            self.reset(values)
+
+    @property
+    def moments(self) -> tuple[float, float]:
+        """Current ``(s1, s2)`` pair — consumed by the batched fast loops."""
+        return self._s1, self._s2
+
+    def set_moments(self, s1: float, s2: float) -> None:
+        """Install externally tracked moments (batched fast loops).
+
+        Callers are expected to resynchronise via :meth:`reset`
+        periodically, exactly as :meth:`update` does internally.
+        """
+        self._s1 = float(s1)
+        self._s2 = float(s2)
+
+    @property
+    def weighted_mean(self) -> float:
+        """``M(t) = <1, xi>_pi``, the degree-weighted mean of Eq. (1)."""
+        return self._s1
+
+    @property
+    def phi(self) -> float:
+        """Current potential ``phi = s2 - s1^2`` (clamped at 0)."""
+        return max(self._s2 - self._s1 * self._s1, 0.0)

@@ -1,0 +1,101 @@
+"""Trajectory recording and convergence-value sampling.
+
+Two usage patterns recur in the experiments:
+
+* record a time series of observables (potential, discrepancy, averages)
+  while a process runs — :func:`record_trajectory`;
+* run a fresh replica to consensus and return the convergence value ``F``
+  — :func:`sample_convergence_value`, the primitive under the Monte-Carlo
+  variance experiments (Theorem 2.2(2)/2.4(2)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.base import AveragingProcess
+from repro.core.convergence import run_to_consensus
+from repro.exceptions import ParameterError
+
+
+@dataclass
+class Trajectory:
+    """Sampled time series of a single run.
+
+    All arrays are aligned: entry ``i`` was observed at step ``times[i]``.
+    ``weighted_average`` is the NodeModel martingale ``M(t)``;
+    ``simple_average`` is the EdgeModel martingale ``Avg(t)``.
+    """
+
+    times: np.ndarray
+    phi: np.ndarray
+    discrepancy: np.ndarray
+    simple_average: np.ndarray
+    weighted_average: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def record_trajectory(
+    process: AveragingProcess,
+    steps: int,
+    sample_every: int = 1,
+    include_initial: bool = True,
+) -> Trajectory:
+    """Run ``steps`` steps, sampling observables every ``sample_every`` steps."""
+    if steps < 0:
+        raise ParameterError(f"steps must be non-negative, got {steps}")
+    if sample_every < 1:
+        raise ParameterError(f"sample_every must be positive, got {sample_every}")
+
+    times: list[int] = []
+    phis: list[float] = []
+    spreads: list[float] = []
+    simple: list[float] = []
+    weighted: list[float] = []
+
+    def observe() -> None:
+        times.append(process.t)
+        phis.append(process.phi)
+        spreads.append(process.discrepancy)
+        simple.append(process.simple_average)
+        weighted.append(process.weighted_average)
+
+    if include_initial:
+        observe()
+    executed = 0
+    while executed < steps:
+        chunk = min(sample_every, steps - executed)
+        process.run(chunk)
+        executed += chunk
+        observe()
+
+    return Trajectory(
+        times=np.asarray(times, dtype=np.int64),
+        phi=np.asarray(phis),
+        discrepancy=np.asarray(spreads),
+        simple_average=np.asarray(simple),
+        weighted_average=np.asarray(weighted),
+    )
+
+
+def sample_convergence_value(
+    make_process: Callable[[], AveragingProcess],
+    discrepancy_tol: float = 1e-9,
+    max_steps: int = 50_000_000,
+) -> float:
+    """Build a fresh process and run it to consensus, returning ``F``.
+
+    ``make_process`` must return a *new* process each call (with its own
+    independent randomness) so that repeated calls give i.i.d. samples of
+    the random variable ``F``.
+    """
+    process = make_process()
+    result = run_to_consensus(
+        process, discrepancy_tol=discrepancy_tol, max_steps=max_steps
+    )
+    return result.value

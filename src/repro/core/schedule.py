@@ -1,0 +1,136 @@
+"""Recorded selection sequences ``chi`` and their reversal.
+
+Proposition 5.1 couples the Averaging Process with the Diffusion Process by
+running one of them *backwards in time* on the same node-selection sequence
+``chi = (chi(1), ..., chi(T))`` where ``chi(t) = (u(t), S(t))``.  To make
+that coupling executable (and testable to machine precision), the
+simulators can record every step into a :class:`Schedule`, which the dual
+processes replay, forwards or reversed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ScheduleError
+from repro.graphs.adjacency import Adjacency
+
+
+@dataclass(frozen=True)
+class SelectionStep:
+    """One step ``chi(t) = (u, S)`` of a selection sequence.
+
+    ``node`` is the updating node ``u(t)``; ``sample`` is the tuple of
+    selected neighbours ``S(t)`` (size ``k`` for the NodeModel, size 1 for
+    the EdgeModel).  A lazy no-op step is represented by an empty sample.
+    """
+
+    node: int
+    sample: Tuple[int, ...]
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether this step performed no update (lazy coin came up tails)."""
+        return len(self.sample) == 0
+
+
+class Schedule:
+    """An ordered sequence of :class:`SelectionStep` records.
+
+    Supports appending during simulation, iteration, reversal (for the
+    duality coupling) and validation against a graph.
+    """
+
+    def __init__(self, steps: Iterable[SelectionStep] = ()) -> None:
+        self._steps: list[SelectionStep] = list(steps)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[SelectionStep]:
+        return iter(self._steps)
+
+    def __getitem__(self, index) -> SelectionStep:
+        return self._steps[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self._steps == other._steps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schedule(len={len(self._steps)})"
+
+    # ------------------------------------------------------------------
+    # Mutation and derivation
+    # ------------------------------------------------------------------
+    def append(self, node: int, sample: Sequence[int]) -> None:
+        """Record step ``(node, sample)``."""
+        self._steps.append(SelectionStep(int(node), tuple(int(s) for s in sample)))
+
+    def reversed(self) -> "Schedule":
+        """The reverse sequence ``chi^R`` used by the Diffusion Process."""
+        return Schedule(reversed(self._steps))
+
+    def without_noops(self) -> "Schedule":
+        """Drop lazy no-op steps (they are identity maps in both processes)."""
+        return Schedule(s for s in self._steps if not s.is_noop)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, adjacency: Adjacency, k: int | None = None) -> None:
+        """Check every step is feasible on ``adjacency``.
+
+        * the updating node exists,
+        * every sampled node is a neighbour of the updating node,
+        * samples contain no duplicates (sampling is without replacement),
+        * if ``k`` is given, every non-noop sample has size exactly ``k``.
+
+        Raises :class:`ScheduleError` on the first violation.
+        """
+        n = adjacency.n
+        for t, step in enumerate(self._steps, start=1):
+            if not 0 <= step.node < n:
+                raise ScheduleError(f"step {t}: node {step.node} out of range")
+            if step.is_noop:
+                continue
+            if k is not None and len(step.sample) != k:
+                raise ScheduleError(
+                    f"step {t}: sample size {len(step.sample)} != k = {k}"
+                )
+            if len(set(step.sample)) != len(step.sample):
+                raise ScheduleError(f"step {t}: sample {step.sample} has duplicates")
+            for v in step.sample:
+                if not adjacency.has_edge(step.node, v):
+                    raise ScheduleError(
+                        f"step {t}: {v} is not a neighbour of {step.node}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten to ``(nodes, sample_offsets, samples)`` NumPy arrays."""
+        nodes = np.array([s.node for s in self._steps], dtype=np.int64)
+        sizes = np.array([len(s.sample) for s in self._steps], dtype=np.int64)
+        offsets = np.zeros(len(self._steps) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        samples = np.array(
+            [v for s in self._steps for v in s.sample], dtype=np.int64
+        )
+        return nodes, offsets, samples
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, Sequence[int]]]) -> "Schedule":
+        """Build a schedule from ``(node, sample)`` pairs."""
+        schedule = cls()
+        for node, sample in pairs:
+            schedule.append(node, sample)
+        return schedule

@@ -1,0 +1,160 @@
+"""The Diffusion Process (Section 5.1).
+
+``n`` commodities start with unit load on their home nodes (load matrix
+``Q(0) = I``); each step a node ``u`` and a ``k``-sample ``S`` of its
+neighbours are selected and, *for every commodity*, a ``(1 - alpha)``
+fraction of the load at ``u`` is moved in equal parts onto ``S``:
+
+    q(t) = B(t) q(t-1),        W(t) = c q(t) = c R(t) q(0),
+
+with ``B(t)`` from Eq. (4) and cost vector ``c = xi(0)^T``.  Proposition
+5.1 states that ``W(T)`` run on the *reversed* selection sequence has the
+same distribution as ``xi(T)`` — and Lemma 5.2 makes this an exact per-
+sequence identity, which :mod:`repro.dual.duality` verifies to machine
+precision.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.core.schedule import Schedule, SelectionStep
+from repro.exceptions import ParameterError
+from repro.graphs.adjacency import Adjacency
+from repro.rng import SeedLike, as_generator
+
+
+class DiffusionProcess:
+    """Multi-commodity load diffusion dual to the NodeModel.
+
+    Parameters
+    ----------
+    graph:
+        Connected undirected graph.
+    cost:
+        Cost row vector ``c`` (Proposition 5.1 uses ``c = xi(0)^T``).
+    alpha, k:
+        Model parameters, matching the Averaging Process being dualised.
+    loads:
+        Initial load matrix of shape ``(n, r)`` — column ``j`` is commodity
+        ``j``'s load vector ``q^(j)(0)``.  Defaults to the identity
+        (one unit of commodity ``u`` on node ``u``).
+    seed:
+        Randomness for standalone (non-replay) stepping.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph | Adjacency,
+        cost: Sequence[float],
+        alpha: float,
+        k: int = 1,
+        loads: np.ndarray | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if not 0.0 <= alpha < 1.0:
+            raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
+        self.adjacency = (
+            graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+        )
+        n = self.adjacency.n
+        self.cost = np.asarray(cost, dtype=np.float64).reshape(-1)
+        if self.cost.shape != (n,):
+            raise ParameterError(f"cost must have shape ({n},), got {self.cost.shape}")
+        if int(k) != k or k < 1:
+            raise ParameterError(f"k must be a positive integer, got {k}")
+        k = int(k)
+        if k > self.adjacency.d_min:
+            raise ParameterError(
+                f"k = {k} exceeds the minimum degree {self.adjacency.d_min}"
+            )
+        self.alpha = float(alpha)
+        self.k = k
+        if loads is None:
+            loads = np.eye(n)
+        loads = np.asarray(loads, dtype=np.float64).copy()
+        if loads.ndim == 1:
+            loads = loads[:, None]
+        if loads.shape[0] != n:
+            raise ParameterError(
+                f"loads must have {n} rows, got shape {loads.shape}"
+            )
+        self.loads = loads
+        self.rng = as_generator(seed)
+        self.t = 0
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.adjacency.n
+
+    @property
+    def num_commodities(self) -> int:
+        return self.loads.shape[1]
+
+    def step_with(self, step: SelectionStep) -> None:
+        """Apply one diffusion step for the given selection ``(u, S)``.
+
+        Equivalent to ``loads <- B loads`` with ``B`` from Eq. (4), but in
+        O(k * r) instead of O(n^2 * r).
+        """
+        self.t += 1
+        if step.is_noop:
+            return
+        u = step.node
+        moving = (1.0 - self.alpha) * self.loads[u]
+        share = moving / len(step.sample)
+        self.loads[u] -= moving
+        for v in step.sample:
+            self.loads[v] += share
+
+    def step(self) -> SelectionStep:
+        """Draw a fresh NodeModel-law selection, apply it, and return it."""
+        adj = self.adjacency
+        node = int(self.rng.integers(adj.n))
+        start = adj.offsets[node]
+        degree = int(adj.offsets[node + 1] - start)
+        if self.k == 1:
+            sample: tuple[int, ...] = (
+                int(adj.neighbors[start + int(self.rng.integers(degree))]),
+            )
+        elif self.k == degree:
+            sample = tuple(int(v) for v in adj.neighbors[start : start + degree])
+        else:
+            pool = adj.neighbors[start : start + degree]
+            sample = tuple(
+                int(v) for v in self.rng.choice(pool, size=self.k, replace=False)
+            )
+        selection = SelectionStep(node, sample)
+        self.step_with(selection)
+        return selection
+
+    def replay(self, schedule: Schedule) -> None:
+        """Apply an entire selection sequence in order."""
+        for step in schedule:
+            self.step_with(step)
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
+    @property
+    def costs(self) -> np.ndarray:
+        """Cost vector ``W(t) = c q(t)``, one entry per commodity."""
+        return self.cost @ self.loads
+
+    def commodity_load(self, commodity: int) -> np.ndarray:
+        """Load vector ``q^(commodity)(t)`` (a copy)."""
+        return self.loads[:, commodity].copy()
+
+    def total_mass(self) -> np.ndarray:
+        """Per-commodity total load — invariant 1 for unit commodities.
+
+        Each ``B(t)`` is column-stochastic on column ``u`` (mass moves, it
+        is never created or destroyed), so this is conserved exactly.
+        """
+        return self.loads.sum(axis=0)

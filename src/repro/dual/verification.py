@@ -1,0 +1,192 @@
+"""Statistical verification of the Section 5 duality chain.
+
+The proof of Theorem 2.2(2) rests on three identities:
+
+* Lemma 5.3:    ``E[W~(u)(t) | chi] = W(u)(t)``          (first moments)
+* Prop. 5.4:    ``E[W~(u) W~(v)] = E[W(u) W(v)]``        (second moments)
+* Lemma 5.5:    ``E[W~(a)(T) W~(b)(T)] -> sum mu(u,v) xi_u xi_v``
+
+This module estimates each side by Monte Carlo and reports the
+discrepancies with standard errors, turning the lemmas into executable
+checks (used by the test suite and available for user graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.dual.diffusion import DiffusionProcess
+from repro.dual.qchain import QChain
+from repro.dual.walks import RandomWalkProcess
+from repro.exceptions import ParameterError
+from repro.graphs.adjacency import Adjacency
+from repro.rng import SeedLike, as_generator, spawn
+
+
+@dataclass(frozen=True)
+class MomentCheck:
+    """Comparison of a Monte-Carlo estimate against a reference value."""
+
+    estimate: float
+    reference: float
+    standard_error: float
+
+    @property
+    def z_score(self) -> float:
+        if self.standard_error == 0:
+            return 0.0 if self.estimate == self.reference else float("inf")
+        return (self.estimate - self.reference) / self.standard_error
+
+    @property
+    def consistent(self) -> bool:
+        """Within four standard errors plus a float-noise allowance.
+
+        The absolute term matters when the sampled quantity is
+        deterministic under the fixed schedule (SE collapses to ~1e-18
+        while the estimate carries ~1e-16 rounding noise).
+        """
+        tolerance = 4.0 * self.standard_error + 1e-9 * max(1.0, abs(self.reference))
+        return abs(self.estimate - self.reference) <= tolerance
+
+
+def check_lemma_53(
+    graph: nx.Graph | Adjacency,
+    cost: np.ndarray,
+    alpha: float,
+    k: int,
+    schedule: Schedule,
+    walk: int,
+    replicas: int = 20_000,
+    seed: SeedLike = None,
+) -> MomentCheck:
+    """Lemma 5.3: conditional mean walk cost equals the diffusion cost.
+
+    Fixes ``schedule`` (= ``chi``), replays it through ``replicas``
+    independent walk systems, and compares the empirical mean cost of
+    ``walk`` with the deterministic diffusion cost ``W(walk)``.
+    """
+    if replicas < 2:
+        raise ParameterError("replicas must be at least 2")
+    adjacency = graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+    cost = np.asarray(cost, dtype=np.float64)
+    diffusion = DiffusionProcess(adjacency, cost=cost, alpha=alpha, k=k)
+    diffusion.replay(schedule)
+    reference = float(diffusion.costs[walk])
+
+    rng = as_generator(seed)
+    samples = np.empty(replicas)
+    walks = RandomWalkProcess(adjacency, cost=cost, alpha=alpha, k=k, seed=rng)
+    for i in range(replicas):
+        walks.positions[:] = np.arange(adjacency.n)
+        walks.replay(schedule)
+        samples[i] = walks.costs[walk]
+    return MomentCheck(
+        estimate=float(samples.mean()),
+        reference=reference,
+        standard_error=float(samples.std(ddof=1) / np.sqrt(replicas)),
+    )
+
+
+def check_proposition_54(
+    graph: nx.Graph | Adjacency,
+    cost: np.ndarray,
+    alpha: float,
+    k: int,
+    steps: int,
+    pair: tuple[int, int],
+    replicas: int = 4_000,
+    seed: SeedLike = None,
+) -> MomentCheck:
+    """Prop. 5.4: E[W~(u) W~(v)] = E[W(u) W(v)] over random schedules.
+
+    Each replica draws a fresh schedule, runs the diffusion on it (giving
+    ``W(u) W(v)`` exactly, by Lemma 5.3's conditional argument) and *two
+    independent* walk systems on the same schedule, taking walk ``u``
+    from the first and walk ``v`` from the second.  Given the schedule
+    the two tagged walks are independent — the exact setting of Eq. (11)
+    in the proposition's proof — and this remains correct on the
+    diagonal ``u == v``, where the proposition concerns two distinct
+    walks launched from the same node (the Q-chain's ``S_0`` states),
+    not one walk squared.  The per-replica product differences then have
+    mean 0 under the proposition.
+    """
+    if replicas < 2:
+        raise ParameterError("replicas must be at least 2")
+    u, v = pair
+    adjacency = graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+    cost = np.asarray(cost, dtype=np.float64)
+    differences = np.empty(replicas)
+    for i, rng in enumerate(spawn(seed, replicas)):
+        diffusion = DiffusionProcess(adjacency, cost=cost, alpha=alpha, k=k, seed=rng)
+        schedule = Schedule()
+        for _ in range(steps):
+            selection = diffusion.step()
+            schedule.append(selection.node, selection.sample)
+        walks_a = RandomWalkProcess(adjacency, cost=cost, alpha=alpha, k=k, seed=rng)
+        walks_a.replay(schedule)
+        walks_b = RandomWalkProcess(adjacency, cost=cost, alpha=alpha, k=k, seed=rng)
+        walks_b.replay(schedule)
+        w_product = float(diffusion.costs[u] * diffusion.costs[v])
+        walk_product = float(walks_a.costs[u] * walks_b.costs[v])
+        differences[i] = walk_product - w_product
+    return MomentCheck(
+        estimate=float(differences.mean()),
+        reference=0.0,
+        standard_error=float(differences.std(ddof=1) / np.sqrt(replicas)),
+    )
+
+
+def check_lemma_55(
+    graph: nx.Graph | Adjacency,
+    cost: np.ndarray,
+    alpha: float,
+    k: int,
+    pair: tuple[int, int],
+    horizon: int,
+    replicas: int = 4_000,
+    seed: SeedLike = None,
+) -> MomentCheck:
+    """Lemma 5.5: the long-run pair-cost moment equals the mu-quadratic form.
+
+    Runs two tagged walks for ``horizon`` steps per replica and compares
+    ``E[W~(a)(T) W~(b)(T)]`` with ``sum_{u,v} mu(u,v) xi_u xi_v`` from the
+    Lemma 5.7 closed form.  ``horizon`` must exceed the Q-chain's mixing
+    time for the reference to be exact up to ``1/n^5``.
+
+    The two tagged walks live in two walk systems driven by the *same*
+    selection sequence (walks never interact directly — only through the
+    schedule — so this preserves the Q-chain's joint law and also makes
+    diagonal pairs ``a == b`` meaningful: two distinct walks launched
+    from one node, the chain's ``S_0`` states).
+    """
+    if replicas < 2:
+        raise ParameterError("replicas must be at least 2")
+    a, b = pair
+    adjacency = graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+    cost = np.asarray(cost, dtype=np.float64)
+    chain = QChain(adjacency, alpha=alpha, k=k)
+    mu = chain.stationary_closed_form()
+    reference = float(np.sum(mu * np.outer(cost, cost).reshape(-1)))
+
+    samples = np.empty(replicas)
+    for i, rng in enumerate(spawn(seed, replicas)):
+        child_a, child_b = spawn(rng, 2)
+        walks_a = RandomWalkProcess(
+            adjacency, cost=cost, alpha=alpha, k=k, seed=child_a
+        )
+        walks_b = RandomWalkProcess(
+            adjacency, cost=cost, alpha=alpha, k=k, seed=child_b
+        )
+        for _ in range(horizon):
+            selection = walks_a.step()
+            walks_b.step_with(selection)
+        samples[i] = walks_a.costs[a] * walks_b.costs[b]
+    return MomentCheck(
+        estimate=float(samples.mean()),
+        reference=reference,
+        standard_error=float(samples.std(ddof=1) / np.sqrt(replicas)),
+    )

@@ -1,0 +1,147 @@
+"""The Random Walk Process (Section 5.2).
+
+With the Diffusion Process the paper associates ``n`` *correlated* random
+walks, one starting on each node.  All walks are driven by the *same*
+selection sequence: when the selection at step ``t`` is ``(u, S)``, every
+walk currently sitting on ``u`` moves, independently, to a uniform member
+of ``S`` with probability ``(1 - alpha)`` and stays put otherwise; walks
+elsewhere do not move.  Conditioned on the selection sequence the walks
+are independent (the paper uses this in Proposition 5.4), but
+unconditionally they are correlated through the shared selections.
+
+The cost of walk ``u`` is ``W~^(u)(t) = xi_{position_u(t)}(0)``; Lemma 5.3
+shows its conditional expectation equals the diffusion cost ``W^(u)(t)``,
+and Proposition 5.4 lifts this to second moments — both are verified
+empirically by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.core.schedule import Schedule, SelectionStep
+from repro.exceptions import ParameterError
+from repro.graphs.adjacency import Adjacency
+from repro.rng import SeedLike, as_generator
+
+
+class RandomWalkProcess:
+    """``n`` correlated walks driven by shared NodeModel selections.
+
+    Parameters
+    ----------
+    graph:
+        Connected undirected graph.
+    cost:
+        The vector ``xi(0)`` defining walk costs.
+    alpha, k:
+        Model parameters (the walk law embeds both).
+    positions:
+        Optional initial positions; defaults to walk ``u`` starting at
+        node ``u`` (``q~^(u)(0) = e^(u)``).
+    seed:
+        Randomness for both standalone selection draws and the walks' own
+        movement coins.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph | Adjacency,
+        cost: Sequence[float],
+        alpha: float,
+        k: int = 1,
+        positions: Sequence[int] | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if not 0.0 <= alpha < 1.0:
+            raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
+        self.adjacency = (
+            graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+        )
+        n = self.adjacency.n
+        self.cost = np.asarray(cost, dtype=np.float64).reshape(-1)
+        if self.cost.shape != (n,):
+            raise ParameterError(f"cost must have shape ({n},), got {self.cost.shape}")
+        if int(k) != k or k < 1:
+            raise ParameterError(f"k must be a positive integer, got {k}")
+        k = int(k)
+        if k > self.adjacency.d_min:
+            raise ParameterError(
+                f"k = {k} exceeds the minimum degree {self.adjacency.d_min}"
+            )
+        self.alpha = float(alpha)
+        self.k = k
+        if positions is None:
+            positions = np.arange(n, dtype=np.int64)
+        self.positions = np.asarray(positions, dtype=np.int64).copy()
+        if self.positions.shape != (n,):
+            raise ParameterError(
+                f"positions must have shape ({n},), got {self.positions.shape}"
+            )
+        if np.any((self.positions < 0) | (self.positions >= n)):
+            raise ParameterError("positions must be valid node indices")
+        self.rng = as_generator(seed)
+        self.t = 0
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.adjacency.n
+
+    def step_with(self, step: SelectionStep) -> None:
+        """Move all walks sitting on ``step.node`` per the shared selection."""
+        self.t += 1
+        if step.is_noop:
+            return
+        at_node = np.flatnonzero(self.positions == step.node)
+        if len(at_node) == 0:
+            return
+        sample = np.asarray(step.sample, dtype=np.int64)
+        moves = self.rng.random(len(at_node)) < (1.0 - self.alpha)
+        movers = at_node[moves]
+        if len(movers):
+            targets = sample[self.rng.integers(len(sample), size=len(movers))]
+            self.positions[movers] = targets
+
+    def step(self) -> SelectionStep:
+        """Draw a fresh NodeModel-law selection, apply it, and return it."""
+        adj = self.adjacency
+        node = int(self.rng.integers(adj.n))
+        start = adj.offsets[node]
+        degree = int(adj.offsets[node + 1] - start)
+        if self.k == 1:
+            sample: tuple[int, ...] = (
+                int(adj.neighbors[start + int(self.rng.integers(degree))]),
+            )
+        elif self.k == degree:
+            sample = tuple(int(v) for v in adj.neighbors[start : start + degree])
+        else:
+            pool = adj.neighbors[start : start + degree]
+            sample = tuple(
+                int(v) for v in self.rng.choice(pool, size=self.k, replace=False)
+            )
+        selection = SelectionStep(node, sample)
+        self.step_with(selection)
+        return selection
+
+    def replay(self, schedule: Schedule) -> None:
+        """Drive the walks through an entire selection sequence."""
+        for step in schedule:
+            self.step_with(step)
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
+    @property
+    def costs(self) -> np.ndarray:
+        """Per-walk costs ``W~^(u)(t) = xi_{position_u(t)}(0)``."""
+        return self.cost[self.positions]
+
+    def occupancy(self) -> np.ndarray:
+        """Number of walks on each node (sums to ``n``)."""
+        return np.bincount(self.positions, minlength=self.n)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class.  The more specific subclasses communicate *which*
+precondition of the paper's model was violated (e.g. the graph must be
+connected, the NodeModel fan-out ``k`` must not exceed the minimum degree).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """The supplied graph violates a structural precondition."""
+
+
+class NotConnectedError(GraphError):
+    """The graph is not connected.
+
+    Both the NodeModel and the EdgeModel are only defined (and only
+    converge to a single value) on connected graphs; see Section 2 of the
+    paper.
+    """
+
+
+class NotRegularError(GraphError):
+    """A regular graph was required (e.g. for Lemma 5.7's closed form)."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model parameter is outside its admissible range.
+
+    Examples: ``alpha`` outside ``(0, 1)``, ``k < 1``, or ``k`` larger than
+    the minimum degree (the NodeModel samples ``k`` distinct neighbours
+    without replacement, Definition 2.1).
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A run failed to reach the requested tolerance within its step budget."""
+
+
+class ScheduleError(ReproError):
+    """A recorded selection schedule is inconsistent with the graph/model."""

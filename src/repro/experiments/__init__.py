@@ -1,0 +1,54 @@
+"""Experiment registry: one module per paper artefact.
+
+Every experiment module exposes ``run(fast=True, seed=...) ->
+list[ResultTable]``; ``fast=True`` uses laptop-scale parameters (seconds
+to a few tens of seconds), ``fast=False`` the larger sweeps recorded in
+EXPERIMENTS.md.  The registry maps the experiment ids of DESIGN.md to the
+runners so the CLI and the benchmark harness share one source of truth.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.sim.results import ResultTable
+
+from repro.experiments import (
+    exp_alpha_ablation,
+    exp_edge_convergence,
+    exp_fig_duality,
+    exp_higher_moments,
+    exp_k_dependence,
+    exp_lower_bound,
+    exp_martingale,
+    exp_node_convergence,
+    exp_potential_drop,
+    exp_price_of_simplicity,
+    exp_qchain,
+    exp_time_variance,
+    exp_variance_edge,
+    exp_variance_irregular,
+    exp_variance_regular,
+    exp_variance_trajectory,
+)
+
+#: Experiment id -> runner, as indexed in DESIGN.md section 3.
+EXPERIMENTS: Dict[str, Callable[..., List[ResultTable]]] = {
+    "EXP-F1": exp_fig_duality.run_figure1,
+    "EXP-F4": exp_fig_duality.run_figure4,
+    "EXP-T221": exp_node_convergence.run,
+    "EXP-T221K": exp_k_dependence.run,
+    "EXP-T221LB": exp_lower_bound.run,
+    "EXP-T222": exp_variance_regular.run,
+    "EXP-T241": exp_edge_convergence.run,
+    "EXP-T242": exp_variance_edge.run,
+    "EXP-L41": exp_martingale.run,
+    "EXP-L57": exp_qchain.run,
+    "EXP-PB1": exp_potential_drop.run,
+    "EXP-CE2": exp_time_variance.run,
+    "EXP-PRICE": exp_price_of_simplicity.run,
+    "EXP-MOM": exp_higher_moments.run,
+    "EXP-IRR": exp_variance_irregular.run,
+    "EXP-ABL": exp_alpha_ablation.run,
+    "EXP-VT": exp_variance_trajectory.run,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,84 @@
+"""EXP-ABL — ablation of the self-weight ``alpha``.
+
+``alpha`` is the models' one free design knob.  The theory predicts two
+opposing effects:
+
+* *speed*: the NodeModel's one-step rate (Prop B.1, k = 1) scales with
+  ``alpha (1-alpha)`` — fastest at ``alpha = 1/2``, degenerating at both
+  ends (at ``alpha -> 0`` with k = 1 the process loses the averaging
+  contraction and behaves like continuous voting; at ``alpha -> 1``
+  nothing moves);
+* *accuracy*: the Var(F) coefficient (Prop 5.8) scales with ``(1-alpha)``
+  — stubborner agents average more gently and ``F`` concentrates harder.
+
+This ablation sweeps ``alpha``, measuring mean ``T_eps`` and Monte-Carlo
+``Var(F)`` against both closed forms, exposing the speed/accuracy
+trade-off a user of the protocol must pick on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.initial import center_simple, rademacher_values
+from repro.core.node_model import NodeModel
+from repro.core.potentials import phi_pi
+from repro.graphs.generators import random_regular_graph
+from repro.graphs.spectral import second_walk_eigenpair, stationary_distribution
+from repro.sim.montecarlo import estimate_moments, sample_f_values, sample_t_eps
+from repro.sim.results import ResultTable
+from repro.theory.convergence import predicted_t_eps_node
+from repro.theory.variance import variance_bounds
+
+EPSILON = 1e-8
+
+
+def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+    """Sweep alpha on a fixed regular expander: speed vs accuracy."""
+    n = 36 if fast else 100
+    d = 4
+    time_replicas = 5 if fast else 20
+    var_replicas = 120 if fast else 500
+    tol = 1e-6 if fast else 1e-8
+    alphas = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+    graph = random_regular_graph(n, d, seed=seed)
+    initial = center_simple(rademacher_values(n, seed=seed))
+    lambda2, _ = second_walk_eigenpair(graph)
+    phi0 = phi_pi(stationary_distribution(graph), initial)
+
+    table = ResultTable(
+        title="Ablation: self-weight alpha — speed vs accuracy trade-off",
+        columns=[
+            "alpha",
+            "T_measured",
+            "T_predicted",
+            "Var_measured",
+            "Var_core(Prop5.8)",
+        ],
+    )
+    for alpha in alphas:
+
+        def make(rng, alpha=alpha):
+            return NodeModel(graph, initial, alpha=alpha, k=1, seed=rng)
+
+        times = sample_t_eps(
+            make, EPSILON, time_replicas, seed=seed + 1, max_steps=200_000_000
+        )
+        f_sample = sample_f_values(
+            make, var_replicas, seed=seed + 2, discrepancy_tol=tol,
+            max_steps=500_000_000,
+        )
+        estimate = estimate_moments(f_sample, seed=seed)
+        bounds = variance_bounds(graph, initial, alpha=alpha, k=1)
+        predicted = predicted_t_eps_node(n, lambda2, alpha, 1, phi0, EPSILON)
+        table.add_row(
+            alpha, float(times.mean()), predicted,
+            estimate.variance, bounds.core,
+        )
+    table.add_note(
+        "speed is best near alpha = 1/2 (rate ~ alpha(1-alpha)); variance "
+        "falls monotonically with alpha (core ~ (1-alpha)) — the protocol "
+        "trades convergence time for concentration of F"
+    )
+    return [table]

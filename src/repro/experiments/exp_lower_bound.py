@@ -1,0 +1,79 @@
+"""EXP-T221LB — tightness of the convergence bounds (Proposition B.2).
+
+Starting from the adversarial eigenvector-aligned state
+``xi(0) = n f_2(P)`` (NodeModel) / ``xi(0) = n f_2(L)`` (EdgeModel), the
+expected convergence time is *Omega* of the same expression as the upper
+bound — i.e. the bounds are tight up to constants.  We measure mean
+``T_eps`` from those states and report the measured/lower-bound ratio,
+which should be Theta(1) (and >= the ratio from benign initial states).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.edge_model import EdgeModel
+from repro.core.initial import fiedler_aligned, second_eigenvector_aligned
+from repro.core.node_model import NodeModel
+from repro.graphs.generators import cycle_graph, random_regular_graph
+from repro.graphs.spectral import second_laplacian_eigenpair, second_walk_eigenpair
+from repro.sim.montecarlo import sample_t_eps
+from repro.sim.results import ResultTable
+from repro.theory.convergence import (
+    edge_model_lower_bound,
+    node_model_lower_bound,
+)
+
+ALPHA = 0.5
+EPSILON = 1e-6
+
+
+def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+    """Measure T_eps from the Prop. B.2 worst-case initial states."""
+    replicas = 5 if fast else 20
+    sizes = [16, 32] if fast else [32, 64, 128]
+    table = ResultTable(
+        title="Proposition B.2: lower-bound tightness from xi(0) = n f_2",
+        columns=["model", "graph", "n", "T_measured", "lower_bound_expr", "ratio"],
+    )
+    for n in sizes:
+        for name, graph in [
+            ("cycle", cycle_graph(n)),
+            ("random_regular(d=4)", random_regular_graph(n, 4, seed=seed + n)),
+        ]:
+            # NodeModel with xi(0) = n f_2(P).
+            initial = second_eigenvector_aligned(graph)
+            lambda2, _ = second_walk_eigenpair(graph)
+            norm_sq = float(np.sum(initial**2))
+            bound = node_model_lower_bound(n, lambda2, norm_sq, EPSILON, ALPHA)
+
+            def make_node(rng, graph=graph, initial=initial):
+                return NodeModel(graph, initial, alpha=ALPHA, k=1, seed=rng)
+
+            times = sample_t_eps(
+                make_node, EPSILON, replicas, seed=seed + n, max_steps=500_000_000
+            )
+            table.add_row("node", name, n, float(times.mean()), bound,
+                          float(times.mean()) / bound)
+
+            # EdgeModel with xi(0) = n f_2(L).
+            initial_e = fiedler_aligned(graph)
+            lambda2_l, _ = second_laplacian_eigenpair(graph)
+            m = graph.number_of_edges()
+            norm_sq_e = float(np.sum(initial_e**2))
+            bound_e = edge_model_lower_bound(
+                n, m, lambda2_l, norm_sq_e, EPSILON, ALPHA
+            )
+
+            def make_edge(rng, graph=graph, initial=initial_e):
+                return EdgeModel(graph, initial, alpha=ALPHA, seed=rng)
+
+            times_e = sample_t_eps(
+                make_edge, EPSILON, replicas, seed=seed + n + 1, max_steps=500_000_000
+            )
+            table.add_row("edge", name, n, float(times_e.mean()), bound_e,
+                          float(times_e.mean()) / bound_e)
+    table.add_note(
+        "ratios bounded away from 0 across n confirm tightness up to constants"
+    )
+    return [table]

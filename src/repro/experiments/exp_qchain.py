@@ -1,0 +1,84 @@
+"""EXP-L57 — Lemma 5.7: the Q-chain's closed-form stationary distribution.
+
+For a grid of regular graphs, ``alpha`` and ``k`` we (i) build the
+transition matrix ``Q`` from the paper's case formulas *and* by exact
+enumeration of the model's joint one-step law, (ii) solve ``mu Q = mu``
+numerically, and (iii) compare against the three-value closed form.  All
+three agree to machine precision; the table also reports the
+irreversibility the paper highlights (detailed balance fails for k > 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dual.qchain import QChain, mu_closed_form
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    petersen_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.sim.results import ResultTable
+
+
+def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+    """Closed-form mu vs numeric stationary distribution across a grid."""
+    graphs = [
+        ("cycle(8)", cycle_graph(8)),
+        ("complete(6)", complete_graph(6)),
+        ("petersen", petersen_graph()),
+    ]
+    if not fast:
+        graphs += [
+            ("torus(16)", torus_graph(16)),
+            ("hypercube(16)", hypercube_graph(16)),
+            ("random_regular(12,5)", random_regular_graph(12, 5, seed=seed)),
+        ]
+    alphas = (0.25, 0.5, 0.75) if fast else (0.1, 0.25, 0.5, 0.75, 0.9)
+
+    table = ResultTable(
+        title="Lemma 5.7: closed-form (mu_0, mu_1, mu_+) vs numeric stationary law",
+        columns=[
+            "graph",
+            "alpha",
+            "k",
+            "mu_0",
+            "mu_1",
+            "mu_+",
+            "max|closed-numeric|",
+            "max|Q_formula-Q_enum|",
+            "reversible",
+        ],
+    )
+    for name, graph in graphs:
+        d = graph.degree(0)
+        ks = sorted({1, 2, d})
+        for alpha in alphas:
+            for k in ks:
+                chain = QChain(graph, alpha=alpha, k=k)
+                q_formula = chain.transition_matrix()
+                q_enum = chain.transition_matrix_enumerated()
+                numeric = chain.stationary_numeric()
+                closed = chain.stationary_closed_form()
+                mu0, mu1, mu_plus = mu_closed_form(
+                    graph.number_of_nodes(), d, k, alpha
+                )
+                table.add_row(
+                    name,
+                    alpha,
+                    k,
+                    mu0,
+                    mu1,
+                    mu_plus,
+                    float(np.abs(closed - numeric).max()),
+                    float(np.abs(q_formula - q_enum).max()),
+                    chain.is_reversible(),
+                )
+    table.add_note(
+        "the chain is irreducible + aperiodic but not reversible for k > 1 "
+        "(Section 5.3); the closed form nevertheless solves mu Q = mu exactly"
+    )
+    return [table]

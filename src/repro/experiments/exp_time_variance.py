@@ -1,0 +1,76 @@
+"""EXP-CE2 — time-dependent variance envelopes (Corollary E.2).
+
+The martingales accumulate quadratic variation over time; Corollary E.2
+bounds it crudely but *at every t*:
+
+    NodeModel:  Var(M(t))   <= t (d_max K / (2m))^2
+    EdgeModel:  Var(Avg(t)) <= t K^2 / n^2
+
+with ``K`` the initial discrepancy.  We estimate both variances across
+replicas at geometric checkpoints and report measured / bound — always
+<= 1, with the bound looser at large ``t`` (the true variance saturates at
+``Var(F)`` while the bound keeps growing linearly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.edge_model import EdgeModel
+from repro.core.initial import center_simple, rademacher_values
+from repro.core.node_model import NodeModel
+from repro.graphs.generators import lollipop_graph, random_regular_graph
+from repro.rng import spawn
+from repro.sim.results import ResultTable
+from repro.theory.variance import (
+    variance_time_bound_avg,
+    variance_time_bound_weighted,
+)
+
+ALPHA = 0.5
+
+
+def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+    """Var(M(t)) and Var(Avg(t)) vs the Corollary E.2 envelopes."""
+    n = 30 if fast else 80
+    replicas = 300 if fast else 1_500
+    checkpoints = [50, 200, 800, 3_200] if fast else [100, 1_000, 10_000, 100_000]
+
+    graph = lollipop_graph(n)  # deliberately irregular
+    initial = center_simple(rademacher_values(n, seed=seed))
+    discrepancy = float(initial.max() - initial.min())
+    m = graph.number_of_edges()
+    degrees = [d for _, d in graph.degree()]
+    d_max = max(degrees)
+
+    # Record M(t) / Avg(t) at each checkpoint for each replica.
+    node_values = np.empty((replicas, len(checkpoints)))
+    edge_values = np.empty((replicas, len(checkpoints)))
+    for i, rng in enumerate(spawn(seed, replicas)):
+        node = NodeModel(graph, initial, alpha=ALPHA, k=1, seed=rng)
+        edge = EdgeModel(graph, initial, alpha=ALPHA, seed=rng)
+        previous = 0
+        for j, t in enumerate(checkpoints):
+            node.run(t - previous)
+            edge.run(t - previous)
+            previous = t
+            node_values[i, j] = node.weighted_average
+            edge_values[i, j] = edge.simple_average
+
+    table = ResultTable(
+        title="Corollary E.2: any-time variance envelopes (lollipop graph)",
+        columns=["model", "t", "Var_measured", "bound", "measured/bound", "ok"],
+    )
+    for j, t in enumerate(checkpoints):
+        var_m = float(node_values[:, j].var(ddof=1))
+        bound_m = variance_time_bound_weighted(t, d_max, m, discrepancy)
+        table.add_row("node: M(t)", t, var_m, bound_m, var_m / bound_m, var_m <= bound_m)
+    for j, t in enumerate(checkpoints):
+        var_a = float(edge_values[:, j].var(ddof=1))
+        bound_a = variance_time_bound_avg(t, n, discrepancy)
+        table.add_row("edge: Avg(t)", t, var_a, bound_a, var_a / bound_a, var_a <= bound_a)
+    table.add_note(
+        "bounds grow linearly in t while the measured variance saturates at "
+        "Var(F) — the envelopes are loose late, valid always"
+    )
+    return [table]

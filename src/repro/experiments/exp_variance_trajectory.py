@@ -1,0 +1,68 @@
+"""EXP-VT — the exact Var(Avg(t)) trajectory (Sections 5.1-5.4 end to end).
+
+Computes ``Var(Avg(t))`` *exactly* through Q-chain powers (no Monte
+Carlo), checks it against a Monte-Carlo estimate at each checkpoint, and
+shows the two structural facts the Prop 5.8 proof uses:
+
+* the trajectory is non-decreasing in ``t``;
+* it converges to the Lemma 5.5 quadratic form
+  ``sum mu(u,v) xi_u xi_v`` — which is the Prop 5.8 core exactly.
+
+This is the strongest single validation of the duality pipeline: every
+arrow in the paper's diagram (Averaging -> Diffusion -> Random Walks ->
+Q-chain stationary law) is exercised numerically in one table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.initial import center_simple, rademacher_values
+from repro.core.node_model import NodeModel
+from repro.graphs.generators import cycle_graph, random_regular_graph
+from repro.rng import spawn
+from repro.sim.results import ResultTable
+from repro.theory.exact import exact_limit_variance, exact_variance_trajectory
+
+ALPHA = 0.5
+
+
+def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+    """Exact vs Monte-Carlo Var(Avg(t)) on small regular graphs."""
+    n = 12 if fast else 20
+    replicas = 3_000 if fast else 12_000
+    checkpoints = [1, 10, 50, 200, 1_000] if fast else [1, 10, 100, 1_000, 10_000]
+
+    tables = []
+    for name, graph, k in [
+        ("cycle", cycle_graph(n), 1),
+        ("random_regular(d=4)", random_regular_graph(n, 4, seed=seed), 2),
+    ]:
+        initial = center_simple(rademacher_values(n, seed=seed))
+        exact = exact_variance_trajectory(graph, initial, ALPHA, k, checkpoints)
+        limit = exact_limit_variance(graph, initial, ALPHA, k)
+
+        # Monte-Carlo Avg(t) at the same checkpoints.
+        averages = np.empty((replicas, len(checkpoints)))
+        for i, rng in enumerate(spawn(seed, replicas)):
+            process = NodeModel(graph, initial, alpha=ALPHA, k=k, seed=rng)
+            previous = 0
+            for j, t in enumerate(checkpoints):
+                process.run(t - previous)
+                previous = t
+                averages[i, j] = process.simple_average
+
+        table = ResultTable(
+            title=f"Exact Var(Avg(t)) via Q-chain powers — {name}, k={k}",
+            columns=["t", "Var_exact", "Var_monte_carlo", "mc/exact"],
+        )
+        for j, t in enumerate(checkpoints):
+            mc = float(averages[:, j].var(ddof=1))
+            table.add_row(t, float(exact[j]), mc,
+                          mc / exact[j] if exact[j] > 0 else float("nan"))
+        table.add_note(f"t->infinity limit (Lemma 5.5 form) = {limit:.6g}; "
+                       f"exact trajectory is non-decreasing and approaches it")
+        monotone = bool(np.all(np.diff(exact) >= -1e-12))
+        table.add_note(f"monotone non-decreasing: {monotone}")
+        tables.append(table)
+    return tables

@@ -1,0 +1,192 @@
+"""Spectral toolkit: walk matrices, Laplacian, second eigenpairs.
+
+Section 4 of the paper works with the *lazy* random-walk transition matrix
+``P`` (``p(i,i) = 1/2``, ``p(i,j) = 1/(2 d_i)`` for edges ``(i,j)``), its
+second-largest eigenvalue ``lambda_2(P)`` and eigenvector ``f_2(P)``, the
+graph Laplacian ``L = D - A`` with second-smallest eigenvalue
+``lambda_2(L)``, and the stationary distribution ``pi_i = d_i / 2m``.
+
+``P`` is not symmetric for irregular graphs, but it is self-adjoint with
+respect to the ``pi``-weighted inner product (Eq. 2).  We therefore compute
+its spectrum via the similar symmetric matrix
+``S = D^{1/2} P D^{-1/2}``, which is numerically robust and guarantees real
+eigenvalues; eigenvectors are mapped back and normalised to
+``<f, f>_pi = 1`` as the paper's proofs require (Appendix B).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from repro.graphs.adjacency import Adjacency
+
+GraphLike = Union[nx.Graph, Adjacency]
+
+
+def _as_networkx(graph: GraphLike) -> nx.Graph:
+    if isinstance(graph, Adjacency):
+        return graph.to_networkx()
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+def adjacency_matrix(graph: GraphLike) -> np.ndarray:
+    """Dense adjacency matrix ``A`` with nodes ordered ``0..n-1``."""
+    g = _as_networkx(graph)
+    return nx.to_numpy_array(g, nodelist=sorted(g.nodes()), dtype=float)
+
+
+def degree_matrix(graph: GraphLike) -> np.ndarray:
+    """Dense diagonal degree matrix ``D``."""
+    return np.diag(adjacency_matrix(graph).sum(axis=1))
+
+
+def laplacian_matrix(graph: GraphLike) -> np.ndarray:
+    """Graph Laplacian ``L = D - A`` (symmetric positive semi-definite)."""
+    a = adjacency_matrix(graph)
+    return np.diag(a.sum(axis=1)) - a
+
+
+def simple_walk_matrix(graph: GraphLike) -> np.ndarray:
+    """Non-lazy walk matrix with ``p(i,j) = 1/d_i`` for each edge ``(i,j)``."""
+    a = adjacency_matrix(graph)
+    degrees = a.sum(axis=1)
+    if np.any(degrees == 0):
+        raise ValueError("graph has an isolated node; walk matrix undefined")
+    return a / degrees[:, None]
+
+
+def lazy_walk_matrix(graph: GraphLike) -> np.ndarray:
+    """Lazy walk matrix ``P`` of Section 4: ``P = (I + P_simple) / 2``.
+
+    Its eigenvalues lie in ``[0, 1]``, which the paper's Appendix B proofs
+    rely on (``1 >= lambda_1 > lambda_2 >= ... >= lambda_n > 0`` for
+    connected graphs, up to the boundary case ``lambda_n = 0``).
+    """
+    n = adjacency_matrix(graph).shape[0]
+    return 0.5 * (np.eye(n) + simple_walk_matrix(graph))
+
+
+def stationary_distribution(graph: GraphLike) -> np.ndarray:
+    """Stationary distribution ``pi_i = d_i / 2m`` of the (lazy) walk."""
+    a = adjacency_matrix(graph)
+    degrees = a.sum(axis=1)
+    return degrees / degrees.sum()
+
+
+def _pi_symmetrised_spectrum(p: np.ndarray, pi: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Eigen-decomposition of ``P`` via the similar symmetric matrix.
+
+    Returns eigenvalues in descending order and eigenvectors (columns)
+    normalised so that ``<f_i, f_j>_pi = delta_ij``.
+    """
+    sqrt_pi = np.sqrt(pi)
+    symmetric = (sqrt_pi[:, None] * p) / sqrt_pi[None, :]
+    # Enforce exact symmetry to shield eigh from rounding noise.
+    symmetric = 0.5 * (symmetric + symmetric.T)
+    eigenvalues, vectors = np.linalg.eigh(symmetric)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order]
+    vectors = vectors[:, order]
+    # Map back: f = D_pi^{-1/2} v ; then <f, f>_pi = v.v = 1 already.
+    f = vectors / sqrt_pi[:, None]
+    return eigenvalues, f
+
+
+def walk_spectrum(graph: GraphLike, lazy: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+    """Full spectrum of the (lazy) walk matrix, ``pi``-orthonormal vectors.
+
+    Returns ``(eigenvalues, F)`` with eigenvalues descending and column
+    ``F[:, i]`` the eigenvector of ``eigenvalues[i]`` normalised to
+    ``<f, f>_pi = 1``.
+    """
+    p = lazy_walk_matrix(graph) if lazy else simple_walk_matrix(graph)
+    pi = stationary_distribution(graph)
+    return _pi_symmetrised_spectrum(p, pi)
+
+
+def second_walk_eigenpair(graph: GraphLike, lazy: bool = True) -> Tuple[float, np.ndarray]:
+    """``(lambda_2(P), f_2(P))`` of the (lazy) walk matrix.
+
+    ``f_2`` satisfies ``<f_2, f_2>_pi = 1`` and ``<1, f_2>_pi = 0``; it is
+    the worst-case initial state of Proposition B.2.
+    """
+    eigenvalues, vectors = walk_spectrum(graph, lazy=lazy)
+    return float(eigenvalues[1]), vectors[:, 1]
+
+
+def eigenvalue_gap(graph: GraphLike, lazy: bool = True) -> float:
+    """Eigenvalue gap ``1 - lambda_2(P)`` appearing in Theorem 2.2(1)."""
+    lambda2, _ = second_walk_eigenpair(graph, lazy=lazy)
+    return 1.0 - lambda2
+
+
+def laplacian_spectrum(graph: GraphLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Laplacian eigenvalues ascending and orthonormal eigenvectors."""
+    eigenvalues, vectors = np.linalg.eigh(laplacian_matrix(graph))
+    return eigenvalues, vectors
+
+
+def second_laplacian_eigenpair(graph: GraphLike) -> Tuple[float, np.ndarray]:
+    """``(lambda_2(L), f_2(L))``: algebraic connectivity and Fiedler vector.
+
+    ``lambda_2(L) > 0`` iff the graph is connected; it drives the
+    EdgeModel's convergence-time bound (Theorem 2.4(1)), and ``f_2(L)`` is
+    the matching worst-case initial state (Proposition B.2).
+    """
+    eigenvalues, vectors = laplacian_spectrum(graph)
+    return float(eigenvalues[1]), vectors[:, 1]
+
+
+def second_walk_eigenpair_sparse(
+    graph: GraphLike, lazy: bool = True
+) -> Tuple[float, np.ndarray]:
+    """Sparse ``(lambda_2(P), f_2(P))`` via Lanczos on the symmetrised walk.
+
+    Equivalent to :func:`second_walk_eigenpair` but scales to graphs with
+    tens of thousands of nodes (the dense path is O(n^3)).  Used by the
+    slow-mode convergence sweeps.
+    """
+    import scipy.sparse as sp
+    import scipy.sparse.linalg as spla
+
+    g = _as_networkx(graph)
+    n = g.number_of_nodes()
+    if n < 3:
+        # eigsh needs k < n; fall back to the dense path.
+        return second_walk_eigenpair(g, lazy=lazy)
+    adjacency = nx.to_scipy_sparse_array(g, nodelist=sorted(g.nodes()), format="csr")
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    # S = D^{-1/2} A D^{-1/2}; eigenvalues of P_simple = eigenvalues of S.
+    symmetric = sp.diags(inv_sqrt) @ adjacency @ sp.diags(inv_sqrt)
+    eigenvalues, vectors = spla.eigsh(symmetric, k=2, which="LA")
+    order = np.argsort(eigenvalues)[::-1]
+    lambda_simple = float(eigenvalues[order[1]])
+    v2 = vectors[:, order[1]]
+    pi = degrees / degrees.sum()
+    f2 = v2 / np.sqrt(pi)
+    # Normalise to <f2, f2>_pi = 1 (eigsh returns unit 2-norm vectors,
+    # which already gives this, but renormalise defensively).
+    f2 = f2 / math_sqrt(pi_norm_squared(pi, f2))
+    lambda2 = (1.0 + lambda_simple) / 2.0 if lazy else lambda_simple
+    return lambda2, f2
+
+
+def math_sqrt(x: float) -> float:
+    """Guarded square root for normalisation."""
+    if x <= 0:
+        raise ValueError("cannot normalise a zero vector")
+    return float(np.sqrt(x))
+
+
+def pi_inner(pi: np.ndarray, x: np.ndarray, y: np.ndarray) -> float:
+    """``pi``-weighted inner product ``<x, y>_pi = sum_u pi_u x_u y_u`` (Eq. 2)."""
+    return float(np.sum(pi * x * y))
+
+
+def pi_norm_squared(pi: np.ndarray, x: np.ndarray) -> float:
+    """``||x||_pi^2 = <x, x>_pi``."""
+    return pi_inner(pi, x, x)

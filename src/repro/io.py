@@ -1,0 +1,137 @@
+"""Persistence of experiment results.
+
+Experiments produce :class:`~repro.sim.results.ResultTable` lists; this
+module archives them as JSON bundles (one file per experiment run, with
+the experiment id, seed, mode and timestamp) and loads them back for
+comparison across runs — e.g. to diff a fresh reproduction against the
+tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.exceptions import ReproError
+from repro.sim.results import ResultTable
+
+
+class ResultsIOError(ReproError):
+    """A result bundle could not be written or parsed."""
+
+
+@dataclass
+class ResultBundle:
+    """One experiment run: metadata plus its tables."""
+
+    experiment_id: str
+    seed: int
+    fast: bool
+    tables: list[ResultTable]
+    timestamp: float = field(default_factory=time.time)
+
+    def to_payload(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "seed": self.seed,
+            "fast": self.fast,
+            "timestamp": self.timestamp,
+            "tables": [
+                {
+                    "title": table.title,
+                    "columns": list(table.columns),
+                    "rows": table.rows,
+                    "notes": table.notes,
+                }
+                for table in self.tables
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ResultBundle":
+        try:
+            tables = [
+                ResultTable(
+                    title=entry["title"],
+                    columns=entry["columns"],
+                    rows=entry["rows"],
+                    notes=entry.get("notes", []),
+                )
+                for entry in payload["tables"]
+            ]
+            return cls(
+                experiment_id=payload["experiment_id"],
+                seed=payload["seed"],
+                fast=payload["fast"],
+                tables=tables,
+                timestamp=payload.get("timestamp", 0.0),
+            )
+        except (KeyError, TypeError) as error:
+            raise ResultsIOError(f"malformed result payload: {error}") from error
+
+
+def save_bundle(bundle: ResultBundle, directory: str | Path) -> Path:
+    """Write ``bundle`` under ``directory``; returns the file path.
+
+    File name pattern: ``<experiment-id>.<seed>.<fast|slow>.json`` —
+    rerunning the same configuration overwrites the previous record,
+    keeping one canonical artefact per configuration.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    mode = "fast" if bundle.fast else "slow"
+    path = directory / f"{bundle.experiment_id}.{bundle.seed}.{mode}.json"
+    path.write_text(json.dumps(bundle.to_payload(), indent=2, default=str))
+    return path
+
+
+def load_bundle(path: str | Path) -> ResultBundle:
+    """Load one result bundle from ``path``."""
+    path = Path(path)
+    if not path.exists():
+        raise ResultsIOError(f"no result bundle at {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ResultsIOError(f"invalid JSON in {path}: {error}") from error
+    return ResultBundle.from_payload(payload)
+
+
+def load_all(directory: str | Path) -> list[ResultBundle]:
+    """Load every bundle in ``directory``, sorted by experiment id."""
+    directory = Path(directory)
+    if not directory.exists():
+        return []
+    bundles = [load_bundle(p) for p in sorted(directory.glob("*.json"))]
+    return sorted(bundles, key=lambda b: (b.experiment_id, b.seed))
+
+
+def diff_tables(old: ResultTable, new: ResultTable, rel_tol: float = 0.25) -> list[str]:
+    """Human-readable differences between two runs of the same table.
+
+    Numeric cells are compared with relative tolerance ``rel_tol`` (Monte-
+    Carlo tables fluctuate run to run); structural differences (columns,
+    row counts) are always reported.
+    """
+    problems: list[str] = []
+    if list(old.columns) != list(new.columns):
+        problems.append(f"columns changed: {list(old.columns)} -> {list(new.columns)}")
+        return problems
+    if len(old.rows) != len(new.rows):
+        problems.append(f"row count changed: {len(old.rows)} -> {len(new.rows)}")
+        return problems
+    for i, (row_old, row_new) in enumerate(zip(old.rows, new.rows)):
+        for column, a, b in zip(old.columns, row_old, row_new):
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+                    and not isinstance(a, bool) and not isinstance(b, bool):
+                scale = max(abs(a), abs(b), 1e-12)
+                if abs(a - b) / scale > rel_tol:
+                    problems.append(
+                        f"row {i}, column {column!r}: {a!r} -> {b!r}"
+                    )
+            elif a != b:
+                problems.append(f"row {i}, column {column!r}: {a!r} -> {b!r}")
+    return problems

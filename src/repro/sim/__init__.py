@@ -1,0 +1,26 @@
+"""Monte-Carlo harness: seeded replication, estimators, sweeps.
+
+The variance experiments need i.i.d. samples of the random convergence
+value ``F``; the convergence-time experiments need i.i.d. samples of
+``T_eps``.  :mod:`repro.sim.montecarlo` provides both with reproducible
+seed fan-out, and :mod:`repro.sim.results` collects printed rows so CLI,
+benchmarks and EXPERIMENTS.md all render the same tables.
+"""
+
+from repro.sim.montecarlo import (
+    MomentEstimate,
+    estimate_moments,
+    replicate,
+    sample_f_values,
+    sample_t_eps,
+)
+from repro.sim.results import ResultTable
+
+__all__ = [
+    "MomentEstimate",
+    "ResultTable",
+    "estimate_moments",
+    "replicate",
+    "sample_f_values",
+    "sample_t_eps",
+]

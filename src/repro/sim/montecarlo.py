@@ -1,0 +1,147 @@
+"""Replicated simulation and moment estimation.
+
+``sample_f_values`` draws i.i.d. realisations of the convergence value
+``F`` (one full run to consensus per replica); ``sample_t_eps`` draws
+realisations of the convergence time.  Both spawn independent child RNGs
+from a single experiment seed, so results are reproducible and replicas
+are statistically independent.  ``estimate_moments`` turns a sample into
+point estimates with bootstrap confidence intervals — the variance CI is
+what EXP-T222 compares against the Proposition 5.8 envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.base import AveragingProcess
+from repro.core.convergence import measure_t_eps, run_to_consensus
+from repro.exceptions import ParameterError
+from repro.rng import SeedLike, as_generator, spawn
+
+
+def replicate(
+    make_process: Callable[[np.random.Generator], AveragingProcess],
+    run_one: Callable[[AveragingProcess], float],
+    replicas: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Run ``replicas`` independent simulations; return their statistics.
+
+    ``make_process`` receives a fresh child generator per replica;
+    ``run_one`` maps a process to a scalar outcome.
+    """
+    if replicas < 1:
+        raise ParameterError(f"replicas must be positive, got {replicas}")
+    outcomes = np.empty(replicas)
+    for i, rng in enumerate(spawn(seed, replicas)):
+        outcomes[i] = run_one(make_process(rng))
+    return outcomes
+
+
+def sample_f_values(
+    make_process: Callable[[np.random.Generator], AveragingProcess],
+    replicas: int,
+    seed: SeedLike = None,
+    discrepancy_tol: float = 1e-8,
+    max_steps: int = 50_000_000,
+) -> np.ndarray:
+    """I.i.d. samples of the convergence value ``F``."""
+
+    def run_one(process: AveragingProcess) -> float:
+        return run_to_consensus(
+            process, discrepancy_tol=discrepancy_tol, max_steps=max_steps
+        ).value
+
+    return replicate(make_process, run_one, replicas, seed)
+
+
+def sample_t_eps(
+    make_process: Callable[[np.random.Generator], AveragingProcess],
+    epsilon: float,
+    replicas: int,
+    seed: SeedLike = None,
+    max_steps: int = 50_000_000,
+) -> np.ndarray:
+    """I.i.d. samples of the convergence time ``T_eps``."""
+
+    def run_one(process: AveragingProcess) -> float:
+        return float(measure_t_eps(process, epsilon, max_steps))
+
+    return replicate(make_process, run_one, replicas, seed)
+
+
+@dataclass(frozen=True)
+class MomentEstimate:
+    """Point estimates with bootstrap confidence intervals.
+
+    ``variance`` is the unbiased sample variance; the CI endpoints come
+    from a percentile bootstrap with ``bootstrap_samples`` resamples.
+    ``skewness``/``kurtosis_excess`` support the higher-moment future-work
+    experiment (EXP-MOM).
+    """
+
+    count: int
+    mean: float
+    mean_ci: tuple[float, float]
+    variance: float
+    variance_ci: tuple[float, float]
+    skewness: float
+    kurtosis_excess: float
+
+    def variance_within(self, lower: float, upper: float) -> bool:
+        """Whether the variance CI intersects ``[lower, upper]``."""
+        lo, hi = self.variance_ci
+        return hi >= lower and lo <= upper
+
+
+def estimate_moments(
+    sample: Sequence[float] | np.ndarray,
+    confidence: float = 0.95,
+    bootstrap_samples: int = 2_000,
+    seed: SeedLike = None,
+) -> MomentEstimate:
+    """Estimate mean/variance/skewness/kurtosis with bootstrap CIs."""
+    data = np.asarray(sample, dtype=np.float64)
+    if data.ndim != 1 or len(data) < 2:
+        raise ParameterError("sample must be 1-D with at least 2 observations")
+    if not 0.0 < confidence < 1.0:
+        raise ParameterError(f"confidence must be in (0, 1), got {confidence}")
+    rng = as_generator(seed)
+    n = len(data)
+
+    mean = float(data.mean())
+    variance = float(data.var(ddof=1))
+    centered = data - mean
+    std = float(data.std(ddof=0))
+    if std > 0:
+        skewness = float(np.mean(centered**3) / std**3)
+        kurtosis_excess = float(np.mean(centered**4) / std**4 - 3.0)
+    else:
+        skewness = 0.0
+        kurtosis_excess = 0.0
+
+    indices = rng.integers(0, n, size=(bootstrap_samples, n))
+    resamples = data[indices]
+    boot_means = resamples.mean(axis=1)
+    boot_vars = resamples.var(axis=1, ddof=1)
+    tail = (1.0 - confidence) / 2.0
+    mean_ci = (
+        float(np.quantile(boot_means, tail)),
+        float(np.quantile(boot_means, 1.0 - tail)),
+    )
+    variance_ci = (
+        float(np.quantile(boot_vars, tail)),
+        float(np.quantile(boot_vars, 1.0 - tail)),
+    )
+    return MomentEstimate(
+        count=n,
+        mean=mean,
+        mean_ci=mean_ci,
+        variance=variance,
+        variance_ci=variance_ci,
+        skewness=skewness,
+        kurtosis_excess=kurtosis_excess,
+    )

@@ -1,0 +1,55 @@
+"""Generic parameter sweeps over experiment configurations.
+
+A sweep is a cartesian product of named parameter axes evaluated by a
+callable; results land in a :class:`~repro.sim.results.ResultTable` whose
+columns are the axes plus the measurement names.  The convergence-time
+experiments use this to express "for each family x size x alpha" grids
+without bespoke loop nests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.exceptions import ParameterError
+from repro.sim.results import ResultTable
+
+
+def sweep(
+    title: str,
+    axes: Mapping[str, Sequence[Any]],
+    evaluate: Callable[..., Mapping[str, Any]],
+    measurements: Sequence[str],
+) -> ResultTable:
+    """Evaluate ``evaluate(**point)`` over the cartesian product of ``axes``.
+
+    ``evaluate`` receives one keyword per axis and must return a mapping
+    containing every name in ``measurements``.  Rows appear in
+    lexicographic axis order, axes first, measurements after.
+    """
+    if not axes:
+        raise ParameterError("at least one axis is required")
+    if not measurements:
+        raise ParameterError("at least one measurement is required")
+    names = list(axes)
+    table = ResultTable(title, columns=[*names, *measurements])
+    for combo in itertools.product(*(axes[name] for name in names)):
+        point = dict(zip(names, combo))
+        outcome = evaluate(**point)
+        missing = [m for m in measurements if m not in outcome]
+        if missing:
+            raise ParameterError(
+                f"evaluate() did not return measurements {missing} "
+                f"for point {point}"
+            )
+        table.add_row(*combo, *(outcome[m] for m in measurements))
+    return table
+
+
+def sweep_size(axes: Mapping[str, Sequence[Any]]) -> int:
+    """Number of points in the sweep (for progress estimation)."""
+    size = 1
+    for values in axes.values():
+        size *= len(values)
+    return size

@@ -1,0 +1,86 @@
+"""One-step potential contraction factors.
+
+Proposition B.1 (NodeModel, lazy-walk matrix ``P``):
+
+    E[phi(xi(t+1)) | xi(t)] <=
+        (1 - (1-alpha)(1-lambda_2) [2 alpha + (1-alpha)(1+lambda_2)(1 - 1/k)] / n)
+        * phi(xi(t)).
+
+Proposition D.1(ii) (EdgeModel, Laplacian ``L``):
+
+    E[phi_V(xi(t+1)) | xi(t)] <= (1 - alpha (1-alpha) lambda_2(L) / m)
+        * phi_V(xi(t)).
+
+Both factors are *exact upper bounds* on the expected one-step ratio; the
+EXP-PB1 experiment measures the empirical ratio and checks it never
+exceeds them (and matches them when ``xi(t) = f_2``).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParameterError
+
+
+def node_model_contraction_factor(
+    n: int, lambda2: float, alpha: float, k: int
+) -> float:
+    """Proposition B.1's per-step factor for the NodeModel.
+
+    ``lambda2`` is the second eigenvalue of the *lazy* walk matrix ``P``
+    (in ``[0, 1)`` for connected graphs).
+    """
+    if n < 2:
+        raise ParameterError(f"n must be >= 2, got {n}")
+    if not 0.0 <= lambda2 < 1.0:
+        raise ParameterError(f"lambda2 must be in [0, 1), got {lambda2}")
+    if not 0.0 <= alpha < 1.0:
+        raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    bracket = 2.0 * alpha + (1.0 - alpha) * (1.0 + lambda2) * (1.0 - 1.0 / k)
+    return 1.0 - (1.0 - alpha) * (1.0 - lambda2) * bracket / n
+
+
+def node_model_contraction_rate(n: int, lambda2: float, alpha: float, k: int) -> float:
+    """Per-step decay rate ``1 - factor`` (convenient for ``T ~ log / rate``)."""
+    return 1.0 - node_model_contraction_factor(n, lambda2, alpha, k)
+
+
+def edge_model_contraction_factor(m: int, lambda2_l: float, alpha: float) -> float:
+    """Proposition D.1(ii)'s per-step factor for the EdgeModel.
+
+    ``lambda2_l`` is the algebraic connectivity ``lambda_2(L)``.
+    """
+    if m < 1:
+        raise ParameterError(f"m must be >= 1, got {m}")
+    if lambda2_l <= 0:
+        raise ParameterError(f"lambda2(L) must be positive, got {lambda2_l}")
+    if not 0.0 <= alpha < 1.0:
+        raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
+    return 1.0 - alpha * (1.0 - alpha) * lambda2_l / m
+
+
+def edge_model_contraction_rate(m: int, lambda2_l: float, alpha: float) -> float:
+    """Per-step decay rate ``1 - factor`` for the EdgeModel."""
+    return 1.0 - edge_model_contraction_factor(m, lambda2_l, alpha)
+
+
+def mean_state_contraction_factor(n: int, lambda2: float, alpha: float) -> float:
+    """Contraction of the *expected state* along ``f_2`` (Eq. 43).
+
+    ``E[xi(t)] = q_2^t f_2`` for ``xi(0) = f_2``, where the expected update
+    matrix is ``I - (1-alpha)/n (I - P_simple)`` (Appendix A) and hence
+
+        q_2 = 1 - (1-alpha)(1 - lambda_2(P_simple)) / n
+            = 1 - 2 (1-alpha)(1 - lambda_2(P_lazy)) / n.
+
+    ``lambda2`` here is the library-standard *lazy* eigenvalue (Section 4);
+    the factor 2 converts via ``lambda_simple = 2 lambda_lazy - 1``.
+    """
+    if n < 2:
+        raise ParameterError(f"n must be >= 2, got {n}")
+    if not 0.0 <= lambda2 < 1.0:
+        raise ParameterError(f"lambda2 must be in [0, 1), got {lambda2}")
+    if not 0.0 <= alpha < 1.0:
+        raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
+    return 1.0 - 2.0 * (1.0 - alpha) * (1.0 - lambda2) / n

@@ -1,0 +1,82 @@
+"""Expected one-step dynamics and the martingale structure (Lemma 4.1).
+
+NodeModel (Appendix A / Eq. 42): with ``P`` the *simple* (non-lazy) walk
+matrix,
+
+    E[xi(t+1) | xi(t)] = [ I - (1-alpha)/n (I - P) ] xi(t),
+
+and since the expected update matrix is a convex combination of ``I`` and
+``P`` — both self-adjoint under ``<.,.>_pi`` with ``P 1 = 1`` — the
+degree-weighted mean ``M(t) = <xi(t), 1>_pi`` is a martingale.
+
+EdgeModel (Appendix D): with ``L`` the Laplacian,
+
+    E[xi(t+1) | xi(t)] = [ I - (1-alpha)/(2m) L ] xi(t),
+
+whose column sums are 1, so the *simple* average ``Avg(t)`` is a
+martingale even on irregular graphs.
+
+Both matrices are exposed so tests can verify the martingale identities
+*exactly* (by enumerating the one-step law) rather than statistically.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graphs.adjacency import Adjacency
+from repro.graphs.spectral import laplacian_matrix, simple_walk_matrix
+
+GraphLike = Union[nx.Graph, Adjacency]
+
+
+def node_model_expected_update(graph: GraphLike, alpha: float) -> np.ndarray:
+    """``E[L] = I - (1-alpha)/n (I - P_simple)`` for the NodeModel.
+
+    Independent of ``k``: the expected neighbour of a uniform ``k``-sample
+    is a uniform neighbour (Lemma E.1(2) applies to each sample slot).
+    """
+    if not 0.0 <= alpha < 1.0:
+        raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
+    p = simple_walk_matrix(graph)
+    n = p.shape[0]
+    return np.eye(n) - (1.0 - alpha) / n * (np.eye(n) - p)
+
+
+def edge_model_expected_update(graph: GraphLike, alpha: float) -> np.ndarray:
+    """``E[L] = I - (1-alpha)/(2m) L`` for the EdgeModel."""
+    if not 0.0 <= alpha < 1.0:
+        raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
+    laplacian = laplacian_matrix(graph)
+    n = laplacian.shape[0]
+    m = laplacian.trace() / 2.0
+    return np.eye(n) - (1.0 - alpha) / (2.0 * m) * laplacian
+
+
+def expected_state(update: np.ndarray, initial: np.ndarray, t: int) -> np.ndarray:
+    """``E[xi(t)] = (E[L])^t xi(0)`` by iterated expectation (Eq. 42)."""
+    if t < 0:
+        raise ParameterError(f"t must be non-negative, got {t}")
+    return np.linalg.matrix_power(update, t) @ np.asarray(initial, dtype=np.float64)
+
+
+def martingale_weights(graph: GraphLike, model: str) -> np.ndarray:
+    """The linear functional preserved in expectation by ``model``.
+
+    ``"node"`` -> ``pi`` (degree weights, Lemma 4.1);
+    ``"edge"`` -> uniform ``1/n`` (Proposition D.1(i)).
+    """
+    if isinstance(graph, Adjacency):
+        degrees = graph.degrees.astype(np.float64)
+    else:
+        g = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+        degrees = np.array([g.degree(u) for u in range(g.number_of_nodes())], float)
+    if model == "node":
+        return degrees / degrees.sum()
+    if model == "edge":
+        return np.full(len(degrees), 1.0 / len(degrees))
+    raise ParameterError(f"model must be 'node' or 'edge', got {model!r}")

@@ -1,0 +1,119 @@
+"""Mixing-time utilities for the chains appearing in the analysis.
+
+Lemma 5.5 takes ``T`` to be a mixing time of the Q-chain (total-variation
+distance below ``1/(K^2 n^7)``); the convergence-time comparisons in
+Sections 2-3 are phrased through the spectral gap.  This module provides
+
+* :func:`total_variation` — TV distance between distributions,
+* :func:`spectral_mixing_bound` — the classical
+  ``t_mix(eps) <= log(1/(eps pi_min)) / (1 - lambda_star)`` bound for
+  reversible chains,
+* :func:`empirical_mixing_time` — smallest ``t`` with
+  ``max_s TV(Q^t(s, .), mu) <= eps`` by direct matrix powering (works for
+  non-reversible chains like the Q-chain with ``k > 1``),
+* :func:`qchain_mixing_time` — the Lemma 5.5 tolerance specialised to the
+  two-walk chain.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """``TV(p, q) = (1/2) sum_i |p_i - q_i|``."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ParameterError(f"shape mismatch: {p.shape} vs {q.shape}")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def spectral_mixing_bound(lambda_star: float, pi_min: float, epsilon: float) -> float:
+    """Reversible-chain bound ``t_mix(eps) <= log(1/(eps pi_min)) /
+    (1 - lambda_star)`` (Levin-Peres [39], Thm 12.4).
+
+    ``lambda_star`` is the largest non-principal eigenvalue modulus.
+    """
+    if not 0.0 <= lambda_star < 1.0:
+        raise ParameterError(f"lambda_star must be in [0, 1), got {lambda_star}")
+    if not 0.0 < pi_min <= 1.0:
+        raise ParameterError(f"pi_min must be in (0, 1], got {pi_min}")
+    if not 0.0 < epsilon < 1.0:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    return math.log(1.0 / (epsilon * pi_min)) / (1.0 - lambda_star)
+
+
+def empirical_mixing_time(
+    transition: np.ndarray,
+    stationary: np.ndarray,
+    epsilon: float,
+    max_time: int = 1_000_000,
+) -> int:
+    """Smallest ``t`` with worst-start TV distance <= ``epsilon``.
+
+    Uses repeated squaring to bracket the crossing, then binary search —
+    O(size^3 log t) instead of O(size^3 t).  Valid for any ergodic chain,
+    reversible or not.
+    """
+    size = transition.shape[0]
+    if transition.shape != (size, size):
+        raise ParameterError("transition must be square")
+    if stationary.shape != (size,):
+        raise ParameterError("stationary shape mismatch")
+    if not 0.0 < epsilon < 1.0:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+
+    def worst_tv(power: np.ndarray) -> float:
+        return 0.5 * float(np.abs(power - stationary[None, :]).sum(axis=1).max())
+
+    # Bracket by repeated squaring: powers 1, 2, 4, 8, ...
+    if worst_tv(transition) <= epsilon:
+        return 1
+    powers = [transition]
+    t = 1
+    current = transition
+    while t < max_time:
+        current = current @ current
+        t *= 2
+        powers.append(current)
+        if worst_tv(current) <= epsilon:
+            break
+    else:
+        raise ParameterError(f"not mixed within {max_time} steps")
+    if t > max_time:
+        raise ParameterError(f"not mixed within {max_time} steps")
+
+    # Binary search in (t/2, t]: reconstruct powers from the squarings.
+    low, high = t // 2, t  # worst_tv at low > eps >= at high
+    low_matrix = powers[-2]
+    while high - low > 1:
+        mid = (low + high) // 2
+        mid_matrix = low_matrix @ _matrix_power(transition, mid - low)
+        if worst_tv(mid_matrix) <= epsilon:
+            high = mid
+        else:
+            low, low_matrix = mid, mid_matrix
+    return high
+
+
+def _matrix_power(matrix: np.ndarray, exponent: int) -> np.ndarray:
+    return np.linalg.matrix_power(matrix, exponent)
+
+
+def qchain_mixing_tolerance(n: int, discrepancy: float) -> float:
+    """Lemma 5.5's per-state tolerance ``1 / (K^2 n^7)``.
+
+    ``discrepancy`` is the initial ``K``; the lemma needs each transition
+    probability within this tolerance of ``mu`` so the quadratic form is
+    within ``1/n^5``.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be positive, got {n}")
+    if discrepancy <= 0:
+        raise ParameterError(f"discrepancy must be positive, got {discrepancy}")
+    return 1.0 / (discrepancy**2 * float(n) ** 7)

@@ -1,0 +1,121 @@
+"""Tests for the CSR adjacency structure."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, NotConnectedError
+from repro.graphs.adjacency import Adjacency
+
+
+class TestConstruction:
+    def test_cycle_basic_counts(self, cycle6_adjacency):
+        assert cycle6_adjacency.n == 6
+        assert cycle6_adjacency.m == 6
+        assert cycle6_adjacency.num_directed_edges == 12
+
+    def test_degrees_cycle(self, cycle6_adjacency):
+        assert np.array_equal(cycle6_adjacency.degrees, np.full(6, 2))
+
+    def test_neighbors_sorted(self, small_regular):
+        adjacency = Adjacency.from_graph(small_regular)
+        for u in range(adjacency.n):
+            row = adjacency.neighbors_of(u)
+            assert np.all(np.diff(row) > 0)
+
+    def test_neighbors_match_networkx(self, petersen):
+        adjacency = Adjacency.from_graph(petersen)
+        for u in range(10):
+            expected = sorted(petersen.neighbors(u))
+            assert adjacency.neighbors_of(u).tolist() == expected
+
+    def test_star_degrees(self, star5):
+        adjacency = Adjacency.from_graph(star5)
+        assert adjacency.d_max == 5
+        assert adjacency.d_min == 1
+        assert not adjacency.is_regular
+
+    def test_rejects_disconnected(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(NotConnectedError):
+            Adjacency.from_graph(graph)
+
+    def test_disconnected_allowed_when_not_required(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        adjacency = Adjacency.from_graph(graph, require_connected=False)
+        assert adjacency.n == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            Adjacency.from_graph(nx.Graph())
+
+    def test_rejects_self_loops(self):
+        graph = nx.Graph([(0, 1), (1, 1)])
+        with pytest.raises(GraphError):
+            Adjacency.from_graph(graph)
+
+    def test_string_labels_relabelled(self):
+        graph = nx.Graph([("a", "b"), ("b", "c")])
+        adjacency = Adjacency.from_graph(graph)
+        assert adjacency.labels == ("a", "b", "c")
+        assert adjacency.neighbors_of(1).tolist() == [0, 2]
+
+    def test_integer_labels_numeric_order(self):
+        graph = nx.Graph([(10, 2), (2, 1)])
+        adjacency = Adjacency.from_graph(graph)
+        assert adjacency.labels == (1, 2, 10)
+
+
+class TestEdgeArrays:
+    def test_directed_edges_cover_both_orientations(self, cycle6_adjacency):
+        pairs = set(
+            zip(cycle6_adjacency.edge_tails.tolist(), cycle6_adjacency.edge_heads.tolist())
+        )
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert len(pairs) == 12
+
+    def test_tails_heads_are_edges(self, small_regular):
+        adjacency = Adjacency.from_graph(small_regular)
+        for u, v in zip(adjacency.edge_tails, adjacency.edge_heads):
+            assert adjacency.has_edge(int(u), int(v))
+
+    def test_has_edge_negative(self, cycle6_adjacency):
+        assert not cycle6_adjacency.has_edge(0, 3)
+        assert cycle6_adjacency.has_edge(0, 5)
+
+
+class TestDerivedQuantities:
+    def test_stationary_pi_sums_to_one(self, star5):
+        adjacency = Adjacency.from_graph(star5)
+        pi = adjacency.stationary_pi()
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_stationary_pi_degree_proportional(self, star5):
+        adjacency = Adjacency.from_graph(star5)
+        pi = adjacency.stationary_pi()
+        assert pi[0] == pytest.approx(5 / 10)
+        assert pi[1] == pytest.approx(1 / 10)
+
+    def test_degree_property_regular(self, cycle6_adjacency):
+        assert cycle6_adjacency.degree == 2
+
+    def test_degree_property_irregular_raises(self, star5):
+        adjacency = Adjacency.from_graph(star5)
+        with pytest.raises(GraphError):
+            _ = adjacency.degree
+
+    def test_roundtrip_networkx(self, petersen):
+        adjacency = Adjacency.from_graph(petersen)
+        rebuilt = adjacency.to_networkx()
+        assert nx.is_isomorphic(rebuilt, petersen)
+        assert sorted(rebuilt.edges()) == sorted(
+            (min(u, v), max(u, v)) for u, v in petersen.edges()
+        )
+
+    def test_equality(self, cycle6):
+        a = Adjacency.from_graph(cycle6)
+        b = Adjacency.from_graph(nx.cycle_graph(6))
+        assert a == b
+
+    def test_inequality(self, cycle6, petersen):
+        assert Adjacency.from_graph(cycle6) != Adjacency.from_graph(petersen)

@@ -1,0 +1,253 @@
+"""Tests for the baseline dynamics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.degroot import DeGrootModel
+from repro.baselines.friedkin_johnsen import (
+    FriedkinJohnsenModel,
+    LimitedInfoFriedkinJohnsen,
+)
+from repro.baselines.gossip import PairwiseGossip
+from repro.baselines.hegselmann_krause import HegselmannKrauseModel
+from repro.baselines.load_balancing import SynchronousDiffusion, diffusion_matrix
+from repro.baselines.pushsum import PushSum
+from repro.baselines.voter import VoterModel, win_probabilities
+from repro.exceptions import ConvergenceError, ParameterError
+
+
+class TestVoterModel:
+    def test_reaches_consensus(self, small_regular):
+        opinions = list(range(10))
+        voter = VoterModel(small_regular, opinions, seed=1)
+        winner, steps = voter.run_to_consensus()
+        assert winner in opinions
+        assert steps > 0
+        assert voter.num_distinct == 1
+
+    def test_winner_is_an_initial_opinion(self, petersen):
+        voter = VoterModel(petersen, [5] * 5 + [9] * 5, seed=2)
+        winner, _ = voter.run_to_consensus()
+        assert winner in (5, 9)
+
+    def test_consensus_detection_immediate(self, triangle):
+        voter = VoterModel(triangle, [1, 1, 1], seed=3)
+        winner, steps = voter.run_to_consensus()
+        assert winner == 1 and steps == 0
+
+    def test_budget_raises(self, petersen):
+        voter = VoterModel(petersen, list(range(10)), seed=4)
+        with pytest.raises(ConvergenceError):
+            voter.run_to_consensus(max_steps=1)
+
+    def test_win_probabilities_degree_weighted(self, star5):
+        probabilities = win_probabilities(star5)
+        assert probabilities[0] == pytest.approx(0.5)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_win_probability_empirical(self):
+        """On a star the hub's opinion wins with probability ~1/2."""
+        graph = nx.star_graph(5)
+        hub_wins = 0
+        trials = 800
+        for s in range(trials):
+            voter = VoterModel(graph, [1, 0, 0, 0, 0, 0], seed=s)
+            winner, _ = voter.run_to_consensus()
+            hub_wins += winner
+        assert hub_wins / trials == pytest.approx(0.5, abs=0.06)
+
+    def test_shape_validation(self, triangle):
+        with pytest.raises(ParameterError):
+            VoterModel(triangle, [1, 2], seed=0)
+
+
+class TestPairwiseGossip:
+    def test_average_exactly_preserved(self, small_regular, rng):
+        initial = rng.normal(size=10)
+        gossip = PairwiseGossip(small_regular, initial, seed=1)
+        average = gossip.average
+        gossip.run(10_000)
+        assert gossip.average == pytest.approx(average, abs=1e-10)
+
+    def test_consensus_value_is_initial_average(self, small_regular, rng):
+        initial = rng.normal(size=10)
+        gossip = PairwiseGossip(small_regular, initial, seed=2)
+        value, steps = gossip.run_to_consensus(discrepancy_tol=1e-10)
+        assert value == pytest.approx(float(initial.mean()), abs=1e-9)
+        assert steps > 0
+
+    def test_phi_decreases(self, small_regular, rng):
+        gossip = PairwiseGossip(small_regular, rng.normal(size=10), seed=3)
+        phi0 = gossip.phi
+        gossip.run(5_000)
+        assert gossip.phi < phi0 * 1e-6
+
+    def test_pair_moves_to_midpoint(self, triangle):
+        gossip = PairwiseGossip(triangle, [0.0, 6.0, 12.0], seed=4)
+        before = gossip.values.copy()
+        gossip.step()
+        changed = np.flatnonzero(gossip.values != before)
+        assert len(changed) in (0, 2)  # 0 if the pair already agreed
+        if len(changed) == 2:
+            u, v = changed
+            assert gossip.values[u] == gossip.values[v]
+            assert gossip.values[u] == pytest.approx(
+                (before[u] + before[v]) / 2
+            )
+
+
+class TestDeGroot:
+    def test_converges_to_degree_weighted_average(self, star5, rng):
+        initial = rng.normal(size=6)
+        model = DeGrootModel(star5, initial, lazy=True)
+        value, _ = model.run_to_consensus(discrepancy_tol=1e-12)
+        from repro.graphs.spectral import stationary_distribution
+
+        pi = stationary_distribution(star5)
+        assert value == pytest.approx(float(np.sum(pi * initial)), abs=1e-9)
+
+    def test_fixed_point_prediction(self, star5, rng):
+        initial = rng.normal(size=6)
+        model = DeGrootModel(star5, initial, lazy=True)
+        predicted = model.fixed_point()
+        value, _ = model.run_to_consensus(discrepancy_tol=1e-12)
+        assert value == pytest.approx(predicted, abs=1e-8)
+
+    def test_deterministic(self, petersen, rng):
+        initial = rng.normal(size=10)
+        a = DeGrootModel(petersen, initial)
+        b = DeGrootModel(petersen, initial)
+        a.run(10)
+        b.run(10)
+        assert np.allclose(a.values, b.values)
+
+    def test_weights_validation(self, triangle):
+        bad = np.array([[0.5, 0.2, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        with pytest.raises(ParameterError):
+            DeGrootModel(triangle, [1.0, 2.0, 3.0], weights=bad)
+
+
+class TestFriedkinJohnsen:
+    def test_fixed_point_is_stable(self, petersen, rng):
+        private = rng.normal(size=10)
+        model = FriedkinJohnsenModel(petersen, private, susceptibility=0.6)
+        model.values = model.fixed_point()
+        before = model.values.copy()
+        model.step()
+        assert np.allclose(model.values, before, atol=1e-12)
+
+    def test_iteration_converges_to_fixed_point(self, petersen, rng):
+        private = rng.normal(size=10)
+        model = FriedkinJohnsenModel(petersen, private, susceptibility=0.6)
+        model.run(200)
+        assert model.distance_to_fixed_point() < 1e-9
+
+    def test_zero_susceptibility_keeps_private(self, petersen, rng):
+        private = rng.normal(size=10)
+        model = FriedkinJohnsenModel(petersen, private, susceptibility=0.0)
+        model.run(5)
+        assert np.allclose(model.values, private)
+
+    def test_limited_info_tracks_fj_fixed_point(self, petersen, rng):
+        """The randomized k-sample variant's empirical mean state converges
+        near the synchronous FJ equilibrium (Fotakis et al.)."""
+        private = rng.normal(size=10)
+        target = LimitedInfoFriedkinJohnsen(
+            petersen, private, susceptibility=0.5, k=2, seed=1
+        ).expected_fixed_point()
+        replicas = 300
+        total = np.zeros(10)
+        for s in range(replicas):
+            model = LimitedInfoFriedkinJohnsen(
+                petersen, private, susceptibility=0.5, k=2, seed=s
+            )
+            model.run(2_000)
+            total += model.values
+        assert np.allclose(total / replicas, target, atol=0.1)
+
+    def test_limited_info_validation(self, star5):
+        with pytest.raises(ParameterError):
+            LimitedInfoFriedkinJohnsen(star5, np.zeros(6), k=2)
+
+
+class TestHegselmannKrause:
+    def test_full_confidence_reaches_consensus(self, petersen, rng):
+        initial = rng.uniform(0, 1, size=10)
+        model = HegselmannKrauseModel(petersen, initial, confidence=10.0)
+        model.run_until_stable()
+        assert len(model.clusters()) == 1
+
+    def test_tiny_confidence_freezes(self, petersen):
+        initial = np.arange(10.0) * 100.0
+        model = HegselmannKrauseModel(petersen, initial, confidence=1e-6)
+        moved = model.step()
+        assert not moved
+        assert np.allclose(model.values, initial)
+
+    def test_fragmentation_on_path(self):
+        """Two far-apart opinion camps on a path stay separate clusters."""
+        graph = nx.path_graph(10)
+        initial = np.array([0.0] * 5 + [10.0] * 5)
+        model = HegselmannKrauseModel(graph, initial, confidence=1.0)
+        model.run_until_stable()
+        clusters = model.clusters()
+        assert len(clusters) == 2
+
+    def test_validation(self, triangle):
+        with pytest.raises(ParameterError):
+            HegselmannKrauseModel(triangle, [0.0] * 3, confidence=0.0)
+
+
+class TestSynchronousDiffusion:
+    def test_matrix_doubly_stochastic(self, star5):
+        p = diffusion_matrix(star5)
+        assert np.allclose(p.sum(axis=0), 1.0)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+    def test_average_preserved_exactly(self, star5, rng):
+        initial = rng.normal(size=6)
+        model = SynchronousDiffusion(star5, initial)
+        average = model.average
+        model.run(100)
+        assert model.average == pytest.approx(average, abs=1e-12)
+
+    def test_converges_to_simple_average(self, petersen, rng):
+        initial = rng.normal(size=10)
+        model = SynchronousDiffusion(petersen, initial)
+        value, _ = model.run_to_consensus(discrepancy_tol=1e-10)
+        assert value == pytest.approx(float(initial.mean()), abs=1e-9)
+
+    def test_rate_bound_below_one(self, petersen):
+        model = SynchronousDiffusion(petersen, np.zeros(10))
+        assert 0.0 < model.convergence_rate_bound() < 1.0
+
+
+class TestPushSum:
+    def test_mass_conservation(self, petersen, rng):
+        initial = rng.normal(size=10)
+        model = PushSum(petersen, initial, seed=1)
+        model.run(5_000)
+        assert model.sums.sum() == pytest.approx(float(initial.sum()), abs=1e-9)
+        assert model.weights.sum() == pytest.approx(10.0, abs=1e-9)
+
+    def test_estimates_converge_to_exact_average(self, petersen, rng):
+        initial = rng.normal(size=10)
+        model = PushSum(petersen, initial, seed=2)
+        value, steps = model.run_to_accuracy(tol=1e-10)
+        assert value == pytest.approx(float(initial.mean()), abs=1e-9)
+        assert np.allclose(model.estimates, initial.mean(), atol=1e-9)
+        assert steps > 0
+
+    def test_weights_stay_positive(self, petersen, rng):
+        model = PushSum(petersen, rng.normal(size=10), seed=3)
+        model.run(20_000)
+        assert np.all(model.weights > 0)
+
+    def test_validation(self, triangle):
+        with pytest.raises(ParameterError):
+            PushSum(triangle, [0.0, 1.0], seed=0)
+        model = PushSum(triangle, [0.0, 1.0, 2.0], seed=0)
+        with pytest.raises(ParameterError):
+            model.run_to_accuracy(tol=0.0)

@@ -1,0 +1,59 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.ids == []
+        assert not args.slow
+        assert args.seed == 0
+
+    def test_id_and_flags(self):
+        args = build_parser().parse_args(["EXP-F1", "--slow", "--seed", "9"])
+        assert args.ids == ["EXP-F1"]
+        assert args.slow
+        assert args.seed == 9
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_id_fails(self, capsys):
+        assert main(["EXP-NOPE"]) == 2
+        assert "unknown experiment ids" in capsys.readouterr().err
+
+    def test_runs_figure_experiment(self, capsys):
+        assert main(["EXP-F1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "EXP-F1" in out
+
+    def test_markdown_rendering(self, capsys):
+        assert main(["EXP-F4", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| t |" in out
+
+
+class TestRegistryIntegrity:
+    def test_all_ids_documented_in_design(self):
+        with open("DESIGN.md", encoding="utf-8") as handle:
+            design = handle.read()
+        for key in EXPERIMENTS:
+            assert key in design, f"{key} missing from DESIGN.md"
+
+    def test_runners_accept_fast_and_seed(self):
+        import inspect
+
+        for key, runner in EXPERIMENTS.items():
+            signature = inspect.signature(runner)
+            assert "fast" in signature.parameters, key
+            assert "seed" in signature.parameters, key

@@ -1,0 +1,109 @@
+"""Tests for coalescing random walks (the classical voter dual)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.voter import VoterModel
+from repro.dual.coalescing import CoalescingWalks, meeting_time_estimate
+from repro.exceptions import ConvergenceError, ParameterError
+
+
+class TestBasics:
+    def test_initial_state(self, petersen):
+        walks = CoalescingWalks(petersen, seed=1)
+        assert walks.num_clusters == 10
+        assert walks.positions().tolist() == list(range(10))
+
+    def test_parameter_validation(self, petersen):
+        with pytest.raises(ParameterError):
+            CoalescingWalks(petersen, alpha=1.0)
+        walks = CoalescingWalks(petersen, seed=1)
+        with pytest.raises(ParameterError):
+            walks.cluster_of(99)
+
+    def test_cluster_count_non_increasing(self, petersen):
+        walks = CoalescingWalks(petersen, seed=2)
+        last = walks.num_clusters
+        for _ in range(2_000):
+            walks.step()
+            assert walks.num_clusters <= last
+            last = walks.num_clusters
+
+    def test_coalescence_reached(self, small_regular):
+        walks = CoalescingWalks(small_regular, seed=3)
+        time = walks.run_to_coalescence()
+        assert walks.num_clusters == 1
+        assert time > 0
+        # All walks report the same position afterwards.
+        assert len(set(walks.positions().tolist())) == 1
+
+    def test_budget_raises(self, petersen):
+        walks = CoalescingWalks(petersen, seed=4)
+        with pytest.raises(ConvergenceError):
+            walks.run_to_coalescence(max_steps=1)
+
+    def test_positions_always_valid_nodes(self, cycle6):
+        walks = CoalescingWalks(cycle6, seed=5)
+        for _ in range(500):
+            walks.step()
+            positions = walks.positions()
+            assert np.all((positions >= 0) & (positions < 6))
+
+    def test_merged_walks_stay_merged(self, cycle6):
+        walks = CoalescingWalks(cycle6, seed=6)
+        walks.run_to_coalescence()
+        representative = walks.cluster_of(0)
+        assert all(walks.cluster_of(w) == representative for w in range(6))
+
+    def test_occupancy_consistency(self, petersen):
+        """Distinct clusters always sit on distinct nodes."""
+        walks = CoalescingWalks(petersen, seed=7)
+        for _ in range(1_000):
+            walks.step()
+            clusters = {walks.cluster_of(w) for w in range(10)}
+            positions = {walks.position_of(w) for w in range(10)}
+            assert len(positions) == len(clusters) == walks.num_clusters
+
+
+class TestLazyVariant:
+    def test_alpha_slows_coalescence(self):
+        graph = nx.complete_graph(8)
+        eager_times = [
+            CoalescingWalks(graph, alpha=0.0, seed=s).run_to_coalescence()
+            for s in range(20)
+        ]
+        lazy_times = [
+            CoalescingWalks(graph, alpha=0.8, seed=100 + s).run_to_coalescence()
+            for s in range(20)
+        ]
+        assert np.mean(lazy_times) > 2 * np.mean(eager_times)
+
+
+class TestVoterDuality:
+    def test_coalescence_time_matches_voter_consensus_time(self):
+        """The classical duality (footnote 2): voting time and coalescence
+        time have the same distribution.  Compare the means on K6."""
+        graph = nx.complete_graph(6)
+        replicas = 400
+        voter_times = []
+        for s in range(replicas):
+            voter = VoterModel(graph, list(range(6)), seed=s)
+            _, steps = voter.run_to_consensus()
+            voter_times.append(steps)
+        walk_times = []
+        for s in range(replicas):
+            walks = CoalescingWalks(graph, alpha=0.0, seed=10_000 + s)
+            walk_times.append(walks.run_to_coalescence())
+        voter_mean = np.mean(voter_times)
+        walk_mean = np.mean(walk_times)
+        # Same distribution => same mean up to Monte-Carlo error (~5%).
+        assert walk_mean == pytest.approx(voter_mean, rel=0.15)
+
+    def test_meeting_time_estimate_positive(self, small_regular):
+        estimate = meeting_time_estimate(small_regular, replicas=10, seed=1)
+        assert estimate > 0
+
+    def test_meeting_time_validation(self, small_regular):
+        with pytest.raises(ParameterError):
+            meeting_time_estimate(small_regular, replicas=0)

@@ -1,0 +1,190 @@
+"""Tests for the continuous-time clock and dynamic-graph averaging."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.continuous import (
+    PoissonClock,
+    continuous_time_bound_node,
+    edge_model_event_rate,
+    node_model_event_rate,
+    steps_to_time,
+    time_to_steps,
+)
+from repro.core.dynamic import DynamicAveraging
+from repro.exceptions import ConvergenceError, ParameterError
+
+
+class TestPoissonClock:
+    def test_times_increase(self):
+        clock = PoissonClock(rate=5.0, seed=1)
+        times = [clock.next_time() for _ in range(100)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert clock.ticks == 100
+
+    def test_mean_gap_matches_rate(self):
+        clock = PoissonClock(rate=10.0, seed=2)
+        times = clock.sample_times(20_000)
+        gaps = np.diff(np.concatenate([[0.0], times]))
+        assert gaps.mean() == pytest.approx(0.1, rel=0.05)
+
+    def test_gap_distribution_memoryless(self):
+        """Exponential gaps: P(gap > 2/rate) ~ e^-2."""
+        clock = PoissonClock(rate=1.0, seed=3)
+        gaps = np.diff(np.concatenate([[0.0], clock.sample_times(20_000)]))
+        tail = float(np.mean(gaps > 2.0))
+        assert tail == pytest.approx(np.exp(-2.0), abs=0.01)
+
+    def test_sample_times_advances_clock(self):
+        clock = PoissonClock(rate=1.0, seed=4)
+        first = clock.sample_times(10)
+        second = clock.sample_times(10)
+        assert second[0] > first[-1]
+        assert clock.ticks == 20
+
+    def test_empty_sample(self):
+        clock = PoissonClock(rate=1.0, seed=5)
+        assert len(clock.sample_times(0)) == 0
+        assert clock.ticks == 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PoissonClock(rate=0.0)
+        clock = PoissonClock(rate=1.0, seed=6)
+        with pytest.raises(ParameterError):
+            clock.sample_times(-1)
+
+
+class TestRateConversions:
+    def test_event_rates(self):
+        assert node_model_event_rate(50) == 50.0
+        assert edge_model_event_rate(30) == 60.0
+
+    def test_steps_time_roundtrip(self):
+        steps = 1234.0
+        rate = 17.0
+        assert time_to_steps(steps_to_time(steps, rate), rate) == pytest.approx(steps)
+
+    def test_continuous_bound_cancels_n(self):
+        """The continuous-time NodeModel bound is the step bound / n —
+        the synchronous-comparison bookkeeping of Section 2."""
+        from repro.theory.convergence import node_model_upper_bound
+
+        bound_steps = node_model_upper_bound(40, 0.5, 10.0, 1e-4)
+        bound_time = continuous_time_bound_node(40, 0.5, 10.0, 1e-4)
+        assert bound_time == pytest.approx(bound_steps / 40.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            node_model_event_rate(0)
+        with pytest.raises(ParameterError):
+            steps_to_time(-1.0, 5.0)
+        with pytest.raises(ParameterError):
+            time_to_steps(1.0, 0.0)
+
+
+@pytest.fixture
+def snapshots():
+    return [
+        nx.cycle_graph(12),
+        nx.random_regular_graph(4, 12, seed=1),
+        nx.complete_graph(12),
+    ]
+
+
+class TestDynamicAveraging:
+    def test_construction_validation(self, snapshots, rng):
+        initial = rng.normal(size=12)
+        with pytest.raises(ParameterError):
+            DynamicAveraging([], initial)
+        with pytest.raises(ParameterError):
+            DynamicAveraging(snapshots, initial, model="gossip")
+        with pytest.raises(ParameterError):
+            DynamicAveraging(snapshots, initial, switch_every=0)
+        with pytest.raises(ParameterError):
+            DynamicAveraging(snapshots, rng.normal(size=5))
+        with pytest.raises(ParameterError):
+            # k = 3 exceeds the cycle snapshot's degree 2.
+            DynamicAveraging(snapshots, initial, k=3)
+
+    def test_mismatched_node_sets_rejected(self, rng):
+        with pytest.raises(ParameterError, match="same node set"):
+            DynamicAveraging(
+                [nx.cycle_graph(10), nx.cycle_graph(12)], rng.normal(size=10)
+            )
+
+    def test_snapshot_rotation(self, snapshots, rng):
+        process = DynamicAveraging(
+            snapshots, rng.normal(size=12), switch_every=50, seed=2
+        )
+        assert process.current_snapshot == 0
+        process.run(50)
+        assert process.current_snapshot == 1
+        process.run(100)
+        assert process.current_snapshot == 0  # wrapped around 3 snapshots
+
+    def test_partial_runs_respect_switch_boundary(self, snapshots, rng):
+        process = DynamicAveraging(
+            snapshots, rng.normal(size=12), switch_every=64, seed=3
+        )
+        process.run(30)
+        assert process.current_snapshot == 0
+        process.run(34)
+        assert process.current_snapshot == 1
+
+    def test_convex_hull_preserved_across_switches(self, snapshots, rng):
+        initial = rng.normal(size=12)
+        process = DynamicAveraging(snapshots, initial, switch_every=10, seed=4)
+        process.run(3_000)
+        assert process.values.min() >= initial.min() - 1e-12
+        assert process.values.max() <= initial.max() + 1e-12
+
+    def test_converges_on_dynamic_graphs(self, snapshots, rng):
+        initial = rng.normal(size=12)
+        process = DynamicAveraging(snapshots, initial, switch_every=25, seed=5)
+        value, steps = process.run_to_consensus(discrepancy_tol=1e-9)
+        assert steps > 0
+        assert initial.min() <= value <= initial.max()
+
+    def test_shuffled_rotation(self, snapshots, rng):
+        process = DynamicAveraging(
+            snapshots, rng.normal(size=12), switch_every=5, shuffle=True, seed=6
+        )
+        seen = set()
+        for _ in range(60):
+            process.run(5)
+            seen.add(process.current_snapshot)
+        assert len(seen) >= 2
+
+    def test_edge_model_variant(self, snapshots, rng):
+        initial = rng.normal(size=12)
+        process = DynamicAveraging(
+            snapshots, initial, model="edge", switch_every=20, seed=7
+        )
+        value, _ = process.run_to_consensus(discrepancy_tol=1e-8)
+        assert initial.min() <= value <= initial.max()
+
+    def test_budget_exhaustion(self, snapshots, rng):
+        process = DynamicAveraging(snapshots, rng.normal(size=12), seed=8)
+        with pytest.raises(ConvergenceError):
+            process.run_to_consensus(discrepancy_tol=1e-15, max_steps=100)
+
+    def test_regular_snapshots_keep_average_martingale(self, rng):
+        """All snapshots regular (possibly different graphs, same degree):
+        the simple average stays a martingale across switches."""
+        snapshots = [
+            nx.random_regular_graph(4, 14, seed=s) for s in range(3)
+        ]
+        initial = rng.normal(size=14)
+        avg0 = float(initial.mean())
+        finals = []
+        for s in range(600):
+            process = DynamicAveraging(
+                snapshots, initial, switch_every=7, seed=s
+            )
+            process.run(300)
+            finals.append(process.simple_average)
+        finals = np.asarray(finals)
+        stderr = finals.std(ddof=1) / np.sqrt(len(finals))
+        assert abs(finals.mean() - avg0) < 4 * stderr + 1e-12

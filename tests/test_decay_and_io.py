@@ -1,0 +1,176 @@
+"""Tests for decay fitting and result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.decay import DecayFit, decay_summary, fit_decay_rate
+from repro.core.node_model import NodeModel
+from repro.core.runner import Trajectory, record_trajectory
+from repro.exceptions import ParameterError
+from repro.graphs.spectral import second_walk_eigenpair
+from repro.io import (
+    ResultBundle,
+    ResultsIOError,
+    diff_tables,
+    load_all,
+    load_bundle,
+    save_bundle,
+)
+from repro.sim.results import ResultTable
+from repro.theory.contraction import node_model_contraction_factor
+
+
+def synthetic_trajectory(rate: float, phi0: float = 1.0, points: int = 20) -> Trajectory:
+    times = np.arange(points) * 100
+    phi = phi0 * np.exp(-rate * times)
+    zeros = np.zeros(points)
+    return Trajectory(
+        times=times, phi=phi, discrepancy=zeros,
+        simple_average=zeros, weighted_average=zeros,
+    )
+
+
+class TestDecayFit:
+    def test_recovers_exact_exponential(self):
+        fit = fit_decay_rate(synthetic_trajectory(rate=1e-3))
+        assert fit.rate == pytest.approx(1e-3, rel=1e-9)
+        assert fit.phi0 == pytest.approx(1.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_half_life(self):
+        fit = DecayFit(rate=np.log(2.0), phi0=1.0, r_squared=1.0)
+        assert fit.half_life == pytest.approx(1.0)
+        assert DecayFit(rate=0.0, phi0=1.0, r_squared=1.0).half_life == np.inf
+
+    def test_factor(self):
+        fit = DecayFit(rate=0.1, phi0=1.0, r_squared=1.0)
+        assert fit.factor() == pytest.approx(np.exp(-0.1))
+
+    def test_floor_samples_dropped(self):
+        trajectory = synthetic_trajectory(rate=2e-3, points=40)
+        trajectory.phi[-10:] = 1e-16  # noise floor
+        fit = fit_decay_rate(trajectory, floor=1e-13)
+        assert fit.rate == pytest.approx(2e-3, rel=1e-6)
+
+    def test_too_few_points_raises(self):
+        trajectory = synthetic_trajectory(rate=1.0, points=3)
+        trajectory.phi[:] = 1e-20
+        with pytest.raises(ParameterError):
+            fit_decay_rate(trajectory)
+
+    def test_real_process_decay_at_least_theoretical(self, small_regular, rng):
+        """Measured phi decay should not be slower than the Prop B.1 bound
+        (averaged over a long run)."""
+        initial = rng.normal(size=10)
+        process = NodeModel(small_regular, initial, alpha=0.5, k=1, seed=1)
+        # Short sampling interval: phi hits the float noise floor after a
+        # few thousand steps on this 10-node expander.
+        trajectory = record_trajectory(process, steps=4_000, sample_every=200)
+        fit = fit_decay_rate(trajectory)
+        lambda2, _ = second_walk_eigenpair(small_regular)
+        factor = node_model_contraction_factor(10, lambda2, 0.5, 1)
+        summary = decay_summary(trajectory, factor)
+        assert summary.rate_ratio > 0.8
+        assert fit.r_squared > 0.8
+
+    def test_decay_summary_validation(self):
+        with pytest.raises(ParameterError):
+            decay_summary(synthetic_trajectory(1e-3), theoretical_factor=1.0)
+
+
+class TestResultsIO:
+    def make_bundle(self) -> ResultBundle:
+        table = ResultTable("demo", ["x", "y"])
+        table.add_row(1, 2.5)
+        table.add_note("a note")
+        return ResultBundle(
+            experiment_id="EXP-F1", seed=3, fast=True, tables=[table]
+        )
+
+    def test_save_load_roundtrip(self, tmp_path):
+        bundle = self.make_bundle()
+        path = save_bundle(bundle, tmp_path)
+        assert path.name == "EXP-F1.3.fast.json"
+        loaded = load_bundle(path)
+        assert loaded.experiment_id == "EXP-F1"
+        assert loaded.seed == 3
+        assert loaded.fast
+        assert loaded.tables[0].rows == [[1, 2.5]]
+        assert loaded.tables[0].notes == ["a note"]
+
+    def test_overwrite_same_configuration(self, tmp_path):
+        bundle = self.make_bundle()
+        save_bundle(bundle, tmp_path)
+        bundle.tables[0].add_row(2, 3.5)
+        save_bundle(bundle, tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert len(load_all(tmp_path)[0].tables[0].rows) == 2
+
+    def test_load_all_sorted(self, tmp_path):
+        for experiment_id in ("EXP-T222", "EXP-F1"):
+            save_bundle(
+                ResultBundle(experiment_id, 0, True, []), tmp_path
+            )
+        bundles = load_all(tmp_path)
+        assert [b.experiment_id for b in bundles] == ["EXP-F1", "EXP-T222"]
+
+    def test_load_all_empty_directory(self, tmp_path):
+        assert load_all(tmp_path / "nothing") == []
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ResultsIOError):
+            load_bundle(tmp_path / "nope.json")
+
+    def test_malformed_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ResultsIOError):
+            load_bundle(bad)
+
+    def test_malformed_payload(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"experiment_id": "X"}')
+        with pytest.raises(ResultsIOError):
+            load_bundle(bad)
+
+
+class TestDiffTables:
+    def test_identical_tables(self):
+        a = ResultTable("t", ["x"], rows=[[1.0]])
+        b = ResultTable("t", ["x"], rows=[[1.0]])
+        assert diff_tables(a, b) == []
+
+    def test_within_tolerance(self):
+        a = ResultTable("t", ["x"], rows=[[1.0]])
+        b = ResultTable("t", ["x"], rows=[[1.1]])
+        assert diff_tables(a, b, rel_tol=0.25) == []
+
+    def test_numeric_drift_detected(self):
+        a = ResultTable("t", ["x"], rows=[[1.0]])
+        b = ResultTable("t", ["x"], rows=[[2.0]])
+        problems = diff_tables(a, b)
+        assert len(problems) == 1
+        assert "column 'x'" in problems[0]
+
+    def test_structural_changes_detected(self):
+        a = ResultTable("t", ["x"], rows=[[1.0]])
+        b = ResultTable("t", ["y"], rows=[[1.0]])
+        assert "columns changed" in diff_tables(a, b)[0]
+        c = ResultTable("t", ["x"], rows=[[1.0], [2.0]])
+        assert "row count changed" in diff_tables(a, c)[0]
+
+    def test_bool_cells_compared_exactly(self):
+        a = ResultTable("t", ["ok"], rows=[[True]])
+        b = ResultTable("t", ["ok"], rows=[[False]])
+        assert len(diff_tables(a, b)) == 1
+
+
+class TestCliSave:
+    def test_cli_save_writes_bundle(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["EXP-F4", "--save", str(tmp_path)]) == 0
+        bundles = load_all(tmp_path)
+        assert len(bundles) == 1
+        assert bundles[0].experiment_id == "EXP-F4"
+        assert "saved ->" in capsys.readouterr().out

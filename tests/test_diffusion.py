@@ -1,0 +1,102 @@
+"""Tests for the Diffusion Process (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule, SelectionStep
+from repro.dual.diffusion import DiffusionProcess
+from repro.dual.matrices import diffusion_step_matrix, product_matrix
+from repro.exceptions import ParameterError
+
+
+class TestConstruction:
+    def test_default_loads_identity(self, triangle):
+        process = DiffusionProcess(triangle, cost=[1.0, 2.0, 3.0], alpha=0.5)
+        assert np.allclose(process.loads, np.eye(3))
+        assert process.num_commodities == 3
+
+    def test_single_vector_load(self, triangle):
+        process = DiffusionProcess(
+            triangle, cost=[1.0, 2.0, 3.0], alpha=0.5, loads=np.array([0.0, 1.0, 0.0])
+        )
+        assert process.loads.shape == (3, 1)
+
+    def test_validation(self, triangle):
+        with pytest.raises(ParameterError):
+            DiffusionProcess(triangle, cost=[1.0, 2.0], alpha=0.5)
+        with pytest.raises(ParameterError):
+            DiffusionProcess(triangle, cost=[1.0, 2.0, 3.0], alpha=1.0)
+        with pytest.raises(ParameterError):
+            DiffusionProcess(triangle, cost=[1.0, 2.0, 3.0], alpha=0.5, k=0)
+        with pytest.raises(ParameterError):
+            DiffusionProcess(triangle, cost=[1.0, 2.0, 3.0], alpha=0.5, k=5)
+
+
+class TestStepSemantics:
+    def test_step_with_matches_matrix_action(self, petersen, rng):
+        cost = rng.normal(size=10)
+        process = DiffusionProcess(petersen, cost=cost, alpha=0.4, k=2)
+        step = SelectionStep(0, tuple(sorted(petersen.neighbors(0))[:2]))
+        expected = diffusion_step_matrix(10, step, alpha=0.4) @ process.loads
+        process.step_with(step)
+        assert np.allclose(process.loads, expected)
+
+    def test_figure1_first_diffusion_step(self, triangle):
+        # Figure 1(b): u2 sends 1/2 of its load to u1 -> column [1/2, 1/2, 0].
+        process = DiffusionProcess(triangle, cost=[6.0, 8.0, 9.0], alpha=0.5, k=1)
+        process.step_with(SelectionStep(1, (0,)))
+        assert np.allclose(process.commodity_load(1), [0.5, 0.5, 0.0])
+
+    def test_mass_conserved(self, petersen, rng):
+        process = DiffusionProcess(petersen, cost=rng.normal(size=10), alpha=0.3, k=3)
+        for _ in range(500):
+            process.step()
+        assert np.allclose(process.total_mass(), 1.0)
+
+    def test_loads_stay_nonnegative(self, petersen, rng):
+        process = DiffusionProcess(petersen, cost=rng.normal(size=10), alpha=0.3, k=1)
+        for _ in range(500):
+            process.step()
+        assert np.all(process.loads >= -1e-15)
+
+    def test_noop_step_changes_nothing(self, triangle):
+        process = DiffusionProcess(triangle, cost=[1.0, 2.0, 3.0], alpha=0.5)
+        before = process.loads.copy()
+        process.step_with(SelectionStep(0, ()))
+        assert np.allclose(process.loads, before)
+        assert process.t == 1
+
+    def test_random_step_selection_valid(self, petersen):
+        process = DiffusionProcess(petersen, cost=np.zeros(10), alpha=0.5, k=2, seed=3)
+        for _ in range(100):
+            selection = process.step()
+            assert len(selection.sample) == 2
+            for v in selection.sample:
+                assert petersen.has_edge(selection.node, v)
+
+
+class TestReplayAndCosts:
+    def test_replay_equals_product_matrix(self, petersen, rng):
+        cost = rng.normal(size=10)
+        schedule = Schedule.from_pairs(
+            [(u, (sorted(petersen.neighbors(u))[0],)) for u in range(10)]
+        )
+        process = DiffusionProcess(petersen, cost=cost, alpha=0.5, k=1)
+        process.replay(schedule)
+        r = product_matrix(10, schedule, alpha=0.5)
+        assert np.allclose(process.loads, r)
+        assert np.allclose(process.costs, cost @ r)
+
+    def test_costs_shape(self, triangle):
+        process = DiffusionProcess(triangle, cost=[1.0, 2.0, 3.0], alpha=0.5)
+        assert process.costs.shape == (3,)
+
+    def test_cost_of_commodity_converges_to_weighted_mix(self, petersen, rng):
+        # After many steps each commodity spreads out; its cost is a convex
+        # combination of initial values, so it stays within the hull.
+        cost = rng.normal(size=10)
+        process = DiffusionProcess(petersen, cost=cost, alpha=0.5, k=1, seed=5)
+        for _ in range(2_000):
+            process.step()
+        assert np.all(process.costs <= cost.max() + 1e-12)
+        assert np.all(process.costs >= cost.min() - 1e-12)

@@ -1,0 +1,111 @@
+"""Tests for the statistical verification of Lemma 5.3 / Prop 5.4 / Lemma 5.5."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.dual.verification import (
+    MomentCheck,
+    check_lemma_53,
+    check_lemma_55,
+    check_proposition_54,
+)
+from repro.exceptions import ParameterError
+
+
+class TestMomentCheck:
+    def test_z_score(self):
+        check = MomentCheck(estimate=1.2, reference=1.0, standard_error=0.1)
+        assert check.z_score == pytest.approx(2.0)
+        assert check.consistent
+
+    def test_inconsistent(self):
+        check = MomentCheck(estimate=2.0, reference=1.0, standard_error=0.1)
+        assert not check.consistent
+
+    def test_degenerate_se(self):
+        assert MomentCheck(1.0, 1.0, 0.0).consistent
+        assert not MomentCheck(2.0, 1.0, 0.0).consistent
+
+
+@pytest.fixture
+def setup():
+    graph = nx.petersen_graph()
+    rng = np.random.default_rng(5)
+    cost = rng.normal(size=10)
+    return graph, cost
+
+
+class TestLemma53:
+    def test_conditional_mean_matches_diffusion(self, setup):
+        graph, cost = setup
+        rng = np.random.default_rng(1)
+        pairs = []
+        for _ in range(12):
+            u = int(rng.integers(10))
+            v = int(rng.choice(sorted(graph.neighbors(u))))
+            pairs.append((u, (v,)))
+        schedule = Schedule.from_pairs(pairs)
+        check = check_lemma_53(
+            graph, cost, alpha=0.5, k=1, schedule=schedule, walk=3,
+            replicas=15_000, seed=2,
+        )
+        assert check.consistent, f"z = {check.z_score}"
+
+    def test_with_k2(self, setup):
+        graph, cost = setup
+        rng = np.random.default_rng(3)
+        pairs = []
+        for _ in range(8):
+            u = int(rng.integers(10))
+            neighbours = sorted(graph.neighbors(u))
+            sample = tuple(
+                int(x) for x in rng.choice(neighbours, size=2, replace=False)
+            )
+            pairs.append((u, sample))
+        schedule = Schedule.from_pairs(pairs)
+        check = check_lemma_53(
+            graph, cost, alpha=0.3, k=2, schedule=schedule, walk=0,
+            replicas=15_000, seed=4,
+        )
+        assert check.consistent, f"z = {check.z_score}"
+
+    def test_validation(self, setup):
+        graph, cost = setup
+        with pytest.raises(ParameterError):
+            check_lemma_53(graph, cost, 0.5, 1, Schedule(), walk=0, replicas=1)
+
+
+class TestProposition54:
+    @pytest.mark.parametrize("pair", [(0, 5), (2, 2)])
+    def test_second_moments_match(self, setup, pair):
+        graph, cost = setup
+        check = check_proposition_54(
+            graph, cost, alpha=0.5, k=2, steps=25, pair=pair,
+            replicas=3_000, seed=6,
+        )
+        assert check.consistent, f"z = {check.z_score}"
+
+    def test_validation(self, setup):
+        graph, cost = setup
+        with pytest.raises(ParameterError):
+            check_proposition_54(graph, cost, 0.5, 1, 10, (0, 1), replicas=1)
+
+
+class TestLemma55:
+    def test_long_run_moment_matches_mu_form(self, setup):
+        """After the Q-chain mixes, E[W~(a) W~(b)] equals the Lemma 5.7
+        quadratic form — the final link in the Prop 5.8 proof chain."""
+        graph, cost = setup
+        cost = cost - cost.mean()
+        check = check_lemma_55(
+            graph, cost, alpha=0.5, k=1, pair=(0, 7), horizon=800,
+            replicas=4_000, seed=7,
+        )
+        assert check.consistent, f"z = {check.z_score}"
+
+    def test_validation(self, setup):
+        graph, cost = setup
+        with pytest.raises(ParameterError):
+            check_lemma_55(graph, cost, 0.5, 1, (0, 1), horizon=10, replicas=1)

@@ -1,0 +1,128 @@
+"""Tests for the executable duality (Prop 5.1 / Lemma 5.2) and figures."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.dual.duality import (
+    figure1_trace,
+    figure4_trace,
+    run_coupled,
+    verify_duality,
+)
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    random_regular_graph,
+    star_graph,
+)
+
+
+class TestFigure1:
+    def test_states_match_paper(self):
+        figure = figure1_trace()
+        assert np.allclose(figure.trace.xi, figure.expected_xi)
+
+    def test_xi2_values_exact(self):
+        figure = figure1_trace()
+        assert figure.trace.xi[2].tolist() == [7.0, 7.5, 9.0]
+
+    def test_duality_exact(self):
+        figure = figure1_trace()
+        assert figure.trace.max_error == 0.0
+
+    def test_w_final_equals_xi_final(self):
+        figure = figure1_trace()
+        assert np.allclose(figure.trace.w_final, figure.trace.xi[-1])
+
+    def test_f_matrices_shape(self):
+        figure = figure1_trace()
+        assert len(figure.f_matrices) == 2
+        # F(1) averages u1 with u2 (paper's matrix).
+        assert np.allclose(
+            figure.f_matrices[0],
+            [[0.5, 0.5, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        )
+
+    def test_r_final_columns_match_figure(self):
+        # Figure 1(b): R(2) column for u2 is [1/4, 3/4, 0].
+        figure = figure1_trace()
+        assert np.allclose(figure.trace.r_final[:, 1], [0.25, 0.75, 0.0])
+
+
+class TestFigure4:
+    def test_states_match_paper(self):
+        figure = figure4_trace()
+        assert np.allclose(figure.trace.xi, figure.expected_xi)
+
+    def test_xi2_exact_rationals(self):
+        figure = figure4_trace()
+        assert figure.trace.xi[2].tolist() == [29 / 4, 129 / 16, 9.0]
+
+    def test_duality_exact(self):
+        figure = figure4_trace()
+        assert figure.trace.max_error == 0.0
+
+    def test_r_final_column_for_u2(self):
+        # Figure 4(b): R(2) column for u2 is [1/8, 9/16, 5/16].
+        figure = figure4_trace()
+        assert np.allclose(figure.trace.r_final[:, 1], [1 / 8, 9 / 16, 5 / 16])
+
+
+class TestRandomDuality:
+    @pytest.mark.parametrize("k,alpha", [(1, 0.5), (2, 0.3), (3, 0.8)])
+    def test_exact_on_random_regular(self, k, alpha):
+        graph = random_regular_graph(14, 4, seed=k)
+        rng = np.random.default_rng(k)
+        initial = rng.normal(size=14)
+        trace = run_coupled(graph, initial, alpha=alpha, k=k, steps=120, seed=k)
+        assert verify_duality(trace)
+        assert trace.max_error < 1e-10
+
+    def test_exact_on_irregular_graph(self):
+        graph = star_graph(8)
+        rng = np.random.default_rng(5)
+        initial = rng.normal(size=8)
+        trace = run_coupled(graph, initial, alpha=0.6, k=1, steps=100, seed=5)
+        assert verify_duality(trace)
+
+    def test_exact_on_erdos_renyi(self):
+        graph = erdos_renyi_graph(20, 0.3, seed=6)
+        rng = np.random.default_rng(6)
+        initial = rng.normal(size=20)
+        trace = run_coupled(graph, initial, alpha=0.5, k=1, steps=200, seed=7)
+        assert verify_duality(trace)
+
+    def test_forward_forward_breaks_duality(self):
+        """Running both processes FORWARD on the same schedule must not
+        reproduce xi(T) in general — the reversal is essential (the paper
+        remarks on this in Proposition 5.1's proof)."""
+        from repro.core.node_model import NodeModel
+        from repro.dual.diffusion import DiffusionProcess
+
+        graph = random_regular_graph(10, 3, seed=9)
+        rng = np.random.default_rng(9)
+        initial = rng.normal(size=10)
+        process = NodeModel(
+            graph, initial, alpha=0.5, k=1, seed=10, record_schedule=True
+        )
+        process.run(60)
+        diffusion = DiffusionProcess(graph, cost=initial, alpha=0.5, k=1)
+        diffusion.replay(process.schedule)  # NOT reversed
+        assert not np.allclose(diffusion.costs, process.values, atol=1e-6)
+
+    def test_given_schedule_is_deterministic(self, triangle):
+        schedule = Schedule.from_pairs([(0, (1,)), (2, (0,)), (1, (2,))])
+        a = run_coupled(triangle, [1.0, 2.0, 3.0], alpha=0.5, schedule=schedule)
+        b = run_coupled(triangle, [1.0, 2.0, 3.0], alpha=0.5, schedule=schedule)
+        assert np.allclose(a.xi, b.xi)
+        assert a.max_error == b.max_error == 0.0
+
+    def test_r_final_consistency(self):
+        """W(T) computed via the explicit product matrix equals the
+        incremental diffusion costs."""
+        graph = random_regular_graph(8, 3, seed=12)
+        rng = np.random.default_rng(12)
+        initial = rng.normal(size=8)
+        trace = run_coupled(graph, initial, alpha=0.4, k=1, steps=50, seed=13)
+        w_from_r = initial @ trace.r_final
+        assert np.allclose(w_from_r, trace.w_final, atol=1e-12)

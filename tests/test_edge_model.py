@@ -1,0 +1,146 @@
+"""Tests for the EdgeModel (Definition 2.3)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.edge_model import EdgeModel
+from repro.core.node_model import NodeModel
+from repro.exceptions import ParameterError
+
+
+class TestValidation:
+    def test_alpha_range(self, triangle):
+        with pytest.raises(ParameterError):
+            EdgeModel(triangle, [0.0] * 3, alpha=1.0)
+
+    def test_values_shape(self, triangle):
+        with pytest.raises(ParameterError):
+            EdgeModel(triangle, [0.0, 1.0], alpha=0.5)
+
+
+class TestSingleStep:
+    def test_update_rule(self, triangle):
+        process = EdgeModel(triangle, [6.0, 8.0, 9.0], alpha=0.25, seed=1)
+        record = process.step()
+        expected = 0.25 * record.old_value + 0.75 * process._initial[record.sample[0]]
+        assert record.new_value == pytest.approx(expected)
+
+    def test_sample_is_single_neighbour(self, petersen):
+        process = EdgeModel(petersen, np.zeros(10), alpha=0.5, seed=2)
+        for _ in range(200):
+            record = process.step()
+            assert len(record.sample) == 1
+            assert petersen.has_edge(record.node, record.sample[0])
+
+    def test_only_tail_changes(self, petersen, rng):
+        initial = rng.normal(size=10)
+        process = EdgeModel(petersen, initial, alpha=0.5, seed=3)
+        record = process.step()
+        unchanged = [i for i in range(10) if i != record.node]
+        assert np.allclose(process.values[unchanged], initial[unchanged])
+
+
+class TestLaw:
+    def test_directed_edge_selection_uniform(self, star5):
+        # On a star, each directed edge has probability 1/(2m) = 1/10;
+        # the hub is the tail in half of them, so the hub updates with
+        # probability 1/2 while a specific leaf updates with prob 1/10.
+        process = EdgeModel(star5, np.zeros(6), alpha=0.5, seed=7)
+        tail_counts = np.zeros(6)
+        trials = 50_000
+        for _ in range(trials):
+            record = process.step()
+            tail_counts[record.node] += 1
+        assert tail_counts[0] / trials == pytest.approx(0.5, abs=0.01)
+        assert tail_counts[1] / trials == pytest.approx(0.1, abs=0.01)
+
+    def test_expected_state_after_one_step(self, star5):
+        from repro.theory.martingale import edge_model_expected_update
+
+        initial = np.arange(6.0)
+        alpha = 0.5
+        expected = edge_model_expected_update(star5, alpha) @ initial
+        total = np.zeros(6)
+        replicas = 40_000
+        process = EdgeModel(star5, initial, alpha=alpha, seed=8)
+        for _ in range(replicas):
+            process.reset()
+            process.step()
+            total += process.values
+        assert np.allclose(total / replicas, expected, atol=0.01)
+
+    def test_matches_node_model_law_on_regular_graph(self, petersen, rng):
+        # On regular graphs the EdgeModel and the NodeModel with k = 1 are
+        # identical in law; compare the empirical mean state after 50 steps.
+        initial = rng.normal(size=10)
+        replicas = 20_000
+        total_edge = np.zeros(10)
+        total_node = np.zeros(10)
+        edge = EdgeModel(petersen, initial, alpha=0.5, seed=30)
+        node = NodeModel(petersen, initial, alpha=0.5, k=1, seed=31)
+        for _ in range(replicas):
+            edge.reset()
+            edge.run(50)
+            total_edge += edge.values
+            node.reset()
+            node.run(50)
+            total_node += node.values
+        assert np.allclose(total_edge / replicas, total_node / replicas, atol=0.05)
+
+    def test_fast_loop_same_law_as_step(self, star5, rng):
+        initial = rng.normal(size=6)
+        replicas = 3_000
+        total_fast = np.zeros(6)
+        total_slow = np.zeros(6)
+        fast = EdgeModel(star5, initial, alpha=0.5, seed=41)
+        slow = EdgeModel(star5, initial, alpha=0.5, seed=42)
+        for _ in range(replicas):
+            fast.reset()
+            fast.run(100)
+            total_fast += fast.values
+            slow.reset()
+            for _ in range(100):
+                slow.step()
+            total_slow += slow.values
+        assert np.allclose(total_fast / replicas, total_slow / replicas, atol=0.05)
+
+
+class TestInvariants:
+    def test_convex_hull(self, star5, rng):
+        initial = rng.normal(size=6)
+        process = EdgeModel(star5, initial, alpha=0.5, seed=9)
+        process.run(10_000)
+        assert process.values.min() >= initial.min() - 1e-12
+        assert process.values.max() <= initial.max() + 1e-12
+
+    def test_convergence_on_irregular_graph(self, star5, rng):
+        initial = rng.normal(size=6)
+        process = EdgeModel(star5, initial, alpha=0.5, seed=9)
+        process.run(50_000)
+        assert process.discrepancy < 1e-8
+
+    def test_simple_average_is_martingale_statistically(self, star5):
+        # E[Avg(t)] = Avg(0) even on irregular graphs (Prop D.1(i)).
+        initial = np.array([10.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        avg0 = initial.mean()
+        finals = []
+        process = EdgeModel(star5, initial, alpha=0.5, seed=10)
+        for _ in range(4_000):
+            process.reset()
+            process.run(200)
+            finals.append(process.simple_average)
+        finals = np.asarray(finals)
+        stderr = finals.std(ddof=1) / np.sqrt(len(finals))
+        assert abs(finals.mean() - avg0) < 4 * stderr + 1e-12
+
+    def test_schedule_recording_and_replay(self, petersen, rng):
+        initial = rng.normal(size=10)
+        recorder = EdgeModel(
+            petersen, initial, alpha=0.5, seed=11, record_schedule=True
+        )
+        recorder.run(300)
+        assert len(recorder.schedule) == 300
+        replayer = EdgeModel(petersen, initial, alpha=0.5, seed=999)
+        replayer.replay(recorder.schedule)
+        assert np.allclose(replayer.values, recorder.values)

@@ -1,0 +1,107 @@
+"""Tests for the exact finite-time variance (Q-chain powers)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.initial import center_simple, rademacher_values
+from repro.core.node_model import NodeModel
+from repro.exceptions import NotRegularError, ParameterError
+from repro.rng import spawn
+from repro.theory.exact import (
+    exact_avg_variance,
+    exact_limit_variance,
+    exact_variance_trajectory,
+)
+from repro.theory.variance import variance_bounds
+
+
+@pytest.fixture
+def setup():
+    graph = nx.cycle_graph(8)
+    values = center_simple(rademacher_values(8, seed=2))
+    return graph, values
+
+
+class TestValidation:
+    def test_requires_regular(self, star5):
+        with pytest.raises(NotRegularError):
+            exact_avg_variance(star5, np.zeros(6), 0.5, 1, 10)
+
+    def test_requires_centered(self, setup):
+        graph, _ = setup
+        with pytest.raises(ParameterError, match="centered"):
+            exact_avg_variance(graph, np.ones(8), 0.5, 1, 10)
+
+    def test_times_must_be_sorted(self, setup):
+        graph, values = setup
+        with pytest.raises(ParameterError):
+            exact_variance_trajectory(graph, values, 0.5, 1, [10, 5])
+        with pytest.raises(ParameterError):
+            exact_variance_trajectory(graph, values, 0.5, 1, [])
+        with pytest.raises(ParameterError):
+            exact_variance_trajectory(graph, values, 0.5, 1, [-1])
+
+
+class TestStructure:
+    def test_variance_at_zero_is_zero(self, setup):
+        graph, values = setup
+        assert exact_avg_variance(graph, values, 0.5, 1, 0) == pytest.approx(0.0)
+
+    def test_trajectory_non_decreasing(self, setup):
+        """The Prop 5.8 proof's remark: Var(Avg(t)) is non-decreasing."""
+        graph, values = setup
+        trajectory = exact_variance_trajectory(
+            graph, values, 0.5, 1, [0, 1, 5, 20, 100, 500, 2000]
+        )
+        assert np.all(np.diff(trajectory) >= -1e-12)
+
+    def test_converges_to_limit(self, setup):
+        graph, values = setup
+        late = exact_avg_variance(graph, values, 0.5, 1, 5_000)
+        limit = exact_limit_variance(graph, values, 0.5, 1)
+        assert late == pytest.approx(limit, rel=1e-6)
+
+    def test_limit_equals_prop58_core(self, setup):
+        """The t->infinity limit IS the Prop 5.8 core quadratic form."""
+        graph, values = setup
+        for k in (1, 2):
+            limit = exact_limit_variance(graph, values, 0.5, k)
+            bounds = variance_bounds(graph, values, alpha=0.5, k=k)
+            assert limit == pytest.approx(bounds.core, abs=1e-12)
+
+    def test_k2_differs_from_k1(self, setup):
+        graph, values = setup
+        v1 = exact_avg_variance(graph, values, 0.5, 1, 200)
+        v2 = exact_avg_variance(graph, values, 0.5, 2, 200)
+        assert v1 != pytest.approx(v2, rel=1e-3)
+
+
+class TestAgainstSimulation:
+    def test_one_step_variance_exact(self, setup):
+        """At t = 1 the exact value can also be computed by enumerating the
+        one-step law through brute-force replication."""
+        graph, values = setup
+        exact = exact_avg_variance(graph, values, 0.5, 1, 1)
+        replicas = 60_000
+        averages = np.empty(replicas)
+        process = NodeModel(graph, values, alpha=0.5, k=1, seed=4)
+        for i in range(replicas):
+            process.reset()
+            process.step()
+            averages[i] = process.simple_average
+        mc = float(averages.var(ddof=1))
+        assert mc == pytest.approx(exact, rel=0.05)
+
+    def test_mid_horizon_matches_monte_carlo(self, setup):
+        graph, values = setup
+        t = 100
+        exact = exact_avg_variance(graph, values, 0.5, 2, t)
+        replicas = 4_000
+        averages = np.empty(replicas)
+        for i, rng in enumerate(spawn(7, replicas)):
+            process = NodeModel(graph, values, alpha=0.5, k=2, seed=rng)
+            process.run(t)
+            averages[i] = process.simple_average
+        mc = float(averages.var(ddof=1))
+        assert mc == pytest.approx(exact, rel=0.15)

@@ -1,0 +1,55 @@
+"""Guard tests for the example scripts.
+
+Full example runs take tens of seconds each; here we verify that every
+example compiles, is executable as a script (has a main guard), and that
+the fastest one actually runs end to end.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(EXAMPLES) >= 3, "the deliverable requires at least 3 examples"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard(path):
+    source = path.read_text(encoding="utf-8")
+    assert '__name__ == "__main__"' in source
+    assert source.lstrip().startswith('"""'), "examples start with a docstring"
+
+
+def test_duality_demo_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "duality_demo.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "duality exact: True" in result.stdout
+    assert "[ok]" in result.stdout
+
+
+def test_quickstart_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "consensus F" in result.stdout

@@ -1,0 +1,102 @@
+"""Smoke tests for the experiment runners (cheap subset).
+
+Heavy Monte-Carlo experiments are exercised through the benchmark
+harness; here we run the fast, second-scale ones end to end and assert
+the *shape* of their outputs (and the pass/fail flags they compute).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    exp_fig_duality,
+    exp_k_dependence,
+    exp_lower_bound,
+    exp_martingale,
+    exp_qchain,
+    exp_time_variance,
+)
+
+
+class TestRegistry:
+    def test_expected_ids_present(self):
+        expected = {
+            "EXP-F1", "EXP-F4", "EXP-T221", "EXP-T221K", "EXP-T221LB",
+            "EXP-T222", "EXP-T241", "EXP-T242", "EXP-L41", "EXP-L57",
+            "EXP-PB1", "EXP-CE2", "EXP-PRICE", "EXP-MOM", "EXP-IRR",
+            "EXP-ABL", "EXP-VT",
+        }
+        assert expected == set(EXPERIMENTS)
+
+
+class TestFigureExperiments:
+    def test_figure1_all_rows_match(self):
+        tables = exp_fig_duality.run_figure1(fast=True, seed=0)
+        figure_table = tables[0]
+        assert all(figure_table.column("match"))
+
+    def test_figure1_duality_rows_exact(self):
+        tables = exp_fig_duality.run_figure1(fast=True, seed=0)
+        random_table = tables[1]
+        assert all(random_table.column("exact"))
+
+    def test_figure4_all_rows_match(self):
+        (table,) = exp_fig_duality.run_figure4(fast=True, seed=0)
+        assert all(table.column("match"))
+
+
+class TestQChainExperiment:
+    def test_closed_form_errors_tiny(self):
+        (table,) = exp_qchain.run(fast=True, seed=0)
+        errors = table.column("max|closed-numeric|")
+        assert max(errors) < 1e-10
+
+    def test_irreversibility_pattern(self):
+        (table,) = exp_qchain.run(fast=True, seed=0)
+        ks = table.column("k")
+        reversible = table.column("reversible")
+        for k, rev in zip(ks, reversible):
+            if k > 1:
+                assert not rev
+
+
+class TestMartingaleExperiment:
+    def test_exact_drift_zero(self):
+        tables = exp_martingale.run(fast=True, seed=0)
+        exact = tables[0]
+        assert max(exact.column("max_drift")) < 1e-12
+
+    def test_empirical_z_scores_small(self):
+        tables = exp_martingale.run(fast=True, seed=0)
+        empirical = tables[1]
+        assert max(abs(z) for z in empirical.column("z_score")) < 4.0
+
+
+class TestKDependenceExperiment:
+    def test_t_ratio_band(self):
+        (table,) = exp_k_dependence.run(fast=True, seed=0)
+        ratios = table.column("T(k)/T(1)")
+        # The paper's claim: k barely matters — within [1/2 - noise, 1 + noise].
+        assert min(ratios) > 0.35
+        assert max(ratios) < 1.5
+
+
+class TestLowerBoundExperiment:
+    def test_ratios_bounded_away_from_zero(self):
+        (table,) = exp_lower_bound.run(fast=True, seed=0)
+        ratios = table.column("ratio")
+        assert min(ratios) > 0.02
+        assert max(ratios) < 10.0
+
+
+class TestTimeVarianceExperiment:
+    def test_all_bounds_hold(self):
+        (table,) = exp_time_variance.run(fast=True, seed=0)
+        assert all(table.column("ok"))
+
+    def test_variance_grows_then_saturates(self):
+        (table,) = exp_time_variance.run(fast=True, seed=0)
+        node_rows = [r for r in table.rows if r[0].startswith("node")]
+        variances = [r[2] for r in node_rows]
+        assert variances[-1] >= variances[0]

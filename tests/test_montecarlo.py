@@ -1,0 +1,137 @@
+"""Tests for the Monte-Carlo harness and moment estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.node_model import NodeModel
+from repro.exceptions import ParameterError
+from repro.sim.montecarlo import (
+    estimate_moments,
+    replicate,
+    sample_f_values,
+    sample_t_eps,
+)
+
+
+class TestReplicate:
+    def test_runs_requested_count(self, small_regular, rng):
+        initial = rng.normal(size=10)
+        calls = []
+
+        def make(child):
+            calls.append(child)
+            return NodeModel(small_regular, initial, alpha=0.5, seed=child)
+
+        outcomes = replicate(make, lambda p: float(p.n), 7, seed=1)
+        assert len(outcomes) == 7
+        assert len(calls) == 7
+        assert np.allclose(outcomes, 10.0)
+
+    def test_reproducible_with_seed(self, small_regular, rng):
+        initial = rng.normal(size=10)
+
+        def make(child):
+            return NodeModel(small_regular, initial, alpha=0.5, seed=child)
+
+        def run_one(process):
+            process.run(100)
+            return float(process.values[0])
+
+        a = replicate(make, run_one, 5, seed=42)
+        b = replicate(make, run_one, 5, seed=42)
+        assert np.allclose(a, b)
+
+    def test_replica_independence(self, small_regular, rng):
+        initial = rng.normal(size=10)
+
+        def make(child):
+            return NodeModel(small_regular, initial, alpha=0.5, seed=child)
+
+        def run_one(process):
+            process.run(200)
+            return float(process.values[0])
+
+        outcomes = replicate(make, run_one, 10, seed=3)
+        assert len(np.unique(np.round(outcomes, 12))) > 1
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            replicate(lambda r: None, lambda p: 0.0, 0, seed=1)
+
+
+class TestSamplers:
+    def test_sample_f_values_in_hull(self, small_regular, rng):
+        initial = rng.normal(size=10)
+
+        def make(child):
+            return NodeModel(small_regular, initial, alpha=0.5, seed=child)
+
+        values = sample_f_values(make, 10, seed=5, discrepancy_tol=1e-7)
+        assert np.all(values >= initial.min() - 1e-7)
+        assert np.all(values <= initial.max() + 1e-7)
+
+    def test_sample_t_eps_positive(self, small_regular, rng):
+        initial = rng.normal(size=10)
+
+        def make(child):
+            return NodeModel(small_regular, initial, alpha=0.5, seed=child)
+
+        times = sample_t_eps(make, 1e-6, 6, seed=6)
+        assert np.all(times > 0)
+
+
+class TestEstimateMoments:
+    def test_known_sample(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        estimate = estimate_moments(data, seed=1)
+        assert estimate.count == 5
+        assert estimate.mean == pytest.approx(3.0)
+        assert estimate.variance == pytest.approx(2.5)
+
+    def test_gaussian_sample_cis_cover_truth(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(2.0, 3.0, size=4_000)
+        estimate = estimate_moments(data, seed=2)
+        assert estimate.mean_ci[0] <= 2.0 <= estimate.mean_ci[1]
+        assert estimate.variance_ci[0] <= 9.0 <= estimate.variance_ci[1]
+        assert abs(estimate.skewness) < 0.15
+        assert abs(estimate.kurtosis_excess) < 0.3
+
+    def test_skewed_sample_detected(self):
+        rng = np.random.default_rng(8)
+        data = rng.exponential(1.0, size=4_000)
+        estimate = estimate_moments(data, seed=3)
+        assert estimate.skewness > 1.0  # exponential skewness = 2
+
+    def test_constant_sample_degenerate(self):
+        estimate = estimate_moments(np.full(10, 3.0), seed=4)
+        assert estimate.variance == pytest.approx(0.0)
+        assert estimate.skewness == 0.0
+
+    def test_ci_width_shrinks_with_confidence(self):
+        rng = np.random.default_rng(9)
+        data = rng.normal(size=500)
+        wide = estimate_moments(data, confidence=0.99, seed=5)
+        narrow = estimate_moments(data, confidence=0.8, seed=5)
+        assert (wide.variance_ci[1] - wide.variance_ci[0]) > (
+            narrow.variance_ci[1] - narrow.variance_ci[0]
+        )
+
+    def test_variance_within(self):
+        rng = np.random.default_rng(10)
+        estimate = estimate_moments(rng.normal(size=200), seed=6)
+        assert estimate.variance_within(0.5, 2.0)
+        assert not estimate.variance_within(100.0, 200.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            estimate_moments([1.0], seed=1)
+        with pytest.raises(ParameterError):
+            estimate_moments([1.0, 2.0], confidence=1.5, seed=1)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(11)
+        data = rng.normal(size=100)
+        a = estimate_moments(data, seed=12)
+        b = estimate_moments(data, seed=12)
+        assert a == b

@@ -1,0 +1,238 @@
+"""Tests for the NodeModel (Definition 2.1)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.node_model import NodeModel
+from repro.core.potentials import phi_pi
+from repro.exceptions import ParameterError
+from repro.graphs.spectral import stationary_distribution
+
+
+class TestValidation:
+    def test_alpha_range(self, triangle):
+        with pytest.raises(ParameterError):
+            NodeModel(triangle, [0.0, 0.0, 0.0], alpha=1.0)
+        with pytest.raises(ParameterError):
+            NodeModel(triangle, [0.0, 0.0, 0.0], alpha=-0.1)
+
+    def test_alpha_zero_allowed_voter_case(self, triangle):
+        process = NodeModel(triangle, [1.0, 2.0, 3.0], alpha=0.0, k=1, seed=0)
+        process.step()  # no raise
+
+    def test_k_must_be_positive_integer(self, triangle):
+        with pytest.raises(ParameterError):
+            NodeModel(triangle, [0.0] * 3, alpha=0.5, k=0)
+        with pytest.raises(ParameterError):
+            NodeModel(triangle, [0.0] * 3, alpha=0.5, k=1.5)
+
+    def test_k_bounded_by_min_degree(self, star5):
+        with pytest.raises(ParameterError, match="minimum degree"):
+            NodeModel(star5, [0.0] * 6, alpha=0.5, k=2)
+
+    def test_values_shape_checked(self, triangle):
+        with pytest.raises(ParameterError):
+            NodeModel(triangle, [0.0, 1.0], alpha=0.5)
+
+    def test_disconnected_rejected(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        from repro.exceptions import NotConnectedError
+
+        with pytest.raises(NotConnectedError):
+            NodeModel(graph, [0.0] * 4, alpha=0.5)
+
+
+class TestSingleStep:
+    def test_update_rule_k1(self, triangle):
+        process = NodeModel(triangle, [6.0, 8.0, 9.0], alpha=0.5, k=1, seed=1)
+        record = process.step()
+        u, sample = record.node, record.sample
+        expected = 0.5 * record.old_value + 0.5 * process._initial[sample[0]]
+        assert record.new_value == pytest.approx(expected)
+        assert process.values[u] == pytest.approx(expected)
+
+    def test_only_selected_node_changes(self, petersen, rng):
+        initial = rng.normal(size=10)
+        process = NodeModel(petersen, initial, alpha=0.5, k=2, seed=3)
+        record = process.step()
+        unchanged = [i for i in range(10) if i != record.node]
+        assert np.allclose(process.values[unchanged], initial[unchanged])
+
+    def test_sample_without_replacement(self, petersen):
+        process = NodeModel(petersen, np.zeros(10), alpha=0.5, k=3, seed=5)
+        for _ in range(200):
+            record = process.step()
+            assert len(set(record.sample)) == len(record.sample) == 3
+
+    def test_samples_are_neighbours(self, small_regular):
+        process = NodeModel(small_regular, np.zeros(10), alpha=0.5, k=2, seed=5)
+        for _ in range(200):
+            record = process.step()
+            for v in record.sample:
+                assert small_regular.has_edge(record.node, v)
+
+    def test_k_equals_degree_uses_full_neighbourhood(self, cycle6):
+        process = NodeModel(cycle6, np.arange(6.0), alpha=0.5, k=2, seed=2)
+        record = process.step()
+        assert sorted(record.sample) == sorted(cycle6.neighbors(record.node))
+
+    def test_step_counter(self, triangle):
+        process = NodeModel(triangle, [1.0, 2.0, 3.0], alpha=0.5, seed=0)
+        process.run(17)
+        assert process.t == 17
+
+    def test_voter_special_case_copies_neighbour(self, cycle6):
+        process = NodeModel(cycle6, np.arange(6.0), alpha=0.0, k=1, seed=9)
+        record = process.step()
+        assert record.new_value == pytest.approx(
+            float(process._initial[record.sample[0]])
+        )
+
+
+class TestInvariants:
+    def test_values_stay_in_convex_hull(self, small_regular, rng):
+        initial = rng.normal(size=10)
+        process = NodeModel(small_regular, initial, alpha=0.3, k=2, seed=4)
+        process.run(5_000)
+        assert process.values.min() >= initial.min() - 1e-12
+        assert process.values.max() <= initial.max() + 1e-12
+
+    def test_discrepancy_non_increasing(self, small_regular, rng):
+        initial = rng.normal(size=10)
+        process = NodeModel(small_regular, initial, alpha=0.5, k=1, seed=4)
+        last = process.discrepancy
+        for _ in range(2_000):
+            process.step()
+            current = process.discrepancy
+            assert current <= last + 1e-12
+            last = current
+
+    def test_phi_tracker_matches_direct_computation(self, star5, rng):
+        initial = rng.normal(size=6)
+        process = NodeModel(star5, initial, alpha=0.5, k=1, seed=4)
+        pi = stationary_distribution(star5)
+        process.run(3_000)
+        assert process.phi == pytest.approx(phi_pi(pi, process.values), abs=1e-10)
+
+    def test_fixed_point_constant_vector(self, petersen):
+        process = NodeModel(petersen, np.full(10, 2.5), alpha=0.5, k=2, seed=1)
+        process.run(1_000)
+        assert np.allclose(process.values, 2.5)
+
+    def test_convergence_to_common_value(self, small_regular, rng):
+        initial = rng.normal(size=10)
+        process = NodeModel(small_regular, initial, alpha=0.5, k=1, seed=4)
+        process.run(100_000)
+        assert process.discrepancy < 1e-6
+
+
+class TestLaw:
+    """Statistical checks of the one-step law (Definition 2.1)."""
+
+    def test_expected_state_after_one_step(self, cycle6):
+        # Empirical mean of xi(1) over many replicas matches
+        # E[L] xi(0) = (I - (1-alpha)/n (I - P)) xi(0).
+        from repro.theory.martingale import node_model_expected_update
+
+        initial = np.arange(6.0)
+        alpha = 0.4
+        expected = node_model_expected_update(cycle6, alpha) @ initial
+        total = np.zeros(6)
+        replicas = 40_000
+        process = NodeModel(cycle6, initial, alpha=alpha, k=1, seed=11)
+        for _ in range(replicas):
+            process.reset()
+            process.step()
+            total += process.values
+        assert np.allclose(total / replicas, expected, atol=0.01)
+
+    def test_uniform_node_selection(self, cycle6):
+        process = NodeModel(cycle6, np.arange(6.0), alpha=0.5, k=1, seed=13)
+        counts = np.zeros(6)
+        for _ in range(30_000):
+            record = process.step()
+            counts[record.node] += 1
+        assert np.allclose(counts / counts.sum(), 1 / 6, atol=0.01)
+
+    def test_uniform_neighbour_selection(self, star5):
+        # From a leaf, the only neighbour is the hub; from the hub, each
+        # leaf should be picked ~uniformly.
+        process = NodeModel(star5, np.zeros(6), alpha=0.5, k=1, seed=13)
+        hub_counts = np.zeros(6)
+        for _ in range(60_000):
+            record = process.step()
+            if record.node == 0:
+                hub_counts[record.sample[0]] += 1
+        total = hub_counts.sum()
+        assert np.allclose(hub_counts[1:] / total, 1 / 5, atol=0.01)
+
+    def test_fast_loop_same_law_as_step(self, small_regular, rng):
+        # Empirical mean of xi after 100 steps: batched run vs step loop.
+        initial = rng.normal(size=10)
+        replicas = 3_000
+        total_fast = np.zeros(10)
+        total_slow = np.zeros(10)
+        fast = NodeModel(small_regular, initial, alpha=0.5, k=2, seed=21)
+        slow = NodeModel(small_regular, initial, alpha=0.5, k=2, seed=22)
+        for _ in range(replicas):
+            fast.reset()
+            fast.run(100)  # batched path
+            total_fast += fast.values
+            slow.reset()
+            for _ in range(100):
+                slow.step()  # generic path
+            total_slow += slow.values
+        assert np.allclose(total_fast / replicas, total_slow / replicas, atol=0.05)
+
+
+class TestLazyVariant:
+    def test_lazy_halves_progress(self, cycle6, rng):
+        initial = rng.normal(size=6)
+        eager = NodeModel(cycle6, initial, alpha=0.5, k=1, seed=3)
+        lazy = NodeModel(cycle6, initial, alpha=0.5, k=1, seed=3, lazy=True)
+        eager.run(20_000)
+        lazy.run(20_000)
+        # Both converge; lazy is slower but must still have shrunk phi a lot.
+        assert eager.phi < 1e-8
+        assert lazy.phi < 1e-4
+
+    def test_lazy_noop_rate(self, triangle):
+        process = NodeModel(
+            triangle, [1.0, 2.0, 3.0], alpha=0.5, seed=5, lazy=True,
+            record_schedule=True,
+        )
+        for _ in range(10_000):
+            process.step()
+        noops = sum(1 for s in process.schedule if s.is_noop)
+        assert 0.45 < noops / 10_000 < 0.55
+
+
+class TestScheduleRecording:
+    def test_schedule_records_every_step(self, petersen):
+        process = NodeModel(
+            petersen, np.arange(10.0), alpha=0.5, k=2, seed=6, record_schedule=True
+        )
+        process.run(50)
+        assert len(process.schedule) == 50
+        process.schedule.validate(process.adjacency, k=2)
+
+    def test_replay_reproduces_values(self, petersen, rng):
+        initial = rng.normal(size=10)
+        recorder = NodeModel(
+            petersen, initial, alpha=0.5, k=2, seed=6, record_schedule=True
+        )
+        recorder.run(200)
+        replayer = NodeModel(petersen, initial, alpha=0.5, k=2, seed=999)
+        replayer.replay(recorder.schedule)
+        assert np.allclose(replayer.values, recorder.values)
+
+    def test_reset_clears_schedule(self, triangle):
+        process = NodeModel(
+            triangle, [1.0, 2.0, 3.0], alpha=0.5, seed=6, record_schedule=True
+        )
+        process.run(5)
+        process.reset()
+        assert len(process.schedule) == 0
+        assert process.t == 0
+        assert np.allclose(process.values, [1.0, 2.0, 3.0])

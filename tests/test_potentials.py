@@ -1,0 +1,131 @@
+"""Tests for the potential functions and the incremental tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core.potentials import (
+    PotentialTracker,
+    discrepancy,
+    phi_pi,
+    phi_pi_pairwise,
+    phi_uniform,
+)
+
+
+@pytest.fixture
+def pi_uniform():
+    return np.full(5, 0.2)
+
+
+@pytest.fixture
+def pi_weighted():
+    pi = np.array([0.4, 0.3, 0.1, 0.1, 0.1])
+    return pi
+
+
+class TestPhi:
+    def test_constant_vector_has_zero_phi(self, pi_weighted):
+        assert phi_pi(pi_weighted, np.full(5, 3.7)) == pytest.approx(0.0)
+
+    def test_matches_pairwise_form(self, pi_weighted, rng):
+        values = rng.normal(size=5)
+        assert phi_pi(pi_weighted, values) == pytest.approx(
+            phi_pi_pairwise(pi_weighted, values)
+        )
+
+    def test_matches_pairwise_form_uniform(self, pi_uniform, rng):
+        values = rng.normal(size=5)
+        assert phi_pi(pi_uniform, values) == pytest.approx(
+            phi_pi_pairwise(pi_uniform, values)
+        )
+
+    def test_phi_nonnegative(self, pi_weighted, rng):
+        for _ in range(20):
+            values = rng.normal(size=5) * rng.uniform(0.1, 100)
+            assert phi_pi(pi_weighted, values) >= 0.0
+
+    def test_phi_scale_quadratic(self, pi_weighted, rng):
+        values = rng.normal(size=5)
+        assert phi_pi(pi_weighted, 3.0 * values) == pytest.approx(
+            9.0 * phi_pi(pi_weighted, values)
+        )
+
+    def test_phi_shift_invariant(self, pi_weighted, rng):
+        values = rng.normal(size=5)
+        assert phi_pi(pi_weighted, values + 11.0) == pytest.approx(
+            phi_pi(pi_weighted, values)
+        )
+
+    def test_phi_uniform_known_value(self):
+        values = np.array([1.0, -1.0])
+        # sum x^2 - (sum x)^2 / n = 2 - 0 = 2.
+        assert phi_uniform(values) == pytest.approx(2.0)
+
+    def test_phi_uniform_equals_pairwise_definition(self, rng):
+        values = rng.normal(size=7)
+        n = len(values)
+        pairwise = sum(
+            (values[x] - values[y]) ** 2 for x in range(n) for y in range(n)
+        ) / (2 * n)
+        assert phi_uniform(values) == pytest.approx(pairwise)
+
+    def test_discrepancy(self):
+        assert discrepancy(np.array([3.0, -1.0, 2.0])) == pytest.approx(4.0)
+
+
+class TestTracker:
+    def test_initial_state_matches_direct(self, pi_weighted, rng):
+        values = rng.normal(size=5)
+        tracker = PotentialTracker(pi_weighted, values)
+        assert tracker.phi == pytest.approx(phi_pi(pi_weighted, values))
+        assert tracker.weighted_mean == pytest.approx(float(np.sum(pi_weighted * values)))
+
+    def test_update_tracks_single_coordinate_change(self, pi_weighted, rng):
+        values = rng.normal(size=5)
+        tracker = PotentialTracker(pi_weighted, values)
+        old = values[2]
+        values[2] = 4.2
+        tracker.update(2, old, 4.2, values)
+        assert tracker.phi == pytest.approx(phi_pi(pi_weighted, values))
+
+    def test_many_updates_stay_exact(self, pi_weighted, rng):
+        values = rng.normal(size=5)
+        tracker = PotentialTracker(pi_weighted, values)
+        for _ in range(500):
+            node = int(rng.integers(5))
+            old = values[node]
+            values[node] = rng.normal()
+            tracker.update(node, old, values[node], values)
+        assert tracker.phi == pytest.approx(phi_pi(pi_weighted, values), abs=1e-10)
+
+    def test_periodic_resync(self, pi_uniform, rng):
+        values = rng.normal(size=5)
+        tracker = PotentialTracker(pi_uniform, values, resync_every=10)
+        for _ in range(35):
+            node = int(rng.integers(5))
+            old = values[node]
+            values[node] = rng.normal()
+            tracker.update(node, old, values[node], values)
+        assert tracker.phi == pytest.approx(phi_pi(pi_uniform, values), abs=1e-12)
+
+    def test_reset(self, pi_uniform):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        tracker = PotentialTracker(pi_uniform, values)
+        tracker.reset(np.zeros(5))
+        assert tracker.phi == pytest.approx(0.0)
+
+    def test_set_and_get_moments(self, pi_uniform):
+        tracker = PotentialTracker(pi_uniform, np.zeros(5))
+        tracker.set_moments(0.5, 0.7)
+        s1, s2 = tracker.moments
+        assert (s1, s2) == (0.5, 0.7)
+        assert tracker.phi == pytest.approx(0.7 - 0.25)
+
+    def test_invalid_resync_every(self, pi_uniform):
+        with pytest.raises(ValueError):
+            PotentialTracker(pi_uniform, np.zeros(5), resync_every=0)
+
+    def test_phi_clamped_at_zero(self, pi_uniform):
+        tracker = PotentialTracker(pi_uniform, np.full(5, 2.0))
+        # Numerical noise could push s2 - s1^2 slightly negative; clamp.
+        assert tracker.phi >= 0.0

@@ -1,0 +1,266 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.node_model import NodeModel
+from repro.core.edge_model import EdgeModel
+from repro.core.potentials import PotentialTracker, phi_pi, phi_pi_pairwise, phi_uniform
+from repro.core.schedule import Schedule
+from repro.dual.duality import run_coupled, verify_duality
+from repro.dual.matrices import (
+    averaging_step_matrix,
+    diffusion_step_matrix,
+    is_stochastic,
+)
+from repro.dual.qchain import mu_closed_form
+from repro.graphs.adjacency import Adjacency
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def values_and_weights(draw, max_n=12):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    values = draw(
+        st.lists(finite_floats, min_size=n, max_size=n).map(np.array)
+    )
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        ).map(np.array)
+    )
+    return values, raw / raw.sum()
+
+
+@st.composite
+def connected_graph(draw, max_n=10):
+    """A small connected graph: random tree plus random extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        graph.add_edge(parent, v)
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+class TestPotentialProperties:
+    @given(values_and_weights())
+    def test_phi_nonnegative(self, pair):
+        values, pi = pair
+        assert phi_pi(pi, values) >= 0.0
+
+    @given(values_and_weights())
+    def test_phi_matches_pairwise(self, pair):
+        values, pi = pair
+        a = phi_pi(pi, values)
+        b = phi_pi_pairwise(pi, values)
+        scale = max(1.0, float(np.max(np.abs(values))) ** 2)
+        assert abs(a - b) <= 1e-9 * scale
+
+    @given(values_and_weights(), st.floats(min_value=-100, max_value=100))
+    def test_phi_shift_invariant(self, pair, shift):
+        values, pi = pair
+        scale = max(1.0, float(np.max(np.abs(values))) ** 2, shift**2)
+        assert abs(phi_pi(pi, values + shift) - phi_pi(pi, values)) <= 1e-7 * scale
+
+    @given(values_and_weights())
+    def test_zero_iff_constant(self, pair):
+        values, pi = pair
+        constant = np.full(len(values), 7.7)
+        assert phi_pi(pi, constant) <= 1e-12  # float residue only
+        if np.max(values) - np.min(values) > 1e-6:
+            assert phi_pi(pi, values) > 0.0
+
+    @given(values_and_weights())
+    def test_phi_uniform_vs_phi_pi(self, pair):
+        values, _ = pair
+        n = len(values)
+        uniform = np.full(n, 1.0 / n)
+        # phi_uniform = n * phi with uniform weights.
+        scale = max(1.0, float(np.max(np.abs(values))) ** 2) * n
+        assert abs(phi_uniform(values) - n * phi_pi(uniform, values)) <= 1e-8 * scale
+
+
+class TestTrackerProperties:
+    @given(
+        values_and_weights(),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=11),
+                st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            ),
+            max_size=40,
+        ),
+    )
+    def test_tracker_tracks_arbitrary_updates(self, pair, updates):
+        values, pi = pair
+        tracker = PotentialTracker(pi, values)
+        work = values.astype(float).copy()
+        # The incremental error scales with the largest magnitude ever
+        # held, not just the final state.
+        scale = max(1.0, float(np.max(np.abs(values))) ** 2)
+        for node, new in updates:
+            node = node % len(work)
+            old = float(work[node])
+            work[node] = new
+            tracker.update(node, old, new, work)
+            scale = max(scale, new * new)
+        assert abs(tracker.phi - phi_pi(pi, work)) <= 1e-8 * scale
+
+
+class TestStepMatrixProperties:
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.floats(min_value=0.0, max_value=0.99),
+        st.data(),
+    )
+    def test_b_column_stochastic_f_row_stochastic(self, n, alpha, data):
+        node = data.draw(st.integers(min_value=0, max_value=n - 1))
+        others = [i for i in range(n) if i != node]
+        k = data.draw(st.integers(min_value=1, max_value=len(others)))
+        sample = tuple(data.draw(st.permutations(others))[:k])
+        from repro.core.schedule import SelectionStep
+
+        step = SelectionStep(node, sample)
+        b = diffusion_step_matrix(n, step, alpha)
+        f = averaging_step_matrix(n, step, alpha)
+        assert is_stochastic(b, axis=0, atol=1e-9)
+        assert is_stochastic(f, axis=1, atol=1e-9)
+
+
+class TestProcessProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(connected_graph(), st.floats(min_value=0.0, max_value=0.9), st.data())
+    def test_hull_and_discrepancy_invariants(self, graph, alpha, data):
+        n = graph.number_of_nodes()
+        initial = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+        )
+        process = NodeModel(graph, initial, alpha=alpha, k=1, seed=0)
+        spread0 = process.discrepancy
+        process.run(200)
+        assert process.values.min() >= initial.min() - 1e-9
+        assert process.values.max() <= initial.max() + 1e-9
+        assert process.discrepancy <= spread0 + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(connected_graph(), st.data())
+    def test_edge_model_hull(self, graph, data):
+        n = graph.number_of_nodes()
+        initial = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+        )
+        process = EdgeModel(graph, initial, alpha=0.5, seed=1)
+        process.run(200)
+        assert process.values.min() >= initial.min() - 1e-9
+        assert process.values.max() <= initial.max() + 1e-9
+
+
+class TestDualityProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        connected_graph(max_n=8),
+        st.floats(min_value=0.0, max_value=0.9),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_duality_exact_for_any_graph_alpha_schedule(
+        self, graph, alpha, steps, seed
+    ):
+        """Lemma 5.2 holds deterministically for every graph, alpha and
+        random schedule — the strongest property in the paper."""
+        n = graph.number_of_nodes()
+        rng = np.random.default_rng(seed)
+        initial = rng.normal(size=n) * 10
+        trace = run_coupled(graph, initial, alpha=alpha, k=1, steps=steps, seed=seed)
+        scale = max(1.0, float(np.max(np.abs(initial))))
+        assert trace.max_error <= 1e-10 * scale
+
+
+class TestMuClosedFormProperties:
+    @given(
+        st.integers(min_value=3, max_value=200),
+        st.integers(min_value=2, max_value=20),
+        st.data(),
+    )
+    def test_normalisation_always_holds(self, n, d, data):
+        if d >= n:
+            d = n - 1
+        k = data.draw(st.integers(min_value=1, max_value=d))
+        alpha = data.draw(st.floats(min_value=0.0, max_value=0.99))
+        mu0, mu1, mu_plus = mu_closed_form(n, d, k, alpha)
+        total = n * mu0 + n * d * mu1 + n * (n - d - 1) * mu_plus
+        assert total == pytest.approx(1.0, abs=1e-9)
+        # gamma = k(1+alpha) - (1-alpha) can be 0 at the voter boundary
+        # (alpha = 0, k = 1), where mu_1 and mu_+ legitimately vanish;
+        # subnormal alpha gives harmless -1e-39-scale rounding residue.
+        assert mu0 > 0 and mu1 >= -1e-30 and mu_plus >= -1e-30
+        if alpha > 1e-12:
+            assert mu1 > 0 and mu_plus > 0
+
+
+class TestAdjacencyProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(connected_graph())
+    def test_adjacency_roundtrip(self, graph):
+        adjacency = Adjacency.from_graph(graph)
+        rebuilt = adjacency.to_networkx()
+        assert sorted(map(tuple, map(sorted, rebuilt.edges()))) == sorted(
+            map(tuple, map(sorted, graph.edges()))
+        )
+        assert int(adjacency.degrees.sum()) == 2 * graph.number_of_edges()
+
+    @settings(max_examples=30, deadline=None)
+    @given(connected_graph())
+    def test_pi_sums_to_one(self, graph):
+        adjacency = Adjacency.from_graph(graph)
+        assert adjacency.stationary_pi().sum() == pytest.approx(1.0)
+
+
+class TestScheduleProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.lists(
+                    st.integers(min_value=0, max_value=9), max_size=3, unique=True
+                ),
+            ),
+            max_size=30,
+        )
+    )
+    def test_reverse_is_involution(self, pairs):
+        schedule = Schedule.from_pairs([(u, tuple(s)) for u, s in pairs])
+        assert schedule.reversed().reversed() == schedule
+        assert len(schedule.reversed()) == len(schedule)

@@ -1,0 +1,169 @@
+"""Tests for the Q-chain and Lemma 5.7's closed-form stationary law."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.dual.qchain import (
+    QChain,
+    mu_closed_form,
+    stationary_distribution_numeric,
+)
+from repro.exceptions import NotRegularError, ParameterError
+from repro.graphs.properties import distance_classes
+
+
+REGULAR_CASES = [
+    ("cycle6", nx.cycle_graph(6)),
+    ("complete5", nx.complete_graph(5)),
+    ("petersen", nx.petersen_graph()),
+    ("cube", nx.convert_node_labels_to_integers(nx.hypercube_graph(3))),
+]
+
+
+class TestMuClosedForm:
+    @pytest.mark.parametrize("alpha", [0.1, 0.5, 0.9])
+    @pytest.mark.parametrize("n,d,k", [(10, 3, 1), (10, 3, 2), (20, 5, 4), (8, 7, 7)])
+    def test_normalisation_eq56(self, n, d, k, alpha):
+        mu0, mu1, mu_plus = mu_closed_form(n, d, k, alpha)
+        total = n * mu0 + n * d * mu1 + n * (n - d - 1) * mu_plus
+        assert total == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("alpha", [0.1, 0.5, 0.9])
+    def test_k1_makes_mu1_equal_mu_plus(self, alpha):
+        _, mu1, mu_plus = mu_closed_form(12, 4, 1, alpha)
+        assert mu1 == pytest.approx(mu_plus)
+
+    def test_mu0_largest(self):
+        mu0, mu1, mu_plus = mu_closed_form(12, 4, 2, 0.5)
+        assert mu0 > mu1
+        assert mu0 > mu_plus
+
+    def test_mu1_below_mu_plus_for_k_greater_1(self):
+        # mu_1 - mu_+ = (1-alpha)(1-k) ell <= 0.
+        _, mu1, mu_plus = mu_closed_form(12, 4, 3, 0.5)
+        assert mu1 < mu_plus
+
+    def test_all_positive(self):
+        for alpha in (0.05, 0.5, 0.95):
+            for k in (1, 2, 4):
+                values = mu_closed_form(16, 4, k, alpha)
+                assert all(v > 0 for v in values)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            mu_closed_form(10, 3, 4, 0.5)  # k > d
+        with pytest.raises(ParameterError):
+            mu_closed_form(10, 3, 1, 1.0)
+
+
+class TestQChainConstruction:
+    def test_requires_regular(self, star5):
+        with pytest.raises(NotRegularError):
+            QChain(star5, alpha=0.5)
+
+    def test_parameter_validation(self, petersen):
+        with pytest.raises(ParameterError):
+            QChain(petersen, alpha=0.5, k=4)
+        with pytest.raises(ParameterError):
+            QChain(petersen, alpha=1.0)
+
+    @pytest.mark.parametrize("name,graph", REGULAR_CASES)
+    @pytest.mark.parametrize("alpha", [0.25, 0.75])
+    def test_transition_matrix_row_stochastic(self, name, graph, alpha):
+        chain = QChain(graph, alpha=alpha, k=1)
+        q = chain.transition_matrix()
+        assert np.allclose(q.sum(axis=1), 1.0)
+        assert np.all(q >= -1e-15)
+
+    @pytest.mark.parametrize("name,graph", REGULAR_CASES)
+    @pytest.mark.parametrize("alpha", [0.3, 0.6])
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_formulas_match_enumeration(self, name, graph, alpha, k):
+        """The paper's case formulas (Eqs. 14-21) against brute force."""
+        chain = QChain(graph, alpha=alpha, k=k)
+        assert np.allclose(
+            chain.transition_matrix(),
+            chain.transition_matrix_enumerated(),
+            atol=1e-12,
+        )
+
+    def test_formulas_match_enumeration_k_equals_d(self, petersen):
+        chain = QChain(petersen, alpha=0.5, k=3)
+        assert np.allclose(
+            chain.transition_matrix(),
+            chain.transition_matrix_enumerated(),
+            atol=1e-12,
+        )
+
+
+class TestStationaryDistribution:
+    @pytest.mark.parametrize("name,graph", REGULAR_CASES)
+    @pytest.mark.parametrize("alpha", [0.25, 0.5, 0.75])
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_lemma_57_closed_form_is_stationary(self, name, graph, alpha, k):
+        """The heart of Lemma 5.7: mu Q = mu for the three-value vector."""
+        chain = QChain(graph, alpha=alpha, k=k)
+        q = chain.transition_matrix()
+        mu = chain.stationary_closed_form()
+        assert np.allclose(mu @ q, mu, atol=1e-13)
+        assert mu.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name,graph", REGULAR_CASES)
+    def test_closed_form_matches_numeric(self, name, graph):
+        chain = QChain(graph, alpha=0.5, k=2 if graph.degree(0) >= 2 else 1)
+        assert np.allclose(
+            chain.stationary_closed_form(), chain.stationary_numeric(), atol=1e-10
+        )
+
+    def test_three_values_indexed_by_distance(self, petersen):
+        chain = QChain(petersen, alpha=0.4, k=2)
+        mu = chain.stationary_closed_form()
+        classes = distance_classes(petersen)
+        mu0, mu1, mu_plus = mu_closed_form(10, 3, 2, 0.4)
+        for u, v in classes.s0:
+            assert mu[chain.state_index(u, v)] == pytest.approx(mu0)
+        for u, v in classes.s1:
+            assert mu[chain.state_index(u, v)] == pytest.approx(mu1)
+        for u, v in classes.s_plus:
+            assert mu[chain.state_index(u, v)] == pytest.approx(mu_plus)
+
+    def test_not_reversible_for_k_greater_1(self, petersen):
+        # The paper's observation: S_0 -> S_+ transitions exist for k > 1
+        # but not their reverses.
+        chain = QChain(petersen, alpha=0.5, k=2)
+        assert not chain.is_reversible()
+
+    def test_reversible_for_k1_on_vertex_transitive(self, petersen):
+        chain = QChain(petersen, alpha=0.5, k=1)
+        assert chain.is_reversible()
+
+    def test_s0_to_splus_transition_asymmetry(self, petersen):
+        """Explicit check of the irreversibility example in Lemma 5.7's proof."""
+        chain = QChain(petersen, alpha=0.5, k=2)
+        q = chain.transition_matrix()
+        # Find adjacent-to-x pair (u, v) at distance 2 (girth 5 guarantees
+        # two neighbours of x are non-adjacent).
+        x = 0
+        neighbours = sorted(petersen.neighbors(x))
+        u, v = neighbours[0], neighbours[1]
+        assert not petersen.has_edge(u, v)
+        src = chain.state_index(x, x)
+        dst = chain.state_index(u, v)
+        assert q[src, dst] > 0  # S_0 -> S_+ possible
+        assert q[dst, src] == 0  # S_+ -> S_0 impossible
+
+
+class TestNumericSolver:
+    def test_simple_two_state_chain(self):
+        q = np.array([[0.9, 0.1], [0.3, 0.7]])
+        mu = stationary_distribution_numeric(q)
+        assert np.allclose(mu, [0.75, 0.25])
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ParameterError):
+            stationary_distribution_numeric(np.array([[0.5, 0.2], [0.3, 0.7]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ParameterError):
+            stationary_distribution_numeric(np.ones((2, 3)) / 3)

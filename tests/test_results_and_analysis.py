@@ -1,0 +1,142 @@
+"""Tests for result tables, scaling fits and RNG helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.fits import loglog_slope, ratio_statistics
+from repro.exceptions import ParameterError
+from repro.rng import as_generator, sample_without_replacement, spawn, stream_seeds
+from repro.sim.results import ResultTable
+
+
+class TestResultTable:
+    def test_add_row_and_render(self):
+        table = ResultTable("demo", ["a", "b"])
+        table.add_row(1, 2.34567)
+        text = table.render()
+        assert "demo" in text
+        assert "2.346" in text
+
+    def test_row_length_checked(self):
+        table = ResultTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = ResultTable("demo", ["a", "b"])
+        table.add_row(1, 10.0)
+        table.add_row(2, 20.0)
+        assert table.column("b") == [10.0, 20.0]
+
+    def test_bool_rendering(self):
+        table = ResultTable("demo", ["ok"])
+        table.add_row(True)
+        table.add_row(False)
+        assert "yes" in table.render()
+        assert "no" in table.render()
+
+    def test_markdown_rendering(self):
+        table = ResultTable("demo", ["x"])
+        table.add_row(1.5)
+        markdown = table.render_markdown()
+        assert markdown.startswith("**demo**")
+        assert "| x |" in markdown
+
+    def test_notes_rendered(self):
+        table = ResultTable("demo", ["x"])
+        table.add_row(1)
+        table.add_note("hello world")
+        assert "hello world" in table.render()
+        assert "hello world" in table.render_markdown()
+
+    def test_json_roundtrip(self):
+        table = ResultTable("demo", ["x", "y"])
+        table.add_row(1, "v")
+        payload = json.loads(table.to_json())
+        assert payload["title"] == "demo"
+        assert payload["rows"] == [[1, "v"]]
+
+    def test_empty_table_renders(self):
+        table = ResultTable("empty", ["only"])
+        assert "only" in table.render()
+
+
+class TestLogLogSlope:
+    def test_recovers_power_law(self):
+        x = np.array([10.0, 20.0, 40.0, 80.0])
+        y = 3.0 * x**2.5
+        slope, intercept = loglog_slope(x, y)
+        assert slope == pytest.approx(2.5)
+        assert np.exp(intercept) == pytest.approx(3.0)
+
+    def test_noisy_power_law(self):
+        rng = np.random.default_rng(1)
+        x = np.logspace(1, 3, 30)
+        y = x**1.5 * np.exp(rng.normal(0, 0.05, size=30))
+        slope, _ = loglog_slope(x, y)
+        assert slope == pytest.approx(1.5, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            loglog_slope([1.0], [2.0])
+        with pytest.raises(ParameterError):
+            loglog_slope([1.0, -1.0], [2.0, 3.0])
+
+
+class TestRatioStatistics:
+    def test_band(self):
+        stats = ratio_statistics([1.0, 2.0, 4.0], [1.0, 1.0, 1.0])
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.band == 4.0
+        assert stats.geometric_mean == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ratio_statistics([1.0], [1.0, 2.0])
+        with pytest.raises(ParameterError):
+            ratio_statistics([1.0], [0.0])
+
+
+class TestRngHelpers:
+    def test_as_generator_idempotent(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_as_generator_from_int(self):
+        a = as_generator(5).random()
+        b = as_generator(5).random()
+        assert a == b
+
+    def test_spawn_children_independent_and_reproducible(self):
+        first = [g.random() for g in spawn(7, 3)]
+        second = [g.random() for g in spawn(7, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_spawn_from_generator(self):
+        children = spawn(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn(1, -1)
+
+    def test_stream_seeds(self):
+        seeds = stream_seeds(3, 5)
+        assert len(seeds) == 5
+        assert seeds == stream_seeds(3, 5)
+
+    def test_sample_without_replacement_distinct(self):
+        rng = as_generator(2)
+        pool = np.arange(10)
+        for k in (1, 3, 10):
+            sample = sample_without_replacement(rng, pool, k)
+            assert len(np.unique(sample)) == k
+
+    def test_sample_without_replacement_overdraw(self):
+        rng = as_generator(2)
+        with pytest.raises(ValueError):
+            sample_without_replacement(rng, np.arange(3), 4)

@@ -1,0 +1,66 @@
+"""Tests for trajectory recording and F sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.node_model import NodeModel
+from repro.core.runner import record_trajectory, sample_convergence_value
+from repro.exceptions import ParameterError
+
+
+class TestRecordTrajectory:
+    def test_lengths_and_times(self, small_regular, rng):
+        process = NodeModel(small_regular, rng.normal(size=10), alpha=0.5, seed=1)
+        trajectory = record_trajectory(process, steps=100, sample_every=10)
+        assert len(trajectory) == 11  # initial + 10 samples
+        assert trajectory.times.tolist() == list(range(0, 101, 10))
+
+    def test_without_initial(self, small_regular, rng):
+        process = NodeModel(small_regular, rng.normal(size=10), alpha=0.5, seed=1)
+        trajectory = record_trajectory(
+            process, steps=50, sample_every=25, include_initial=False
+        )
+        assert trajectory.times.tolist() == [25, 50]
+
+    def test_phi_decreases_overall(self, small_regular, rng):
+        process = NodeModel(small_regular, rng.normal(size=10), alpha=0.5, seed=2)
+        trajectory = record_trajectory(process, steps=20_000, sample_every=5_000)
+        assert trajectory.phi[-1] < trajectory.phi[0] * 1e-3
+
+    def test_discrepancy_non_increasing(self, small_regular, rng):
+        process = NodeModel(small_regular, rng.normal(size=10), alpha=0.5, seed=3)
+        trajectory = record_trajectory(process, steps=5_000, sample_every=500)
+        assert np.all(np.diff(trajectory.discrepancy) <= 1e-12)
+
+    def test_ragged_tail_handled(self, small_regular, rng):
+        process = NodeModel(small_regular, rng.normal(size=10), alpha=0.5, seed=4)
+        trajectory = record_trajectory(process, steps=25, sample_every=10)
+        assert trajectory.times.tolist() == [0, 10, 20, 25]
+
+    def test_validation(self, small_regular, rng):
+        process = NodeModel(small_regular, rng.normal(size=10), alpha=0.5, seed=5)
+        with pytest.raises(ParameterError):
+            record_trajectory(process, steps=-1)
+        with pytest.raises(ParameterError):
+            record_trajectory(process, steps=10, sample_every=0)
+
+
+class TestSampleConvergenceValue:
+    def test_returns_hull_value(self, small_regular, rng):
+        initial = rng.normal(size=10)
+
+        def make():
+            return NodeModel(small_regular, initial, alpha=0.5, seed=None)
+
+        value = sample_convergence_value(make, discrepancy_tol=1e-8)
+        assert initial.min() <= value <= initial.max()
+
+    def test_fresh_processes_give_different_f(self, small_regular, rng):
+        initial = rng.normal(size=10)
+        seeds = iter(range(100, 110))
+
+        def make():
+            return NodeModel(small_regular, initial, alpha=0.5, seed=next(seeds))
+
+        values = {round(sample_convergence_value(make), 12) for _ in range(5)}
+        assert len(values) > 1  # F is genuinely random

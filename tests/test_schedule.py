@@ -1,0 +1,104 @@
+"""Tests for recorded selection sequences (chi)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule, SelectionStep
+from repro.exceptions import ScheduleError
+from repro.graphs.adjacency import Adjacency
+
+
+class TestSelectionStep:
+    def test_noop_detection(self):
+        assert SelectionStep(3, ()).is_noop
+        assert not SelectionStep(3, (1,)).is_noop
+
+    def test_frozen(self):
+        step = SelectionStep(1, (2,))
+        with pytest.raises(AttributeError):
+            step.node = 5
+
+
+class TestScheduleContainer:
+    def test_append_and_len(self):
+        schedule = Schedule()
+        schedule.append(0, [1, 2])
+        schedule.append(1, [0])
+        assert len(schedule) == 2
+        assert schedule[0] == SelectionStep(0, (1, 2))
+
+    def test_iteration_order(self):
+        schedule = Schedule.from_pairs([(0, (1,)), (1, (2,)), (2, (0,))])
+        nodes = [step.node for step in schedule]
+        assert nodes == [0, 1, 2]
+
+    def test_reversed(self):
+        schedule = Schedule.from_pairs([(0, (1,)), (1, (2,))])
+        reversed_schedule = schedule.reversed()
+        assert [s.node for s in reversed_schedule] == [1, 0]
+        # Original untouched.
+        assert [s.node for s in schedule] == [0, 1]
+
+    def test_double_reverse_identity(self):
+        schedule = Schedule.from_pairs([(0, (1,)), (2, (1,)), (1, (0,))])
+        assert schedule.reversed().reversed() == schedule
+
+    def test_without_noops(self):
+        schedule = Schedule.from_pairs([(0, (1,)), (2, ()), (1, (0,))])
+        cleaned = schedule.without_noops()
+        assert len(cleaned) == 2
+        assert all(not s.is_noop for s in cleaned)
+
+    def test_equality(self):
+        a = Schedule.from_pairs([(0, (1,))])
+        b = Schedule.from_pairs([(0, (1,))])
+        c = Schedule.from_pairs([(1, (0,))])
+        assert a == b
+        assert a != c
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self, cycle6_adjacency):
+        schedule = Schedule.from_pairs([(0, (1,)), (3, (2,)), (5, (0,))])
+        schedule.validate(cycle6_adjacency, k=1)
+
+    def test_noop_steps_skip_validation(self, cycle6_adjacency):
+        schedule = Schedule.from_pairs([(0, ()), (1, (2,))])
+        schedule.validate(cycle6_adjacency, k=1)
+
+    def test_out_of_range_node(self, cycle6_adjacency):
+        schedule = Schedule.from_pairs([(9, (1,))])
+        with pytest.raises(ScheduleError, match="out of range"):
+            schedule.validate(cycle6_adjacency)
+
+    def test_non_neighbour_sample(self, cycle6_adjacency):
+        schedule = Schedule.from_pairs([(0, (3,))])
+        with pytest.raises(ScheduleError, match="not a neighbour"):
+            schedule.validate(cycle6_adjacency)
+
+    def test_duplicate_sample(self, triangle):
+        adjacency = Adjacency.from_graph(triangle)
+        schedule = Schedule.from_pairs([(0, (1, 1))])
+        with pytest.raises(ScheduleError, match="duplicates"):
+            schedule.validate(adjacency)
+
+    def test_wrong_k(self, triangle):
+        adjacency = Adjacency.from_graph(triangle)
+        schedule = Schedule.from_pairs([(0, (1, 2))])
+        with pytest.raises(ScheduleError, match="!= k"):
+            schedule.validate(adjacency, k=1)
+
+
+class TestConversion:
+    def test_to_arrays_roundtrip(self):
+        schedule = Schedule.from_pairs([(0, (1, 2)), (1, ()), (2, (0,))])
+        nodes, offsets, samples = schedule.to_arrays()
+        assert nodes.tolist() == [0, 1, 2]
+        assert offsets.tolist() == [0, 2, 2, 3]
+        assert samples.tolist() == [1, 2, 0]
+
+    def test_to_arrays_empty(self):
+        nodes, offsets, samples = Schedule().to_arrays()
+        assert len(nodes) == 0
+        assert offsets.tolist() == [0]
+        assert len(samples) == 0

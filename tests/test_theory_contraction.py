@@ -1,0 +1,131 @@
+"""Tests for the one-step contraction factors (Prop B.1 / D.1(ii))."""
+
+import numpy as np
+import pytest
+
+from repro.core.edge_model import EdgeModel
+from repro.core.node_model import NodeModel
+from repro.core.potentials import phi_pi, phi_uniform
+from repro.exceptions import ParameterError
+from repro.graphs.generators import cycle_graph, random_regular_graph
+from repro.graphs.spectral import (
+    second_laplacian_eigenpair,
+    second_walk_eigenpair,
+    stationary_distribution,
+)
+from repro.theory import contraction
+
+
+class TestNodeFactor:
+    def test_k1_closed_form(self):
+        # For k = 1 the bracket reduces to 2 alpha.
+        factor = contraction.node_model_contraction_factor(10, 0.5, 0.5, 1)
+        expected = 1.0 - (0.5 * 0.5 * 2 * 0.5) / 10
+        assert factor == pytest.approx(expected)
+
+    def test_factor_in_unit_interval(self):
+        for alpha in (0.1, 0.5, 0.9):
+            for k in (1, 2, 8):
+                factor = contraction.node_model_contraction_factor(20, 0.7, alpha, k)
+                assert 0.0 < factor < 1.0
+
+    def test_rate_increases_with_k(self):
+        # More sampled neighbours -> (weakly) faster contraction.
+        rates = [
+            contraction.node_model_contraction_rate(20, 0.6, 0.5, k)
+            for k in (1, 2, 4, 8)
+        ]
+        assert all(b >= a - 1e-15 for a, b in zip(rates, rates[1:]))
+
+    def test_rate_k_dependence_bounded_by_factor_two(self):
+        # The paper: the k-dependent factor is (1 + 1/k)-like, in [1, 2].
+        rate1 = contraction.node_model_contraction_rate(20, 0.6, 0.5, 1)
+        rate_inf = contraction.node_model_contraction_rate(20, 0.6, 0.5, 10**6)
+        assert rate_inf / rate1 <= 2.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            contraction.node_model_contraction_factor(1, 0.5, 0.5, 1)
+        with pytest.raises(ParameterError):
+            contraction.node_model_contraction_factor(10, 1.0, 0.5, 1)
+        with pytest.raises(ParameterError):
+            contraction.node_model_contraction_factor(10, 0.5, 0.5, 0)
+
+
+class TestEdgeFactor:
+    def test_closed_form(self):
+        factor = contraction.edge_model_contraction_factor(15, 2.0, 0.5)
+        assert factor == pytest.approx(1.0 - 0.5 * 0.5 * 2.0 / 15)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            contraction.edge_model_contraction_factor(0, 1.0, 0.5)
+        with pytest.raises(ParameterError):
+            contraction.edge_model_contraction_factor(10, 0.0, 0.5)
+
+
+class TestEmpiricalContraction:
+    """Monte-Carlo verification that the factors really bound the drop."""
+
+    @pytest.mark.parametrize("alpha,k", [(0.5, 1), (0.3, 2)])
+    def test_node_bound_holds_from_random_state(self, small_regular, rng, alpha, k):
+        initial = rng.normal(size=10)
+        pi = stationary_distribution(small_regular)
+        lambda2, _ = second_walk_eigenpair(small_regular)
+        phi0 = phi_pi(pi, initial)
+        bound = contraction.node_model_contraction_factor(10, lambda2, alpha, k)
+        trials = 20_000
+        process = NodeModel(small_regular, initial, alpha=alpha, k=k, seed=1)
+        total = 0.0
+        for _ in range(trials):
+            process.reset()
+            process.step()
+            total += process.phi
+        measured = (total / trials) / phi0
+        assert measured <= bound + 4.0 / np.sqrt(trials)
+
+    def test_node_bound_tight_on_f2(self, small_regular):
+        # On xi = f_2 with k = 1 the proof's inequalities are equalities
+        # (single eigencomponent), so measured ~= bound.
+        lambda2, f2 = second_walk_eigenpair(small_regular)
+        pi = stationary_distribution(small_regular)
+        phi0 = phi_pi(pi, f2)
+        bound = contraction.node_model_contraction_factor(10, lambda2, 0.5, 1)
+        trials = 60_000
+        process = NodeModel(small_regular, f2, alpha=0.5, k=1, seed=2)
+        total = 0.0
+        for _ in range(trials):
+            process.reset()
+            process.step()
+            total += process.phi
+        measured = (total / trials) / phi0
+        assert measured == pytest.approx(bound, abs=6.0 / np.sqrt(trials))
+
+    def test_edge_bound_holds(self, rng):
+        graph = cycle_graph(12)
+        initial = rng.normal(size=12)
+        initial -= initial.mean()
+        lambda2_l, _ = second_laplacian_eigenpair(graph)
+        bound = contraction.edge_model_contraction_factor(12, lambda2_l, 0.5)
+        phi0 = phi_uniform(initial)
+        trials = 20_000
+        process = EdgeModel(graph, initial, alpha=0.5, seed=3)
+        total = 0.0
+        for _ in range(trials):
+            process.reset()
+            process.step()
+            total += phi_uniform(process.values)
+        measured = (total / trials) / phi0
+        assert measured <= bound + 4.0 / np.sqrt(trials)
+
+
+class TestMeanStateFactor:
+    def test_q2_drives_expected_state(self, small_regular):
+        # E[xi(t)] = q2^t f2 for xi(0) = f2 (Eq. 43): verify via E-matrix.
+        from repro.theory.martingale import node_model_expected_update
+
+        alpha = 0.4
+        lambda2, f2 = second_walk_eigenpair(small_regular)
+        q2 = contraction.mean_state_contraction_factor(10, lambda2, alpha)
+        update = node_model_expected_update(small_regular, alpha)
+        assert np.allclose(update @ f2, q2 * f2, atol=1e-10)

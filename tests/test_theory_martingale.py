@@ -1,0 +1,126 @@
+"""Tests for the expected-update matrices and martingale structure."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.edge_model import EdgeModel
+from repro.core.node_model import NodeModel
+from repro.exceptions import ParameterError
+from repro.graphs.spectral import simple_walk_matrix, stationary_distribution
+from repro.theory import martingale as mart
+
+
+class TestNodeExpectedUpdate:
+    def test_formula(self, star5):
+        alpha = 0.3
+        p = simple_walk_matrix(star5)
+        expected = np.eye(6) - (1 - alpha) / 6 * (np.eye(6) - p)
+        assert np.allclose(mart.node_model_expected_update(star5, alpha), expected)
+
+    def test_row_stochastic(self, star5):
+        update = mart.node_model_expected_update(star5, 0.5)
+        assert np.allclose(update.sum(axis=1), 1.0)
+        assert np.all(update >= 0)
+
+    def test_pi_is_left_fixed_vector(self, star5):
+        """The Lemma 4.1 martingale: pi^T E[L] = pi^T on irregular graphs."""
+        update = mart.node_model_expected_update(star5, 0.5)
+        pi = stationary_distribution(star5)
+        assert np.allclose(pi @ update, pi, atol=1e-12)
+
+    def test_uniform_not_fixed_on_irregular(self, star5):
+        """The simple average is NOT a NodeModel martingale on irregular
+        graphs — the paper's reason for the degree-weighted M(t)."""
+        update = mart.node_model_expected_update(star5, 0.5)
+        uniform = np.full(6, 1 / 6)
+        assert not np.allclose(uniform @ update, uniform, atol=1e-6)
+
+    def test_matches_one_step_empirical_mean(self, petersen, rng):
+        initial = rng.normal(size=10)
+        alpha = 0.5
+        update = mart.node_model_expected_update(petersen, alpha)
+        process = NodeModel(petersen, initial, alpha=alpha, k=3, seed=1)
+        total = np.zeros(10)
+        replicas = 30_000
+        for _ in range(replicas):
+            process.reset()
+            process.step()
+            total += process.values
+        # Independent of k (Lemma E.1(2) argument).
+        assert np.allclose(total / replicas, update @ initial, atol=0.02)
+
+
+class TestEdgeExpectedUpdate:
+    def test_formula(self, star5):
+        alpha = 0.3
+        from repro.graphs.spectral import laplacian_matrix
+
+        laplacian = laplacian_matrix(star5)
+        expected = np.eye(6) - (1 - alpha) / (2 * 5) * laplacian
+        assert np.allclose(mart.edge_model_expected_update(star5, alpha), expected)
+
+    def test_uniform_is_left_fixed_vector(self, star5):
+        """Prop D.1(i): the simple average is the EdgeModel martingale."""
+        update = mart.edge_model_expected_update(star5, 0.5)
+        uniform = np.full(6, 1 / 6)
+        assert np.allclose(uniform @ update, uniform, atol=1e-12)
+
+    def test_pi_not_fixed_on_irregular(self, star5):
+        update = mart.edge_model_expected_update(star5, 0.5)
+        pi = stationary_distribution(star5)
+        assert not np.allclose(pi @ update, pi, atol=1e-6)
+
+    def test_matches_one_step_empirical_mean(self, star5, rng):
+        initial = rng.normal(size=6)
+        update = mart.edge_model_expected_update(star5, 0.5)
+        process = EdgeModel(star5, initial, alpha=0.5, seed=2)
+        total = np.zeros(6)
+        replicas = 40_000
+        for _ in range(replicas):
+            process.reset()
+            process.step()
+            total += process.values
+        assert np.allclose(total / replicas, update @ initial, atol=0.02)
+
+
+class TestExpectedState:
+    def test_power_iteration(self, petersen, rng):
+        initial = rng.normal(size=10)
+        update = mart.node_model_expected_update(petersen, 0.5)
+        direct = update @ (update @ (update @ initial))
+        assert np.allclose(mart.expected_state(update, initial, 3), direct)
+
+    def test_t_zero_identity(self, petersen, rng):
+        initial = rng.normal(size=10)
+        update = mart.node_model_expected_update(petersen, 0.5)
+        assert np.allclose(mart.expected_state(update, initial, 0), initial)
+
+    def test_validation(self, petersen):
+        update = mart.node_model_expected_update(petersen, 0.5)
+        with pytest.raises(ParameterError):
+            mart.expected_state(update, np.zeros(10), -1)
+
+    def test_long_horizon_converges_to_martingale_value(self, star5, rng):
+        """(E[L])^t xi(0) -> M(0) 1 as t -> infinity (NodeModel)."""
+        initial = rng.normal(size=6)
+        pi = stationary_distribution(star5)
+        m0 = float(np.sum(pi * initial))
+        update = mart.node_model_expected_update(star5, 0.5)
+        far = mart.expected_state(update, initial, 20_000)
+        assert np.allclose(far, m0, atol=1e-8)
+
+
+class TestWeights:
+    def test_node_weights(self, star5):
+        weights = mart.martingale_weights(star5, "node")
+        assert weights[0] == pytest.approx(0.5)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_edge_weights(self, star5):
+        weights = mart.martingale_weights(star5, "edge")
+        assert np.allclose(weights, 1 / 6)
+
+    def test_unknown_model(self, star5):
+        with pytest.raises(ParameterError):
+            mart.martingale_weights(star5, "gossip")

@@ -1,0 +1,118 @@
+"""Tests for the Random Walk Process (Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule, SelectionStep
+from repro.dual.diffusion import DiffusionProcess
+from repro.dual.walks import RandomWalkProcess
+from repro.exceptions import ParameterError
+
+
+class TestConstruction:
+    def test_default_positions_identity(self, petersen):
+        walks = RandomWalkProcess(petersen, cost=np.zeros(10), alpha=0.5)
+        assert walks.positions.tolist() == list(range(10))
+
+    def test_custom_positions_validated(self, triangle):
+        with pytest.raises(ParameterError):
+            RandomWalkProcess(
+                triangle, cost=[0.0] * 3, alpha=0.5, positions=[0, 1, 7]
+            )
+
+    def test_k_validation(self, triangle):
+        with pytest.raises(ParameterError):
+            RandomWalkProcess(triangle, cost=[0.0] * 3, alpha=0.5, k=9)
+
+
+class TestMovementSemantics:
+    def test_only_walks_on_selected_node_move(self, cycle6):
+        walks = RandomWalkProcess(cycle6, cost=np.zeros(6), alpha=0.0, seed=1)
+        before = walks.positions.copy()
+        walks.step_with(SelectionStep(2, (3,)))
+        moved = walks.positions != before
+        # Only the walk that was at node 2 may have moved (alpha=0 -> must).
+        assert np.flatnonzero(moved).tolist() == [2]
+        assert walks.positions[2] == 3
+
+    def test_alpha_one_like_behaviour(self, cycle6):
+        # With alpha near 1 the walk rarely moves.
+        walks = RandomWalkProcess(cycle6, cost=np.zeros(6), alpha=0.99, seed=2)
+        for _ in range(200):
+            walks.step_with(SelectionStep(0, (1,)))
+        # Walk 0 moved at most a few times; everyone else never.
+        assert walks.positions[1:].tolist() == list(range(1, 6))
+
+    def test_moves_target_sample_members_only(self, petersen):
+        walks = RandomWalkProcess(petersen, cost=np.zeros(10), alpha=0.0, seed=3)
+        neighbours = tuple(sorted(petersen.neighbors(4))[:2])
+        walks.step_with(SelectionStep(4, neighbours))
+        assert walks.positions[4] in neighbours
+
+    def test_move_probability_one_minus_alpha(self, triangle):
+        alpha = 0.3
+        moves = 0
+        trials = 30_000
+        walks = RandomWalkProcess(triangle, cost=np.zeros(3), alpha=alpha, seed=4)
+        for _ in range(trials):
+            walks.positions[:] = [0, 1, 2]
+            walks.step_with(SelectionStep(0, (1,)))
+            if walks.positions[0] == 1:
+                moves += 1
+        assert moves / trials == pytest.approx(1.0 - alpha, abs=0.01)
+
+    def test_occupancy_sums_to_n(self, petersen):
+        walks = RandomWalkProcess(petersen, cost=np.zeros(10), alpha=0.5, seed=5)
+        for _ in range(300):
+            walks.step()
+        assert walks.occupancy().sum() == 10
+
+    def test_costs_lookup(self, triangle):
+        cost = np.array([10.0, 20.0, 30.0])
+        walks = RandomWalkProcess(triangle, cost=cost, alpha=0.5)
+        assert walks.costs.tolist() == [10.0, 20.0, 30.0]
+        walks.positions[:] = [2, 2, 2]
+        assert walks.costs.tolist() == [30.0, 30.0, 30.0]
+
+
+class TestDualityWithDiffusion:
+    def test_lemma_53_expected_position_matches_diffusion(self, cycle6):
+        """E[q~(u)(t) | chi] = R(t) e(u): empirical occupancy of many walk
+        replicas driven by the SAME schedule matches the diffusion loads."""
+        rng = np.random.default_rng(7)
+        schedule = Schedule.from_pairs(
+            [
+                (int(u), (int(rng.choice(list(cycle6.neighbors(int(u))))),))
+                for u in rng.integers(0, 6, size=15)
+            ]
+        )
+        alpha = 0.5
+        diffusion = DiffusionProcess(cycle6, cost=np.zeros(6), alpha=alpha, k=1)
+        diffusion.replay(schedule)
+
+        replicas = 30_000
+        occupancy = np.zeros((6, 6))  # [start, end]
+        walks = RandomWalkProcess(cycle6, cost=np.zeros(6), alpha=alpha, seed=8)
+        for _ in range(replicas):
+            walks.positions[:] = np.arange(6)
+            walks.replay(schedule)
+            for start, end in enumerate(walks.positions):
+                occupancy[start, end] += 1
+        occupancy /= replicas
+        # diffusion.loads[:, u] is the distribution of the walk started at u.
+        assert np.allclose(occupancy.T, diffusion.loads, atol=0.015)
+
+    def test_lemma_53_expected_cost(self, triangle, rng):
+        cost = rng.normal(size=3)
+        schedule = Schedule.from_pairs([(0, (1,)), (1, (2,)), (2, (0,)), (0, (2,))])
+        alpha = 0.4
+        diffusion = DiffusionProcess(triangle, cost=cost, alpha=alpha, k=1)
+        diffusion.replay(schedule)
+        replicas = 40_000
+        total = np.zeros(3)
+        walks = RandomWalkProcess(triangle, cost=cost, alpha=alpha, seed=9)
+        for _ in range(replicas):
+            walks.positions[:] = np.arange(3)
+            walks.replay(schedule)
+            total += walks.costs
+        assert np.allclose(total / replicas, diffusion.costs, atol=0.02)
