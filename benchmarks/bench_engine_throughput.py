@@ -1,0 +1,128 @@
+"""Engine throughput: batch `(B, n)` engine vs legacy per-replica loop.
+
+The acceptance workload of the engine subsystem: a 512-node 4-regular
+graph carrying 1k replicas.  Both engines push the same number of
+replica-steps; we report steps/sec and the wall-clock each engine needs
+per 1k replicas of that workload (the loop engine's cost is linear in
+replicas, so its measured single-chain throughput converts exactly).
+
+Results land in ``BENCH_engine.json`` at the repo root so the
+performance trajectory is tracked across PRs.  Run standalone::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_throughput.py -q
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.edge_model import EdgeModel
+from repro.core.initial import center_simple, rademacher_values
+from repro.core.node_model import NodeModel
+from repro.engine import BatchEdgeModel, BatchNodeModel
+from repro.graphs.generators import random_regular_graph
+
+N = 512
+DEGREE = 4
+REPLICAS = 1_000
+BATCH_ROUNDS = 4_000          # replica-steps: REPLICAS * BATCH_ROUNDS
+LOOP_STEPS = 400_000          # same per-chain step scale, one chain
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def _best_of(repeats, fn):
+    """Best wall-clock of ``repeats`` runs (shields against machine noise)."""
+    best = np.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure(seed: int = 0) -> dict:
+    graph = random_regular_graph(N, DEGREE, seed=seed)
+    values = center_simple(rademacher_values(N, seed=seed + 1))
+
+    results = {}
+    for kind in ("node", "edge"):
+        if kind == "node":
+            batch = BatchNodeModel(
+                graph, values, alpha=0.5, k=1, replicas=REPLICAS, seed=2
+            )
+            loop = NodeModel(graph, values, alpha=0.5, k=1, seed=3)
+        else:
+            batch = BatchEdgeModel(
+                graph, values, alpha=0.5, replicas=REPLICAS, seed=2
+            )
+            loop = EdgeModel(graph, values, alpha=0.5, seed=3)
+
+        batch.run(200)  # warm caches and allocator
+        batch_seconds = _best_of(2, lambda: batch.run(BATCH_ROUNDS))
+        batch_steps_per_sec = REPLICAS * BATCH_ROUNDS / batch_seconds
+
+        loop.run(10_000)
+        loop_seconds = _best_of(2, lambda: loop.run(LOOP_STEPS))
+        loop_steps_per_sec = LOOP_STEPS / loop_seconds
+
+        workload = REPLICAS * BATCH_ROUNDS  # replica-steps per 1k replicas
+        results[kind] = {
+            "batch_replica_steps_per_sec": batch_steps_per_sec,
+            "loop_replica_steps_per_sec": loop_steps_per_sec,
+            "speedup": batch_steps_per_sec / loop_steps_per_sec,
+            "wall_clock_per_1k_replicas_batch_s": workload / batch_steps_per_sec,
+            "wall_clock_per_1k_replicas_loop_s": workload / loop_steps_per_sec,
+        }
+    return results
+
+
+def write_report(results: dict) -> dict:
+    report = {
+        "workload": {
+            "graph": f"random_regular(n={N}, d={DEGREE})",
+            "replicas": REPLICAS,
+            "steps_per_replica": BATCH_ROUNDS,
+            "alpha": 0.5,
+            "k": 1,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "results": results,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_engine_throughput_speedup():
+    """The batch engine must hold a >= 10x replica-throughput advantage."""
+    results = write_report(measure())
+    node = results["results"]["node"]
+    edge = results["results"]["edge"]
+    print(
+        f"\nnode: batch {node['batch_replica_steps_per_sec'] / 1e6:.1f} M/s, "
+        f"loop {node['loop_replica_steps_per_sec'] / 1e6:.2f} M/s, "
+        f"speedup {node['speedup']:.1f}x"
+    )
+    print(
+        f"edge: batch {edge['batch_replica_steps_per_sec'] / 1e6:.1f} M/s, "
+        f"loop {edge['loop_replica_steps_per_sec'] / 1e6:.2f} M/s, "
+        f"speedup {edge['speedup']:.1f}x"
+    )
+    assert node["speedup"] >= 10.0
+    # The edge loop's inner loop is leaner; demand a solid floor there too.
+    assert edge["speedup"] >= 4.0
+
+
+if __name__ == "__main__":
+    report = write_report(measure())
+    print(json.dumps(report, indent=2))
+    print(f"wrote -> {OUTPUT}")

@@ -9,6 +9,7 @@ shows the available ids.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Sequence
@@ -38,6 +39,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
+        "--engine",
+        choices=("batch", "loop"),
+        default="batch",
+        help=(
+            "replica simulator for Monte-Carlo experiments: the vectorized "
+            "batch engine (default) or the legacy per-replica loop"
+        ),
+    )
+    parser.add_argument(
         "--markdown", action="store_true", help="render tables as markdown"
     )
     parser.add_argument(
@@ -65,8 +75,13 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     for experiment_id in ids:
         runner = EXPERIMENTS[experiment_id]
+        kwargs = {"fast": not args.slow, "seed": args.seed}
+        # Runners that expose an engine choice get the CLI's; the rest
+        # do no replica sampling, so the flag has nothing to select.
+        if "engine" in inspect.signature(runner).parameters:
+            kwargs["engine"] = args.engine
         started = time.perf_counter()
-        tables = runner(fast=not args.slow, seed=args.seed)
+        tables = runner(**kwargs)
         elapsed = time.perf_counter() - started
         print(f"\n### {experiment_id}  ({elapsed:.1f}s)\n")
         for table in tables:

@@ -1,0 +1,61 @@
+"""Vectorized batch-replica simulation engine.
+
+Simulates ``B`` independent replicas of the averaging processes as one
+``(B, n)`` value matrix with fully vectorized NumPy rounds — batched
+node/edge selection, batched k-neighbour sampling through pluggable
+dense/CSR backends, incremental per-replica potential tracking, and
+convergence masking so finished replicas stop costing work.  Identical
+in law to the scalar :mod:`repro.core` processes (which remain the
+correctness oracle), 1–2 orders of magnitude faster per replica.
+
+Layers
+------
+:mod:`repro.engine.backend`
+    Batched k-neighbour sampling (dense padded table vs CSR gather).
+:mod:`repro.engine.batch`
+    ``BatchNodeModel`` / ``BatchEdgeModel`` and their lazy variants.
+:mod:`repro.engine.driver`
+    Run-to-consensus over a batch, replica sharding, multiprocessing,
+    and the picklable :class:`~repro.engine.driver.EngineSpec`.
+:mod:`repro.engine.cache`
+    On-disk memoisation keyed by (model, graph hash, alpha, k, seed,
+    tolerance) so repeated sweeps resume for free.
+"""
+
+from repro.engine.backend import (
+    CSRBackend,
+    DenseBackend,
+    SamplingBackend,
+    select_backend,
+)
+from repro.engine.batch import (
+    BatchAveragingProcess,
+    BatchEdgeModel,
+    BatchNodeModel,
+)
+from repro.engine.cache import ResultCache
+from repro.engine.driver import (
+    BatchConsensusResult,
+    EngineSpec,
+    measure_t_eps_batch,
+    run_to_consensus_batch,
+    sample_f_batch,
+    sample_t_eps_batch,
+)
+
+__all__ = [
+    "BatchAveragingProcess",
+    "BatchConsensusResult",
+    "BatchEdgeModel",
+    "BatchNodeModel",
+    "CSRBackend",
+    "DenseBackend",
+    "EngineSpec",
+    "ResultCache",
+    "SamplingBackend",
+    "measure_t_eps_batch",
+    "run_to_consensus_batch",
+    "sample_f_batch",
+    "sample_t_eps_batch",
+    "select_backend",
+]

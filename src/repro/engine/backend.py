@@ -1,0 +1,190 @@
+"""Pluggable batched neighbour-sampling backends.
+
+The batch engine advances ``B`` independent replicas per vectorized round;
+the only model-specific inner operation is "for each active replica ``b``
+with selected node ``u_b``, average ``k`` uniformly chosen distinct
+neighbours of ``u_b``".  A :class:`SamplingBackend` performs that for a
+whole batch at once.  Two implementations trade memory for gather speed:
+
+* :class:`DenseBackend` precomputes the padded ``(n, d_max)`` neighbour
+  table of :meth:`~repro.graphs.adjacency.Adjacency.padded_neighbors` —
+  O(n * d_max) memory, fastest gathers; the default for the graph sizes
+  of the paper experiments.
+* :class:`CSRBackend` keeps only the frozen CSR arrays (O(E) memory) and
+  materialises the needed ``(B, d_max)`` rows per call — the choice for
+  huge, skew-degree graphs where the dense table would not fit.
+
+Both consume the *same* random variates in the same order, so a fixed
+seed yields bit-identical trajectories across backends (asserted in
+``tests/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graphs.adjacency import Adjacency
+
+#: Above this many dense-table entries, ``backend="auto"`` switches to CSR.
+_DENSE_TABLE_LIMIT = 32_000_000
+
+
+class SamplingBackend(abc.ABC):
+    """Batched k-neighbour sampling over one frozen :class:`Adjacency`.
+
+    ``k`` is fixed per backend instance (it is a model parameter); the
+    per-call inputs are the batch ``values`` matrix, the active replica
+    rows, and the selected node per row.
+    """
+
+    def __init__(self, adjacency: Adjacency, k: int) -> None:
+        if int(k) != k or k < 1:
+            raise ParameterError(f"k must be a positive integer, got {k}")
+        if k > adjacency.d_min:
+            raise ParameterError(
+                f"k = {k} exceeds the minimum degree {adjacency.d_min}"
+            )
+        self.adjacency = adjacency
+        self.k = int(k)
+        self._degrees = adjacency.degrees
+        # Regular graphs skip the per-node degree gather in the hot path.
+        self._common_degree = (
+            float(adjacency.d_min) if adjacency.is_regular else None
+        )
+
+    def _slots(self, frac: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+        """Neighbour slot ``floor(frac * degree)`` per row.
+
+        Shared by both backends' ``pick_one`` so their consumption of
+        the caller-supplied variate — and hence their RNG streams —
+        stays identical by construction.
+        """
+        if self._common_degree is not None:
+            return (frac * self._common_degree).astype(np.int64)
+        return (frac * self._degrees[nodes]).astype(np.int64)
+
+    @abc.abstractmethod
+    def neighbour_means(
+        self,
+        values: np.ndarray,
+        rows: np.ndarray,
+        row_offsets: np.ndarray,
+        nodes: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Mean over a uniform ``k``-subset of neighbours, one per row.
+
+        ``values`` is the ``(B, n)`` batch state, ``rows`` the active
+        replica indices, ``row_offsets`` their flat bases ``rows * n``,
+        and ``nodes`` the selected node per row (same length as
+        ``rows``).  Returns the per-row neighbour mean.
+        """
+
+    @abc.abstractmethod
+    def pick_one(
+        self,
+        values: np.ndarray,
+        row_offsets: np.ndarray,
+        nodes: np.ndarray,
+        frac: np.ndarray,
+    ) -> np.ndarray:
+        """The ``k = 1`` hot path: one uniform neighbour per row.
+
+        ``frac`` is a per-row uniform variate in ``[0, 1)`` supplied by
+        the caller (who extracts it for free from the node draw); the
+        slot is ``floor(frac * degree)``.  Consumes no RNG itself, so
+        dense and CSR backends stay stream-identical.
+        """
+
+    def _subset_columns(
+        self,
+        deg: np.ndarray,
+        d_max: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Uniform ``k``-subset of column slots ``[0, deg)`` per row.
+
+        Assigns i.i.d. uniform keys to each row's valid slots and takes
+        the ``k`` smallest — a uniform random ``k``-subset, fully
+        vectorized (shared by both backends so their RNG streams agree).
+        """
+        keys = rng.random((len(deg), d_max))
+        keys[np.arange(d_max)[None, :] >= deg[:, None]] = np.inf
+        return np.argpartition(keys, self.k - 1, axis=1)[:, : self.k]
+
+
+class DenseBackend(SamplingBackend):
+    """Sampling against the precomputed padded neighbour table."""
+
+    def __init__(self, adjacency: Adjacency, k: int) -> None:
+        super().__init__(adjacency, k)
+        self._table = adjacency.padded_neighbors()
+        self._table_flat = np.ascontiguousarray(self._table).reshape(-1)
+        self._d_max = self._table.shape[1]
+
+    def pick_one(self, values, row_offsets, nodes, frac):
+        picked = self._table_flat[nodes * self._d_max + self._slots(frac, nodes)]
+        return values.reshape(-1)[row_offsets + picked]
+
+    def neighbour_means(self, values, rows, row_offsets, nodes, rng):
+        deg = self._degrees[nodes]
+        if self.k == 1:
+            return self.pick_one(values, row_offsets, nodes, rng.random(len(nodes)))
+        if self.k == self.adjacency.d_min == self.adjacency.d_max:
+            # Full-neighbourhood average on a regular graph: no sampling.
+            gathered = values[rows[:, None], self._table[nodes]]
+            return gathered.mean(axis=1)
+        slots = self._subset_columns(deg, self._d_max, rng)
+        picked = self._table[nodes[:, None], slots]
+        return values[rows[:, None], picked].mean(axis=1)
+
+
+class CSRBackend(SamplingBackend):
+    """Sampling straight off the CSR arrays (no dense table).
+
+    ``k = 1`` needs a single O(B) gather; ``k > 1`` materialises the
+    required neighbour rows on the fly (O(B * d_max) transient memory
+    instead of the dense backend's persistent O(n * d_max) table).
+    """
+
+    def __init__(self, adjacency: Adjacency, k: int) -> None:
+        super().__init__(adjacency, k)
+        self._neighbors = adjacency.neighbors
+        self._offsets = adjacency.offsets
+
+    def pick_one(self, values, row_offsets, nodes, frac):
+        picked = self._neighbors[self._offsets[nodes] + self._slots(frac, nodes)]
+        return values.reshape(-1)[row_offsets + picked]
+
+    def neighbour_means(self, values, rows, row_offsets, nodes, rng):
+        deg = self._degrees[nodes]
+        if self.k == 1:
+            return self.pick_one(values, row_offsets, nodes, rng.random(len(nodes)))
+        starts = self._offsets[nodes]
+        d_max = int(self.adjacency.d_max)
+        if self.k == self.adjacency.d_min == self.adjacency.d_max:
+            span = starts[:, None] + np.arange(d_max)[None, :]
+            return values[rows[:, None], self._neighbors[span]].mean(axis=1)
+        slots = self._subset_columns(deg, d_max, rng)
+        picked = self._neighbors[starts[:, None] + slots]
+        return values[rows[:, None], picked].mean(axis=1)
+
+
+def select_backend(
+    adjacency: Adjacency, k: int, name: str = "auto"
+) -> SamplingBackend:
+    """Resolve a backend by name (``"auto"``, ``"dense"`` or ``"csr"``)."""
+    if name == "dense":
+        return DenseBackend(adjacency, k)
+    if name == "csr":
+        return CSRBackend(adjacency, k)
+    if name == "auto":
+        if adjacency.n * adjacency.d_max <= _DENSE_TABLE_LIMIT:
+            return DenseBackend(adjacency, k)
+        return CSRBackend(adjacency, k)
+    raise ParameterError(
+        f"unknown backend {name!r}; expected 'auto', 'dense' or 'csr'"
+    )

@@ -1,0 +1,408 @@
+"""Batched replicas of the averaging processes as a ``(B, n)`` matrix.
+
+A :class:`BatchAveragingProcess` holds ``B`` statistically independent
+copies of one averaging process and advances *all* of them one time step
+per vectorized round: one RNG draw of shape ``(B,)`` selects the acting
+node (or directed edge) of every replica, one fancy-indexed gather reads
+the old values, and one scatter writes the unilateral updates
+
+    xi[b, u_b] = alpha * xi[b, u_b] + (1 - alpha)/k * sum_i xi[b, v_i]
+
+The per-replica potential ``phi`` is tracked incrementally exactly as the
+scalar :class:`~repro.core.base.AveragingProcess` does (pi-weighted first
+and second moments, periodically resynchronised), so convergence masking
+is O(B) per round: replicas whose ``phi`` crossed the threshold are
+*frozen* — they stop being selected, stop consuming RNG draws and stop
+contributing work, while the rest of the batch keeps stepping.
+
+In law each replica's trajectory is identical to the scalar process (the
+equivalence tests replay a shared :class:`~repro.core.schedule.Schedule`
+through both and compare step for step); the speed comes purely from
+amortising the Python interpreter over the batch dimension.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.engine.backend import SamplingBackend, select_backend
+from repro.exceptions import ParameterError
+from repro.graphs.adjacency import Adjacency
+from repro.rng import SeedLike, as_generator
+
+#: Rounds between exact moment recomputations (kills float drift).
+_RESYNC_EVERY = 4096
+
+
+class BatchAveragingProcess(abc.ABC):
+    """``B`` independent replicas of one averaging process.
+
+    Parameters
+    ----------
+    graph:
+        Connected undirected graph (``networkx.Graph`` or frozen
+        :class:`Adjacency`).
+    initial_values:
+        Either one vector of length ``n`` (broadcast to every replica)
+        or a ``(B, n)`` matrix giving each replica its own start.
+    alpha:
+        Self-weight in ``[0, 1)``.
+    replicas:
+        Batch size ``B``; required when ``initial_values`` is 1-D.
+    seed:
+        Seed / generator driving the whole batch.
+    lazy:
+        Lazy variant (Section 4): each replica flips a fair coin per
+        step and performs no update on tails.
+    backend:
+        ``"auto"`` | ``"dense"`` | ``"csr"`` — see
+        :mod:`repro.engine.backend`.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph | Adjacency,
+        initial_values: Sequence[float] | np.ndarray,
+        alpha: float,
+        replicas: int | None = None,
+        seed: SeedLike = None,
+        lazy: bool = False,
+        backend: str = "auto",
+    ) -> None:
+        if not 0.0 <= alpha < 1.0:
+            raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
+        self.adjacency = (
+            graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+        )
+        n = self.adjacency.n
+        values = np.asarray(initial_values, dtype=np.float64)
+        if values.ndim == 1:
+            if replicas is None or replicas < 1:
+                raise ParameterError(
+                    "replicas must be a positive integer when initial_values is 1-D"
+                )
+            if values.shape != (n,):
+                raise ParameterError(
+                    f"initial_values must have shape ({n},), got {values.shape}"
+                )
+            values = np.broadcast_to(values, (replicas, n)).copy()
+        elif values.ndim == 2:
+            if values.shape[1] != n:
+                raise ParameterError(
+                    f"initial_values must have {n} columns, got {values.shape[1]}"
+                )
+            if replicas is not None and replicas != values.shape[0]:
+                raise ParameterError(
+                    f"replicas = {replicas} contradicts initial_values with "
+                    f"{values.shape[0]} rows"
+                )
+            values = values.copy()
+        else:
+            raise ParameterError("initial_values must be 1-D or 2-D")
+
+        if backend not in ("auto", "dense", "csr"):
+            raise ParameterError(
+                f"unknown backend {backend!r}; expected 'auto', 'dense' or 'csr'"
+            )
+        self.alpha = float(alpha)
+        self.lazy = bool(lazy)
+        self.rng = as_generator(seed)
+        self.values = values
+        self.t = 0
+        self._pi = self.adjacency.stationary_pi()
+        # Regular graphs have constant pi; skip the per-round gather.
+        self._pi_common = (
+            float(self._pi[0]) if self.adjacency.is_regular else None
+        )
+        self._backend_name = backend
+        self._active = np.ones(self.replicas, dtype=bool)
+        self._active_rows = np.arange(self.replicas)
+        self._row_offsets = self._active_rows * n
+        self._rounds_since_resync = 0
+        self.resync_moments()
+
+    # ------------------------------------------------------------------
+    # Shape and activity
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.adjacency.n
+
+    @property
+    def replicas(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def active(self) -> np.ndarray:
+        """Boolean mask of replicas still being stepped (read-only copy)."""
+        return self._active.copy()
+
+    @property
+    def num_active(self) -> int:
+        return len(self._active_rows)
+
+    def freeze(self, rows: np.ndarray | Sequence[int]) -> None:
+        """Stop stepping the given replicas (idempotent).
+
+        Frozen replicas keep their state; the driver freezes a replica
+        the moment it converges so the rest of the batch no longer pays
+        for it.
+        """
+        self._active[np.asarray(rows, dtype=np.int64)] = False
+        self._active_rows = np.flatnonzero(self._active)
+        self._row_offsets = self._active_rows * self.n
+
+    # ------------------------------------------------------------------
+    # Selection: the only model-specific ingredient
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _select_batch(
+        self, rows: np.ndarray, row_offsets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``(nodes, neighbour_means)`` for the given replica rows.
+
+        ``row_offsets`` is ``rows * n``, the flat-index base of each
+        row into ``values.reshape(-1)`` — precomputed so the hot path
+        can use cheap 1-D gathers instead of 2-D fancy indexing.
+        """
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step_batch(self) -> None:
+        """Advance every active replica by one time step."""
+        self.t += 1
+        rows = self._active_rows
+        if rows.size == 0:
+            return
+        offsets = self._row_offsets
+        if self.lazy:
+            keep = self.rng.random(rows.size) >= 0.5
+            rows = rows[keep]
+            offsets = offsets[keep]
+            if rows.size == 0:
+                return
+        nodes, means = self._select_batch(rows, offsets)
+        self._apply_rows(rows, offsets, nodes, means)
+        self._rounds_since_resync += 1
+        if self._rounds_since_resync >= _RESYNC_EVERY:
+            self.resync_moments()
+
+    def _apply_rows(
+        self,
+        rows: np.ndarray,
+        row_offsets: np.ndarray,
+        nodes: np.ndarray,
+        means: np.ndarray,
+    ) -> None:
+        """The unilateral update plus incremental moment bookkeeping."""
+        flat = self.values.reshape(-1)
+        idx = row_offsets + nodes
+        old = flat[idx]
+        new = self.alpha * old + (1.0 - self.alpha) * means
+        flat[idx] = new
+        weights = (
+            self._pi_common if self._pi_common is not None else self._pi[nodes]
+        )
+        delta1 = weights * (new - old)
+        delta2 = delta1 * (new + old)  # == weights * (new^2 - old^2)
+        if rows.size == self.replicas:
+            self._s1 += delta1
+            self._s2 += delta2
+        else:
+            self._s1[rows] += delta1
+            self._s2[rows] += delta2
+
+    def run(self, steps: int) -> None:
+        """Execute ``steps`` rounds (one time step per active replica each)."""
+        if steps < 0:
+            raise ParameterError(f"steps must be non-negative, got {steps}")
+        for _ in range(steps):
+            self.step_batch()
+
+    def run_until_phi(
+        self, epsilon: float, max_steps: int
+    ) -> np.ndarray:
+        """Per-replica ``T_eps``: step until every replica has ``phi <= eps``.
+
+        Returns an int array with each replica's hitting time counted
+        from the current state, or ``-1`` where ``max_steps`` rounds
+        elapsed first.  Convergence is checked every round (two O(B)
+        vector operations), so hitting times are exact, matching
+        :func:`repro.core.convergence.measure_t_eps`.  Replicas freeze
+        as they converge.  Already-frozen replicas report ``0`` when
+        their ``phi`` is within ``epsilon`` and ``-1`` otherwise (frozen
+        means they will never be stepped again).
+        """
+        if epsilon <= 0:
+            raise ParameterError(f"epsilon must be positive, got {epsilon}")
+        if max_steps < 0:
+            raise ParameterError(f"max_steps must be non-negative, got {max_steps}")
+        hit = np.full(self.replicas, -1, dtype=np.int64)
+        start = self.t
+        converged = self.phi <= epsilon
+        hit[converged] = 0
+        self.freeze(np.flatnonzero(converged))
+        while self.num_active and self.t - start < max_steps:
+            self.step_batch()
+            rows = self._active_rows
+            phi = np.maximum(self._s2[rows] - self._s1[rows] ** 2, 0.0)
+            done = rows[phi <= epsilon]
+            if len(done):
+                hit[done] = self.t - start
+                self.freeze(done)
+        return hit
+
+    def replay(self, schedule: Schedule) -> None:
+        """Apply a recorded selection sequence to every replica.
+
+        All replicas follow the *same* ``chi``; with identical initial
+        rows this reproduces the scalar process bit for bit — the
+        equivalence tests' coupling.
+        """
+        for step in schedule:
+            self.apply_selection(step.node, step.sample)
+
+    def apply_selection(self, node: int, sample: Sequence[int]) -> None:
+        """Apply one shared ``(u, S)`` selection to every active replica.
+
+        An empty ``sample`` is a lazy no-op (time still advances).
+        """
+        self.t += 1
+        if len(sample) == 0:
+            return
+        rows = self._active_rows
+        if len(rows) == 0:
+            return
+        sample = np.asarray(sample, dtype=np.int64)
+        means = self.values[np.ix_(rows, sample)].mean(axis=1)
+        nodes = np.full(len(rows), int(node), dtype=np.int64)
+        self._apply_rows(rows, self._row_offsets, nodes, means)
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
+    def resync_moments(self) -> None:
+        """Recompute the pi-weighted moments exactly from the state."""
+        self._s1 = self.values @ self._pi
+        self._s2 = (self.values * self.values) @ self._pi
+        self._rounds_since_resync = 0
+
+    @property
+    def phi(self) -> np.ndarray:
+        """Per-replica potential ``phi(xi_b(t))`` (Eq. 3)."""
+        return np.maximum(self._s2 - self._s1 * self._s1, 0.0)
+
+    @property
+    def weighted_average(self) -> np.ndarray:
+        """Per-replica martingale ``M_b(t) = <1, xi_b>_pi``."""
+        return self._s1.copy()
+
+    @property
+    def simple_average(self) -> np.ndarray:
+        """Per-replica simple average ``Avg_b(t)``."""
+        return self.values.mean(axis=1)
+
+    @property
+    def discrepancy(self) -> np.ndarray:
+        """Per-replica spread ``K_b = max_u xi_b,u - min_u xi_b,u``."""
+        return self.values.max(axis=1) - self.values.min(axis=1)
+
+    @property
+    def pi(self) -> np.ndarray:
+        return self._pi.copy()
+
+
+class BatchNodeModel(BatchAveragingProcess):
+    """Batched NodeModel (Definition 2.1): uniform node, uniform k-subset."""
+
+    def __init__(
+        self,
+        graph: nx.Graph | Adjacency,
+        initial_values: Sequence[float] | np.ndarray,
+        alpha: float,
+        k: int = 1,
+        replicas: int | None = None,
+        seed: SeedLike = None,
+        lazy: bool = False,
+        backend: str = "auto",
+    ) -> None:
+        super().__init__(
+            graph,
+            initial_values,
+            alpha,
+            replicas=replicas,
+            seed=seed,
+            lazy=lazy,
+            backend=backend,
+        )
+        self._sampler: SamplingBackend = select_backend(
+            self.adjacency, k, self._backend_name
+        )
+        self.k = self._sampler.k
+
+    def _select_batch(self, rows, row_offsets):
+        if self.k == 1:
+            # One uniform draw yields both the node (integer part of
+            # r * n) and the neighbour slot (fractional part), which are
+            # independent — halving the RNG traffic of the hot path.
+            scaled = self.rng.random(rows.size) * self.n
+            nodes = scaled.astype(np.int64)
+            means = self._sampler.pick_one(
+                self.values, row_offsets, nodes, scaled - nodes
+            )
+            return nodes, means
+        nodes = self.rng.integers(self.n, size=rows.size)
+        means = self._sampler.neighbour_means(
+            self.values, rows, row_offsets, nodes, self.rng
+        )
+        return nodes, means
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchNodeModel(B={self.replicas}, n={self.n}, alpha={self.alpha}, "
+            f"k={self.k}, lazy={self.lazy}, t={self.t})"
+        )
+
+
+class BatchEdgeModel(BatchAveragingProcess):
+    """Batched EdgeModel (Definition 2.3): uniform directed edge."""
+
+    def __init__(
+        self,
+        graph: nx.Graph | Adjacency,
+        initial_values: Sequence[float] | np.ndarray,
+        alpha: float,
+        replicas: int | None = None,
+        seed: SeedLike = None,
+        lazy: bool = False,
+        backend: str = "auto",
+    ) -> None:
+        super().__init__(
+            graph,
+            initial_values,
+            alpha,
+            replicas=replicas,
+            seed=seed,
+            lazy=lazy,
+            backend=backend,
+        )
+        self._tails = self.adjacency.edge_tails
+        self._heads = self.adjacency.edge_heads
+
+    def _select_batch(self, rows, row_offsets):
+        edges = self.rng.integers(len(self._tails), size=rows.size)
+        nodes = self._tails[edges]
+        means = self.values.reshape(-1)[row_offsets + self._heads[edges]]
+        return nodes, means
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchEdgeModel(B={self.replicas}, n={self.n}, m={self.adjacency.m}, "
+            f"alpha={self.alpha}, lazy={self.lazy}, t={self.t})"
+        )

@@ -1,0 +1,111 @@
+"""On-disk memoisation of batch-engine Monte-Carlo results.
+
+Sweeps re-run the same ``(model, graph, alpha, k, seed, tolerance)``
+points whenever a notebook restarts or a parameter grid is extended.
+:class:`ResultCache` stores each finished sample array under a key
+derived from the :meth:`~repro.engine.driver.EngineSpec.cache_token`
+(which hashes the graph structure and initial vector) plus the sampler
+parameters and the integer seed, so repeated sweeps resume for free.
+
+Only deterministic seeds are cached: with ``seed=None`` (OS entropy) or
+a live ``Generator`` whose position is unknowable, ``load`` and
+``store`` silently no-op rather than serve a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+#: Bump when the engine's sampling law changes; invalidates old entries.
+_CACHE_VERSION = 1
+
+
+def _seed_token(seed) -> Optional[str]:
+    """Stable text for a deterministic seed, or ``None`` if uncacheable."""
+    if isinstance(seed, (int, np.integer)):
+        return f"int:{int(seed)}"
+    if isinstance(seed, np.random.SeedSequence):
+        if seed.spawn_key == () and isinstance(seed.entropy, int):
+            return f"ss:{seed.entropy}"
+    return None
+
+
+class ResultCache:
+    """Content-addressed store of finished sample arrays.
+
+    Entries are ``.npy`` files named by a SHA-256 key; a JSON sidecar
+    records the human-readable key material for debugging.  Writes go
+    through a temp file + ``os.replace`` so concurrent shard workers or
+    parallel sweeps never observe a half-written entry.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _key(self, spec, params: str, seed_token: str) -> str:
+        material = f"v{_CACHE_VERSION}|{spec.cache_token()}|{params}|{seed_token}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        return self.directory / f"{key}.npy", self.directory / f"{key}.json"
+
+    def load(self, spec, params: str, seed) -> Optional[np.ndarray]:
+        """Return the memoised array, or ``None`` on miss / uncacheable seed."""
+        token = _seed_token(seed)
+        if token is None:
+            return None
+        path, _ = self._paths(self._key(spec, params, token))
+        if not path.exists():
+            return None
+        try:
+            return np.load(path)
+        except (OSError, ValueError):  # corrupt entry: treat as a miss
+            return None
+
+    def store(self, spec, params: str, seed, array: np.ndarray) -> bool:
+        """Persist ``array``; returns whether anything was written."""
+        token = _seed_token(seed)
+        if token is None:
+            return False
+        key = self._key(spec, params, token)
+        path, meta_path = self._paths(key)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".npy.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.save(handle, np.asarray(array))
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        meta_path.write_text(
+            json.dumps(
+                {
+                    "version": _CACHE_VERSION,
+                    "spec": spec.cache_token(),
+                    "params": params,
+                    "seed": token,
+                    "count": int(np.asarray(array).shape[0]),
+                },
+                indent=2,
+            )
+        )
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of arrays removed."""
+        removed = 0
+        for path in self.directory.glob("*.npy"):
+            path.unlink()
+            removed += 1
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+        return removed

@@ -1,0 +1,394 @@
+"""Batch drivers: run a replica batch to consensus, shard, parallelise.
+
+:class:`EngineSpec` is a picklable, hashable description of one process
+configuration (model kind, frozen graph, initial vector, parameters).
+The drivers consume specs rather than live process objects so batches
+can be rebuilt inside worker processes and results memoised on disk:
+
+* :func:`run_to_consensus_batch` / :func:`measure_t_eps_batch` — the
+  vectorized equivalents of
+  :func:`repro.core.convergence.run_to_consensus` and
+  :func:`~repro.core.convergence.measure_t_eps` over a live batch;
+* :func:`sample_f_batch` / :func:`sample_t_eps_batch` — spec-level
+  entry points that shard the replica budget into chunks (bounding peak
+  memory), optionally fan the shards out over worker processes, and
+  optionally memoise through :class:`repro.engine.cache.ResultCache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.batch import (
+    BatchAveragingProcess,
+    BatchEdgeModel,
+    BatchNodeModel,
+)
+from repro.exceptions import ConvergenceError, ParameterError
+from repro.graphs.adjacency import Adjacency
+from repro.rng import SeedLike
+
+#: Replicas per shard when the caller does not choose one.
+_DEFAULT_SHARD = 1024
+
+
+@dataclass(frozen=True, eq=False)
+class EngineSpec:
+    """Everything needed to rebuild one process configuration.
+
+    ``kind`` is ``"node"`` or ``"edge"``; ``k`` is ignored for the edge
+    model.  Instances are picklable (for multiprocessing shards),
+    hashable/comparable by content (the ndarray field rules out the
+    dataclass-generated ``__eq__``/``__hash__``), and expose
+    :meth:`cache_token` for result memoisation.
+    """
+
+    kind: str
+    adjacency: Adjacency
+    initial_values: np.ndarray
+    alpha: float
+    k: int = 1
+    lazy: bool = False
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("node", "edge"):
+            raise ParameterError(f"kind must be 'node' or 'edge', got {self.kind!r}")
+        values = np.asarray(self.initial_values, dtype=np.float64)
+        if values.shape != (self.adjacency.n,):
+            raise ParameterError(
+                f"initial_values must have shape ({self.adjacency.n},), "
+                f"got {values.shape}"
+            )
+        object.__setattr__(self, "initial_values", values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EngineSpec):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.adjacency == other.adjacency
+            and np.array_equal(self.initial_values, other.initial_values)
+            and self.alpha == other.alpha
+            and self.k == other.k
+            and self.lazy == other.lazy
+            and self.backend == other.backend
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.cache_token(), self.backend))
+
+    @classmethod
+    def from_process(cls, process) -> "EngineSpec":
+        """Derive a spec from a scalar NodeModel / EdgeModel instance.
+
+        Exact types only: a subclass may override the selection law, so
+        it cannot be assumed batchable and raises like any other foreign
+        process (callers fall back to the loop engine).
+        """
+        from repro.core.edge_model import EdgeModel
+        from repro.core.node_model import NodeModel
+
+        if type(process) is NodeModel:
+            return cls(
+                kind="node",
+                adjacency=process.adjacency,
+                initial_values=process._initial.copy(),
+                alpha=process.alpha,
+                k=process.k,
+                lazy=process.lazy,
+            )
+        if type(process) is EdgeModel:
+            return cls(
+                kind="edge",
+                adjacency=process.adjacency,
+                initial_values=process._initial.copy(),
+                alpha=process.alpha,
+                lazy=process.lazy,
+            )
+        raise ParameterError(
+            f"cannot derive an EngineSpec from {type(process).__name__}"
+        )
+
+    def build(self, replicas: int, seed: SeedLike = None) -> BatchAveragingProcess:
+        """Instantiate the batch process for ``replicas`` replicas."""
+        if self.kind == "node":
+            return BatchNodeModel(
+                self.adjacency,
+                self.initial_values,
+                self.alpha,
+                k=self.k,
+                replicas=replicas,
+                seed=seed,
+                lazy=self.lazy,
+                backend=self.backend,
+            )
+        return BatchEdgeModel(
+            self.adjacency,
+            self.initial_values,
+            self.alpha,
+            replicas=replicas,
+            seed=seed,
+            lazy=self.lazy,
+            backend=self.backend,
+        )
+
+    def cache_token(self) -> str:
+        """Deterministic text token identifying this configuration."""
+        values = np.ascontiguousarray(self.initial_values)
+        digest = hashlib.sha256(values.tobytes()).hexdigest()[:16]
+        k = self.k if self.kind == "node" else 1
+        return (
+            f"{self.kind}|g={self.adjacency.content_hash()[:16]}"
+            f"|x0={digest}|alpha={self.alpha!r}|k={k}|lazy={int(self.lazy)}"
+        )
+
+
+@dataclass(frozen=True)
+class BatchConsensusResult:
+    """Per-replica outcome of a batched run-to-consensus.
+
+    Arrays are aligned with the batch dimension: ``t[b]`` steps executed,
+    ``value[b]`` the consensus value ``F_b``, plus the residual spread
+    and potential at stopping time.
+    """
+
+    t: np.ndarray
+    value: np.ndarray
+    residual_discrepancy: np.ndarray
+    phi: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+
+def run_to_consensus_batch(
+    batch: BatchAveragingProcess,
+    discrepancy_tol: float = 1e-9,
+    max_steps: int = 50_000_000,
+    check_every: int = 64,
+) -> BatchConsensusResult:
+    """Run every replica until its value spread falls below the tolerance.
+
+    The vectorized counterpart of
+    :func:`repro.core.convergence.run_to_consensus`: the O(B * n) spread
+    check runs every ``check_every`` rounds, converged replicas freeze
+    immediately, and a :class:`ConvergenceError` is raised if any replica
+    exhausts ``max_steps``.
+    """
+    if discrepancy_tol <= 0:
+        raise ParameterError(f"discrepancy_tol must be positive, got {discrepancy_tol}")
+    if check_every < 1:
+        raise ParameterError(f"check_every must be positive, got {check_every}")
+
+    B = batch.replicas
+    t = np.zeros(B, dtype=np.int64)
+    value = np.empty(B, dtype=np.float64)
+    residual = np.empty(B, dtype=np.float64)
+    phi_out = np.empty(B, dtype=np.float64)
+
+    def _harvest(start: int) -> None:
+        rows = batch._active_rows
+        if len(rows) == 0:
+            return
+        active_values = batch.values[rows]
+        spread = active_values.max(axis=1) - active_values.min(axis=1)
+        mask = spread <= discrepancy_tol
+        if not mask.any():
+            return
+        done = rows[mask]
+        finished = active_values[mask]
+        # Exact moments for just the finished rows — a full-batch
+        # resync here would be O(B * n) per harvest event.
+        pi = batch._pi
+        s1 = finished @ pi
+        s2 = (finished**2) @ pi
+        t[done] = batch.t - start
+        value[done] = finished.mean(axis=1)
+        residual[done] = spread[mask]
+        phi_out[done] = np.maximum(s2 - s1 * s1, 0.0)
+        batch.freeze(done)
+
+    start = batch.t
+    _harvest(start)
+    while batch.num_active and batch.t - start < max_steps:
+        remaining = max_steps - (batch.t - start)
+        batch.run(min(check_every, remaining))
+        _harvest(start)
+    if batch.num_active:
+        rows = batch._active_rows
+        worst = float(batch.discrepancy[rows].max())
+        raise ConvergenceError(
+            f"{len(rows)} of {B} replicas above tol = {discrepancy_tol:.3e} "
+            f"(worst spread {worst:.3e}) after {max_steps} steps"
+        )
+    return BatchConsensusResult(
+        t=t, value=value, residual_discrepancy=residual, phi=phi_out
+    )
+
+
+def measure_t_eps_batch(
+    batch: BatchAveragingProcess,
+    epsilon: float,
+    max_steps: int,
+) -> np.ndarray:
+    """Per-replica ``T_eps`` via the batch's exact per-round detection.
+
+    Raises :class:`ConvergenceError` when any replica exhausts the step
+    budget, matching :func:`repro.core.convergence.measure_t_eps`.
+    """
+    hit = batch.run_until_phi(epsilon, max_steps)
+    if np.any(hit < 0):
+        raise ConvergenceError(
+            f"{int(np.sum(hit < 0))} of {batch.replicas} replicas above "
+            f"epsilon = {epsilon:.3e} after {max_steps} steps"
+        )
+    return hit
+
+
+# ----------------------------------------------------------------------
+# Spec-level sampling: sharding, multiprocessing, caching
+# ----------------------------------------------------------------------
+def _shard_sizes(replicas: int, shard_size: int) -> list[int]:
+    full, rest = divmod(replicas, shard_size)
+    return [shard_size] * full + ([rest] if rest else [])
+
+
+def _run_shard_f(
+    spec: EngineSpec,
+    replicas: int,
+    seed: np.random.SeedSequence,
+    discrepancy_tol: float,
+    max_steps: int,
+) -> np.ndarray:
+    batch = spec.build(replicas, seed=seed)
+    return run_to_consensus_batch(
+        batch, discrepancy_tol=discrepancy_tol, max_steps=max_steps
+    ).value
+
+
+def _run_shard_t(
+    spec: EngineSpec,
+    replicas: int,
+    seed: np.random.SeedSequence,
+    epsilon: float,
+    max_steps: int,
+) -> np.ndarray:
+    batch = spec.build(replicas, seed=seed)
+    return measure_t_eps_batch(batch, epsilon, max_steps).astype(np.float64)
+
+
+def _run_sharded(
+    worker,
+    spec: EngineSpec,
+    replicas: int,
+    seed: SeedLike,
+    shard_size: Optional[int],
+    processes: int,
+    *args,
+) -> np.ndarray:
+    if replicas < 1:
+        raise ParameterError(f"replicas must be positive, got {replicas}")
+    if processes < 1:
+        raise ParameterError(f"processes must be positive, got {processes}")
+    shard_size = shard_size or _DEFAULT_SHARD
+    sizes = _shard_sizes(replicas, shard_size)
+    if isinstance(seed, np.random.SeedSequence):
+        children = seed.spawn(len(sizes))
+    elif isinstance(seed, np.random.Generator):
+        children = seed.bit_generator.seed_seq.spawn(len(sizes))  # type: ignore[union-attr]
+    else:
+        children = np.random.SeedSequence(seed).spawn(len(sizes))
+    if processes == 1 or len(sizes) == 1:
+        parts = [
+            worker(spec, size, child, *args)
+            for size, child in zip(sizes, children)
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            futures = [
+                pool.submit(worker, spec, size, child, *args)
+                for size, child in zip(sizes, children)
+            ]
+            parts = [f.result() for f in futures]
+    return np.concatenate(parts)
+
+
+def sample_f_batch(
+    spec: EngineSpec,
+    replicas: int,
+    seed: SeedLike = None,
+    discrepancy_tol: float = 1e-8,
+    max_steps: int = 50_000_000,
+    shard_size: Optional[int] = None,
+    processes: int = 1,
+    cache: "Optional[object]" = None,
+) -> np.ndarray:
+    """I.i.d. samples of the convergence value ``F`` from the batch engine.
+
+    ``shard_size`` bounds each batch's memory footprint (replicas are
+    split into chunks of at most this many rows); ``processes > 1`` fans
+    the shards out across worker processes; ``cache`` (a
+    :class:`repro.engine.cache.ResultCache`) memoises the whole call when
+    the seed is deterministic.
+    """
+    params = (
+        f"F|tol={discrepancy_tol!r}|max={max_steps}|r={replicas}"
+        f"|shard={shard_size or _DEFAULT_SHARD}"
+    )
+    if cache is not None:
+        hit = cache.load(spec, params, seed)
+        if hit is not None:
+            return hit
+    out = _run_sharded(
+        _run_shard_f,
+        spec,
+        replicas,
+        seed,
+        shard_size,
+        processes,
+        discrepancy_tol,
+        max_steps,
+    )
+    if cache is not None:
+        cache.store(spec, params, seed, out)
+    return out
+
+
+def sample_t_eps_batch(
+    spec: EngineSpec,
+    epsilon: float,
+    replicas: int,
+    seed: SeedLike = None,
+    max_steps: int = 50_000_000,
+    shard_size: Optional[int] = None,
+    processes: int = 1,
+    cache: "Optional[object]" = None,
+) -> np.ndarray:
+    """I.i.d. samples of the convergence time ``T_eps`` (batch engine)."""
+    params = (
+        f"T|eps={epsilon!r}|max={max_steps}|r={replicas}"
+        f"|shard={shard_size or _DEFAULT_SHARD}"
+    )
+    if cache is not None:
+        hit = cache.load(spec, params, seed)
+        if hit is not None:
+            return hit
+    out = _run_sharded(
+        _run_shard_t,
+        spec,
+        replicas,
+        seed,
+        shard_size,
+        processes,
+        epsilon,
+        max_steps,
+    )
+    if cache is not None:
+        cache.store(spec, params, seed, out)
+    return out

@@ -33,7 +33,9 @@ from repro.theory.variance import variance_bounds
 EPSILON = 1e-8
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+def run(
+    fast: bool = True, seed: int = 0, engine: str = "batch"
+) -> list[ResultTable]:
     """Sweep alpha on a fixed regular expander: speed vs accuracy."""
     n = 36 if fast else 100
     d = 4
@@ -63,11 +65,12 @@ def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
             return NodeModel(graph, initial, alpha=alpha, k=1, seed=rng)
 
         times = sample_t_eps(
-            make, EPSILON, time_replicas, seed=seed + 1, max_steps=200_000_000
+            make, EPSILON, time_replicas, seed=seed + 1, max_steps=200_000_000,
+            engine=engine,
         )
         f_sample = sample_f_values(
             make, var_replicas, seed=seed + 2, discrepancy_tol=tol,
-            max_steps=500_000_000,
+            max_steps=500_000_000, engine=engine,
         )
         estimate = estimate_moments(f_sample, seed=seed)
         bounds = variance_bounds(graph, initial, alpha=alpha, k=1)

@@ -31,7 +31,9 @@ ALPHA = 0.5
 EPSILON = 1e-8
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+def run(
+    fast: bool = True, seed: int = 0, engine: str = "batch"
+) -> list[ResultTable]:
     """Measure EdgeModel T_eps across regular and irregular graphs."""
     replicas = 5 if fast else 20
     sizes = [16, 32] if fast else [32, 64, 128]
@@ -60,7 +62,8 @@ def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
                 return EdgeModel(graph, initial, alpha=ALPHA, seed=rng)
 
             times = sample_t_eps(
-                make, EPSILON, replicas, seed=seed + n, max_steps=500_000_000
+                make, EPSILON, replicas, seed=seed + n, max_steps=500_000_000,
+                engine=engine,
             )
             measured = float(times.mean())
             table.add_row(family, nn, m, lambda2_l, measured, bound, measured / bound)

@@ -27,7 +27,9 @@ from repro.sim.results import ResultTable
 ALPHA = 0.5
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+def run(
+    fast: bool = True, seed: int = 0, engine: str = "batch"
+) -> list[ResultTable]:
     """Skewness and excess kurtosis of F across settings."""
     n = 30 if fast else 80
     replicas = 250 if fast else 1_200
@@ -53,7 +55,7 @@ def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
 
             sample = sample_f_values(
                 make, replicas, seed=seed, discrepancy_tol=tol,
-                max_steps=500_000_000,
+                max_steps=500_000_000, engine=engine,
             )
             estimate = estimate_moments(sample, seed=seed)
             table.add_row(

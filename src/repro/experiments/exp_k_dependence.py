@@ -26,7 +26,9 @@ ALPHA = 0.5
 EPSILON = 1e-8
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+def run(
+    fast: bool = True, seed: int = 0, engine: str = "batch"
+) -> list[ResultTable]:
     """Sweep ``k`` on a d-regular expander; report T_eps(k)/T_eps(1)."""
     n = 48 if fast else 128
     d = 8
@@ -49,7 +51,8 @@ def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
             return NodeModel(graph, initial, alpha=ALPHA, k=k, seed=rng)
 
         times = sample_t_eps(
-            make, EPSILON, replicas, seed=seed + k, max_steps=100_000_000
+            make, EPSILON, replicas, seed=seed + k, max_steps=100_000_000,
+            engine=engine,
         )
         measured = float(times.mean())
         predicted = predicted_t_eps_node(n, lambda2, ALPHA, k, phi0, EPSILON)

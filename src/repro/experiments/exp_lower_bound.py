@@ -28,7 +28,9 @@ ALPHA = 0.5
 EPSILON = 1e-6
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+def run(
+    fast: bool = True, seed: int = 0, engine: str = "batch"
+) -> list[ResultTable]:
     """Measure T_eps from the Prop. B.2 worst-case initial states."""
     replicas = 5 if fast else 20
     sizes = [16, 32] if fast else [32, 64, 128]
@@ -51,7 +53,8 @@ def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
                 return NodeModel(graph, initial, alpha=ALPHA, k=1, seed=rng)
 
             times = sample_t_eps(
-                make_node, EPSILON, replicas, seed=seed + n, max_steps=500_000_000
+                make_node, EPSILON, replicas, seed=seed + n,
+                max_steps=500_000_000, engine=engine,
             )
             table.add_row("node", name, n, float(times.mean()), bound,
                           float(times.mean()) / bound)
@@ -69,7 +72,8 @@ def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
                 return EdgeModel(graph, initial, alpha=ALPHA, seed=rng)
 
             times_e = sample_t_eps(
-                make_edge, EPSILON, replicas, seed=seed + n + 1, max_steps=500_000_000
+                make_edge, EPSILON, replicas, seed=seed + n + 1,
+                max_steps=500_000_000, engine=engine,
             )
             table.add_row("edge", name, n, float(times_e.mean()), bound_e,
                           float(times_e.mean()) / bound_e)

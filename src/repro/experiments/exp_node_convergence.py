@@ -45,7 +45,9 @@ def _families(fast: bool, seed: int):
     yield "torus", [(n, torus_graph(n)) for n in square_sizes]
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+def run(
+    fast: bool = True, seed: int = 0, engine: str = "batch"
+) -> list[ResultTable]:
     """Measure ``T_eps`` across graph families and compare to the bound."""
     replicas = 5 if fast else 20
     table = ResultTable(
@@ -72,7 +74,8 @@ def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
                 return NodeModel(graph, initial, alpha=ALPHA, k=1, seed=rng)
 
             times = sample_t_eps(
-                make, EPSILON, replicas, seed=seed + n, max_steps=200_000_000
+                make, EPSILON, replicas, seed=seed + n, max_steps=200_000_000,
+                engine=engine,
             )
             measured = float(times.mean())
             table.add_row(

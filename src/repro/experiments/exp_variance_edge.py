@@ -22,8 +22,14 @@ from repro.theory.variance import variance_bounds, variance_envelope
 ALPHA = 0.5
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
-    """EdgeModel vs NodeModel(k=1) variance on regular graphs."""
+def run(
+    fast: bool = True, seed: int = 0, engine: str = "batch"
+) -> list[ResultTable]:
+    """EdgeModel vs NodeModel(k=1) variance on regular graphs.
+
+    ``engine`` selects the replica simulator: the vectorized batch
+    engine (default) or the legacy per-replica loop (the oracle).
+    """
     n = 36 if fast else 100
     replicas = 160 if fast else 600
     tol = 1e-6 if fast else 1e-8
@@ -60,7 +66,7 @@ def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
         for model, make in [("edge", make_edge), ("node k=1", make_node)]:
             sample = sample_f_values(
                 make, replicas, seed=seed + d, discrepancy_tol=tol,
-                max_steps=500_000_000,
+                max_steps=500_000_000, engine=engine,
             )
             estimate = estimate_moments(sample, seed=seed)
             lo, hi = estimate.variance_ci

@@ -29,7 +29,9 @@ from repro.theory.variance import variance_envelope
 ALPHA = 0.5
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+def run(
+    fast: bool = True, seed: int = 0, engine: str = "batch"
+) -> list[ResultTable]:
     """Empirical Var(F) on irregular graphs vs mean-degree envelope."""
     n = 30 if fast else 80
     replicas = 150 if fast else 500
@@ -79,7 +81,7 @@ def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
 
             sample = sample_f_values(
                 make, replicas, seed=seed, discrepancy_tol=tol,
-                max_steps=500_000_000,
+                max_steps=500_000_000, engine=engine,
             )
             estimate = estimate_moments(sample, seed=seed)
             table.add_row(

@@ -32,20 +32,27 @@ from repro.theory.variance import variance_bounds, variance_envelope
 ALPHA = 0.5
 
 
-def _mc_variance(graph, initial, k, replicas, seed, tol):
+def _mc_variance(graph, initial, k, replicas, seed, tol, engine="batch"):
     def make(rng):
         return NodeModel(graph, initial, alpha=ALPHA, k=k, seed=rng)
 
     values = sample_f_values(
-        make, replicas, seed=seed, discrepancy_tol=tol, max_steps=500_000_000
+        make, replicas, seed=seed, discrepancy_tol=tol, max_steps=500_000_000,
+        engine=engine,
     )
     # 99% CIs: the envelope-consistency check below should fail on a real
     # discrepancy, not on a 1-in-20 bootstrap miss.
     return estimate_moments(values, confidence=0.99, seed=seed)
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
-    """Monte-Carlo Var(F) vs the Proposition 5.8 envelope."""
+def run(
+    fast: bool = True, seed: int = 0, engine: str = "batch"
+) -> list[ResultTable]:
+    """Monte-Carlo Var(F) vs the Proposition 5.8 envelope.
+
+    ``engine`` selects the replica simulator: the vectorized batch
+    engine (default) or the legacy per-replica loop (the oracle).
+    """
     n = 36 if fast else 100
     replicas = 160 if fast else 600
     tol = 1e-6 if fast else 1e-8
@@ -75,7 +82,7 @@ def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
         ],
     )
     for name, graph, d in graphs:
-        estimate = _mc_variance(graph, base_values, 1, replicas, seed + d, tol)
+        estimate = _mc_variance(graph, base_values, 1, replicas, seed + d, tol, engine)
         bounds = variance_bounds(graph, base_values, alpha=ALPHA, k=1)
         env_low, env_high = variance_envelope(n, d, 1, ALPHA, norm_sq)
         lo, hi = estimate.variance_ci
@@ -110,7 +117,9 @@ def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
     )
     k_replicas = max(80, replicas // 2)
     for k in (1, 2, 4, 8):
-        estimate = _mc_variance(graph_k, values_k, k, k_replicas, seed + 100 + k, tol)
+        estimate = _mc_variance(
+            graph_k, values_k, k, k_replicas, seed + 100 + k, tol, engine
+        )
         bounds = variance_bounds(graph_k, values_k, alpha=ALPHA, k=k)
         lo, hi = estimate.variance_ci
         k_table.add_row(k, estimate.variance, lo, hi, bounds.core)
@@ -131,7 +140,7 @@ def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
         ("random placement", shuffled),
     ]:
         values = center_simple(values)
-        estimate = _mc_variance(graph_p, values, 1, k_replicas, seed + 200, tol)
+        estimate = _mc_variance(graph_p, values, 1, k_replicas, seed + 200, tol, engine)
         lo, hi = estimate.variance_ci
         placement.add_row(label, estimate.variance, lo, hi)
     placement.add_note(

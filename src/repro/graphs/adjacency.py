@@ -16,6 +16,7 @@ single integer sample, matching Definition 2.3 exactly.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import networkx as nx
@@ -159,6 +160,46 @@ class Adjacency:
     def stationary_pi(self) -> np.ndarray:
         """Random-walk stationary distribution ``pi_u = d_u / 2m`` (Eq. 1)."""
         return self.degrees / float(self.num_directed_edges)
+
+    # ------------------------------------------------------------------
+    # Batched access (repro.engine)
+    # ------------------------------------------------------------------
+    def padded_neighbors(self) -> np.ndarray:
+        """Dense ``(n, d_max)`` neighbour table.
+
+        Row ``u`` holds ``u``'s sorted neighbours in its first ``d_u``
+        slots; the remaining slots are zero-padding that samplers must
+        never index past :attr:`degrees` ``[u]``.  The batch engine's
+        dense backend samples neighbours for a whole replica batch with
+        one fancy-indexing gather on this table.  Built lazily and
+        cached on the (frozen) instance; the returned array is
+        read-only.
+        """
+        cached = self.__dict__.get("_padded")
+        if cached is None:
+            table = np.zeros((self.n, self.d_max), dtype=np.int64)
+            for u in range(self.n):
+                start, end = self.offsets[u], self.offsets[u + 1]
+                table[u, : end - start] = self.neighbors[start:end]
+            table.setflags(write=False)
+            cached = table
+            object.__setattr__(self, "_padded", cached)
+        return cached
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the graph structure.
+
+        Keys the engine's on-disk result cache: two adjacencies with the
+        same node set and edge set (after relabelling) hash identically.
+        """
+        cached = self.__dict__.get("_content_hash")
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(np.ascontiguousarray(self.offsets).tobytes())
+            digest.update(np.ascontiguousarray(self.neighbors).tobytes())
+            cached = digest.hexdigest()
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
 
     def to_networkx(self) -> nx.Graph:
         """Rebuild a :class:`networkx.Graph` on nodes ``0..n-1``."""

@@ -21,22 +21,31 @@ def sweep(
     axes: Mapping[str, Sequence[Any]],
     evaluate: Callable[..., Mapping[str, Any]],
     measurements: Sequence[str],
+    common: Mapping[str, Any] | None = None,
 ) -> ResultTable:
     """Evaluate ``evaluate(**point)`` over the cartesian product of ``axes``.
 
     ``evaluate`` receives one keyword per axis and must return a mapping
     containing every name in ``measurements``.  Rows appear in
     lexicographic axis order, axes first, measurements after.
+
+    ``common`` holds extra keywords passed unchanged to *every* point —
+    the way experiments thread run-wide options (``engine="batch"``, a
+    cache directory, a worker count) through a grid without widening it.
     """
     if not axes:
         raise ParameterError("at least one axis is required")
     if not measurements:
         raise ParameterError("at least one measurement is required")
     names = list(axes)
+    common = dict(common or {})
+    overlap = [name for name in names if name in common]
+    if overlap:
+        raise ParameterError(f"common keys {overlap} collide with axes")
     table = ResultTable(title, columns=[*names, *measurements])
     for combo in itertools.product(*(axes[name] for name in names)):
         point = dict(zip(names, combo))
-        outcome = evaluate(**point)
+        outcome = evaluate(**point, **common)
         missing = [m for m in measurements if m not in outcome]
         if missing:
             raise ParameterError(

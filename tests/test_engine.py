@@ -1,0 +1,389 @@
+"""Equivalence and behaviour tests for the batch engine.
+
+The scalar :mod:`repro.core` processes are the correctness oracle: the
+batch engine must reproduce them *exactly* under a shared recorded
+schedule (the coupling argument — same selections, same arithmetic) and
+*statistically* when each engine draws its own randomness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import measure_t_eps, run_to_consensus
+from repro.core.edge_model import EdgeModel
+from repro.core.initial import center_simple, rademacher_values
+from repro.core.node_model import NodeModel
+from repro.engine import (
+    BatchEdgeModel,
+    BatchNodeModel,
+    EngineSpec,
+    ResultCache,
+    measure_t_eps_batch,
+    run_to_consensus_batch,
+    sample_f_batch,
+)
+from repro.exceptions import ConvergenceError, ParameterError
+from repro.graphs.adjacency import Adjacency
+from repro.graphs.generators import random_regular_graph
+from repro.sim.montecarlo import sample_f_values, sample_t_eps
+
+
+@pytest.fixture
+def regular36():
+    return random_regular_graph(36, 4, seed=0)
+
+
+@pytest.fixture
+def values36():
+    return center_simple(rademacher_values(36, seed=1))
+
+
+class TestScheduleReplayEquivalence:
+    """Shared schedule => identical trajectories, step for step."""
+
+    def _assert_stepwise(self, reference, batch):
+        for step in reference.schedule:
+            batch.apply_selection(step.node, step.sample)
+        assert batch.t == reference.t
+        np.testing.assert_array_equal(
+            batch.values, np.broadcast_to(reference.values, batch.values.shape)
+        )
+
+    def test_node_model(self, regular36, values36):
+        ref = NodeModel(
+            regular36, values36, alpha=0.5, k=2, seed=3, record_schedule=True
+        )
+        ref.run(500)
+        batch = BatchNodeModel(
+            regular36, values36, alpha=0.5, k=2, replicas=3, seed=99
+        )
+        self._assert_stepwise(ref, batch)
+        assert batch.phi[0] == pytest.approx(ref.phi, abs=1e-12)
+
+    def test_edge_model(self, regular36, values36):
+        ref = EdgeModel(
+            regular36, values36, alpha=0.7, seed=4, record_schedule=True
+        )
+        ref.run(500)
+        batch = BatchEdgeModel(
+            regular36, values36, alpha=0.7, replicas=2, seed=99
+        )
+        self._assert_stepwise(ref, batch)
+
+    def test_lazy_variant_with_noops(self, regular36, values36):
+        ref = NodeModel(
+            regular36, values36, alpha=0.5, k=1, seed=5, lazy=True,
+            record_schedule=True,
+        )
+        ref.run(400)
+        assert any(step.is_noop for step in ref.schedule)
+        batch = BatchNodeModel(
+            regular36, values36, alpha=0.5, k=1, replicas=2, seed=99
+        )
+        batch.replay(ref.schedule)
+        assert batch.t == ref.t
+        np.testing.assert_array_equal(batch.values[0], ref.values)
+
+    def test_stepwise_values_track_reference(self, regular36, values36):
+        """Not just the endpoint: every intermediate state matches."""
+        ref = NodeModel(
+            regular36, values36, alpha=0.5, k=3, seed=6, record_schedule=True
+        )
+        batch = BatchNodeModel(
+            regular36, values36, alpha=0.5, k=3, replicas=2, seed=99
+        )
+        for _ in range(100):
+            ref.step()
+            batch.apply_selection(ref.schedule[-1].node, ref.schedule[-1].sample)
+            np.testing.assert_array_equal(batch.values[1], ref.values)
+
+
+class TestBackendAgreement:
+    def test_dense_and_csr_identical_k1_irregular(self, star5):
+        import networkx as nx
+
+        graph = nx.connected_watts_strogatz_graph(30, 6, 0.3, seed=2)
+        values = center_simple(np.random.default_rng(0).normal(size=30))
+        dense = BatchNodeModel(
+            graph, values, alpha=0.5, k=1, replicas=8, seed=11, backend="dense"
+        )
+        csr = BatchNodeModel(
+            graph, values, alpha=0.5, k=1, replicas=8, seed=11, backend="csr"
+        )
+        dense.run(400)
+        csr.run(400)
+        np.testing.assert_array_equal(dense.values, csr.values)
+
+    def test_dense_and_csr_identical_general_k(self):
+        import networkx as nx
+
+        graph = nx.connected_watts_strogatz_graph(30, 6, 0.3, seed=3)
+        values = center_simple(np.random.default_rng(1).normal(size=30))
+        dense = BatchNodeModel(
+            graph, values, alpha=0.5, k=2, replicas=8, seed=13, backend="dense"
+        )
+        csr = BatchNodeModel(
+            graph, values, alpha=0.5, k=2, replicas=8, seed=13, backend="csr"
+        )
+        dense.run(400)
+        csr.run(400)
+        np.testing.assert_array_equal(dense.values, csr.values)
+
+    def test_unknown_backend_rejected(self, regular36, values36):
+        with pytest.raises(ParameterError):
+            BatchNodeModel(
+                regular36, values36, alpha=0.5, replicas=2, backend="gpu"
+            )
+
+
+class TestStatisticalEquivalence:
+    """Each engine draws its own randomness; moments must agree."""
+
+    def test_f_moments_match_loop(self, regular36, values36):
+        def make(rng):
+            return NodeModel(regular36, values36, alpha=0.5, k=1, seed=rng)
+
+        loop = sample_f_values(
+            make, 300, seed=5, discrepancy_tol=1e-6, engine="loop"
+        )
+        batch = sample_f_values(
+            make, 300, seed=5, discrepancy_tol=1e-6, engine="batch"
+        )
+        assert len(batch) == len(loop) == 300
+        # Means: both estimate E[F] = 0; compare within combined stderr.
+        stderr = np.hypot(loop.std() / np.sqrt(300), batch.std() / np.sqrt(300))
+        assert abs(loop.mean() - batch.mean()) < 5 * stderr
+        # Variances: Var(F) is the paper's headline quantity.
+        ratio = batch.var(ddof=1) / loop.var(ddof=1)
+        assert 0.6 < ratio < 1.7
+
+    def test_t_eps_distribution_matches_loop(self, regular36, values36):
+        def make(rng):
+            return NodeModel(regular36, values36, alpha=0.5, k=1, seed=rng)
+
+        loop = sample_t_eps(make, 1e-6, 60, seed=6, engine="loop")
+        batch = sample_t_eps(make, 1e-6, 60, seed=6, engine="batch")
+        assert np.all(batch > 0)
+        assert 0.8 < batch.mean() / loop.mean() < 1.25
+
+    def test_edge_model_f_moments_match_loop(self, regular36, values36):
+        def make(rng):
+            return EdgeModel(regular36, values36, alpha=0.5, seed=rng)
+
+        loop = sample_f_values(
+            make, 200, seed=7, discrepancy_tol=1e-6, engine="loop"
+        )
+        batch = sample_f_values(
+            make, 200, seed=7, discrepancy_tol=1e-6, engine="batch"
+        )
+        ratio = batch.var(ddof=1) / loop.var(ddof=1)
+        assert 0.5 < ratio < 2.0
+
+
+class TestDrivers:
+    def test_consensus_matches_scalar_semantics(self, regular36, values36):
+        batch = BatchNodeModel(
+            regular36, values36, alpha=0.5, k=1, replicas=32, seed=5
+        )
+        result = run_to_consensus_batch(batch, discrepancy_tol=1e-6)
+        assert len(result) == 32
+        assert np.all(result.residual_discrepancy <= 1e-6)
+        assert np.all(result.t > 0)
+        # F values stay in the convex hull of the initial values.
+        assert np.all(result.value >= values36.min() - 1e-9)
+        assert np.all(result.value <= values36.max() + 1e-9)
+        # Every replica is frozen afterwards.
+        assert batch.num_active == 0
+
+    def test_consensus_budget_exhaustion_raises(self, regular36, values36):
+        batch = BatchNodeModel(
+            regular36, values36, alpha=0.5, k=1, replicas=4, seed=5
+        )
+        with pytest.raises(ConvergenceError):
+            run_to_consensus_batch(batch, discrepancy_tol=1e-9, max_steps=10)
+
+    def test_t_eps_exact_counting(self, regular36, values36):
+        """Batch hitting times agree with the scalar loop's in scale."""
+        batch = BatchNodeModel(
+            regular36, values36, alpha=0.5, k=1, replicas=16, seed=8
+        )
+        times = measure_t_eps_batch(batch, 1e-6, 10_000_000)
+        reference = [
+            measure_t_eps(
+                NodeModel(regular36, values36, alpha=0.5, k=1, seed=s),
+                1e-6,
+                10_000_000,
+            )
+            for s in range(3)
+        ]
+        assert 0.5 < times.mean() / np.mean(reference) < 2.0
+
+    def test_already_converged_replicas_report_zero(self, regular36):
+        batch = BatchNodeModel(
+            regular36, np.zeros(36), alpha=0.5, k=1, replicas=4, seed=9
+        )
+        times = batch.run_until_phi(1e-6, 100)
+        np.testing.assert_array_equal(times, 0)
+
+    def test_frozen_converged_batch_reports_zero(self, regular36, values36):
+        """A fully consensus-frozen batch is not a T_eps failure."""
+        batch = BatchNodeModel(
+            regular36, values36, alpha=0.5, k=1, replicas=4, seed=11
+        )
+        run_to_consensus_batch(batch, discrepancy_tol=1e-6)
+        assert batch.num_active == 0
+        times = measure_t_eps_batch(batch, 1.0, 100)
+        np.testing.assert_array_equal(times, 0)
+
+    def test_multiprocessing_shards_match_serial(self, regular36, values36):
+        spec = EngineSpec(
+            "node", Adjacency.from_graph(regular36), values36, 0.5, 1
+        )
+        serial = sample_f_batch(
+            spec, 120, seed=7, discrepancy_tol=1e-6, shard_size=48, processes=1
+        )
+        parallel = sample_f_batch(
+            spec, 120, seed=7, discrepancy_tol=1e-6, shard_size=48, processes=2
+        )
+        np.testing.assert_array_equal(serial, parallel)
+
+
+class TestCache:
+    def test_round_trip_and_reuse(self, tmp_path, regular36, values36):
+        spec = EngineSpec(
+            "node", Adjacency.from_graph(regular36), values36, 0.5, 1
+        )
+        cache = ResultCache(tmp_path)
+        first = sample_f_batch(
+            spec, 60, seed=3, discrepancy_tol=1e-6, cache=cache
+        )
+        assert list(tmp_path.glob("*.npy"))
+        again = sample_f_batch(
+            spec, 60, seed=3, discrepancy_tol=1e-6, cache=cache
+        )
+        np.testing.assert_array_equal(first, again)
+
+    def test_key_separates_parameters(self, tmp_path, regular36, values36):
+        spec = EngineSpec(
+            "node", Adjacency.from_graph(regular36), values36, 0.5, 1
+        )
+        cache = ResultCache(tmp_path)
+        a = sample_f_batch(spec, 40, seed=3, discrepancy_tol=1e-6, cache=cache)
+        b = sample_f_batch(spec, 40, seed=4, discrepancy_tol=1e-6, cache=cache)
+        assert len(list(tmp_path.glob("*.npy"))) == 2
+        assert not np.array_equal(a, b)
+
+    def test_nondeterministic_seed_not_cached(self, tmp_path, regular36, values36):
+        spec = EngineSpec(
+            "node", Adjacency.from_graph(regular36), values36, 0.5, 1
+        )
+        cache = ResultCache(tmp_path)
+        sample_f_batch(spec, 20, seed=None, discrepancy_tol=1e-6, cache=cache)
+        assert not list(tmp_path.glob("*.npy"))
+
+    def test_via_sample_f_values_cache_dir(self, tmp_path, regular36, values36):
+        def make(rng):
+            return NodeModel(regular36, values36, alpha=0.5, k=1, seed=rng)
+
+        first = sample_f_values(
+            make, 40, seed=9, discrepancy_tol=1e-6, cache_dir=str(tmp_path)
+        )
+        second = sample_f_values(
+            make, 40, seed=9, discrepancy_tol=1e-6, cache_dir=str(tmp_path)
+        )
+        np.testing.assert_array_equal(first, second)
+        assert list(tmp_path.glob("*.npy"))
+
+
+class TestEngineSelection:
+    def test_loop_fallback_for_custom_process(self, regular36, values36):
+        """A factory the engine cannot describe silently uses the loop.
+
+        A subclass may override the selection law, so it must not be
+        batchable even when it adds nothing else.
+        """
+        from repro.sim.montecarlo import _derive_spec
+
+        class Custom(NodeModel):
+            pass
+
+        def make(rng):
+            return Custom(regular36, values36, alpha=0.5, k=1, seed=rng)
+
+        assert _derive_spec(make, 1) is None
+        sample = sample_f_values(make, 5, seed=1, discrepancy_tol=1e-6)
+        assert len(sample) == 5
+
+    def test_loop_fallback_for_per_replica_initials(self, regular36):
+        """Randomised per-replica starts are detected and loop-routed."""
+
+        def make(rng):
+            return NodeModel(
+                regular36, rng.normal(size=36), alpha=0.5, k=1, seed=rng
+            )
+
+        sample = sample_f_values(make, 5, seed=2, discrepancy_tol=1e-6)
+        assert len(np.unique(np.round(sample, 12))) > 1
+
+    def test_unknown_engine_rejected(self, regular36, values36):
+        def make(rng):
+            return NodeModel(regular36, values36, alpha=0.5, k=1, seed=rng)
+
+        with pytest.raises(ParameterError):
+            sample_f_values(make, 5, seed=1, engine="warp")
+
+    def test_spec_equality_and_hash(self, regular36, values36):
+        """Specs compare and hash by content (usable as dict/set keys)."""
+        adjacency = Adjacency.from_graph(regular36)
+        a = EngineSpec("node", adjacency, values36, 0.5, 2)
+        b = EngineSpec("node", adjacency, values36.copy(), 0.5, 2)
+        c = EngineSpec("node", adjacency, values36, 0.5, 4)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+
+class TestBatchConstruction:
+    def test_matrix_initials_per_replica(self, regular36, rng):
+        starts = rng.normal(size=(5, 36))
+        batch = BatchNodeModel(regular36, starts, alpha=0.5, k=1, seed=1)
+        assert batch.replicas == 5
+        np.testing.assert_array_equal(batch.values, starts)
+
+    def test_shape_validation(self, regular36, values36):
+        with pytest.raises(ParameterError):
+            BatchNodeModel(regular36, values36, alpha=0.5, k=1)  # no replicas
+        with pytest.raises(ParameterError):
+            BatchNodeModel(
+                regular36, values36[:-1], alpha=0.5, k=1, replicas=2
+            )
+        with pytest.raises(ParameterError):
+            BatchNodeModel(
+                regular36, np.zeros((3, 36)), alpha=0.5, k=1, replicas=4
+            )
+
+    def test_k_validation_matches_scalar(self, star5):
+        values = np.zeros(6)
+        with pytest.raises(ParameterError):
+            BatchNodeModel(star5, values, alpha=0.5, k=2, replicas=2)
+
+    def test_observables_shapes(self, regular36, values36):
+        batch = BatchNodeModel(
+            regular36, values36, alpha=0.5, k=1, replicas=7, seed=2
+        )
+        batch.run(50)
+        assert batch.phi.shape == (7,)
+        assert batch.discrepancy.shape == (7,)
+        assert batch.weighted_average.shape == (7,)
+        assert batch.simple_average.shape == (7,)
+
+    def test_martingale_preserved(self, regular36, values36):
+        """The pi-weighted mean is a martingale; it never drifts far."""
+        batch = BatchNodeModel(
+            regular36, values36, alpha=0.5, k=1, replicas=64, seed=3
+        )
+        before = batch.weighted_average.mean()
+        batch.run(2_000)
+        batch.resync_moments()
+        after = batch.weighted_average.mean()
+        assert abs(after - before) < 0.2

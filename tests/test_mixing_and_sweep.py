@@ -129,6 +129,26 @@ class TestSweep:
     def test_sweep_size(self):
         assert sweep_size({"a": [1, 2], "b": [1, 2, 3]}) == 6
 
+    def test_common_kwargs_reach_every_point(self):
+        table = sweep(
+            "demo",
+            axes={"a": [1, 2]},
+            evaluate=lambda a, engine: {"tag": f"{a}-{engine}"},
+            measurements=["tag"],
+            common={"engine": "loop"},
+        )
+        assert [row[-1] for row in table.rows] == ["1-loop", "2-loop"]
+
+    def test_common_key_colliding_with_axis_rejected(self):
+        with pytest.raises(ParameterError, match="collide"):
+            sweep(
+                "demo",
+                axes={"a": [1]},
+                evaluate=lambda a: {"m": a},
+                measurements=["m"],
+                common={"a": 2},
+            )
+
 
 class TestSparseSpectral:
     def test_matches_dense_on_regular_graph(self):
