@@ -52,10 +52,27 @@ Subpackages
 ``repro.sim`` / ``repro.analysis``
     Monte-Carlo replication, moment estimation, scaling fits, tables.
 ``repro.experiments``
-    One module per paper artefact (figures, theorems); each regenerates
-    the corresponding result table.
+    One module per paper artefact (figures, theorems); each registers
+    itself with ``repro.api`` and regenerates the corresponding result
+    table.
+``repro.api``
+    The declarative run API: ``RunSpec`` / ``RunResult`` with full
+    provenance, the ``@experiment`` registration decorator, the
+    manifest-indexed ``ArtifactStore``, and ``execute`` — the single
+    execution path behind the ``repro run | list | sweep | diff`` CLI::
+
+        from repro.api import ArtifactStore, RunSpec, execute
+
+        result = execute(RunSpec("EXP-T222", overrides={"engine": "loop"}))
+        ArtifactStore("results/").save(result)
 """
 
+from repro.api import (
+    ArtifactStore,
+    RunResult,
+    RunSpec,
+    execute,
+)
 from repro.core import (
     EdgeModel,
     NodeModel,
@@ -94,6 +111,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Adjacency",
+    "ArtifactStore",
     "BatchEdgeModel",
     "BatchNodeModel",
     "ConvergenceError",
@@ -110,9 +128,12 @@ __all__ = [
     "ReproError",
     "ResultCache",
     "ResultTable",
+    "RunResult",
+    "RunSpec",
     "Schedule",
     "ScheduleError",
     "estimate_moments",
+    "execute",
     "make_graph",
     "measure_t_eps",
     "run_coupled",

@@ -1,0 +1,57 @@
+"""Execution of :class:`~repro.api.RunSpec`\\ s with recorded provenance.
+
+:func:`execute` is the single path every front end uses — the subcommand
+CLI, the legacy shim, the sweep driver, and the CI smoke job all funnel
+through it, so a spec archived today replays identically tomorrow.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List
+
+from repro.api.registry import get_experiment, merge_engine
+from repro.api.spec import Provenance, RunResult, RunSpec
+from repro.graphs.adjacency import collect_content_hashes
+
+
+def resolve_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Resolved parameter dict for ``spec`` (defaults < preset < overrides).
+
+    ``spec.engine`` is folded in per :func:`repro.api.registry.merge_engine`:
+    it participates only for experiments that declare the ``engine``
+    parameter, and an explicit ``engine`` key in ``spec.overrides`` wins.
+    """
+    experiment = get_experiment(spec.experiment_id)
+    return experiment.resolve(
+        spec.preset, merge_engine(experiment, spec.overrides, spec.engine)
+    )
+
+
+def execute(spec: RunSpec) -> RunResult:
+    """Run one spec and return its tables with full provenance."""
+    import repro
+
+    experiment = get_experiment(spec.experiment_id)
+    parameters = resolve_spec(spec)
+    with collect_content_hashes() as hashes:
+        started = time.perf_counter()
+        tables = experiment.fn(seed=spec.seed, **parameters)
+        wall_time = time.perf_counter() - started
+    return RunResult(
+        spec=spec,
+        tables=list(tables),
+        provenance=Provenance(
+            parameters=dict(parameters),
+            engine=parameters.get("engine"),
+            version=repro.__version__,
+            graph_hashes=sorted(set(hashes)),
+            wall_time_s=wall_time,
+            timestamp=time.time(),
+        ),
+    )
+
+
+def execute_many(specs: Iterable[RunSpec]) -> List[RunResult]:
+    """Execute specs in order; fails fast on the first error."""
+    return [execute(spec) for spec in specs]

@@ -1,0 +1,245 @@
+"""Manifest-indexed archive of executed runs.
+
+The :class:`ArtifactStore` absorbs the flat-file ``repro.io`` bundle
+layer into a directory with one JSON artefact per run configuration plus
+a ``manifest.json`` index, so archived runs can be listed, reloaded and
+regression-diffed *by spec* instead of by guessing file names:
+
+```
+store/
+  manifest.json                 {"schema": 1, "records": {key: record}}
+  EXP-T222.fast.s0.json         RunResult payload (spec + provenance + tables)
+  EXP-T222.fast.s0.1a2b3c4d.json  same configuration with overrides
+```
+
+Keys come from :meth:`RunSpec.key`; saving the same configuration twice
+overwrites its artefact (one canonical record per configuration, the
+``save_bundle`` convention).  Table comparison reuses
+:func:`repro.io.diff_tables`, and legacy ``ResultBundle`` archives can be
+absorbed with :meth:`ArtifactStore.import_bundle`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.api.spec import RunResult, RunSpec
+from repro.exceptions import ArtifactError
+from repro.io import ResultBundle, diff_tables
+
+MANIFEST_NAME = "manifest.json"
+_SCHEMA = 1
+
+
+def diff_results(
+    old: RunResult, new: RunResult, rel_tol: float = 0.25
+) -> List[str]:
+    """Human-readable differences between two runs (empty = match).
+
+    Tables are paired by title; numeric cells compare with relative
+    tolerance ``rel_tol`` via :func:`repro.io.diff_tables`.  Spec
+    mismatches (different experiment) are reported first — diffing a run
+    against a different experiment is almost certainly a mistake.
+    """
+    problems: List[str] = []
+    if old.spec.experiment_id != new.spec.experiment_id:
+        problems.append(
+            "experiment changed: "
+            f"{old.spec.experiment_id} -> {new.spec.experiment_id}"
+        )
+        return problems
+    old_by_title = {table.title: table for table in old.tables}
+    new_by_title = {table.title: table for table in new.tables}
+    for title in old_by_title:
+        if title not in new_by_title:
+            problems.append(f"table {title!r} disappeared")
+    for title in new_by_title:
+        if title not in old_by_title:
+            problems.append(f"table {title!r} appeared")
+    for title, old_table in old_by_title.items():
+        if title not in new_by_title:
+            continue
+        problems += [
+            f"table {title!r}: {problem}"
+            for problem in diff_tables(
+                old_table, new_by_title[title], rel_tol=rel_tol
+            )
+        ]
+    return problems
+
+
+@dataclass
+class ArtifactRecord:
+    """One manifest entry: where a run lives and what produced it."""
+
+    key: str
+    file: str
+    experiment_id: str
+    preset: str
+    seed: int
+    overrides: Dict[str, Any]
+    version: str
+    wall_time_s: float
+    timestamp: float
+
+    @classmethod
+    def from_result(cls, result: RunResult, file: str) -> "ArtifactRecord":
+        spec, prov = result.spec, result.provenance
+        return cls(
+            key=spec.key(),
+            file=file,
+            experiment_id=spec.experiment_id,
+            preset=spec.preset,
+            seed=spec.seed,
+            overrides=dict(spec.overrides),
+            version=prov.version,
+            wall_time_s=prov.wall_time_s,
+            timestamp=prov.timestamp,
+        )
+
+
+class ArtifactStore:
+    """Directory-backed archive of :class:`RunResult`\\ s."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def _read_manifest(self) -> Dict[str, ArtifactRecord]:
+        if not self.manifest_path.exists():
+            return {}
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+            records = {
+                key: ArtifactRecord(**entry)
+                for key, entry in payload["records"].items()
+            }
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise ArtifactError(
+                f"corrupt manifest at {self.manifest_path}: {error}"
+            ) from error
+        return records
+
+    def _write_manifest(self, records: Dict[str, ArtifactRecord]) -> None:
+        payload = {
+            "schema": _SCHEMA,
+            "records": {key: asdict(record) for key, record in records.items()},
+        }
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(self.manifest_path)
+
+    # ------------------------------------------------------------------
+    # Save / load / list
+    # ------------------------------------------------------------------
+    def save(self, result: RunResult) -> Path:
+        """Archive ``result``; returns the artefact path.
+
+        Re-saving the same configuration (same :meth:`RunSpec.key`)
+        overwrites the previous artefact and manifest entry.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        key = result.spec.key()
+        file_name = f"{key}.json"
+        (self.root / file_name).write_text(result.to_json())
+        records = self._read_manifest()
+        records[key] = ArtifactRecord.from_result(result, file_name)
+        self._write_manifest(records)
+        return self.root / file_name
+
+    def records(self) -> List[ArtifactRecord]:
+        """All manifest entries, sorted by (experiment id, preset, seed)."""
+        return sorted(
+            self._read_manifest().values(),
+            key=lambda r: (r.experiment_id, r.preset, r.seed, r.key),
+        )
+
+    def find(
+        self,
+        experiment_id: str | None = None,
+        preset: str | None = None,
+        seed: int | None = None,
+    ) -> List[ArtifactRecord]:
+        """Manifest entries matching every given filter."""
+        return [
+            record
+            for record in self.records()
+            if (experiment_id is None or record.experiment_id == experiment_id)
+            and (preset is None or record.preset == preset)
+            and (seed is None or record.seed == seed)
+        ]
+
+    def load(self, key: str) -> RunResult:
+        """Reload one archived run by its manifest key."""
+        records = self._read_manifest()
+        if key not in records:
+            raise ArtifactError(
+                f"no artefact {key!r} in {self.root}; "
+                f"known keys: {', '.join(sorted(records)) or '(none)'}"
+            )
+        path = self.root / records[key].file
+        if not path.exists():
+            raise ArtifactError(f"manifest entry {key!r} points at missing {path}")
+        return RunResult.from_json(path.read_text())
+
+    def load_spec(self, spec: RunSpec) -> RunResult:
+        """Reload the archived run of ``spec``'s configuration."""
+        return self.load(spec.key())
+
+    def latest(self, experiment_id: str) -> RunResult:
+        """Most recently saved run of ``experiment_id``."""
+        matches = self.find(experiment_id=experiment_id)
+        if not matches:
+            raise ArtifactError(
+                f"no archived runs of {experiment_id!r} in {self.root}"
+            )
+        newest = max(matches, key=lambda record: record.timestamp)
+        return self.load(newest.key)
+
+    # ------------------------------------------------------------------
+    # Regression diffing
+    # ------------------------------------------------------------------
+    def diff(
+        self, old: RunResult, new: RunResult, rel_tol: float = 0.25
+    ) -> List[str]:
+        """Regression-diff two runs; see :func:`diff_results`."""
+        return diff_results(old, new, rel_tol=rel_tol)
+
+    # ------------------------------------------------------------------
+    # Legacy absorption
+    # ------------------------------------------------------------------
+    def import_bundle(self, bundle: ResultBundle) -> Path:
+        """Absorb a legacy ``repro.io.ResultBundle`` into the store.
+
+        The bundle's ``fast`` flag maps onto the preset; provenance
+        fields the flat format never recorded are marked unknown.
+        """
+        from repro.api.spec import Provenance
+
+        spec = RunSpec(
+            experiment_id=bundle.experiment_id,
+            preset="fast" if bundle.fast else "full",
+            seed=bundle.seed,
+        )
+        result = RunResult(
+            spec=spec,
+            tables=list(bundle.tables),
+            provenance=Provenance(
+                parameters={},
+                engine=None,
+                version="unknown",
+                graph_hashes=[],
+                wall_time_s=0.0,
+                timestamp=bundle.timestamp,
+            ),
+        )
+        return self.save(result)

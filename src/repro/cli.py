@@ -1,28 +1,65 @@
-"""Command-line entry point: ``python -m repro.cli [ids...]``.
+"""Command-line front end of the declarative run API.
 
-Runs the experiments of DESIGN.md by id (default: all) and prints their
-result tables.  ``--slow`` switches to the larger EXPERIMENTS.md-scale
-parameters; ``--markdown`` emits GitHub-flavoured tables; ``--list``
-shows the available ids.
+Subcommand interface (the only execution path is
+:func:`repro.api.execute`, so CLI runs and archived specs replay
+identically)::
+
+    python -m repro.cli run EXP-T222 --set engine=loop --json
+    python -m repro.cli run --full --save results/
+    python -m repro.cli list --json
+    python -m repro.cli sweep EXP-T222 --set n=24,36 --save results/
+    python -m repro.cli diff results/EXP-T222.fast.s0.json results/other.json
+
+``run`` accepts ``--set key=value`` overrides against each experiment's
+declared parameter schema, ``--json`` to emit archived-format payloads,
+and ``--save DIR`` to file results in an :class:`~repro.api.ArtifactStore`.
+``diff`` exits 0 when the runs match within tolerance, 1 otherwise.
+
+The pre-subcommand invocation ``python -m repro.cli [ids...] [--slow]
+[--engine batch|loop] [--markdown] [--save DIR] [--list]`` keeps working
+through a thin compatibility shim that translates it onto the same API.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
+import json
 import sys
 import time
-from typing import Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
 
-from repro.experiments import EXPERIMENTS
+from repro.api import (
+    REQUIRED,
+    ArtifactStore,
+    RunResult,
+    RunSpec,
+    all_experiments,
+    diff_results,
+    execute,
+    expand_grid,
+    experiment_ids,
+    get_experiment,
+    resolve_spec,
+    summary_table,
+)
+from repro.exceptions import ArtifactError, ReproError
+from repro.io import ResultBundle, save_bundle
+
+SUBCOMMANDS = ("run", "list", "sweep", "diff")
 
 
+# ----------------------------------------------------------------------
+# Parsers
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    """The legacy pre-subcommand parser (compatibility shim)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduce experiments from 'Distributed Averaging in Opinion "
-            "Dynamics' (PODC 2023)"
+            "Dynamics' (PODC 2023).  Legacy interface; prefer the "
+            "subcommands: repro run | list | sweep | diff"
         ),
     )
     parser.add_argument(
@@ -35,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--slow",
         action="store_true",
-        help="use the full-scale parameters recorded in EXPERIMENTS.md",
+        help="use the full-scale parameters (the 'full' preset)",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
@@ -59,48 +96,370 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
+def build_cli_parser() -> argparse.ArgumentParser:
+    """The subcommand parser: repro run | list | sweep | diff."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce experiments from 'Distributed Averaging in Opinion "
+            "Dynamics' (PODC 2023) via declarative run specs"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute experiments and print/archive tables")
+    run.add_argument("ids", nargs="*", metavar="EXPERIMENT",
+                     help="experiment ids; default: all")
+    run.add_argument("--preset", choices=("fast", "full"), default="fast",
+                     help="scale preset (default: fast)")
+    run.add_argument("--full", action="store_true",
+                     help="shorthand for --preset full")
+    run.add_argument("--seed", type=int, default=0, help="experiment seed")
+    run.add_argument("--engine", choices=("batch", "loop"), default=None,
+                     help="replica simulator for Monte-Carlo experiments")
+    run.add_argument("--set", dest="overrides", action="append", default=[],
+                     metavar="KEY=VALUE",
+                     help="override a declared parameter (repeatable)")
+    run.add_argument("--markdown", action="store_true",
+                     help="render tables as markdown")
+    run.add_argument("--json", action="store_true",
+                     help="emit RunResult JSON payloads instead of tables")
+    run.add_argument("--save", metavar="DIR", default=None,
+                     help="archive results in an ArtifactStore at DIR")
+
+    lst = sub.add_parser("list", help="list registered experiments")
+    lst.add_argument("--json", action="store_true",
+                     help="emit the registry (ids, schemas, presets) as JSON")
+
+    swp = sub.add_parser("sweep", help="run one experiment over a parameter grid")
+    swp.add_argument("id", metavar="EXPERIMENT", help="experiment id")
+    swp.add_argument("--set", dest="overrides", action="append", default=[],
+                     metavar="KEY=V1[,V2,...]",
+                     help=(
+                         "axis (comma-separated values) or fixed override; "
+                         "for list-typed parameters commas build one value "
+                         "and ';' separates axis values"
+                     ))
+    swp.add_argument("--preset", choices=("fast", "full"), default="fast")
+    swp.add_argument("--seed", type=int, default=0)
+    swp.add_argument("--engine", choices=("batch", "loop"), default=None)
+    swp.add_argument("--markdown", action="store_true")
+    swp.add_argument("--json", action="store_true",
+                     help="emit results + summary as JSON")
+    swp.add_argument("--save", metavar="DIR", default=None,
+                     help="archive every point in an ArtifactStore at DIR")
+
+    dif = sub.add_parser(
+        "diff", help="regression-diff two archived runs (exit 1 on drift)"
+    )
+    dif.add_argument("left", help="artefact file, store key, or experiment id")
+    dif.add_argument("right", help="artefact file, store key, or experiment id")
+    dif.add_argument("--store", metavar="DIR", default=None,
+                     help="ArtifactStore to resolve keys/ids against")
+    dif.add_argument("--rel-tol", type=float, default=0.25,
+                     help="relative tolerance for numeric cells (default 0.25)")
+    dif.add_argument("--json", action="store_true",
+                     help="emit the differences as JSON")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _parse_overrides(pairs: Sequence[str]) -> Dict[str, str]:
+    overrides: Dict[str, str] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ReproError(f"--set expects KEY=VALUE, got {pair!r}")
+        overrides[key] = value
+    return overrides
+
+
+def _coerce_overrides(experiment_id: str, raw: Dict[str, str]) -> Dict[str, Any]:
+    """Coerce CLI strings against the declared schema where possible.
+
+    Unknown keys pass through untouched so resolution reports them with
+    the experiment's full parameter list.
+    """
+    params = get_experiment(experiment_id).params
+    return {
+        key: params[key].coerce(key, value) if key in params else value
+        for key, value in raw.items()
+    }
+
+
+def _check_ids(ids: Sequence[str]) -> int:
+    known = experiment_ids()
+    unknown = [i for i in ids if i not in known]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known ids: {', '.join(known)}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _print_result(result: RunResult, markdown: bool, elapsed: float) -> None:
+    print(f"\n### {result.spec.experiment_id}  ({elapsed:.1f}s)\n")
+    for table in result.tables:
+        print(table.render_markdown() if markdown else table.render())
+        print()
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _run_cmd(args: argparse.Namespace) -> int:
+    ids = args.ids or experiment_ids()
+    status = _check_ids(ids)
+    if status:
+        return status
+    preset = "full" if args.full else args.preset
+    store = ArtifactStore(args.save) if args.save else None
+    # Build and fully resolve every spec before executing any: a bad
+    # --set override must fail up front, not midway through a run-all.
+    specs = []
+    for experiment_id in ids:
+        spec = RunSpec(
+            experiment_id=experiment_id,
+            preset=preset,
+            seed=args.seed,
+            engine=args.engine,
+            overrides=_coerce_overrides(
+                experiment_id, _parse_overrides(args.overrides)
+            ),
+            markdown=args.markdown,
+        )
+        resolve_spec(spec)
+        specs.append(spec)
+    payloads = []
+    for spec in specs:
+        result = execute(spec)
+        if args.json:
+            payloads.append(result.to_payload())
+        else:
+            _print_result(result, args.markdown, result.provenance.wall_time_s)
+        if store is not None:
+            path = store.save(result)
+            if not args.json:
+                print(f"saved -> {path}")
+    if args.json:
+        print(json.dumps(payloads, indent=2, default=str))
+    return 0
+
+
+def _list_cmd(args: argparse.Namespace) -> int:
+    experiments = all_experiments()
+    if args.json:
+        payload = [
+            {
+                "id": exp.id,
+                "artefact": exp.artefact,
+                "module": exp.module,
+                "params": {
+                    name: {
+                        "kind": spec.kind_name,
+                        "help": spec.help,
+                        "default": (
+                            "required" if spec.default is REQUIRED
+                            else spec.default
+                        ),
+                        "choices": list(spec.choices),
+                    }
+                    for name, spec in exp.params.items()
+                },
+                "presets": exp.presets,
+            }
+            for exp in experiments
+        ]
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+    width = max(len(exp.id) for exp in experiments)
+    for exp in experiments:
+        print(f"{exp.id.ljust(width)}  {exp.artefact}")
+    return 0
+
+
+def _sweep_cmd(args: argparse.Namespace) -> int:
+    status = _check_ids([args.id])
+    if status:
+        return status
+    params = get_experiment(args.id).params
+    axes: Dict[str, List[str]] = {}
+    fixed: Dict[str, str] = {}
+    for key, value in _parse_overrides(args.overrides).items():
+        # For list-typed parameters a comma is part of one value
+        # (`--set sizes=16,32` fixes sizes=[16, 32], same as under
+        # `run`); axis points for them are separated by ';'
+        # (`--set sizes=16,32;48,64` sweeps two size lists).
+        is_sequence = key in params and params[key].kind_name in (
+            "ints", "floats"
+        )
+        separator = ";" if is_sequence else ","
+        values = [part for part in value.split(separator) if part != ""]
+        if len(values) > 1:
+            axes[key] = values
+        else:
+            fixed[key] = values[0] if values else value
+    if not axes:
+        raise ReproError(
+            "sweep needs at least one multi-valued --set axis "
+            "(e.g. --set n=24,36; use ';' between axis values of "
+            "list-typed parameters)"
+        )
+    specs = expand_grid(
+        args.id,
+        axes,
+        preset=args.preset,
+        seed=args.seed,
+        engine=args.engine,
+        overrides=_coerce_overrides(args.id, fixed),
+    )
+    store = ArtifactStore(args.save) if args.save else None
+    results = []
+    for spec in specs:
+        result = execute(spec)
+        results.append(result)
+        if not args.json:
+            _print_result(result, args.markdown, result.provenance.wall_time_s)
+        if store is not None:
+            path = store.save(result)
+            if not args.json:
+                print(f"saved -> {path}")
+    summary = summary_table(axes, results)
+    if args.json:
+        print(json.dumps(
+            {
+                "results": [result.to_payload() for result in results],
+                "summary": summary.to_payload(),
+            },
+            indent=2,
+            default=str,
+        ))
+    else:
+        print(summary.render_markdown() if args.markdown else summary.render())
+    return 0
+
+
+def _diff_operand(token: str, store: ArtifactStore | None) -> RunResult:
+    path = Path(token)
+    if path.is_file():
+        return RunResult.from_json(path.read_text())
+    if store is None:
+        raise ArtifactError(
+            f"{token!r} is not an artefact file; pass --store DIR to "
+            "resolve store keys or experiment ids"
+        )
+    try:
+        return store.load(token)
+    except ArtifactError:
+        # Fall back to experiment-id resolution only when the manifest
+        # does not know the token as a key; a known key that fails to
+        # load (e.g. its artefact file was deleted) is a real error.
+        if any(record.key == token for record in store.records()):
+            raise
+        return store.latest(token)
+
+
+def _diff_cmd(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store) if args.store else None
+    left = _diff_operand(args.left, store)
+    right = _diff_operand(args.right, store)
+    problems = diff_results(left, right, rel_tol=args.rel_tol)
+    if args.json:
+        print(json.dumps({"differences": problems}, indent=2))
+    else:
+        for problem in problems:
+            print(problem)
+        if not problems:
+            print(
+                f"match: {left.spec.label()} vs {right.spec.label()} "
+                f"(rel_tol={args.rel_tol})"
+            )
+    return 1 if problems else 0
+
+
+# ----------------------------------------------------------------------
+# Legacy shim
+# ----------------------------------------------------------------------
+def _legacy_main(argv: Sequence[str]) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
-        for key in EXPERIMENTS:
+        for key in experiment_ids():
             print(key)
         return 0
 
-    ids = args.ids or list(EXPERIMENTS)
-    unknown = [i for i in ids if i not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
-        print(f"known ids: {', '.join(EXPERIMENTS)}", file=sys.stderr)
-        return 2
+    ids = args.ids or experiment_ids()
+    status = _check_ids(ids)
+    if status:
+        return status
 
     for experiment_id in ids:
-        runner = EXPERIMENTS[experiment_id]
-        kwargs = {"fast": not args.slow, "seed": args.seed}
-        # Runners that expose an engine choice get the CLI's; the rest
-        # do no replica sampling, so the flag has nothing to select.
-        if "engine" in inspect.signature(runner).parameters:
-            kwargs["engine"] = args.engine
+        spec = RunSpec(
+            experiment_id=experiment_id,
+            preset="full" if args.slow else "fast",
+            seed=args.seed,
+            engine=args.engine,
+            markdown=args.markdown,
+        )
         started = time.perf_counter()
-        tables = runner(**kwargs)
-        elapsed = time.perf_counter() - started
-        print(f"\n### {experiment_id}  ({elapsed:.1f}s)\n")
-        for table in tables:
-            print(table.render_markdown() if args.markdown else table.render())
-            print()
+        result = execute(spec)
+        _print_result(result, args.markdown, time.perf_counter() - started)
         if args.save:
-            from repro.io import ResultBundle, save_bundle
-
             path = save_bundle(
                 ResultBundle(
                     experiment_id=experiment_id,
                     seed=args.seed,
                     fast=not args.slow,
-                    tables=list(tables),
+                    tables=list(result.tables),
                 ),
                 args.save,
             )
             print(f"saved -> {path}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+#: Legacy flags that consume the following token as their value.
+_VALUE_FLAGS = ("--seed", "--engine", "--save")
+
+
+def _is_legacy(argv: Sequence[str]) -> bool:
+    """Pre-subcommand invocations: first positional is an experiment id
+    (or there is none at all — the historical run-everything default).
+    Value-taking flags are skipped with their value, so ``--seed 3 run``
+    routes to the subcommand parser (which rejects the misplaced flag
+    with a usage message) instead of reading ``3`` as a positional."""
+    skip_value = False
+    for token in argv:
+        if skip_value:
+            skip_value = False
+            continue
+        if token.startswith("-"):
+            skip_value = token in _VALUE_FLAGS
+            continue
+        return token not in SUBCOMMANDS
+    return True
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if _is_legacy(argv):
+            return _legacy_main(argv)
+        args = build_cli_parser().parse_args(argv)
+        handler = {
+            "run": _run_cmd,
+            "list": _list_cmd,
+            "sweep": _sweep_cmd,
+            "diff": _diff_cmd,
+        }[args.command]
+        return handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -45,3 +45,16 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class ScheduleError(ReproError):
     """A recorded selection schedule is inconsistent with the graph/model."""
+
+
+class SpecError(ReproError, ValueError):
+    """A declarative run specification is invalid.
+
+    Raised by :mod:`repro.api` for unknown experiment ids, undeclared
+    presets or parameters, values that fail a parameter schema, and
+    malformed :class:`~repro.api.RunSpec` payloads.
+    """
+
+
+class ArtifactError(ReproError):
+    """An artifact store operation failed (missing key, corrupt manifest)."""

@@ -1,54 +1,47 @@
 """Experiment registry: one module per paper artefact.
 
-Every experiment module exposes ``run(fast=True, seed=...) ->
-list[ResultTable]``; ``fast=True`` uses laptop-scale parameters (seconds
-to a few tens of seconds), ``fast=False`` the larger sweeps recorded in
-EXPERIMENTS.md.  The registry maps the experiment ids of DESIGN.md to the
-runners so the CLI and the benchmark harness share one source of truth.
+Every experiment module registers itself with the
+:func:`repro.api.experiment` decorator, declaring its id, the paper
+artefact it reproduces, a typed parameter schema and the ``fast`` /
+``full`` scale presets as data.  Importing this package triggers the
+registrations — the modules below are imported in the order of the
+DESIGN.md section-3 index, so :data:`repro.api.REGISTRY` iterates in
+index order.
+
+:data:`EXPERIMENTS` remains for legacy callers: it maps each id to the
+decorator-produced wrapper with the historical convention
+``run(fast=True, seed=0, **overrides) -> list[ResultTable]``.  New code
+should execute :class:`repro.api.RunSpec`\\ s through
+:func:`repro.api.execute` instead.
 """
 
 from typing import Callable, Dict, List
 
+from repro.api.registry import REGISTRY
 from repro.sim.results import ResultTable
 
-from repro.experiments import (
-    exp_alpha_ablation,
-    exp_edge_convergence,
-    exp_fig_duality,
-    exp_higher_moments,
-    exp_k_dependence,
-    exp_lower_bound,
-    exp_martingale,
-    exp_node_convergence,
-    exp_potential_drop,
-    exp_price_of_simplicity,
-    exp_qchain,
-    exp_time_variance,
-    exp_variance_edge,
-    exp_variance_irregular,
-    exp_variance_regular,
-    exp_variance_trajectory,
-)
+# Imported for registration side effects, in DESIGN.md index order.
+from repro.experiments import exp_fig_duality  # EXP-F1, EXP-F4
+from repro.experiments import exp_node_convergence  # EXP-T221
+from repro.experiments import exp_k_dependence  # EXP-T221K
+from repro.experiments import exp_lower_bound  # EXP-T221LB
+from repro.experiments import exp_variance_regular  # EXP-T222
+from repro.experiments import exp_edge_convergence  # EXP-T241
+from repro.experiments import exp_variance_edge  # EXP-T242
+from repro.experiments import exp_martingale  # EXP-L41
+from repro.experiments import exp_qchain  # EXP-L57
+from repro.experiments import exp_potential_drop  # EXP-PB1
+from repro.experiments import exp_time_variance  # EXP-CE2
+from repro.experiments import exp_price_of_simplicity  # EXP-PRICE
+from repro.experiments import exp_higher_moments  # EXP-MOM
+from repro.experiments import exp_variance_irregular  # EXP-IRR
+from repro.experiments import exp_alpha_ablation  # EXP-ABL
+from repro.experiments import exp_variance_trajectory  # EXP-VT
 
-#: Experiment id -> runner, as indexed in DESIGN.md section 3.
+#: Experiment id -> legacy runner, as indexed in DESIGN.md section 3.
 EXPERIMENTS: Dict[str, Callable[..., List[ResultTable]]] = {
-    "EXP-F1": exp_fig_duality.run_figure1,
-    "EXP-F4": exp_fig_duality.run_figure4,
-    "EXP-T221": exp_node_convergence.run,
-    "EXP-T221K": exp_k_dependence.run,
-    "EXP-T221LB": exp_lower_bound.run,
-    "EXP-T222": exp_variance_regular.run,
-    "EXP-T241": exp_edge_convergence.run,
-    "EXP-T242": exp_variance_edge.run,
-    "EXP-L41": exp_martingale.run,
-    "EXP-L57": exp_qchain.run,
-    "EXP-PB1": exp_potential_drop.run,
-    "EXP-CE2": exp_time_variance.run,
-    "EXP-PRICE": exp_price_of_simplicity.run,
-    "EXP-MOM": exp_higher_moments.run,
-    "EXP-IRR": exp_variance_irregular.run,
-    "EXP-ABL": exp_alpha_ablation.run,
-    "EXP-VT": exp_variance_trajectory.run,
+    experiment_id: experiment.legacy_runner
+    for experiment_id, experiment in REGISTRY.items()
 }
 
 __all__ = ["EXPERIMENTS"]

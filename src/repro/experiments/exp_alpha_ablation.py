@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, engine_param, experiment
 from repro.core.initial import center_simple, rademacher_values
 from repro.core.node_model import NodeModel
 from repro.core.potentials import phi_pi
@@ -33,17 +34,36 @@ from repro.theory.variance import variance_bounds
 EPSILON = 1e-8
 
 
+@experiment(
+    "EXP-ABL",
+    artefact="Ablation of the self-weight alpha",
+    params={
+        "n": ParamSpec(int, "number of nodes of the expander"),
+        "d": ParamSpec(int, "degree of the expander", default=4),
+        "time_replicas": ParamSpec(int, "replicas of the T_eps estimate"),
+        "var_replicas": ParamSpec(int, "replicas of the Var(F) estimate"),
+        "tol": ParamSpec(float, "consensus discrepancy tolerance"),
+        "alphas": ParamSpec(
+            "floats", "alpha grid", default=(0.1, 0.3, 0.5, 0.7, 0.9)
+        ),
+        "engine": engine_param(),
+    },
+    presets={
+        "fast": {"n": 36, "time_replicas": 5, "var_replicas": 120, "tol": 1e-6},
+        "full": {"n": 100, "time_replicas": 20, "var_replicas": 500, "tol": 1e-8},
+    },
+)
 def run(
-    fast: bool = True, seed: int = 0, engine: str = "batch"
+    n: int,
+    time_replicas: int,
+    var_replicas: int,
+    tol: float,
+    d: int,
+    alphas: list,
+    seed: int = 0,
+    engine: str = "batch",
 ) -> list[ResultTable]:
     """Sweep alpha on a fixed regular expander: speed vs accuracy."""
-    n = 36 if fast else 100
-    d = 4
-    time_replicas = 5 if fast else 20
-    var_replicas = 120 if fast else 500
-    tol = 1e-6 if fast else 1e-8
-    alphas = [0.1, 0.3, 0.5, 0.7, 0.9]
-
     graph = random_regular_graph(n, d, seed=seed)
     initial = center_simple(rademacher_values(n, seed=seed))
     lambda2, _ = second_walk_eigenpair(graph)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.fits import ratio_statistics
+from repro.api import ParamSpec, engine_param, experiment
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import center_simple, linear_ramp
 from repro.graphs.generators import (
@@ -31,12 +32,23 @@ ALPHA = 0.5
 EPSILON = 1e-8
 
 
+@experiment(
+    "EXP-T241",
+    artefact="Theorem 2.4(1): EdgeModel convergence time",
+    params={
+        "sizes": ParamSpec("ints", "graph sizes per family"),
+        "replicas": ParamSpec(int, "replicas per (family, size) cell"),
+        "engine": engine_param(),
+    },
+    presets={
+        "fast": {"sizes": [16, 32], "replicas": 5},
+        "full": {"sizes": [32, 64, 128], "replicas": 20},
+    },
+)
 def run(
-    fast: bool = True, seed: int = 0, engine: str = "batch"
+    sizes: list, replicas: int, seed: int = 0, engine: str = "batch"
 ) -> list[ResultTable]:
     """Measure EdgeModel T_eps across regular and irregular graphs."""
-    replicas = 5 if fast else 20
-    sizes = [16, 32] if fast else [32, 64, 128]
     table = ResultTable(
         title="Theorem 2.4(1): EdgeModel T_eps vs m log(n||xi||^2/eps)/lambda2(L)",
         columns=["family", "n", "m", "lambda2(L)", "T_measured", "bound", "ratio"],

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, experiment
 from repro.core.initial import gaussian_values
 from repro.dual.duality import (
     FigureTrace,
@@ -47,12 +48,11 @@ def _figure_table(title: str, figure: FigureTrace) -> ResultTable:
     return table
 
 
-def _random_duality_table(fast: bool, seed: int) -> ResultTable:
+def _random_duality_table(steps: int, seed: int) -> ResultTable:
     table = ResultTable(
         title="Lemma 5.2 duality on random graphs/schedules",
         columns=["graph", "n", "k", "alpha", "steps", "max_error", "exact"],
     )
-    steps = 50 if fast else 400
     cases = [
         ("random_regular(d=4)", random_regular_graph(12, 4, seed=seed), 1, 0.5),
         ("random_regular(d=4)", random_regular_graph(12, 4, seed=seed + 1), 3, 0.3),
@@ -66,15 +66,27 @@ def _random_duality_table(fast: bool, seed: int) -> ResultTable:
     return table
 
 
-def run_figure1(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+@experiment(
+    "EXP-F1",
+    artefact="Figure 1: duality worked example (Averaging vs Diffusion)",
+    params={
+        "steps": ParamSpec(int, "steps of each randomised duality check"),
+    },
+    presets={"fast": {"steps": 50}, "full": {"steps": 400}},
+)
+def run_figure1(steps: int, seed: int = 0) -> list[ResultTable]:
     """EXP-F1: Figure 1 trace plus randomised duality checks."""
     return [
         _figure_table("Figure 1 (alpha=1/2, k=1): Averaging vs paper values", figure1_trace()),
-        _random_duality_table(fast, seed),
+        _random_duality_table(steps, seed),
     ]
 
 
-def run_figure4(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+@experiment(
+    "EXP-F4",
+    artefact="Figure 4: duality on the random-walk side",
+)
+def run_figure4(seed: int = 0) -> list[ResultTable]:
     """EXP-F4: Figure 4 trace (k = 2)."""
     return [
         _figure_table("Figure 4 (alpha=1/2, k=2): Averaging vs paper values", figure4_trace()),

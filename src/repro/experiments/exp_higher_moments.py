@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, engine_param, experiment
 from repro.core.initial import (
     center_simple,
     indicator_values,
@@ -27,14 +28,24 @@ from repro.sim.results import ResultTable
 ALPHA = 0.5
 
 
+@experiment(
+    "EXP-MOM",
+    artefact="Future work: higher moments of F",
+    params={
+        "n": ParamSpec(int, "number of nodes per graph"),
+        "replicas": ParamSpec(int, "Monte-Carlo replicas per estimate"),
+        "tol": ParamSpec(float, "consensus discrepancy tolerance"),
+        "engine": engine_param(),
+    },
+    presets={
+        "fast": {"n": 30, "replicas": 250, "tol": 1e-6},
+        "full": {"n": 80, "replicas": 1_200, "tol": 1e-8},
+    },
+)
 def run(
-    fast: bool = True, seed: int = 0, engine: str = "batch"
+    n: int, replicas: int, tol: float, seed: int = 0, engine: str = "batch"
 ) -> list[ResultTable]:
     """Skewness and excess kurtosis of F across settings."""
-    n = 30 if fast else 80
-    replicas = 250 if fast else 1_200
-    tol = 1e-6 if fast else 1e-8
-
     table = ResultTable(
         title="Future work §6: higher moments of F (Monte Carlo)",
         columns=["graph", "initial", "Var(F)", "skewness", "kurtosis_excess"],

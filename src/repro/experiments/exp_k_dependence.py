@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, engine_param, experiment
 from repro.core.initial import center_simple, linear_ramp
 from repro.core.node_model import NodeModel
 from repro.core.potentials import phi_pi
@@ -26,15 +27,30 @@ ALPHA = 0.5
 EPSILON = 1e-8
 
 
+@experiment(
+    "EXP-T221K",
+    artefact="Theorem 2.2(1): near-independence of k",
+    params={
+        "n": ParamSpec(int, "number of nodes of the expander"),
+        "d": ParamSpec(int, "degree of the expander", default=8),
+        "ks": ParamSpec("ints", "fan-out values to sweep", default=(1, 2, 4, 8)),
+        "replicas": ParamSpec(int, "replicas per k"),
+        "engine": engine_param(),
+    },
+    presets={
+        "fast": {"n": 48, "replicas": 5},
+        "full": {"n": 128, "replicas": 20},
+    },
+)
 def run(
-    fast: bool = True, seed: int = 0, engine: str = "batch"
+    n: int,
+    replicas: int,
+    d: int,
+    ks: list,
+    seed: int = 0,
+    engine: str = "batch",
 ) -> list[ResultTable]:
     """Sweep ``k`` on a d-regular expander; report T_eps(k)/T_eps(1)."""
-    n = 48 if fast else 128
-    d = 8
-    replicas = 5 if fast else 20
-    ks = [1, 2, 4, 8]
-
     graph = random_regular_graph(n, d, seed=seed)
     initial = center_simple(linear_ramp(n, 0.0, 1.0))
     lambda2, _ = second_walk_eigenpair(graph)

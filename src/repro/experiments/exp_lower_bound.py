@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, engine_param, experiment
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import fiedler_aligned, second_eigenvector_aligned
 from repro.core.node_model import NodeModel
@@ -28,12 +29,23 @@ ALPHA = 0.5
 EPSILON = 1e-6
 
 
+@experiment(
+    "EXP-T221LB",
+    artefact="Proposition B.2: tightness of the convergence bounds",
+    params={
+        "sizes": ParamSpec("ints", "graph sizes"),
+        "replicas": ParamSpec(int, "replicas per (model, graph, size) cell"),
+        "engine": engine_param(),
+    },
+    presets={
+        "fast": {"sizes": [16, 32], "replicas": 5},
+        "full": {"sizes": [32, 64, 128], "replicas": 20},
+    },
+)
 def run(
-    fast: bool = True, seed: int = 0, engine: str = "batch"
+    sizes: list, replicas: int, seed: int = 0, engine: str = "batch"
 ) -> list[ResultTable]:
     """Measure T_eps from the Prop. B.2 worst-case initial states."""
-    replicas = 5 if fast else 20
-    sizes = [16, 32] if fast else [32, 64, 128]
     table = ResultTable(
         title="Proposition B.2: lower-bound tightness from xi(0) = n f_2",
         columns=["model", "graph", "n", "T_measured", "lower_bound_expr", "ratio"],

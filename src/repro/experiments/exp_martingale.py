@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, experiment
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import linear_ramp
 from repro.core.node_model import NodeModel
@@ -56,10 +57,8 @@ def _exact_table() -> ResultTable:
     return table
 
 
-def _empirical_table(fast: bool, seed: int) -> ResultTable:
+def _empirical_table(steps: int, replicas: int, seed: int) -> ResultTable:
     n = 31
-    steps = 2_000 if fast else 20_000
-    replicas = 200 if fast else 1_000
     graph = binary_tree_graph(n)
     initial = linear_ramp(n, 0.0, 1.0)
 
@@ -97,6 +96,18 @@ def _empirical_table(fast: bool, seed: int) -> ResultTable:
     return table
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+@experiment(
+    "EXP-L41",
+    artefact="Lemma 4.1 / Proposition D.1(i): martingale structure",
+    params={
+        "steps": ParamSpec(int, "steps before sampling the invariant"),
+        "replicas": ParamSpec(int, "replicas of the empirical check"),
+    },
+    presets={
+        "fast": {"steps": 2_000, "replicas": 200},
+        "full": {"steps": 20_000, "replicas": 1_000},
+    },
+)
+def run(steps: int, replicas: int, seed: int = 0) -> list[ResultTable]:
     """Exact and empirical martingale checks on irregular graphs."""
-    return [_exact_table(), _empirical_table(fast, seed)]
+    return [_exact_table(), _empirical_table(steps, replicas, seed)]

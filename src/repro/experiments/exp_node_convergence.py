@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, engine_param, experiment
 from repro.analysis.fits import ratio_statistics
 from repro.core.initial import center_degree_weighted, linear_ramp
 from repro.core.node_model import NodeModel
@@ -31,11 +32,7 @@ ALPHA = 0.5
 EPSILON = 1e-8
 
 
-def _families(fast: bool, seed: int):
-    if fast:
-        sizes = [16, 32, 64]
-    else:
-        sizes = [32, 64, 128, 256]
+def _families(sizes: list, seed: int):
     yield "cycle", [(n, cycle_graph(n)) for n in sizes]
     yield "complete", [(n, complete_graph(n)) for n in sizes]
     yield "random_regular(d=4)", [
@@ -45,11 +42,23 @@ def _families(fast: bool, seed: int):
     yield "torus", [(n, torus_graph(n)) for n in square_sizes]
 
 
+@experiment(
+    "EXP-T221",
+    artefact="Theorem 2.2(1): NodeModel convergence time",
+    params={
+        "sizes": ParamSpec("ints", "graph sizes per family"),
+        "replicas": ParamSpec(int, "replicas per (family, size) cell"),
+        "engine": engine_param(),
+    },
+    presets={
+        "fast": {"sizes": [16, 32, 64], "replicas": 5},
+        "full": {"sizes": [32, 64, 128, 256], "replicas": 20},
+    },
+)
 def run(
-    fast: bool = True, seed: int = 0, engine: str = "batch"
+    sizes: list, replicas: int, seed: int = 0, engine: str = "batch"
 ) -> list[ResultTable]:
     """Measure ``T_eps`` across graph families and compare to the bound."""
-    replicas = 5 if fast else 20
     table = ResultTable(
         title="Theorem 2.2(1): NodeModel T_eps vs n log(n||xi||^2/eps)/(1-lambda2)",
         columns=[
@@ -63,7 +72,7 @@ def run(
     )
     all_measured: list[float] = []
     all_bounds: list[float] = []
-    for family, graphs in _families(fast, seed):
+    for family, graphs in _families(sizes, seed):
         for n, graph in graphs:
             initial = center_degree_weighted(graph, linear_ramp(n, 0.0, 1.0))
             lambda2, _ = second_walk_eigenpair(graph)

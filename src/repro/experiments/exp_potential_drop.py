@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, experiment
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import center_simple, gaussian_values
 from repro.core.node_model import NodeModel
@@ -65,11 +66,20 @@ def _edge_measured_factor(graph, initial, trials, seed) -> float:
     return (total / trials) / phi0
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+@experiment(
+    "EXP-PB1",
+    artefact="Proposition B.1: one-step potential contraction",
+    params={
+        "n": ParamSpec(int, "number of nodes per graph"),
+        "trials": ParamSpec(int, "independent single-step trials"),
+    },
+    presets={
+        "fast": {"n": 24, "trials": 30_000},
+        "full": {"n": 64, "trials": 200_000},
+    },
+)
+def run(n: int, trials: int, seed: int = 0) -> list[ResultTable]:
     """Empirical one-step contraction vs Propositions B.1 / D.1(ii)."""
-    n = 24 if fast else 64
-    trials = 30_000 if fast else 200_000
-
     table = ResultTable(
         title="Prop B.1 / D.1(ii): one-step potential contraction factors",
         columns=["model", "graph", "k", "state", "measured", "bound_factor", "ok"],

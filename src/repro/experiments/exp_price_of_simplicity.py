@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, experiment
 from repro.baselines.gossip import PairwiseGossip
 from repro.baselines.pushsum import PushSum
 from repro.baselines.voter import VoterModel
@@ -28,12 +29,21 @@ from repro.sim.results import ResultTable
 ALPHA = 0.5
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+@experiment(
+    "EXP-PRICE",
+    artefact='Section 1: the "price of simplicity"',
+    params={
+        "n": ParamSpec(int, "number of nodes"),
+        "replicas": ParamSpec(int, "replicas per protocol"),
+        "tol": ParamSpec(float, "consensus discrepancy tolerance"),
+    },
+    presets={
+        "fast": {"n": 36, "replicas": 120, "tol": 1e-6},
+        "full": {"n": 100, "replicas": 400, "tol": 1e-8},
+    },
+)
+def run(n: int, replicas: int, tol: float, seed: int = 0) -> list[ResultTable]:
     """Spread of the consensus value: averaging vs gossip vs voter."""
-    n = 36 if fast else 100
-    replicas = 120 if fast else 400
-    tol = 1e-6 if fast else 1e-8
-
     import networkx as nx
 
     graph = nx.random_regular_graph(4, n, seed=seed)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, experiment
 from repro.dual.qchain import QChain, mu_closed_form
 from repro.graphs.generators import (
     complete_graph,
@@ -24,20 +25,35 @@ from repro.graphs.generators import (
 from repro.sim.results import ResultTable
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+@experiment(
+    "EXP-L57",
+    artefact="Lemma 5.7: Q-chain closed-form stationary distribution",
+    params={
+        "alphas": ParamSpec("floats", "alpha grid"),
+        "extended": ParamSpec(
+            bool, "include the larger torus/hypercube/random-regular graphs"
+        ),
+    },
+    presets={
+        "fast": {"alphas": [0.25, 0.5, 0.75], "extended": False},
+        "full": {"alphas": [0.1, 0.25, 0.5, 0.75, 0.9], "extended": True},
+    },
+)
+def run(
+    alphas: list, extended: bool = False, seed: int = 0
+) -> list[ResultTable]:
     """Closed-form mu vs numeric stationary distribution across a grid."""
     graphs = [
         ("cycle(8)", cycle_graph(8)),
         ("complete(6)", complete_graph(6)),
         ("petersen", petersen_graph()),
     ]
-    if not fast:
+    if extended:
         graphs += [
             ("torus(16)", torus_graph(16)),
             ("hypercube(16)", hypercube_graph(16)),
             ("random_regular(12,5)", random_regular_graph(12, 5, seed=seed)),
         ]
-    alphas = (0.25, 0.5, 0.75) if fast else (0.1, 0.25, 0.5, 0.75, 0.9)
 
     table = ResultTable(
         title="Lemma 5.7: closed-form (mu_0, mu_1, mu_+) vs numeric stationary law",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, experiment
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import center_simple, rademacher_values
 from repro.core.node_model import NodeModel
@@ -30,12 +31,27 @@ from repro.theory.variance import (
 ALPHA = 0.5
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+@experiment(
+    "EXP-CE2",
+    artefact="Corollary E.2: time-dependent variance envelopes",
+    params={
+        "n": ParamSpec(int, "number of nodes of the lollipop graph"),
+        "replicas": ParamSpec(int, "replicas per checkpoint"),
+        "checkpoints": ParamSpec("ints", "times t at which to sample"),
+    },
+    presets={
+        "fast": {"n": 30, "replicas": 300, "checkpoints": [50, 200, 800, 3_200]},
+        "full": {
+            "n": 80,
+            "replicas": 1_500,
+            "checkpoints": [100, 1_000, 10_000, 100_000],
+        },
+    },
+)
+def run(
+    n: int, replicas: int, checkpoints: list, seed: int = 0
+) -> list[ResultTable]:
     """Var(M(t)) and Var(Avg(t)) vs the Corollary E.2 envelopes."""
-    n = 30 if fast else 80
-    replicas = 300 if fast else 1_500
-    checkpoints = [50, 200, 800, 3_200] if fast else [100, 1_000, 10_000, 100_000]
-
     graph = lollipop_graph(n)  # deliberately irregular
     initial = center_simple(rademacher_values(n, seed=seed))
     discrepancy = float(initial.max() - initial.min())

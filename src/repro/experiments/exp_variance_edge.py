@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, engine_param, experiment
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import center_simple, rademacher_values
 from repro.core.node_model import NodeModel
@@ -22,18 +23,28 @@ from repro.theory.variance import variance_bounds, variance_envelope
 ALPHA = 0.5
 
 
+@experiment(
+    "EXP-T242",
+    artefact="Theorem 2.4(2): EdgeModel Var(F) equals NodeModel(k=1)",
+    params={
+        "n": ParamSpec(int, "number of nodes per graph"),
+        "replicas": ParamSpec(int, "Monte-Carlo replicas per estimate"),
+        "tol": ParamSpec(float, "consensus discrepancy tolerance"),
+        "engine": engine_param(),
+    },
+    presets={
+        "fast": {"n": 36, "replicas": 160, "tol": 1e-6},
+        "full": {"n": 100, "replicas": 600, "tol": 1e-8},
+    },
+)
 def run(
-    fast: bool = True, seed: int = 0, engine: str = "batch"
+    n: int, replicas: int, tol: float, seed: int = 0, engine: str = "batch"
 ) -> list[ResultTable]:
     """EdgeModel vs NodeModel(k=1) variance on regular graphs.
 
     ``engine`` selects the replica simulator: the vectorized batch
     engine (default) or the legacy per-replica loop (the oracle).
     """
-    n = 36 if fast else 100
-    replicas = 160 if fast else 600
-    tol = 1e-6 if fast else 1e-8
-
     values = center_simple(rademacher_values(n, seed=seed))
     norm_sq = float(np.sum(values**2))
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, engine_param, experiment
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import (
     center_degree_weighted,
@@ -29,14 +30,24 @@ from repro.theory.variance import variance_envelope
 ALPHA = 0.5
 
 
+@experiment(
+    "EXP-IRR",
+    artefact="Open problem: Var(F) on irregular graphs",
+    params={
+        "n": ParamSpec(int, "number of nodes per graph"),
+        "replicas": ParamSpec(int, "Monte-Carlo replicas per estimate"),
+        "tol": ParamSpec(float, "consensus discrepancy tolerance"),
+        "engine": engine_param(),
+    },
+    presets={
+        "fast": {"n": 30, "replicas": 150, "tol": 1e-6},
+        "full": {"n": 80, "replicas": 500, "tol": 1e-8},
+    },
+)
 def run(
-    fast: bool = True, seed: int = 0, engine: str = "batch"
+    n: int, replicas: int, tol: float, seed: int = 0, engine: str = "batch"
 ) -> list[ResultTable]:
     """Empirical Var(F) on irregular graphs vs mean-degree envelope."""
-    n = 30 if fast else 80
-    replicas = 150 if fast else 500
-    tol = 1e-6 if fast else 1e-8
-
     base = rademacher_values(n, seed=seed)
     table = ResultTable(
         title="Future work §6: Var(F) on irregular graphs",

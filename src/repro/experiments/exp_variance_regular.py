@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, engine_param, experiment
 from repro.core.initial import center_simple, rademacher_values
 from repro.core.node_model import NodeModel
 from repro.graphs.generators import (
@@ -45,18 +46,28 @@ def _mc_variance(graph, initial, k, replicas, seed, tol, engine="batch"):
     return estimate_moments(values, confidence=0.99, seed=seed)
 
 
+@experiment(
+    "EXP-T222",
+    artefact="Theorem 2.2(2) / Proposition 5.8: Var(F) on regular graphs",
+    params={
+        "n": ParamSpec(int, "number of nodes per graph"),
+        "replicas": ParamSpec(int, "Monte-Carlo replicas per estimate"),
+        "tol": ParamSpec(float, "consensus discrepancy tolerance"),
+        "engine": engine_param(),
+    },
+    presets={
+        "fast": {"n": 36, "replicas": 160, "tol": 1e-6},
+        "full": {"n": 100, "replicas": 600, "tol": 1e-8},
+    },
+)
 def run(
-    fast: bool = True, seed: int = 0, engine: str = "batch"
+    n: int, replicas: int, tol: float, seed: int = 0, engine: str = "batch"
 ) -> list[ResultTable]:
     """Monte-Carlo Var(F) vs the Proposition 5.8 envelope.
 
     ``engine`` selects the replica simulator: the vectorized batch
     engine (default) or the legacy per-replica loop (the oracle).
     """
-    n = 36 if fast else 100
-    replicas = 160 if fast else 600
-    tol = 1e-6 if fast else 1e-8
-
     rng = np.random.default_rng(seed)
     base_values = center_simple(rademacher_values(n, seed=rng))
     norm_sq = float(np.sum(base_values**2))

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ParamSpec, experiment
 from repro.core.initial import center_simple, rademacher_values
 from repro.core.node_model import NodeModel
 from repro.graphs.generators import cycle_graph, random_regular_graph
@@ -27,12 +28,27 @@ from repro.theory.exact import exact_limit_variance, exact_variance_trajectory
 ALPHA = 0.5
 
 
-def run(fast: bool = True, seed: int = 0) -> list[ResultTable]:
+@experiment(
+    "EXP-VT",
+    artefact="Sections 5.1-5.4: exact Var(Avg(t)) trajectory",
+    params={
+        "n": ParamSpec(int, "number of nodes per graph"),
+        "replicas": ParamSpec(int, "Monte-Carlo replicas"),
+        "checkpoints": ParamSpec("ints", "times t at which to sample"),
+    },
+    presets={
+        "fast": {"n": 12, "replicas": 3_000, "checkpoints": [1, 10, 50, 200, 1_000]},
+        "full": {
+            "n": 20,
+            "replicas": 12_000,
+            "checkpoints": [1, 10, 100, 1_000, 10_000],
+        },
+    },
+)
+def run(
+    n: int, replicas: int, checkpoints: list, seed: int = 0
+) -> list[ResultTable]:
     """Exact vs Monte-Carlo Var(Avg(t)) on small regular graphs."""
-    n = 12 if fast else 20
-    replicas = 3_000 if fast else 12_000
-    checkpoints = [1, 10, 50, 200, 1_000] if fast else [1, 10, 100, 1_000, 10_000]
-
     tables = []
     for name, graph, k in [
         ("cycle", cycle_graph(n), 1),

@@ -15,7 +15,7 @@ package provides
   classes ``S_0 / S_1 / S_+`` of Definition 5.6.
 """
 
-from repro.graphs.adjacency import Adjacency
+from repro.graphs.adjacency import Adjacency, collect_content_hashes
 from repro.graphs.generators import (
     GRAPH_FAMILIES,
     barbell_graph,
@@ -57,6 +57,7 @@ __all__ = [
     "GRAPH_FAMILIES",
     "barbell_graph",
     "binary_tree_graph",
+    "collect_content_hashes",
     "complete_graph",
     "cycle_graph",
     "degree_vector",

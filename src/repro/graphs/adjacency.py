@@ -17,12 +17,36 @@ single integer sample, matching Definition 2.3 exactly.
 from __future__ import annotations
 
 import hashlib
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import networkx as nx
 import numpy as np
 
 from repro.exceptions import GraphError, NotConnectedError
+
+#: Active sink for :func:`collect_content_hashes`, or ``None``.
+_hash_sink: ContextVar[list | None] = ContextVar("adjacency_hash_sink", default=None)
+
+
+@contextmanager
+def collect_content_hashes() -> Iterator[list]:
+    """Record the content hash of every :class:`Adjacency` frozen inside.
+
+    The run API uses this to attach graph provenance to experiment
+    results without threading a recorder through every runner: any graph
+    a simulator freezes during the ``with`` block lands in the yielded
+    list (in construction order, duplicates included).  Re-entrant;
+    inner collectors shadow outer ones.
+    """
+    sink: list = []
+    token = _hash_sink.set(sink)
+    try:
+        yield sink
+    finally:
+        _hash_sink.reset(token)
 
 
 @dataclass(frozen=True)
@@ -91,7 +115,7 @@ class Adjacency:
         edge_tails = np.asarray(tails, dtype=np.int64)
         edge_heads = np.asarray(heads, dtype=np.int64)
 
-        return cls(
+        adjacency = cls(
             neighbors=neighbors,
             offsets=offsets,
             degrees=degrees,
@@ -99,6 +123,10 @@ class Adjacency:
             edge_heads=edge_heads,
             labels=labels,
         )
+        sink = _hash_sink.get()
+        if sink is not None:
+            sink.append(adjacency.content_hash())
+        return adjacency
 
     # ------------------------------------------------------------------
     # Basic quantities

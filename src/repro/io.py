@@ -5,6 +5,11 @@ module archives them as JSON bundles (one file per experiment run, with
 the experiment id, seed, mode and timestamp) and loads them back for
 comparison across runs — e.g. to diff a fresh reproduction against the
 tables recorded in EXPERIMENTS.md.
+
+This is the low-level flat-file layer.  The declarative run API's
+:class:`~repro.api.ArtifactStore` builds on it (same table codec, same
+:func:`diff_tables`) and adds a manifest index plus full run provenance;
+new code should archive runs through the store.
 """
 
 from __future__ import annotations
@@ -39,28 +44,14 @@ class ResultBundle:
             "seed": self.seed,
             "fast": self.fast,
             "timestamp": self.timestamp,
-            "tables": [
-                {
-                    "title": table.title,
-                    "columns": list(table.columns),
-                    "rows": table.rows,
-                    "notes": table.notes,
-                }
-                for table in self.tables
-            ],
+            "tables": [table.to_payload() for table in self.tables],
         }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ResultBundle":
         try:
             tables = [
-                ResultTable(
-                    title=entry["title"],
-                    columns=entry["columns"],
-                    rows=entry["rows"],
-                    notes=entry.get("notes", []),
-                )
-                for entry in payload["tables"]
+                ResultTable.from_payload(entry) for entry in payload["tables"]
             ]
             return cls(
                 experiment_id=payload["experiment_id"],

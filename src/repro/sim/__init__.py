@@ -15,12 +15,15 @@ from repro.sim.montecarlo import (
     sample_t_eps,
 )
 from repro.sim.results import ResultTable
+from repro.sim.sweep import grid, sweep
 
 __all__ = [
     "MomentEstimate",
     "ResultTable",
     "estimate_moments",
+    "grid",
     "replicate",
     "sample_f_values",
     "sample_t_eps",
+    "sweep",
 ]

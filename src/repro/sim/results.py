@@ -34,7 +34,8 @@ class ResultTable:
         """Append a row; must match the column count."""
         if len(values) != len(self.columns):
             raise ValueError(
-                f"expected {len(self.columns)} values, got {len(values)}"
+                f"table {self.title!r}: expected {len(self.columns)} values "
+                f"(columns {list(self.columns)}), got {len(values)}"
             )
         self.rows.append(list(values))
 
@@ -44,7 +45,13 @@ class ResultTable:
 
     def column(self, name: str) -> list[Any]:
         """Extract one column by name."""
-        index = list(self.columns).index(name)
+        columns = list(self.columns)
+        if name not in columns:
+            raise ValueError(
+                f"table {self.title!r} has no column {name!r}; "
+                f"available columns: {', '.join(map(repr, columns))}"
+            )
+        index = columns.index(name)
         return [row[index] for row in self.rows]
 
     # ------------------------------------------------------------------
@@ -78,18 +85,28 @@ class ResultTable:
             lines.append(f"\n_note: {note}_")
         return "\n".join(lines)
 
+    def to_payload(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_payload`."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ResultTable":
+        """Rebuild a table from :meth:`to_payload` output."""
+        return cls(
+            title=payload["title"],
+            columns=list(payload["columns"]),
+            rows=[list(row) for row in payload["rows"]],
+            notes=list(payload.get("notes", [])),
+        )
+
     def to_json(self) -> str:
         """JSON serialisation for archival."""
-        return json.dumps(
-            {
-                "title": self.title,
-                "columns": list(self.columns),
-                "rows": self.rows,
-                "notes": self.notes,
-            },
-            default=str,
-            indent=2,
-        )
+        return json.dumps(self.to_payload(), default=str, indent=2)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.render()

@@ -10,10 +10,25 @@ without bespoke loop nests.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.exceptions import ParameterError
 from repro.sim.results import ResultTable
+
+
+def grid(axes: Mapping[str, Sequence[Any]]) -> Iterator[dict]:
+    """Yield one ``{axis: value}`` dict per point of the cartesian product.
+
+    Points appear in lexicographic axis order (last axis fastest), the
+    same order :func:`sweep` emits rows in.  Shared by :func:`sweep` and
+    the run API's :func:`repro.api.expand_grid`, so a CLI ``repro sweep``
+    and an in-process ``sweep()`` enumerate identically.
+    """
+    if not axes:
+        raise ParameterError("at least one axis is required")
+    names = list(axes)
+    for combo in itertools.product(*(axes[name] for name in names)):
+        yield dict(zip(names, combo))
 
 
 def sweep(
@@ -43,8 +58,7 @@ def sweep(
     if overlap:
         raise ParameterError(f"common keys {overlap} collide with axes")
     table = ResultTable(title, columns=[*names, *measurements])
-    for combo in itertools.product(*(axes[name] for name in names)):
-        point = dict(zip(names, combo))
+    for point in grid(axes):
         outcome = evaluate(**point, **common)
         missing = [m for m in measurements if m not in outcome]
         if missing:
@@ -52,7 +66,8 @@ def sweep(
                 f"evaluate() did not return measurements {missing} "
                 f"for point {point}"
             )
-        table.add_row(*combo, *(outcome[m] for m in measurements))
+        table.add_row(*(point[name] for name in names),
+                      *(outcome[m] for m in measurements))
     return table
 
 

@@ -1,26 +1,51 @@
-"""Tests for the CLI entry point."""
+"""Tests for the CLI entry point (subcommands + legacy shim)."""
+
+import json
+import re
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.api import PRESETS, REGISTRY, all_experiments, experiment_ids
+from repro.cli import build_cli_parser, build_parser, main
 from repro.experiments import EXPERIMENTS
 
 
 class TestParser:
-    def test_defaults(self):
+    def test_legacy_defaults(self):
         args = build_parser().parse_args([])
         assert args.ids == []
         assert not args.slow
         assert args.seed == 0
 
-    def test_id_and_flags(self):
+    def test_legacy_id_and_flags(self):
         args = build_parser().parse_args(["EXP-F1", "--slow", "--seed", "9"])
         assert args.ids == ["EXP-F1"]
         assert args.slow
         assert args.seed == 9
 
+    def test_subcommand_run_flags(self):
+        args = build_cli_parser().parse_args(
+            ["run", "EXP-F1", "--full", "--seed", "3",
+             "--set", "steps=7", "--json"]
+        )
+        assert args.command == "run"
+        assert args.ids == ["EXP-F1"]
+        assert args.full
+        assert args.seed == 3
+        assert args.overrides == ["steps=7"]
+        assert args.json
 
-class TestMain:
+    def test_subcommand_diff_flags(self):
+        args = build_cli_parser().parse_args(
+            ["diff", "a.json", "b.json", "--rel-tol", "0.5"]
+        )
+        assert args.command == "diff"
+        assert args.left == "a.json"
+        assert args.right == "b.json"
+        assert args.rel_tol == 0.5
+
+
+class TestLegacyShim:
     def test_list(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
@@ -43,17 +68,213 @@ class TestMain:
         assert "| t |" in out
 
 
+class TestRunCommand:
+    def test_run_prints_tables(self, capsys):
+        assert main(["run", "EXP-F4"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-F4" in out
+        assert "Figure 4" in out
+
+    def test_run_json_payload(self, capsys):
+        assert main(["run", "EXP-F4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        (entry,) = payload
+        assert entry["spec"]["experiment_id"] == "EXP-F4"
+        assert entry["provenance"]["version"]
+        assert entry["provenance"]["graph_hashes"]
+        assert entry["tables"][0]["title"].startswith("Figure 4")
+
+    def test_run_unknown_id(self, capsys):
+        assert main(["run", "EXP-NOPE"]) == 2
+        assert "unknown experiment ids" in capsys.readouterr().err
+
+    def test_run_unknown_override_fails_cleanly(self, capsys):
+        assert main(["run", "EXP-F4", "--set", "bogus=1"]) == 2
+        assert "no parameter 'bogus'" in capsys.readouterr().err
+
+    def test_run_set_overrides_declared_param(self, capsys):
+        assert main(["run", "EXP-F1", "--set", "steps=5", "--json"]) == 0
+        (entry,) = json.loads(capsys.readouterr().out)
+        assert entry["provenance"]["parameters"]["steps"] == 5
+
+    def test_run_matches_legacy_at_fixed_seed(self, capsys):
+        assert main(["run", "EXP-F1", "--seed", "4"]) == 0
+        new_out = capsys.readouterr().out
+        assert main(["EXP-F1", "--seed", "4"]) == 0
+        legacy_out = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("### ")
+        ]
+        assert strip(new_out) == strip(legacy_out)
+
+    def test_run_save_archives_to_store(self, tmp_path, capsys):
+        assert main(["run", "EXP-F4", "--save", str(tmp_path)]) == 0
+        assert (tmp_path / "manifest.json").exists()
+        assert "saved ->" in capsys.readouterr().out
+
+    def test_run_all_validates_overrides_before_executing(self, capsys):
+        # 'steps' is declared by EXP-F1 but not EXP-F4: the batch must
+        # fail up front, before any experiment runs or archives.
+        assert main(["run", "EXP-F1", "EXP-F4", "--set", "steps=5"]) == 2
+        captured = capsys.readouterr()
+        assert "### EXP-F1" not in captured.out
+        assert "no parameter 'steps'" in captured.err
+
+    def test_flag_before_subcommand_gets_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--seed", "3", "run", "EXP-F4"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "run" in err and "usage" in err.lower()
+
+
+class TestListCommand:
+    def test_list_text(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in experiment_ids():
+            assert key in out
+
+    def test_list_json_schema(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_id = {entry["id"]: entry for entry in payload}
+        assert set(by_id) == set(experiment_ids())
+        t222 = by_id["EXP-T222"]
+        assert t222["params"]["engine"]["choices"] == ["batch", "loop"]
+        assert t222["presets"]["fast"]["n"] == 36
+        assert t222["presets"]["full"]["n"] == 100
+
+
+class TestSweepCommand:
+    def test_sweep_runs_grid(self, capsys):
+        assert main(["sweep", "EXP-F1", "--set", "steps=4,6"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep summary" in out
+
+    def test_sweep_requires_axis(self, capsys):
+        assert main(["sweep", "EXP-F1", "--set", "steps=4"]) == 2
+        assert "axis" in capsys.readouterr().err
+
+    def test_sweep_json(self, capsys):
+        assert main(["sweep", "EXP-F1", "--set", "steps=4,6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["results"]) == 2
+        assert payload["summary"]["columns"][0] == "steps"
+
+    def test_sweep_commas_fix_list_typed_params(self, capsys):
+        # For a list-typed parameter a comma builds ONE value (as under
+        # `run`); the sweep axis must come from another parameter.
+        assert main(["sweep", "EXP-T221", "--set", "sizes=8,12",
+                     "--set", "replicas=1,2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["columns"][0] == "replicas"
+        assert [r["provenance"]["parameters"]["sizes"]
+                for r in payload["results"]] == [[8, 12], [8, 12]]
+
+    def test_sweep_semicolon_sweeps_list_typed_params(self, capsys):
+        assert main(["sweep", "EXP-F1", "--set", "steps=4,6", "--json"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "EXP-T221", "--set", "sizes=8;12",
+                     "--set", "replicas=1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["provenance"]["parameters"]["sizes"]
+                for r in payload["results"]] == [[8], [12]]
+
+
+class TestDiffCommand:
+    def _save_one(self, tmp_path, capsys, seed="0"):
+        assert main(["run", "EXP-F4", "--seed", seed,
+                     "--save", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_self_diff_exits_zero(self, tmp_path, capsys):
+        self._save_one(tmp_path, capsys)
+        path = str(tmp_path / "EXP-F4.fast.s0.json")
+        assert main(["diff", path, path]) == 0
+        assert "match" in capsys.readouterr().out
+
+    def test_diff_by_id_with_store(self, tmp_path, capsys):
+        self._save_one(tmp_path, capsys)
+        assert main(["diff", "EXP-F4", "EXP-F4", "--store", str(tmp_path)]) == 0
+
+    def test_diff_detects_drift(self, tmp_path, capsys):
+        self._save_one(tmp_path, capsys)
+        path = tmp_path / "EXP-F4.fast.s0.json"
+        payload = json.loads(path.read_text())
+        payload["tables"][0]["rows"][0][1] = 1e6
+        other = tmp_path / "tampered.json"
+        other.write_text(json.dumps(payload))
+        assert main(["diff", str(path), str(other)]) == 1
+        assert "->" in capsys.readouterr().out
+
+    def test_diff_missing_store_errors(self, capsys):
+        assert main(["diff", "EXP-F4", "EXP-F4"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_diff_reports_missing_artefact_file_not_unknown_id(
+        self, tmp_path, capsys
+    ):
+        self._save_one(tmp_path, capsys)
+        (tmp_path / "EXP-F4.fast.s0.json").unlink()
+        assert main(["diff", "EXP-F4.fast.s0", "EXP-F4.fast.s0",
+                     "--store", str(tmp_path)]) == 2
+        assert "missing" in capsys.readouterr().err
+
+
 class TestRegistryIntegrity:
+    """The decorator registry, DESIGN.md and the presets stay in sync."""
+
+    def test_legacy_mapping_mirrors_registry(self):
+        assert list(EXPERIMENTS) == list(REGISTRY)
+        for key, runner in EXPERIMENTS.items():
+            assert runner.experiment is REGISTRY[key]
+
     def test_all_ids_documented_in_design(self):
         with open("DESIGN.md", encoding="utf-8") as handle:
             design = handle.read()
-        for key in EXPERIMENTS:
+        for key in experiment_ids():
             assert key in design, f"{key} missing from DESIGN.md"
 
-    def test_runners_accept_fast_and_seed(self):
+    def test_design_index_rows_match_registry(self):
+        """Every `| EXP-... |` row of the DESIGN.md index is registered."""
+        with open("DESIGN.md", encoding="utf-8") as handle:
+            design = handle.read()
+        indexed = re.findall(r"^\| (EXP-[A-Z0-9]+) \|", design, re.MULTILINE)
+        assert indexed, "DESIGN.md experiment index not found"
+        assert set(indexed) == set(experiment_ids())
+
+    def test_every_experiment_declares_both_presets(self):
+        for exp in all_experiments():
+            for preset in PRESETS:
+                assert preset in exp.presets, (exp.id, preset)
+                # Resolution must succeed: presets + defaults cover params.
+                resolved = exp.resolve(preset)
+                assert set(resolved) == set(exp.params), exp.id
+
+    def test_preset_keys_are_declared_params(self):
+        for exp in all_experiments():
+            for preset, values in exp.presets.items():
+                unknown = set(values) - set(exp.params)
+                assert not unknown, (exp.id, preset, unknown)
+
+    def test_engine_declared_only_by_monte_carlo_runners(self):
+        with_engine = {
+            exp.id for exp in all_experiments() if exp.accepts_engine
+        }
+        assert with_engine == {
+            "EXP-T221", "EXP-T221K", "EXP-T221LB", "EXP-T222", "EXP-T241",
+            "EXP-T242", "EXP-MOM", "EXP-IRR", "EXP-ABL",
+        }
+
+    def test_legacy_runners_accept_fast_and_seed(self):
+        """The decorator wrappers keep the historical call convention."""
         import inspect
 
         for key, runner in EXPERIMENTS.items():
-            signature = inspect.signature(runner)
+            signature = inspect.signature(runner, follow_wrapped=False)
             assert "fast" in signature.parameters, key
             assert "seed" in signature.parameters, key
+        # And the convention actually executes (cheapest experiment).
+        assert EXPERIMENTS["EXP-F4"](fast=True, seed=0)

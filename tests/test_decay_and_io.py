@@ -174,3 +174,40 @@ class TestCliSave:
         assert len(bundles) == 1
         assert bundles[0].experiment_id == "EXP-F4"
         assert "saved ->" in capsys.readouterr().out
+
+
+class TestBundleStoreInterop:
+    """The flat io layer and the ArtifactStore share one table codec."""
+
+    def test_json_payload_roundtrip_without_disk(self):
+        import json
+
+        table = ResultTable("demo", ["x", "ok"])
+        table.add_row(1.25, True)
+        bundle = ResultBundle("EXP-F1", seed=4, fast=False, tables=[table])
+        payload = json.loads(json.dumps(bundle.to_payload()))
+        rebuilt = ResultBundle.from_payload(payload)
+        assert rebuilt.tables[0] == table
+        assert rebuilt.seed == 4 and not rebuilt.fast
+
+    def test_saved_bundle_absorbed_by_store(self, tmp_path):
+        from repro.api import ArtifactStore
+        from repro.api.spec import RunSpec
+
+        table = ResultTable("demo", ["x"])
+        table.add_row(3)
+        bundle = ResultBundle("EXP-F1", seed=2, fast=True, tables=[table])
+        save_bundle(bundle, tmp_path / "bundles")
+        store = ArtifactStore(tmp_path / "store")
+        for loaded in load_all(tmp_path / "bundles"):
+            store.import_bundle(loaded)
+        result = store.load_spec(RunSpec("EXP-F1", seed=2))
+        assert result.tables[0] == table
+        # The absorbed run is diffable like any native artefact.
+        assert store.diff(result, result) == []
+
+    def test_diff_tables_mixed_cell_types(self):
+        a = ResultTable("t", ["label", "v"], rows=[["x", 1.0]])
+        b = ResultTable("t", ["label", "v"], rows=[["y", 1.0]])
+        problems = diff_tables(a, b)
+        assert len(problems) == 1 and "label" in problems[0]

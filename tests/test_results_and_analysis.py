@@ -24,11 +24,32 @@ class TestResultTable:
         with pytest.raises(ValueError):
             table.add_row(1)
 
+    def test_row_length_error_names_table(self):
+        table = ResultTable("demo", ["a", "b"])
+        with pytest.raises(ValueError, match="table 'demo'"):
+            table.add_row(1)
+
     def test_column_extraction(self):
         table = ResultTable("demo", ["a", "b"])
         table.add_row(1, 10.0)
         table.add_row(2, 20.0)
         assert table.column("b") == [10.0, 20.0]
+
+    def test_missing_column_error_lists_available(self):
+        table = ResultTable("demo", ["a", "b"])
+        with pytest.raises(ValueError) as excinfo:
+            table.column("nope")
+        message = str(excinfo.value)
+        assert "table 'demo'" in message
+        assert "'nope'" in message
+        assert "'a'" in message and "'b'" in message
+
+    def test_payload_roundtrip(self):
+        table = ResultTable("demo", ["x", "y"])
+        table.add_row(1, "v")
+        table.add_note("n")
+        rebuilt = ResultTable.from_payload(table.to_payload())
+        assert rebuilt == table
 
     def test_bool_rendering(self):
         table = ResultTable("demo", ["ok"])
