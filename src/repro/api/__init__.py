@@ -32,6 +32,7 @@ from repro.api.registry import (
     ParamSpec,
     all_experiments,
     engine_param,
+    kernel_param,
     experiment,
     experiment_ids,
     get_experiment,
@@ -55,6 +56,7 @@ __all__ = [
     "all_experiments",
     "diff_results",
     "engine_param",
+    "kernel_param",
     "execute",
     "execute_many",
     "expand_grid",

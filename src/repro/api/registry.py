@@ -20,6 +20,7 @@ import functools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Sequence
 
+from repro.engine.kernels import KERNEL_CHOICES
 from repro.exceptions import SpecError
 from repro.sim.results import ResultTable
 
@@ -109,6 +110,21 @@ def engine_param() -> ParamSpec:
     )
 
 
+def kernel_param() -> ParamSpec:
+    """The shared ``kernel`` parameter of the Monte-Carlo experiments.
+
+    Selects the batch engine's stepping kernel
+    (:mod:`repro.engine.kernels`); ignored by ``engine="loop"``.
+    """
+    return ParamSpec(
+        str,
+        "batch stepping kernel: auto, per-round numpy, fused blocks, or "
+        "numba jit (falls back to fused without numba)",
+        default="auto",
+        choices=tuple(KERNEL_CHOICES),
+    )
+
+
 @dataclass
 class Experiment:
     """One registered paper artefact: runner plus declared schema."""
@@ -127,6 +143,11 @@ class Experiment:
     def accepts_engine(self) -> bool:
         """Whether this experiment declares the ``engine`` parameter."""
         return "engine" in self.params
+
+    @property
+    def accepts_kernel(self) -> bool:
+        """Whether this experiment declares the ``kernel`` parameter."""
+        return "kernel" in self.params
 
     def resolve(
         self, preset: str = "fast", overrides: Mapping[str, Any] | None = None
@@ -172,13 +193,14 @@ def merge_engine(
     experiment: Experiment,
     overrides: Mapping[str, Any] | None,
     engine: str | None,
+    kernel: str | None = None,
 ) -> Dict[str, Any]:
-    """Fold a spec-level engine selection into override form.
+    """Fold spec-level engine/kernel selections into override form.
 
-    The single home of the rule every front end shares: the engine
-    participates only when the experiment *declares* the parameter (the
-    old CLI applied ``--engine`` solely to the Monte-Carlo runners), and
-    an explicit ``engine`` override always wins.
+    The single home of the rule every front end shares: each selection
+    participates only when the experiment *declares* the corresponding
+    parameter (the old CLI applied ``--engine`` solely to the
+    Monte-Carlo runners), and an explicit override always wins.
     """
     merged = dict(overrides or {})
     if (
@@ -187,6 +209,12 @@ def merge_engine(
         and "engine" not in merged
     ):
         merged["engine"] = engine
+    if (
+        kernel is not None
+        and experiment.accepts_kernel
+        and "kernel" not in merged
+    ):
+        merged["kernel"] = kernel
     return merged
 
 

@@ -18,13 +18,15 @@ from repro.graphs.adjacency import collect_content_hashes
 def resolve_spec(spec: RunSpec) -> Dict[str, Any]:
     """Resolved parameter dict for ``spec`` (defaults < preset < overrides).
 
-    ``spec.engine`` is folded in per :func:`repro.api.registry.merge_engine`:
-    it participates only for experiments that declare the ``engine``
-    parameter, and an explicit ``engine`` key in ``spec.overrides`` wins.
+    ``spec.engine`` and ``spec.kernel`` are folded in per
+    :func:`repro.api.registry.merge_engine`: each participates only for
+    experiments that declare the corresponding parameter, and explicit
+    keys in ``spec.overrides`` win.
     """
     experiment = get_experiment(spec.experiment_id)
     return experiment.resolve(
-        spec.preset, merge_engine(experiment, spec.overrides, spec.engine)
+        spec.preset,
+        merge_engine(experiment, spec.overrides, spec.engine, spec.kernel),
     )
 
 

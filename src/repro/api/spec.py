@@ -3,8 +3,9 @@
 A :class:`RunSpec` is the single currency of the run API: the CLI parses
 one, the executor runs one, the artifact store files results under one.
 It names an experiment, a scale preset (``fast`` / ``full``), explicit
-parameter overrides, the seed, an optional engine selection, and output
-options — everything needed to reproduce a run from its archived JSON.
+parameter overrides, the seed, optional engine and kernel selections,
+and output options — everything needed to reproduce a run from its
+archived JSON.
 
 A :class:`RunResult` pairs the produced tables with :class:`Provenance`:
 the fully resolved parameters, the engine actually used, the package
@@ -22,7 +23,9 @@ from typing import Any, Dict, List, Mapping
 from repro.exceptions import SpecError
 from repro.sim.results import ResultTable
 
-_SPEC_FIELDS = ("experiment_id", "preset", "seed", "engine", "overrides", "markdown")
+_SPEC_FIELDS = (
+    "experiment_id", "preset", "seed", "engine", "kernel", "overrides", "markdown"
+)
 
 
 def _normalise(value: Any) -> Any:
@@ -42,6 +45,7 @@ class RunSpec:
     preset: str = "fast"
     seed: int = 0
     engine: str | None = None
+    kernel: str | None = None
     overrides: Dict[str, Any] = field(default_factory=dict)
     markdown: bool = False
 
@@ -103,9 +107,13 @@ class RunSpec:
         fallback = dict(self.overrides)
         if self.engine is not None and "engine" not in fallback:
             fallback["engine"] = self.engine
+        if self.kernel is not None and "kernel" not in fallback:
+            fallback["kernel"] = self.kernel
         try:
             experiment = get_experiment(self.experiment_id)
-            merged = merge_engine(experiment, self.overrides, self.engine)
+            merged = merge_engine(
+                experiment, self.overrides, self.engine, self.kernel
+            )
             resolved = experiment.resolve(self.preset, merged)
             baseline = experiment.resolve(self.preset)
         except SpecError:
@@ -137,6 +145,8 @@ class RunSpec:
         extras = [self.preset, f"seed={self.seed}"]
         if self.engine is not None:
             extras.append(f"engine={self.engine}")
+        if self.kernel is not None:
+            extras.append(f"kernel={self.kernel}")
         extras += [f"{k}={v}" for k, v in sorted(self.overrides.items())]
         return f"{self.experiment_id}[{', '.join(extras)}]"
 

@@ -25,6 +25,7 @@ def expand_grid(
     preset: str = "fast",
     seed: int = 0,
     engine: str | None = None,
+    kernel: str | None = None,
     overrides: Mapping[str, Any] | None = None,
 ) -> List[RunSpec]:
     """One validated :class:`RunSpec` per point of ``axes``' product.
@@ -59,10 +60,12 @@ def expand_grid(
             preset=preset,
             seed=seed,
             engine=engine,
+            kernel=kernel,
             overrides={**common, **point},
         )
         experiment.resolve(
-            preset, merge_engine(experiment, spec.overrides, spec.engine)
+            preset,
+            merge_engine(experiment, spec.overrides, spec.engine, spec.kernel),
         )
         specs.append(spec)
     return specs

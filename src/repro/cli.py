@@ -16,8 +16,9 @@ and ``--save DIR`` to file results in an :class:`~repro.api.ArtifactStore`.
 ``diff`` exits 0 when the runs match within tolerance, 1 otherwise.
 
 The pre-subcommand invocation ``python -m repro.cli [ids...] [--slow]
-[--engine batch|loop] [--markdown] [--save DIR] [--list]`` keeps working
-through a thin compatibility shim that translates it onto the same API.
+[--engine batch|loop] [--kernel auto|numpy|fused|jit] [--markdown]
+[--save DIR] [--list]`` keeps working through a thin compatibility shim
+that translates it onto the same API.
 """
 
 from __future__ import annotations
@@ -43,6 +44,7 @@ from repro.api import (
     resolve_spec,
     summary_table,
 )
+from repro.engine.kernels import KERNEL_CHOICES
 from repro.exceptions import ArtifactError, ReproError
 from repro.io import ResultBundle, save_bundle
 
@@ -85,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default=None,
+        help=(
+            "stepping kernel of the batch engine: auto (default), the "
+            "legacy per-round numpy path, fused multi-round blocks, or "
+            "the numba jit (falls back to fused without numba)"
+        ),
+    )
+    parser.add_argument(
         "--markdown", action="store_true", help="render tables as markdown"
     )
     parser.add_argument(
@@ -117,6 +129,8 @@ def build_cli_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0, help="experiment seed")
     run.add_argument("--engine", choices=("batch", "loop"), default=None,
                      help="replica simulator for Monte-Carlo experiments")
+    run.add_argument("--kernel", choices=KERNEL_CHOICES, default=None,
+                     help="stepping kernel of the batch engine")
     run.add_argument("--set", dest="overrides", action="append", default=[],
                      metavar="KEY=VALUE",
                      help="override a declared parameter (repeatable)")
@@ -143,6 +157,7 @@ def build_cli_parser() -> argparse.ArgumentParser:
     swp.add_argument("--preset", choices=("fast", "full"), default="fast")
     swp.add_argument("--seed", type=int, default=0)
     swp.add_argument("--engine", choices=("batch", "loop"), default=None)
+    swp.add_argument("--kernel", choices=KERNEL_CHOICES, default=None)
     swp.add_argument("--markdown", action="store_true")
     swp.add_argument("--json", action="store_true",
                      help="emit results + summary as JSON")
@@ -225,6 +240,7 @@ def _run_cmd(args: argparse.Namespace) -> int:
             preset=preset,
             seed=args.seed,
             engine=args.engine,
+            kernel=args.kernel,
             overrides=_coerce_overrides(
                 experiment_id, _parse_overrides(args.overrides)
             ),
@@ -313,6 +329,7 @@ def _sweep_cmd(args: argparse.Namespace) -> int:
         preset=args.preset,
         seed=args.seed,
         engine=args.engine,
+        kernel=args.kernel,
         overrides=_coerce_overrides(args.id, fixed),
     )
     store = ArtifactStore(args.save) if args.save else None
@@ -400,6 +417,7 @@ def _legacy_main(argv: Sequence[str]) -> int:
             preset="full" if args.slow else "fast",
             seed=args.seed,
             engine=args.engine,
+            kernel=args.kernel,
             markdown=args.markdown,
         )
         started = time.perf_counter()
@@ -423,7 +441,7 @@ def _legacy_main(argv: Sequence[str]) -> int:
 # Entry point
 # ----------------------------------------------------------------------
 #: Legacy flags that consume the following token as their value.
-_VALUE_FLAGS = ("--seed", "--engine", "--save")
+_VALUE_FLAGS = ("--seed", "--engine", "--kernel", "--save")
 
 
 def _is_legacy(argv: Sequence[str]) -> bool:

@@ -14,6 +14,10 @@ Layers
     Batched k-neighbour sampling (dense padded table vs CSR gather).
 :mod:`repro.engine.batch`
     ``BatchNodeModel`` / ``BatchEdgeModel`` and their lazy variants.
+:mod:`repro.engine.kernels`
+    Fused multi-round stepping kernels: pre-drawn block randomness, a
+    minimal-dispatch NumPy inner loop, and an optional numba JIT
+    backend (``kernel="auto"|"numpy"|"fused"|"jit"``).
 :mod:`repro.engine.driver`
     Run-to-consensus over a batch, replica sharding, multiprocessing,
     and the picklable :class:`~repro.engine.driver.EngineSpec`.
@@ -27,6 +31,12 @@ from repro.engine.backend import (
     DenseBackend,
     SamplingBackend,
     select_backend,
+)
+from repro.engine.kernels import (
+    KERNEL_CHOICES,
+    numba_available,
+    resolve_kernel,
+    validate_kernel,
 )
 from repro.engine.batch import (
     BatchAveragingProcess,
@@ -51,9 +61,13 @@ __all__ = [
     "CSRBackend",
     "DenseBackend",
     "EngineSpec",
+    "KERNEL_CHOICES",
     "ResultCache",
     "SamplingBackend",
     "measure_t_eps_batch",
+    "numba_available",
+    "resolve_kernel",
+    "validate_kernel",
     "run_to_consensus_batch",
     "sample_f_batch",
     "sample_t_eps_batch",

@@ -11,12 +11,16 @@ whole batch at once.  Two implementations trade memory for gather speed:
   O(n * d_max) memory, fastest gathers; the default for the graph sizes
   of the paper experiments.
 * :class:`CSRBackend` keeps only the frozen CSR arrays (O(E) memory) and
-  materialises the needed ``(B, d_max)`` rows per call — the choice for
+  materialises the needed neighbour rows per call — the choice for
   huge, skew-degree graphs where the dense table would not fit.
 
 Both consume the *same* random variates in the same order, so a fixed
 seed yields bit-identical trajectories across backends (asserted in
-``tests/test_engine.py``).
+``tests/test_engine.py``).  The index-level primitives
+(:meth:`~SamplingBackend.pick_block`, :meth:`~SamplingBackend._pick_slots`)
+accept arrays of any shape, so the fused block kernels
+(:mod:`repro.engine.kernels`) can precompute a whole ``(R, B)`` block
+of selections through the same code paths the per-round engine uses.
 """
 
 from __future__ import annotations
@@ -31,12 +35,20 @@ from repro.graphs.adjacency import Adjacency
 #: Above this many dense-table entries, ``backend="auto"`` switches to CSR.
 _DENSE_TABLE_LIMIT = 32_000_000
 
+#: Largest ``d_max`` for which k-subsets are drawn with the full-key
+#: strategy (one uniform key per neighbour slot).  Above it, and when
+#: ``k*k <= d_min`` keeps collisions rare, rejection sampling draws only
+#: ``k`` variates per row instead of ``d_max`` — the difference matters
+#: on high-degree graphs where a ``(B, d_max)`` key matrix per round
+#: would dwarf the actual update work.
+_FULL_KEY_DMAX = 64
+
 
 class SamplingBackend(abc.ABC):
     """Batched k-neighbour sampling over one frozen :class:`Adjacency`.
 
     ``k`` is fixed per backend instance (it is a model parameter); the
-    per-call inputs are the batch ``values`` matrix, the active replica
+    per-call inputs are the batch's flat value view, the active replica
     rows, and the selected node per row.
     """
 
@@ -50,26 +62,158 @@ class SamplingBackend(abc.ABC):
         self.adjacency = adjacency
         self.k = int(k)
         self._degrees = adjacency.degrees
+        self._d_max = int(adjacency.d_max)
         # Regular graphs skip the per-node degree gather in the hot path.
         self._common_degree = (
             float(adjacency.d_min) if adjacency.is_regular else None
         )
+        # Full-neighbourhood averaging on a regular graph needs no keys.
+        self._full_neighbourhood = (
+            self.k == adjacency.d_min == adjacency.d_max
+        )
+        self._rejection_subsets = (
+            not self._full_neighbourhood
+            and self._d_max > _FULL_KEY_DMAX
+            and self.k * self.k <= adjacency.d_min
+        )
+
+    @property
+    def uses_subset_keys(self) -> bool:
+        """Whether ``k > 1`` sampling consumes a pre-drawn key matrix.
+
+        True for the full-key strategy (the caller supplies one uniform
+        key per neighbour slot); False for the full-neighbourhood and
+        rejection-sampled regimes.
+        """
+        return (
+            self.k > 1
+            and not self._full_neighbourhood
+            and not self._rejection_subsets
+        )
 
     def _slots(self, frac: np.ndarray, nodes: np.ndarray) -> np.ndarray:
-        """Neighbour slot ``floor(frac * degree)`` per row.
+        """Neighbour slot ``floor(frac * degree)`` per entry (any shape).
 
-        Shared by both backends' ``pick_one`` so their consumption of
+        Shared by both backends' ``pick_block`` so their consumption of
         the caller-supplied variate — and hence their RNG streams —
-        stays identical by construction.
+        stays identical by construction.  ``frac`` is consumed (scaled
+        in place); callers pass owned scratch.
         """
         if self._common_degree is not None:
-            return (frac * self._common_degree).astype(np.int64)
-        return (frac * self._degrees[nodes]).astype(np.int64)
+            np.multiply(frac, self._common_degree, out=frac)
+        else:
+            np.multiply(frac, self._degrees[nodes], out=frac)
+        return frac.astype(np.int64)
 
     @abc.abstractmethod
+    def _pick_slots(self, nodes: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """Neighbour ids for per-node slot indices (broadcasting shapes).
+
+        ``nodes`` has any shape; ``slots`` has the same shape plus an
+        optional trailing subset axis.  Slot ``s`` of node ``u`` is its
+        ``s``-th neighbour in the frozen adjacency order.
+        """
+
+    def pick_block(self, nodes: np.ndarray, frac: np.ndarray) -> np.ndarray:
+        """One uniform neighbour per entry, for arrays of any shape.
+
+        ``frac`` is a uniform variate in ``[0, 1)`` supplied by the
+        caller (extracted for free from the node draw); the slot is
+        ``floor(frac * degree)``.  Consumes no RNG itself, so dense and
+        CSR backends stay stream-identical.
+        """
+        return self._pick_slots(nodes, self._slots(frac, nodes))
+
+    def pick_one(
+        self,
+        flat: np.ndarray,
+        row_offsets: np.ndarray,
+        nodes: np.ndarray,
+        frac: np.ndarray,
+    ) -> np.ndarray:
+        """The ``k = 1`` hot path: one uniform neighbour value per row.
+
+        ``flat`` is the batch's cached flat value view (see
+        ``BatchAveragingProcess._flat``) and ``row_offsets`` the active
+        rows' flat bases ``rows * n``.
+        """
+        return flat[row_offsets + self.pick_block(nodes, frac)]
+
+    def _subset_slots(
+        self,
+        deg: np.ndarray,
+        keys: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Uniform ``k``-subset of column slots ``[0, deg)`` per entry.
+
+        Two strategies, gated once per (graph, k) at construction so
+        dense and CSR backends — which share this method — consume
+        identical RNG streams on the same graph:
+
+        * **full-key** (``d_max <= 64`` or large ``k``): ``keys`` holds
+          one i.i.d. uniform per neighbour slot (pre-drawn by the
+          caller, shape ``deg.shape + (d_max,)``, consumed in place);
+          invalid slots are masked to ``inf`` and the ``k`` smallest
+          keys win — a uniform k-subset, fully vectorized.  Cost:
+          ``d_max`` variates and an O(d_max) partition per entry,
+          regardless of ``k`` — cheap on the paper's bounded-degree
+          graphs, wasteful when ``d_max`` is in the hundreds.
+        * **rejection** (``d_max > 64`` and ``k*k <= d_min``): draw
+          ``k`` slots directly and redraw the (rare, probability
+          <= k^2/deg) rows with duplicates.  ``keys`` must be ``None``;
+          the variate count is data-dependent, which is why this is the
+          one sampling regime whose streams are not block-size
+          invariant (see :mod:`repro.engine.kernels`).
+        """
+        if not self._rejection_subsets:
+            # ``keys`` is consumed: invalid padded slots are masked in
+            # place (a no-op on regular graphs, where every slot is
+            # valid) before the k-smallest partition.
+            if self._common_degree is None:
+                keys[np.arange(self._d_max) >= deg[..., None]] = np.inf
+            return np.argpartition(keys, self.k - 1, axis=-1)[..., : self.k]
+        if keys is not None:  # pragma: no cover - defensive
+            raise ParameterError("rejection subset sampling pre-draws no keys")
+        k = self.k
+        slots = (rng.random(deg.shape + (k,)) * deg[..., None]).astype(np.int64)
+        flat_slots = slots.reshape(-1, k)
+        flat_deg = deg.reshape(-1)
+        while True:
+            ordered = np.sort(flat_slots, axis=1)
+            dupes = np.flatnonzero(
+                (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+            )
+            if not dupes.size:
+                return slots
+            redraw = rng.random((dupes.size, k)) * flat_deg[dupes, None]
+            flat_slots[dupes] = redraw.astype(np.int64)
+
+    def pick_subsets(
+        self,
+        nodes: np.ndarray,
+        keys: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Neighbour ids of a uniform ``k``-subset per entry.
+
+        Returns shape ``nodes.shape + (k,)``.  ``keys`` follows the
+        :meth:`_subset_slots` contract (required iff
+        :attr:`uses_subset_keys`); the full-neighbourhood regular case
+        consumes no randomness at all.
+        """
+        if self._full_neighbourhood:
+            slots = np.broadcast_to(
+                np.arange(self.k, dtype=np.int64), nodes.shape + (self.k,)
+            )
+            return self._pick_slots(nodes, slots)
+        deg = self._degrees[nodes]
+        return self._pick_slots(nodes, self._subset_slots(deg, keys, rng))
+
     def neighbour_means(
         self,
         values: np.ndarray,
+        flat: np.ndarray,
         rows: np.ndarray,
         row_offsets: np.ndarray,
         nodes: np.ndarray,
@@ -77,43 +221,18 @@ class SamplingBackend(abc.ABC):
     ) -> np.ndarray:
         """Mean over a uniform ``k``-subset of neighbours, one per row.
 
-        ``values`` is the ``(B, n)`` batch state, ``rows`` the active
-        replica indices, ``row_offsets`` their flat bases ``rows * n``,
-        and ``nodes`` the selected node per row (same length as
-        ``rows``).  Returns the per-row neighbour mean.
+        ``values`` is the ``(B, n)`` batch state and ``flat`` its cached
+        flat view; ``rows`` are the active replica indices,
+        ``row_offsets`` their flat bases ``rows * n``, and ``nodes`` the
+        selected node per row.
         """
-
-    @abc.abstractmethod
-    def pick_one(
-        self,
-        values: np.ndarray,
-        row_offsets: np.ndarray,
-        nodes: np.ndarray,
-        frac: np.ndarray,
-    ) -> np.ndarray:
-        """The ``k = 1`` hot path: one uniform neighbour per row.
-
-        ``frac`` is a per-row uniform variate in ``[0, 1)`` supplied by
-        the caller (who extracts it for free from the node draw); the
-        slot is ``floor(frac * degree)``.  Consumes no RNG itself, so
-        dense and CSR backends stay stream-identical.
-        """
-
-    def _subset_columns(
-        self,
-        deg: np.ndarray,
-        d_max: int,
-        rng: np.random.Generator,
-    ) -> np.ndarray:
-        """Uniform ``k``-subset of column slots ``[0, deg)`` per row.
-
-        Assigns i.i.d. uniform keys to each row's valid slots and takes
-        the ``k`` smallest — a uniform random ``k``-subset, fully
-        vectorized (shared by both backends so their RNG streams agree).
-        """
-        keys = rng.random((len(deg), d_max))
-        keys[np.arange(d_max)[None, :] >= deg[:, None]] = np.inf
-        return np.argpartition(keys, self.k - 1, axis=1)[:, : self.k]
+        if self.k == 1:
+            return self.pick_one(flat, row_offsets, nodes, rng.random(len(nodes)))
+        keys = None
+        if self.uses_subset_keys:
+            keys = rng.random((len(nodes), self._d_max))
+        picked = self.pick_subsets(nodes, keys, rng)
+        return values[rows[:, None], picked].mean(axis=1)
 
 
 class DenseBackend(SamplingBackend):
@@ -123,30 +242,20 @@ class DenseBackend(SamplingBackend):
         super().__init__(adjacency, k)
         self._table = adjacency.padded_neighbors()
         self._table_flat = np.ascontiguousarray(self._table).reshape(-1)
-        self._d_max = self._table.shape[1]
 
-    def pick_one(self, values, row_offsets, nodes, frac):
-        picked = self._table_flat[nodes * self._d_max + self._slots(frac, nodes)]
-        return values.reshape(-1)[row_offsets + picked]
-
-    def neighbour_means(self, values, rows, row_offsets, nodes, rng):
-        deg = self._degrees[nodes]
-        if self.k == 1:
-            return self.pick_one(values, row_offsets, nodes, rng.random(len(nodes)))
-        if self.k == self.adjacency.d_min == self.adjacency.d_max:
-            # Full-neighbourhood average on a regular graph: no sampling.
-            gathered = values[rows[:, None], self._table[nodes]]
-            return gathered.mean(axis=1)
-        slots = self._subset_columns(deg, self._d_max, rng)
-        picked = self._table[nodes[:, None], slots]
-        return values[rows[:, None], picked].mean(axis=1)
+    def _pick_slots(self, nodes, slots):
+        if slots.ndim == nodes.ndim:
+            idx = nodes * self._d_max
+            idx += slots
+            return self._table_flat[idx]
+        return self._table[nodes[..., None], slots]
 
 
 class CSRBackend(SamplingBackend):
     """Sampling straight off the CSR arrays (no dense table).
 
     ``k = 1`` needs a single O(B) gather; ``k > 1`` materialises the
-    required neighbour rows on the fly (O(B * d_max) transient memory
+    required neighbour ids on the fly (O(B * k) transient memory
     instead of the dense backend's persistent O(n * d_max) table).
     """
 
@@ -155,22 +264,12 @@ class CSRBackend(SamplingBackend):
         self._neighbors = adjacency.neighbors
         self._offsets = adjacency.offsets
 
-    def pick_one(self, values, row_offsets, nodes, frac):
-        picked = self._neighbors[self._offsets[nodes] + self._slots(frac, nodes)]
-        return values.reshape(-1)[row_offsets + picked]
-
-    def neighbour_means(self, values, rows, row_offsets, nodes, rng):
-        deg = self._degrees[nodes]
-        if self.k == 1:
-            return self.pick_one(values, row_offsets, nodes, rng.random(len(nodes)))
-        starts = self._offsets[nodes]
-        d_max = int(self.adjacency.d_max)
-        if self.k == self.adjacency.d_min == self.adjacency.d_max:
-            span = starts[:, None] + np.arange(d_max)[None, :]
-            return values[rows[:, None], self._neighbors[span]].mean(axis=1)
-        slots = self._subset_columns(deg, d_max, rng)
-        picked = self._neighbors[starts[:, None] + slots]
-        return values[rows[:, None], picked].mean(axis=1)
+    def _pick_slots(self, nodes, slots):
+        if slots.ndim == nodes.ndim:
+            idx = self._offsets[nodes]
+            idx += slots
+            return self._neighbors[idx]
+        return self._neighbors[self._offsets[nodes][..., None] + slots]
 
 
 def select_backend(

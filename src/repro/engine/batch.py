@@ -1,24 +1,41 @@
 """Batched replicas of the averaging processes as a ``(B, n)`` matrix.
 
 A :class:`BatchAveragingProcess` holds ``B`` statistically independent
-copies of one averaging process and advances *all* of them one time step
-per vectorized round: one RNG draw of shape ``(B,)`` selects the acting
-node (or directed edge) of every replica, one fancy-indexed gather reads
-the old values, and one scatter writes the unilateral updates
+copies of one averaging process and advances *all* of them per
+vectorized call: one RNG draw selects the acting node (or directed
+edge) of every replica, one fancy-indexed gather reads the old values,
+and one scatter writes the unilateral updates
 
     xi[b, u_b] = alpha * xi[b, u_b] + (1 - alpha)/k * sum_i xi[b, v_i]
 
-The per-replica potential ``phi`` is tracked incrementally exactly as the
-scalar :class:`~repro.core.base.AveragingProcess` does (pi-weighted first
-and second moments, periodically resynchronised), so convergence masking
-is O(B) per round: replicas whose ``phi`` crossed the threshold are
-*frozen* — they stop being selected, stop consuming RNG draws and stop
-contributing work, while the rest of the batch keeps stepping.
+Stepping is delegated to a pluggable *kernel*
+(:mod:`repro.engine.kernels`): ``"numpy"`` is the original per-round
+path (one RNG call plus a dozen NumPy dispatches per time step, kept as
+the bit-compatible PR-1 reference), while ``"fused"`` and ``"jit"``
+advance the batch by blocks of :attr:`block_rounds` rounds per Python
+call — all block randomness pre-drawn in one C-order call, all
+value-independent index arithmetic hoisted out of the round loop, and
+(for the jit kernel) the whole block executed by one compiled loop over
+the same variates, so fused and jit trajectories are bit-identical at a
+fixed seed.
 
-In law each replica's trajectory is identical to the scalar process (the
-equivalence tests replay a shared :class:`~repro.core.schedule.Schedule`
-through both and compare step for step); the speed comes purely from
-amortising the Python interpreter over the batch dimension.
+The per-replica potential ``phi`` is tracked via pi-weighted first and
+second moments exactly as the scalar
+:class:`~repro.core.base.AveragingProcess` does.  The block kernels
+record per-round moment increments, so :meth:`run_until_phi` checks
+convergence once per block, reconstructs the within-block phi
+trajectory, and *backdates* each replica's hitting time to the exact
+crossing round — per-round-exact semantics at per-block cost.
+Converged replicas are *frozen*: they stop being stepped and stop
+contributing work (block kernels still draw their variate columns and
+discard them, which keeps every replica's trajectory independent of
+the freeze pattern and of the block size).
+
+In law each replica's trajectory is identical to the scalar process
+(the equivalence tests replay a shared
+:class:`~repro.core.schedule.Schedule` through both and compare step
+for step); the speed comes purely from amortising the Python
+interpreter over the batch and block dimensions.
 """
 
 from __future__ import annotations
@@ -31,12 +48,22 @@ import numpy as np
 
 from repro.core.schedule import Schedule
 from repro.engine.backend import SamplingBackend, select_backend
+from repro.engine.kernels import (
+    BLOCK_EXECUTORS,
+    DEFAULT_BLOCK_ROUNDS,
+    BlockPlan,
+    resolve_kernel,
+)
 from repro.exceptions import ParameterError
 from repro.graphs.adjacency import Adjacency
 from repro.rng import SeedLike, as_generator
 
 #: Rounds between exact moment recomputations (kills float drift).
 _RESYNC_EVERY = 4096
+
+#: Per-array element budget of one block's scratch matrices; blocks are
+#: shortened so huge batches do not allocate unbounded (R, B) planes.
+_BLOCK_BUDGET = 2_097_152
 
 
 class BatchAveragingProcess(abc.ABC):
@@ -62,6 +89,11 @@ class BatchAveragingProcess(abc.ABC):
     backend:
         ``"auto"`` | ``"dense"`` | ``"csr"`` — see
         :mod:`repro.engine.backend`.
+    kernel:
+        ``"auto"`` | ``"numpy"`` | ``"fused"`` | ``"jit"`` — see
+        :mod:`repro.engine.kernels`.  ``"auto"`` (default) selects the
+        jit kernel when numba is importable and the fused NumPy kernel
+        otherwise.
     """
 
     def __init__(
@@ -73,6 +105,7 @@ class BatchAveragingProcess(abc.ABC):
         seed: SeedLike = None,
         lazy: bool = False,
         backend: str = "auto",
+        kernel: str = "auto",
     ) -> None:
         if not 0.0 <= alpha < 1.0:
             raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
@@ -120,9 +153,21 @@ class BatchAveragingProcess(abc.ABC):
             float(self._pi[0]) if self.adjacency.is_regular else None
         )
         self._backend_name = backend
+        self.kernel_requested = kernel
+        self.kernel = resolve_kernel(kernel)
+        self.block_rounds = DEFAULT_BLOCK_ROUNDS
+        self._block_exec = BLOCK_EXECUTORS.get(self.kernel)
+        # The flat view of `values` every gather/scatter indexes into.
+        # `values` is allocated once and mutated in place, so the view
+        # stays valid for the batch's lifetime; it is refreshed on
+        # freeze/resync purely as a cheap invariant (satellite of the
+        # kernels PR: never rebuild it per round).
+        self._flat = self.values.reshape(-1)
+        self._moments_dirty = False
         self._active = np.ones(self.replicas, dtype=bool)
         self._active_rows = np.arange(self.replicas)
         self._row_offsets = self._active_rows * n
+        self._coef = None
         self._rounds_since_resync = 0
         self.resync_moments()
 
@@ -156,6 +201,8 @@ class BatchAveragingProcess(abc.ABC):
         self._active[np.asarray(rows, dtype=np.int64)] = False
         self._active_rows = np.flatnonzero(self._active)
         self._row_offsets = self._active_rows * self.n
+        self._coef = None
+        self._flat = self.values.reshape(-1)
 
     # ------------------------------------------------------------------
     # Selection: the only model-specific ingredient
@@ -167,15 +214,37 @@ class BatchAveragingProcess(abc.ABC):
         """Draw ``(nodes, neighbour_means)`` for the given replica rows.
 
         ``row_offsets`` is ``rows * n``, the flat-index base of each
-        row into ``values.reshape(-1)`` — precomputed so the hot path
+        row into the cached flat view — precomputed so the hot path
         can use cheap 1-D gathers instead of 2-D fancy indexing.
         """
+
+    @abc.abstractmethod
+    def _plan_block(self, block_rounds: int) -> BlockPlan:
+        """Precompute one R-round block for the fused/jit kernels.
+
+        Draws the block's randomness in one C-order call **for the full
+        batch** (frozen replicas' columns are discarded), then computes
+        every value-independent quantity — selections, neighbour picks,
+        flat gather/scatter indices, pi weights, lazy coins — restricted
+        to the active rows.  See :mod:`repro.engine.kernels` for the
+        draw-order contract per shape.
+        """
+
+    def _plan_width(self) -> int:
+        """Scratch elements per (round, replica) a block plan allocates."""
+        return 1
 
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
     def step_batch(self) -> None:
-        """Advance every active replica by one time step."""
+        """Advance every active replica by one time step.
+
+        This is the legacy per-round path — exactly the ``"numpy"``
+        kernel.  Block kernels do not route through it (their RNG
+        layout is block-shaped), but it remains valid to call on any
+        batch.
+        """
         self.t += 1
         rows = self._active_rows
         if rows.size == 0:
@@ -201,11 +270,15 @@ class BatchAveragingProcess(abc.ABC):
         means: np.ndarray,
     ) -> None:
         """The unilateral update plus incremental moment bookkeeping."""
-        flat = self.values.reshape(-1)
+        flat = self._flat
         idx = row_offsets + nodes
         old = flat[idx]
         new = self.alpha * old + (1.0 - self.alpha) * means
         flat[idx] = new
+        if self._moments_dirty:
+            # Moments will be resynchronised exactly on next read; do
+            # not waste work maintaining a stale accumulator.
+            return
         weights = (
             self._pi_common if self._pi_common is not None else self._pi[nodes]
         )
@@ -218,36 +291,70 @@ class BatchAveragingProcess(abc.ABC):
             self._s1[rows] += delta1
             self._s2[rows] += delta2
 
+    def _block_size(self, remaining: int) -> int:
+        """Rounds for the next block: configured size, memory-bounded."""
+        block = max(1, int(self.block_rounds))
+        budget = max(1, _BLOCK_BUDGET // (self.replicas * self._plan_width()))
+        return min(block, remaining, budget)
+
     def run(self, steps: int) -> None:
-        """Execute ``steps`` rounds (one time step per active replica each)."""
+        """Execute ``steps`` rounds (one time step per active replica each).
+
+        Block kernels mark the moment accumulators dirty and
+        resynchronise them exactly, on demand, at the next observable
+        read — cheaper and *more* accurate than per-round increments.
+        """
         if steps < 0:
             raise ParameterError(f"steps must be non-negative, got {steps}")
-        for _ in range(steps):
-            self.step_batch()
+        if self._block_exec is None:
+            for _ in range(steps):
+                self.step_batch()
+            return
+        remaining = steps
+        while remaining > 0:
+            if self.num_active == 0:
+                self.t += remaining
+                return
+            rounds = self._block_size(remaining)
+            plan = self._plan_block(rounds)
+            self._block_exec(self._flat, plan, self.alpha, False)
+            self._moments_dirty = True
+            self.t += rounds
+            remaining -= rounds
 
-    def run_until_phi(
-        self, epsilon: float, max_steps: int
-    ) -> np.ndarray:
+    def run_until_phi(self, epsilon: float, max_steps: int) -> np.ndarray:
         """Per-replica ``T_eps``: step until every replica has ``phi <= eps``.
 
         Returns an int array with each replica's hitting time counted
         from the current state, or ``-1`` where ``max_steps`` rounds
-        elapsed first.  Convergence is checked every round (two O(B)
-        vector operations), so hitting times are exact, matching
-        :func:`repro.core.convergence.measure_t_eps`.  Replicas freeze
-        as they converge.  Already-frozen replicas report ``0`` when
-        their ``phi`` is within ``epsilon`` and ``-1`` otherwise (frozen
+        elapsed first.  Hitting times are exact, matching
+        :func:`repro.core.convergence.measure_t_eps`: the ``"numpy"``
+        kernel checks every round; block kernels check once per block
+        against the reconstructed within-block phi trajectory and
+        *backdate* each replica to its exact crossing round (see
+        :meth:`_run_until_phi_blocked`).  Replicas freeze as they
+        converge.  Already-frozen replicas report ``0`` when their
+        ``phi`` is within ``epsilon`` and ``-1`` otherwise (frozen
         means they will never be stepped again).
         """
         if epsilon <= 0:
             raise ParameterError(f"epsilon must be positive, got {epsilon}")
         if max_steps < 0:
             raise ParameterError(f"max_steps must be non-negative, got {max_steps}")
+        self._ensure_moments()
         hit = np.full(self.replicas, -1, dtype=np.int64)
-        start = self.t
         converged = self.phi <= epsilon
         hit[converged] = 0
         self.freeze(np.flatnonzero(converged))
+        if self._block_exec is None:
+            return self._run_until_phi_perround(epsilon, max_steps, hit)
+        return self._run_until_phi_blocked(epsilon, max_steps, hit)
+
+    def _run_until_phi_perround(
+        self, epsilon: float, max_steps: int, hit: np.ndarray
+    ) -> np.ndarray:
+        """The PR-1 per-round detection loop (``"numpy"`` kernel)."""
+        start = self.t
         while self.num_active and self.t - start < max_steps:
             self.step_batch()
             rows = self._active_rows
@@ -258,12 +365,127 @@ class BatchAveragingProcess(abc.ABC):
                 self.freeze(done)
         return hit
 
+    def _run_until_phi_blocked(
+        self, epsilon: float, max_steps: int, hit: np.ndarray
+    ) -> np.ndarray:
+        """Chunked detection with exact backdating (block kernels).
+
+        Each block records per-round moment increments ``(d1, d2)``
+        derived from the written entries' old/new values.  The
+        within-block moment trajectories are the left folds
+
+            s1[r] = (((s1_0 + d1_1) + d1_2) + ... + d1_r)
+
+        computed by one in-place ``cumsum`` seeded with the pre-block
+        moments — the *same* floating-point fold the per-round check
+        performs, so ``phi[r] = max(s2[r] - s1[r]^2, 0)`` reproduces
+        the per-round sequence exactly and the first ``phi[r] <= eps``
+        index is the exact hitting round.  A replica crossing mid-block
+        is then *rewound* to its crossing-round state (each over-stepped
+        round's old value was recorded, so undoing the writes in reverse
+        order is exact) before it freezes, and its moments are set from
+        the trajectory at the crossing.  Blocks never straddle the
+        periodic exact-resync boundary, and when one ends on it the
+        final round's phi is re-evaluated post-resync — again matching
+        what per-round checking would have seen.  Hitting times *and*
+        the frozen states are therefore invariant to ``block_rounds``
+        (one realized trajectory, detected at different granularities),
+        except under the rejection-sampled ``k > 2`` regime whose
+        variate *count* is data-dependent (see
+        :mod:`repro.engine.kernels`).
+        """
+        start = self.t
+        while self.num_active and self.t - start < max_steps:
+            rounds = self._block_size(max_steps - (self.t - start))
+            rounds = min(rounds, _RESYNC_EVERY - self._rounds_since_resync)
+            rows = self._active_rows
+            plan = self._plan_block(rounds)
+            old_blk, new_blk = self._block_exec(self._flat, plan, self.alpha, True)
+            self.t += rounds
+            self._rounds_since_resync += rounds
+
+            d1 = plan.weights * (new_blk - old_blk)
+            d2 = d1 * (new_blk + old_blk)
+            traj1 = np.empty((rounds + 1, rows.size))
+            traj1[0] = self._s1[rows]
+            traj1[1:] = d1
+            np.cumsum(traj1, axis=0, out=traj1)
+            traj2 = np.empty((rounds + 1, rows.size))
+            traj2[0] = self._s2[rows]
+            traj2[1:] = d2
+            np.cumsum(traj2, axis=0, out=traj2)
+            self._s1[rows] = traj1[-1]
+            self._s2[rows] = traj2[-1]
+            phi = np.maximum(traj2[1:] - traj1[1:] ** 2, 0.0)
+            resynced = self._rounds_since_resync >= _RESYNC_EVERY
+            if resynced:
+                self.resync_moments()
+                phi[-1] = np.maximum(
+                    self._s2[rows] - self._s1[rows] ** 2, 0.0
+                )
+            below = phi <= epsilon
+            crossed = below.any(axis=0)
+            if crossed.any():
+                first = below.argmax(axis=0)
+                done = rows[crossed]
+                hit[done] = (self.t - rounds - start) + first[crossed] + 1
+                self._rewind_crossed(
+                    plan, old_blk, traj1, traj2, rows, crossed, first, resynced
+                )
+                self.freeze(done)
+        return hit
+
+    def _rewind_crossed(
+        self,
+        plan: BlockPlan,
+        old_blk: np.ndarray,
+        traj1: np.ndarray,
+        traj2: np.ndarray,
+        rows: np.ndarray,
+        crossed: np.ndarray,
+        first: np.ndarray,
+        resynced: bool,
+    ) -> None:
+        """Restore crossed replicas to their exact crossing-round state.
+
+        ``first[j]`` indexes the phi row of column ``j``'s crossing, so
+        rounds ``first[j]+1 .. R-1`` (0-based block rows) over-stepped
+        it.  Each such round wrote exactly one entry whose prior value
+        sits in ``old_blk``; assigning the old values back in *reverse*
+        round order is an exact undo (on duplicate indices NumPy's
+        fancy assignment lets the last — i.e. earliest-round — value
+        win).  Moments are reset from the recorded trajectory at the
+        crossing, except for a replica that crossed on a resync
+        boundary's final round, whose exactly-resynchronised moments
+        are already in place.
+        """
+        flat = self._flat
+        rounds = old_blk.shape[0]
+        keep = plan.keep
+        for j in np.flatnonzero(crossed):
+            cut = first[j] + 1
+            if cut < rounds:
+                undo = slice(rounds - 1, cut - 1, -1)
+                write = plan.write_idx[undo, j]
+                values = old_blk[undo, j]
+                if keep is not None:
+                    mask = keep[undo, j]
+                    write = write[mask]
+                    values = values[mask]
+                flat[write] = values
+            row = rows[j]
+            if not (resynced and cut == rounds):
+                self._s1[row] = traj1[cut, j]
+                self._s2[row] = traj2[cut, j]
+
     def replay(self, schedule: Schedule) -> None:
         """Apply a recorded selection sequence to every replica.
 
         All replicas follow the *same* ``chi``; with identical initial
         rows this reproduces the scalar process bit for bit — the
-        equivalence tests' coupling.
+        equivalence tests' coupling.  Replay is kernel-independent: it
+        never draws RNG, so every kernel reproduces PR-1 trajectories
+        bit for bit through this path.
         """
         for step in schedule:
             self.apply_selection(step.node, step.sample)
@@ -285,22 +507,114 @@ class BatchAveragingProcess(abc.ABC):
         self._apply_rows(rows, self._row_offsets, nodes, means)
 
     # ------------------------------------------------------------------
+    # Block-plan helpers shared by the concrete models
+    # ------------------------------------------------------------------
+    def _split_lazy(self, u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split the lazy coin off a uniform matrix.
+
+        ``u`` is i.i.d. uniform on [0, 1); the leading bit is the coin
+        (heads = perform the update) and ``2u mod 1`` is again uniform
+        and independent of it — the same bit-recycling the per-round
+        node/slot draw uses.
+        """
+        doubled = u * 2.0
+        keep = doubled >= 1.0
+        return keep, doubled - keep
+
+    def _coef_vector(self, active: int, k: int) -> np.ndarray:
+        """``[beta/k ... | alpha ...]`` matching a packed cat-index row."""
+        if self._coef is None or self._coef.size != (k + 1) * active:
+            self._coef = np.concatenate(
+                [
+                    np.full(k * active, (1.0 - self.alpha) / k),
+                    np.full(active, self.alpha),
+                ]
+            )
+        return self._coef
+
+    def _pack_plan(
+        self,
+        nodes: np.ndarray,
+        picked: np.ndarray | Sequence[np.ndarray],
+        keep: np.ndarray | None,
+    ) -> BlockPlan:
+        """Assemble a kernel plan from selections for the active rows.
+
+        ``nodes`` is the per-(round, active-row) written node and
+        ``picked`` the gathered neighbour(s): one ``(R, A)`` matrix for
+        single-gather shapes, or ``k`` of them (a sequence, or stacked
+        as ``(R, A, k)``).  The non-lazy fast path packs all flat index
+        matrices into one ``[neighbours... | write]`` block so the
+        kernels' inner loop needs a single fused gather per round.
+        """
+        offsets = self._row_offsets
+        weights: np.ndarray | float
+        if self._pi_common is not None:
+            weights = self._pi_common
+        else:
+            weights = self._pi[nodes]
+        rounds, active = nodes.shape
+        if isinstance(picked, np.ndarray) and picked.ndim == 2:
+            groups = (picked,)
+        elif isinstance(picked, np.ndarray):
+            groups = tuple(picked[:, :, j] for j in range(picked.shape[2]))
+        else:
+            groups = tuple(picked)
+        k = len(groups)
+        if keep is None:
+            cat = np.empty((rounds, (k + 1) * active), dtype=np.int64)
+            for j, group in enumerate(groups):
+                np.add(
+                    offsets[None, :],
+                    group,
+                    out=cat[:, j * active:(j + 1) * active],
+                )
+            np.add(offsets[None, :], nodes, out=cat[:, k * active:])
+            return BlockPlan(
+                write_idx=cat[:, k * active:],
+                cat_idx=cat,
+                coef=self._coef_vector(active, k),
+                weights=weights,
+                k=k,
+            )
+        if k == 1:
+            gather_idx = offsets[None, :] + groups[0]
+        else:
+            gather_idx = offsets[None, :, None] + np.stack(groups, axis=-1)
+        return BlockPlan(
+            write_idx=offsets[None, :] + nodes,
+            gather_idx=gather_idx,
+            weights=weights,
+            keep=keep,
+            k=k,
+        )
+
+    # ------------------------------------------------------------------
     # Observables
     # ------------------------------------------------------------------
+    def _ensure_moments(self) -> None:
+        """Resynchronise the moment accumulators if a block left them stale."""
+        if self._moments_dirty:
+            self.resync_moments()
+
     def resync_moments(self) -> None:
         """Recompute the pi-weighted moments exactly from the state."""
+        self._flat = self.values.reshape(-1)
         self._s1 = self.values @ self._pi
         self._s2 = (self.values * self.values) @ self._pi
         self._rounds_since_resync = 0
+        self._moments_dirty = False
 
     @property
     def phi(self) -> np.ndarray:
         """Per-replica potential ``phi(xi_b(t))`` (Eq. 3)."""
+        self._ensure_moments()
         return np.maximum(self._s2 - self._s1 * self._s1, 0.0)
 
     @property
     def weighted_average(self) -> np.ndarray:
         """Per-replica martingale ``M_b(t) = <1, xi_b>_pi``."""
+        self._ensure_moments()
         return self._s1.copy()
 
     @property
@@ -331,6 +645,7 @@ class BatchNodeModel(BatchAveragingProcess):
         seed: SeedLike = None,
         lazy: bool = False,
         backend: str = "auto",
+        kernel: str = "auto",
     ) -> None:
         super().__init__(
             graph,
@@ -340,6 +655,7 @@ class BatchNodeModel(BatchAveragingProcess):
             seed=seed,
             lazy=lazy,
             backend=backend,
+            kernel=kernel,
         )
         self._sampler: SamplingBackend = select_backend(
             self.adjacency, k, self._backend_name
@@ -354,19 +670,92 @@ class BatchNodeModel(BatchAveragingProcess):
             scaled = self.rng.random(rows.size) * self.n
             nodes = scaled.astype(np.int64)
             means = self._sampler.pick_one(
-                self.values, row_offsets, nodes, scaled - nodes
+                self._flat, row_offsets, nodes, scaled - nodes
             )
             return nodes, means
         nodes = self.rng.integers(self.n, size=rows.size)
         means = self._sampler.neighbour_means(
-            self.values, rows, row_offsets, nodes, self.rng
+            self.values, self._flat, rows, row_offsets, nodes, self.rng
         )
         return nodes, means
+
+    def _plan_width(self) -> int:
+        if self.k <= 2:
+            return 1
+        if self._sampler.uses_subset_keys:
+            return self.adjacency.d_max + 1
+        return self.k
+
+    def _plan_block(self, block_rounds: int) -> BlockPlan:
+        rows = self._active_rows
+        full = rows.size == self.replicas
+        if self.k <= 2:
+            # Node (and for k = 2 the ordered distinct neighbour pair)
+            # decoded from ONE uniform per round: integer part selects
+            # the node; the fractional part — exact, because
+            # floor-subtraction of doubles is — carries ~44 spare
+            # mantissa bits that index the neighbour slot (k = 1) or
+            # one of the deg*(deg-1) ordered pairs (k = 2).
+            u = self.rng.random((block_rounds, self.replicas))
+            if not full:
+                u = u[:, rows]
+            keep = None
+            if self.lazy:
+                keep, u = self._split_lazy(u)
+            np.multiply(u, self.n, out=u)
+            nodes = u.astype(np.int64)
+            np.subtract(u, nodes, out=u)
+            sampler = self._sampler
+            if self.k == 1:
+                return self._pack_plan(
+                    nodes, sampler.pick_block(nodes, u), keep
+                )
+            if sampler._common_degree is not None:
+                degree_m1 = int(sampler._common_degree) - 1
+                np.multiply(u, float(degree_m1 + 1) * degree_m1, out=u)
+            else:
+                degree_m1 = sampler._degrees[nodes] - 1
+                np.multiply(u, (degree_m1 + 1) * degree_m1, out=u)
+            pair = u.astype(np.int64)
+            first, second = np.divmod(pair, degree_m1)
+            second += second >= first
+            return self._pack_plan(
+                nodes,
+                (
+                    sampler._pick_slots(nodes, first),
+                    sampler._pick_slots(nodes, second),
+                ),
+                keep,
+            )
+
+        # k > 2: node selector and subset keys come from one C-order
+        # draw so block splits cannot reorder the stream; neighbour
+        # subsets are computed for the full batch because the rejection
+        # strategy may consume extra (data-dependent) variates.
+        keys = None
+        if self._sampler.uses_subset_keys:
+            block = self.rng.random(
+                (block_rounds, self.replicas, self.adjacency.d_max + 1)
+            )
+            u = block[..., 0]
+            keys = block[..., 1:]
+        else:
+            u = self.rng.random((block_rounds, self.replicas))
+        keep = None
+        if self.lazy:
+            keep, u = self._split_lazy(u)
+        nodes = (u * self.n).astype(np.int64)
+        picked = self._sampler.pick_subsets(nodes, keys, self.rng)
+        if not full:
+            nodes = nodes[:, rows]
+            picked = picked[:, rows, :]
+            keep = None if keep is None else keep[:, rows]
+        return self._pack_plan(nodes, picked, keep)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"BatchNodeModel(B={self.replicas}, n={self.n}, alpha={self.alpha}, "
-            f"k={self.k}, lazy={self.lazy}, t={self.t})"
+            f"k={self.k}, lazy={self.lazy}, kernel={self.kernel!r}, t={self.t})"
         )
 
 
@@ -382,6 +771,7 @@ class BatchEdgeModel(BatchAveragingProcess):
         seed: SeedLike = None,
         lazy: bool = False,
         backend: str = "auto",
+        kernel: str = "auto",
     ) -> None:
         super().__init__(
             graph,
@@ -391,6 +781,7 @@ class BatchEdgeModel(BatchAveragingProcess):
             seed=seed,
             lazy=lazy,
             backend=backend,
+            kernel=kernel,
         )
         self._tails = self.adjacency.edge_tails
         self._heads = self.adjacency.edge_heads
@@ -398,11 +789,23 @@ class BatchEdgeModel(BatchAveragingProcess):
     def _select_batch(self, rows, row_offsets):
         edges = self.rng.integers(len(self._tails), size=rows.size)
         nodes = self._tails[edges]
-        means = self.values.reshape(-1)[row_offsets + self._heads[edges]]
+        means = self._flat[row_offsets + self._heads[edges]]
         return nodes, means
+
+    def _plan_block(self, block_rounds: int) -> BlockPlan:
+        rows = self._active_rows
+        u = self.rng.random((block_rounds, self.replicas))
+        if rows.size != self.replicas:
+            u = u[:, rows]
+        keep = None
+        if self.lazy:
+            keep, u = self._split_lazy(u)
+        edges = (u * len(self._tails)).astype(np.int64)
+        return self._pack_plan(self._tails[edges], self._heads[edges], keep)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"BatchEdgeModel(B={self.replicas}, n={self.n}, m={self.adjacency.m}, "
-            f"alpha={self.alpha}, lazy={self.lazy}, t={self.t})"
+            f"alpha={self.alpha}, lazy={self.lazy}, kernel={self.kernel!r}, "
+            f"t={self.t})"
         )

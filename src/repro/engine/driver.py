@@ -29,6 +29,7 @@ from repro.engine.batch import (
     BatchEdgeModel,
     BatchNodeModel,
 )
+from repro.engine.kernels import resolve_kernel, validate_kernel
 from repro.exceptions import ConvergenceError, ParameterError
 from repro.graphs.adjacency import Adjacency
 from repro.rng import SeedLike
@@ -55,10 +56,12 @@ class EngineSpec:
     k: int = 1
     lazy: bool = False
     backend: str = "auto"
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.kind not in ("node", "edge"):
             raise ParameterError(f"kind must be 'node' or 'edge', got {self.kind!r}")
+        validate_kernel(self.kernel)
         values = np.asarray(self.initial_values, dtype=np.float64)
         if values.shape != (self.adjacency.n,):
             raise ParameterError(
@@ -78,10 +81,11 @@ class EngineSpec:
             and self.k == other.k
             and self.lazy == other.lazy
             and self.backend == other.backend
+            and self.kernel == other.kernel
         )
 
     def __hash__(self) -> int:
-        return hash((self.cache_token(), self.backend))
+        return hash((self.cache_token(), self.backend, self.kernel))
 
     @classmethod
     def from_process(cls, process) -> "EngineSpec":
@@ -127,6 +131,7 @@ class EngineSpec:
                 seed=seed,
                 lazy=self.lazy,
                 backend=self.backend,
+                kernel=self.kernel,
             )
         return BatchEdgeModel(
             self.adjacency,
@@ -136,16 +141,27 @@ class EngineSpec:
             seed=seed,
             lazy=self.lazy,
             backend=self.backend,
+            kernel=self.kernel,
         )
 
     def cache_token(self) -> str:
-        """Deterministic text token identifying this configuration."""
+        """Deterministic text token identifying this configuration.
+
+        Backends are bit-identical at a fixed seed and do not
+        participate.  Kernels split into two RNG *stream classes*: the
+        legacy per-round ``"numpy"`` layout versus the block layout
+        shared (bit-identically) by ``"fused"`` and ``"jit"`` — cached
+        samples are keyed by stream class so fused and jit runs reuse
+        each other's results while legacy runs stay distinct.
+        """
         values = np.ascontiguousarray(self.initial_values)
         digest = hashlib.sha256(values.tobytes()).hexdigest()[:16]
         k = self.k if self.kind == "node" else 1
+        stream = "legacy" if resolve_kernel(self.kernel) == "numpy" else "block"
         return (
             f"{self.kind}|g={self.adjacency.content_hash()[:16]}"
             f"|x0={digest}|alpha={self.alpha!r}|k={k}|lazy={int(self.lazy)}"
+            f"|stream={stream}"
         )
 
 
@@ -196,15 +212,22 @@ def run_to_consensus_batch(
         rows = batch._active_rows
         if len(rows) == 0:
             return
-        active_values = batch.values[rows]
-        spread = active_values.max(axis=1) - active_values.min(axis=1)
+        # Spread via reductions, not a copy of the (A, n) active
+        # submatrix: while most replicas are live, reduce over the full
+        # matrix view directly; once most are frozen, the small active
+        # gather is cheaper than scanning frozen rows.
+        if 4 * len(rows) >= B:
+            spread = (batch.values.max(axis=1) - batch.values.min(axis=1))[rows]
+        else:
+            active_values = batch.values[rows]
+            spread = active_values.max(axis=1) - active_values.min(axis=1)
         mask = spread <= discrepancy_tol
         if not mask.any():
             return
         done = rows[mask]
-        finished = active_values[mask]
-        # Exact moments for just the finished rows — a full-batch
-        # resync here would be O(B * n) per harvest event.
+        # Gather only the finished rows; exact moments for just those —
+        # a full-batch resync here would be O(B * n) per harvest event.
+        finished = batch.values[done]
         pi = batch._pi
         s1 = finished @ pi
         s2 = (finished**2) @ pi

@@ -1,0 +1,385 @@
+"""Fused multi-round stepping kernels for the batch engine.
+
+The PR-1 batch engine pays one full Python round — an RNG call plus a
+dozen NumPy dispatches — per time step, so at small batch sizes the
+interpreter, not arithmetic, dominates wall time.  The kernel layer
+advances a batch by *blocks of R rounds per Python call*:
+
+``"numpy"``
+    The legacy per-round path (``step_batch`` in a loop).  Kept as the
+    bit-compatible reference for PR-1 trajectories — with one carve-out:
+    on very high-degree graphs (``d_max > 64``, ``k^2 <= d_min``) the
+    ``k``-subset sampler now rejection-samples instead of drawing a full
+    ``(B, d_max)`` key matrix, so those configurations consume a
+    different stream than PR-1 did (same law; see
+    :meth:`~repro.engine.backend.SamplingBackend._subset_slots`).
+``"fused"``
+    Pure NumPy: all block randomness is pre-drawn in one call, every
+    value-independent quantity (selected nodes, neighbour slots, flat
+    gather/scatter indices, pi weights) is computed block-wise, and the
+    per-round inner loop shrinks to four NumPy dispatches — one fused
+    gather, one multiply, one add, one scatter.
+``"jit"``
+    Optional Numba backend: the same pre-drawn variates and precomputed
+    index blocks are consumed by one compiled loop over the whole block.
+    Auto-selected by ``kernel="auto"`` when numba imports; silently
+    falls back to ``"fused"`` otherwise (and per-call for shapes the
+    compiled loop does not cover, currently ``k > 1``).
+
+Block contract
+--------------
+One block advances the active replicas by ``R`` rounds.  Randomness is
+drawn **once per block, for the full batch**: a single C-order uniform
+matrix whose row ``r`` holds round ``r``'s variates and whose column
+``b`` belongs to replica ``b``.  Because NumPy fills arrays from the
+bit stream in C order, splitting a run into blocks of any size consumes
+the stream identically — trajectories are *chunk-invariant*, and frozen
+replicas (whose columns are drawn but discarded) never shift their
+neighbours' variates.  Per shape the draw is:
+
+* node ``k = 1``: ``U ~ (R, B)``; ``node = floor(u * n)``, neighbour
+  slot from the fractional part (as in the per-round engine);
+* node ``k = 2``: ``U ~ (R, B)``; the node from the integer part of
+  ``u * n``, and from the (exact) fractional part one of the
+  ``deg * (deg - 1)`` *ordered distinct neighbour pairs* — no key
+  matrix at all;
+* edge: ``U ~ (R, B)``; ``edge = floor(u * 2m)``;
+* node ``k > 2`` (full-key subsets): ``U ~ (R, B, d_max + 1)``; column
+  0 selects the node, the remaining columns are the subset keys;
+* lazy variants split one extra leading bit off the same uniform:
+  ``coin = (u >= 1/2)``, then ``2u mod 1`` is again uniform.
+
+(The rejection-sampled ``k > 1`` path for very high-degree graphs —
+see :meth:`~repro.engine.backend.SamplingBackend._subset_slots` — draws
+a variable number of variates and is therefore the one shape whose
+realized trajectory depends on the block size; its hitting times remain
+exact for the trajectory actually run.)
+
+The executors below receive a fully precomputed :class:`BlockPlan` and
+only perform the value-dependent work.  In record mode they return the
+per-round ``(old, new)`` values of every updated entry, from which the
+caller derives the exact per-round moment increments
+``(d1, d2) = (pi_u * (new - old), d1 * (new + old))`` — the inputs to
+chunked convergence detection (see ``BatchAveragingProcess.run_until_phi``
+for the backdating math).  Fused and jit kernels perform bit-identical
+IEEE operations, so a fixed seed yields bit-identical trajectories
+across the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+#: Valid ``kernel=`` names accepted across the engine, API and CLI.
+KERNEL_CHOICES = ("auto", "numpy", "fused", "jit")
+
+#: Default rounds per block: large enough to amortise the block plan to
+#: ~0.02 us/round, small enough that run_until_phi over-steps at most
+#: this many rounds past each replica's crossing (times stay exact).
+DEFAULT_BLOCK_ROUNDS = 256
+
+_NUMBA_STATE: dict = {}
+
+
+def numba_available() -> bool:
+    """Whether the optional numba JIT backend can be imported (cached)."""
+    if "ok" not in _NUMBA_STATE:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_STATE["ok"] = True
+        except ImportError:
+            _NUMBA_STATE["ok"] = False
+    return _NUMBA_STATE["ok"]
+
+
+def validate_kernel(name: str) -> str:
+    """Check ``name`` against :data:`KERNEL_CHOICES` (shared validator)."""
+    if name not in KERNEL_CHOICES:
+        raise ParameterError(
+            f"unknown kernel {name!r}; expected one of "
+            + ", ".join(repr(k) for k in KERNEL_CHOICES)
+        )
+    return name
+
+
+def resolve_kernel(name: str) -> str:
+    """Resolve a requested kernel name to the effective one.
+
+    ``"auto"`` prefers the jit kernel when numba is importable and falls
+    back to the fused NumPy kernel otherwise; an explicit ``"jit"``
+    request degrades the same way (silently — numba is an optional
+    accelerator, never a requirement).
+    """
+    validate_kernel(name)
+    if name == "numpy":
+        return "numpy"
+    if name in ("auto", "jit"):
+        return "jit" if numba_available() else "fused"
+    return "fused"
+
+
+class BlockPlan:
+    """Precomputed, value-independent description of one R-round block.
+
+    ``write_idx`` is the ``(R, A)`` flat index of each round's updated
+    entry.  The non-lazy fast path packs all gather and write indices
+    into one ``(R, (k+1) A)`` matrix ``cat_idx = [neighbour_1 | ... |
+    neighbour_k | write]`` whose matching ``coef = [beta/k ... |
+    alpha ...]`` turns the unilateral update into a single fused
+    gather, one multiply and ``k`` slice adds per round.
+    ``gather_idx`` is used instead by the lazy paths (shape ``(R, A)``
+    or ``(R, A, k)``).  ``weights`` are the pi weights of the written
+    entries (scalar on regular graphs); ``keep`` is the lazy coin
+    mask.
+    """
+
+    __slots__ = ("write_idx", "cat_idx", "coef", "gather_idx", "weights", "keep", "k")
+
+    def __init__(
+        self,
+        write_idx: np.ndarray,
+        cat_idx: np.ndarray | None = None,
+        coef: np.ndarray | None = None,
+        gather_idx: np.ndarray | None = None,
+        weights: np.ndarray | float = 0.0,
+        keep: np.ndarray | None = None,
+        k: int = 1,
+    ) -> None:
+        self.write_idx = write_idx
+        self.cat_idx = cat_idx
+        self.coef = coef
+        self.gather_idx = gather_idx
+        self.weights = weights
+        self.keep = keep
+        self.k = k
+
+    @property
+    def rounds(self) -> int:
+        return self.write_idx.shape[0]
+
+    @property
+    def active(self) -> int:
+        return self.write_idx.shape[1]
+
+
+def run_block_fused(
+    flat: np.ndarray, plan: BlockPlan, alpha: float, record: bool
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Execute one block with the fused NumPy kernel.
+
+    Mutates ``flat`` (the batch's cached flat value view) in place.  In
+    record mode returns ``(old, new)`` as ``(R, A)`` matrices of the
+    written entries' values (zero rows where a lazy replica skipped its
+    round, so the derived moment deltas vanish there).
+    """
+    R, A = plan.write_idx.shape
+    beta = 1.0 - alpha
+    if plan.cat_idx is not None:
+        # Fast path: one fused gather of [neighbours... | old], one
+        # multiply by [beta/k... | alpha...], k slice adds, one scatter
+        # per round.  Bound methods and zipped row views keep the
+        # interpreter's share of each round to a handful of bytecodes.
+        coef = plan.coef
+        gather = flat.__getitem__
+        scatter = flat.__setitem__
+        add = np.add
+        parts = plan.k + 1
+        if record:
+            # Only the written entries' old values feed the moment
+            # deltas, so store just that (R, A) slice of each gather.
+            old_cut = slice((parts - 1) * A, parts * A)
+            old_blk = np.empty((R, A))
+            new_blk = np.empty((R, A))
+            if parts == 2:
+                for ci, wi, oi, ni in zip(
+                    plan.cat_idx, plan.write_idx, old_blk, new_blk
+                ):
+                    g = gather(ci)
+                    oi[:] = g[old_cut]
+                    t = g * coef
+                    add(t[:A], t[A:], out=ni)
+                    scatter(wi, ni)
+            else:
+                cuts = [slice(j * A, (j + 1) * A) for j in range(parts)]
+                for ci, wi, oi, ni in zip(
+                    plan.cat_idx, plan.write_idx, old_blk, new_blk
+                ):
+                    g = gather(ci)
+                    oi[:] = g[old_cut]
+                    t = g * coef
+                    add(t[cuts[0]], t[cuts[1]], out=ni)
+                    for cut in cuts[2:]:
+                        add(ni, t[cut], out=ni)
+                    scatter(wi, ni)
+            return old_blk, new_blk
+        if parts == 2:
+            for ci, wi in zip(plan.cat_idx, plan.write_idx):
+                t = gather(ci) * coef
+                scatter(wi, t[:A] + t[A:])
+            return None
+        cuts = [slice(j * A, (j + 1) * A) for j in range(parts)]
+        for ci, wi in zip(plan.cat_idx, plan.write_idx):
+            t = gather(ci) * coef
+            acc = t[cuts[0]] + t[cuts[1]]
+            for cut in cuts[2:]:
+                add(acc, t[cut], out=acc)
+            scatter(wi, acc)
+        return None
+
+    # General path: lazy masking and/or k-neighbour means.
+    w_rows = list(plan.write_idx)
+    keep = plan.keep
+    old_blk = new_blk = None
+    if record:
+        old_blk = np.zeros((R, A))
+        new_blk = np.zeros((R, A))
+    for i in range(R):
+        widx = w_rows[i]
+        gidx = plan.gather_idx[i]
+        if keep is not None:
+            mask = keep[i]
+            widx = widx[mask]
+            gidx = gidx[mask]
+            if widx.size == 0:
+                continue
+        if plan.k == 1:
+            means = flat[gidx]
+        else:
+            means = flat[gidx].mean(axis=1)
+        old = flat[widx]
+        new = alpha * old + beta * means
+        flat[widx] = new
+        if record:
+            if keep is not None:
+                old_blk[i][mask] = old
+                new_blk[i][mask] = new
+            else:
+                old_blk[i] = old
+                new_blk[i] = new
+    if record:
+        return old_blk, new_blk
+    return None
+
+
+# ----------------------------------------------------------------------
+# Numba backend
+# ----------------------------------------------------------------------
+def _jit_functions():
+    """Compile (once) and return the numba block loops, or ``None``."""
+    if "fns" in _NUMBA_STATE:
+        return _NUMBA_STATE["fns"]
+    if not numba_available():
+        _NUMBA_STATE["fns"] = None
+        return None
+    import numba
+
+    # The k=1/edge fast path consumes the packed ``[gather | write]``
+    # cat-index matrix directly (no per-block copies); record variants
+    # additionally store the written entries' old/new values for the
+    # chunked convergence detector.
+
+    @numba.njit(cache=False)
+    def block_cat(flat, cat_idx, alpha, old_blk, new_blk):
+        R, A = old_blk.shape
+        beta = 1.0 - alpha
+        for r in range(R):
+            for j in range(A):
+                wi = cat_idx[r, A + j]
+                old = flat[wi]
+                mean = flat[cat_idx[r, j]]
+                new = alpha * old + beta * mean
+                flat[wi] = new
+                old_blk[r, j] = old
+                new_blk[r, j] = new
+
+    @numba.njit(cache=False)
+    def block_cat_norecord(flat, cat_idx, alpha):
+        R = cat_idx.shape[0]
+        A = cat_idx.shape[1] // 2
+        beta = 1.0 - alpha
+        for r in range(R):
+            for j in range(A):
+                wi = cat_idx[r, A + j]
+                flat[wi] = alpha * flat[wi] + beta * flat[cat_idx[r, j]]
+
+    @numba.njit(cache=False)
+    def block_lazy(flat, write_idx, gather_idx, keep, alpha, old_blk, new_blk):
+        R, A = write_idx.shape
+        beta = 1.0 - alpha
+        for r in range(R):
+            for j in range(A):
+                if not keep[r, j]:
+                    old_blk[r, j] = 0.0
+                    new_blk[r, j] = 0.0
+                    continue
+                wi = write_idx[r, j]
+                old = flat[wi]
+                mean = flat[gather_idx[r, j]]
+                new = alpha * old + beta * mean
+                flat[wi] = new
+                old_blk[r, j] = old
+                new_blk[r, j] = new
+
+    @numba.njit(cache=False)
+    def block_lazy_norecord(flat, write_idx, gather_idx, keep, alpha):
+        R, A = write_idx.shape
+        beta = 1.0 - alpha
+        for r in range(R):
+            for j in range(A):
+                if keep[r, j]:
+                    wi = write_idx[r, j]
+                    flat[wi] = alpha * flat[wi] + beta * flat[gather_idx[r, j]]
+
+    _NUMBA_STATE["fns"] = {
+        "cat": block_cat,
+        "cat_norecord": block_cat_norecord,
+        "lazy": block_lazy,
+        "lazy_norecord": block_lazy_norecord,
+    }
+    return _NUMBA_STATE["fns"]
+
+
+def run_block_jit(
+    flat: np.ndarray, plan: BlockPlan, alpha: float, record: bool
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Execute one block with the numba kernel (fused fallback).
+
+    Consumes the same precomputed plan — hence the same pre-drawn
+    variates in the same order — as :func:`run_block_fused`, and
+    performs the identical IEEE operations per entry, so trajectories
+    are bit-identical across the two kernels at a fixed seed.  Shapes
+    without a compiled loop (``k > 1``) and missing-numba environments
+    fall back to the fused kernel per call.
+    """
+    fns = _jit_functions()
+    if fns is None or plan.k != 1:
+        return run_block_fused(flat, plan, alpha, record)
+    if plan.cat_idx is not None:
+        if not record:
+            fns["cat_norecord"](flat, plan.cat_idx, alpha)
+            return None
+        R, A = plan.write_idx.shape
+        old_blk = np.empty((R, A))
+        new_blk = np.empty((R, A))
+        fns["cat"](flat, plan.cat_idx, alpha, old_blk, new_blk)
+        return old_blk, new_blk
+    # Lazy path: _pack_plan allocates these arrays C-contiguous.
+    if not record:
+        fns["lazy_norecord"](
+            flat, plan.write_idx, plan.gather_idx, plan.keep, alpha
+        )
+        return None
+    R, A = plan.write_idx.shape
+    old_blk = np.empty((R, A))
+    new_blk = np.empty((R, A))
+    fns["lazy"](
+        flat, plan.write_idx, plan.gather_idx, plan.keep, alpha, old_blk, new_blk
+    )
+    return old_blk, new_blk
+
+
+#: Effective kernel name -> block executor.
+BLOCK_EXECUTORS = {"fused": run_block_fused, "jit": run_block_jit}

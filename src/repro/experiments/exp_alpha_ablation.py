@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment
+from repro.api import ParamSpec, engine_param, experiment, kernel_param
 from repro.core.initial import center_simple, rademacher_values
 from repro.core.node_model import NodeModel
 from repro.core.potentials import phi_pi
@@ -47,6 +47,7 @@ EPSILON = 1e-8
             "floats", "alpha grid", default=(0.1, 0.3, 0.5, 0.7, 0.9)
         ),
         "engine": engine_param(),
+        "kernel": kernel_param(),
     },
     presets={
         "fast": {"n": 36, "time_replicas": 5, "var_replicas": 120, "tol": 1e-6},
@@ -62,6 +63,7 @@ def run(
     alphas: list,
     seed: int = 0,
     engine: str = "batch",
+    kernel: str = "auto",
 ) -> list[ResultTable]:
     """Sweep alpha on a fixed regular expander: speed vs accuracy."""
     graph = random_regular_graph(n, d, seed=seed)
@@ -86,11 +88,11 @@ def run(
 
         times = sample_t_eps(
             make, EPSILON, time_replicas, seed=seed + 1, max_steps=200_000_000,
-            engine=engine,
+            engine=engine, kernel=kernel,
         )
         f_sample = sample_f_values(
             make, var_replicas, seed=seed + 2, discrepancy_tol=tol,
-            max_steps=500_000_000, engine=engine,
+            max_steps=500_000_000, engine=engine, kernel=kernel,
         )
         estimate = estimate_moments(f_sample, seed=seed)
         bounds = variance_bounds(graph, initial, alpha=alpha, k=1)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.fits import ratio_statistics
-from repro.api import ParamSpec, engine_param, experiment
+from repro.api import ParamSpec, engine_param, experiment, kernel_param
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import center_simple, linear_ramp
 from repro.graphs.generators import (
@@ -39,6 +39,7 @@ EPSILON = 1e-8
         "sizes": ParamSpec("ints", "graph sizes per family"),
         "replicas": ParamSpec(int, "replicas per (family, size) cell"),
         "engine": engine_param(),
+        "kernel": kernel_param(),
     },
     presets={
         "fast": {"sizes": [16, 32], "replicas": 5},
@@ -46,7 +47,11 @@ EPSILON = 1e-8
     },
 )
 def run(
-    sizes: list, replicas: int, seed: int = 0, engine: str = "batch"
+    sizes: list,
+    replicas: int,
+    seed: int = 0,
+    engine: str = "batch",
+    kernel: str = "auto",
 ) -> list[ResultTable]:
     """Measure EdgeModel T_eps across regular and irregular graphs."""
     table = ResultTable(
@@ -75,7 +80,7 @@ def run(
 
             times = sample_t_eps(
                 make, EPSILON, replicas, seed=seed + n, max_steps=500_000_000,
-                engine=engine,
+                engine=engine, kernel=kernel,
             )
             measured = float(times.mean())
             table.add_row(family, nn, m, lambda2_l, measured, bound, measured / bound)

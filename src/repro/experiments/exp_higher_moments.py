@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment
+from repro.api import ParamSpec, engine_param, experiment, kernel_param
 from repro.core.initial import (
     center_simple,
     indicator_values,
@@ -36,6 +36,7 @@ ALPHA = 0.5
         "replicas": ParamSpec(int, "Monte-Carlo replicas per estimate"),
         "tol": ParamSpec(float, "consensus discrepancy tolerance"),
         "engine": engine_param(),
+        "kernel": kernel_param(),
     },
     presets={
         "fast": {"n": 30, "replicas": 250, "tol": 1e-6},
@@ -43,7 +44,12 @@ ALPHA = 0.5
     },
 )
 def run(
-    n: int, replicas: int, tol: float, seed: int = 0, engine: str = "batch"
+    n: int,
+    replicas: int,
+    tol: float,
+    seed: int = 0,
+    engine: str = "batch",
+    kernel: str = "auto",
 ) -> list[ResultTable]:
     """Skewness and excess kurtosis of F across settings."""
     table = ResultTable(
@@ -66,7 +72,7 @@ def run(
 
             sample = sample_f_values(
                 make, replicas, seed=seed, discrepancy_tol=tol,
-                max_steps=500_000_000, engine=engine,
+                max_steps=500_000_000, engine=engine, kernel=kernel,
             )
             estimate = estimate_moments(sample, seed=seed)
             table.add_row(

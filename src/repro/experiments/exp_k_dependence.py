@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment
+from repro.api import ParamSpec, engine_param, experiment, kernel_param
 from repro.core.initial import center_simple, linear_ramp
 from repro.core.node_model import NodeModel
 from repro.core.potentials import phi_pi
@@ -36,6 +36,7 @@ EPSILON = 1e-8
         "ks": ParamSpec("ints", "fan-out values to sweep", default=(1, 2, 4, 8)),
         "replicas": ParamSpec(int, "replicas per k"),
         "engine": engine_param(),
+        "kernel": kernel_param(),
     },
     presets={
         "fast": {"n": 48, "replicas": 5},
@@ -49,6 +50,7 @@ def run(
     ks: list,
     seed: int = 0,
     engine: str = "batch",
+    kernel: str = "auto",
 ) -> list[ResultTable]:
     """Sweep ``k`` on a d-regular expander; report T_eps(k)/T_eps(1)."""
     graph = random_regular_graph(n, d, seed=seed)
@@ -68,7 +70,7 @@ def run(
 
         times = sample_t_eps(
             make, EPSILON, replicas, seed=seed + k, max_steps=100_000_000,
-            engine=engine,
+            engine=engine, kernel=kernel,
         )
         measured = float(times.mean())
         predicted = predicted_t_eps_node(n, lambda2, ALPHA, k, phi0, EPSILON)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment
+from repro.api import ParamSpec, engine_param, experiment, kernel_param
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import fiedler_aligned, second_eigenvector_aligned
 from repro.core.node_model import NodeModel
@@ -36,6 +36,7 @@ EPSILON = 1e-6
         "sizes": ParamSpec("ints", "graph sizes"),
         "replicas": ParamSpec(int, "replicas per (model, graph, size) cell"),
         "engine": engine_param(),
+        "kernel": kernel_param(),
     },
     presets={
         "fast": {"sizes": [16, 32], "replicas": 5},
@@ -43,7 +44,11 @@ EPSILON = 1e-6
     },
 )
 def run(
-    sizes: list, replicas: int, seed: int = 0, engine: str = "batch"
+    sizes: list,
+    replicas: int,
+    seed: int = 0,
+    engine: str = "batch",
+    kernel: str = "auto",
 ) -> list[ResultTable]:
     """Measure T_eps from the Prop. B.2 worst-case initial states."""
     table = ResultTable(
@@ -66,7 +71,7 @@ def run(
 
             times = sample_t_eps(
                 make_node, EPSILON, replicas, seed=seed + n,
-                max_steps=500_000_000, engine=engine,
+                max_steps=500_000_000, engine=engine, kernel=kernel,
             )
             table.add_row("node", name, n, float(times.mean()), bound,
                           float(times.mean()) / bound)
@@ -85,7 +90,7 @@ def run(
 
             times_e = sample_t_eps(
                 make_edge, EPSILON, replicas, seed=seed + n + 1,
-                max_steps=500_000_000, engine=engine,
+                max_steps=500_000_000, engine=engine, kernel=kernel,
             )
             table.add_row("edge", name, n, float(times_e.mean()), bound_e,
                           float(times_e.mean()) / bound_e)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment
+from repro.api import ParamSpec, engine_param, experiment, kernel_param
 from repro.analysis.fits import ratio_statistics
 from repro.core.initial import center_degree_weighted, linear_ramp
 from repro.core.node_model import NodeModel
@@ -49,6 +49,7 @@ def _families(sizes: list, seed: int):
         "sizes": ParamSpec("ints", "graph sizes per family"),
         "replicas": ParamSpec(int, "replicas per (family, size) cell"),
         "engine": engine_param(),
+        "kernel": kernel_param(),
     },
     presets={
         "fast": {"sizes": [16, 32, 64], "replicas": 5},
@@ -56,7 +57,11 @@ def _families(sizes: list, seed: int):
     },
 )
 def run(
-    sizes: list, replicas: int, seed: int = 0, engine: str = "batch"
+    sizes: list,
+    replicas: int,
+    seed: int = 0,
+    engine: str = "batch",
+    kernel: str = "auto",
 ) -> list[ResultTable]:
     """Measure ``T_eps`` across graph families and compare to the bound."""
     table = ResultTable(
@@ -84,7 +89,7 @@ def run(
 
             times = sample_t_eps(
                 make, EPSILON, replicas, seed=seed + n, max_steps=200_000_000,
-                engine=engine,
+                engine=engine, kernel=kernel,
             )
             measured = float(times.mean())
             table.add_row(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment
+from repro.api import ParamSpec, engine_param, experiment, kernel_param
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import center_simple, rademacher_values
 from repro.core.node_model import NodeModel
@@ -31,6 +31,7 @@ ALPHA = 0.5
         "replicas": ParamSpec(int, "Monte-Carlo replicas per estimate"),
         "tol": ParamSpec(float, "consensus discrepancy tolerance"),
         "engine": engine_param(),
+        "kernel": kernel_param(),
     },
     presets={
         "fast": {"n": 36, "replicas": 160, "tol": 1e-6},
@@ -38,7 +39,12 @@ ALPHA = 0.5
     },
 )
 def run(
-    n: int, replicas: int, tol: float, seed: int = 0, engine: str = "batch"
+    n: int,
+    replicas: int,
+    tol: float,
+    seed: int = 0,
+    engine: str = "batch",
+    kernel: str = "auto",
 ) -> list[ResultTable]:
     """EdgeModel vs NodeModel(k=1) variance on regular graphs.
 
@@ -77,7 +83,7 @@ def run(
         for model, make in [("edge", make_edge), ("node k=1", make_node)]:
             sample = sample_f_values(
                 make, replicas, seed=seed + d, discrepancy_tol=tol,
-                max_steps=500_000_000, engine=engine,
+                max_steps=500_000_000, engine=engine, kernel=kernel,
             )
             estimate = estimate_moments(sample, seed=seed)
             lo, hi = estimate.variance_ci

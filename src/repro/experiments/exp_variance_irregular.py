@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment
+from repro.api import ParamSpec, engine_param, experiment, kernel_param
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import (
     center_degree_weighted,
@@ -38,6 +38,7 @@ ALPHA = 0.5
         "replicas": ParamSpec(int, "Monte-Carlo replicas per estimate"),
         "tol": ParamSpec(float, "consensus discrepancy tolerance"),
         "engine": engine_param(),
+        "kernel": kernel_param(),
     },
     presets={
         "fast": {"n": 30, "replicas": 150, "tol": 1e-6},
@@ -45,7 +46,12 @@ ALPHA = 0.5
     },
 )
 def run(
-    n: int, replicas: int, tol: float, seed: int = 0, engine: str = "batch"
+    n: int,
+    replicas: int,
+    tol: float,
+    seed: int = 0,
+    engine: str = "batch",
+    kernel: str = "auto",
 ) -> list[ResultTable]:
     """Empirical Var(F) on irregular graphs vs mean-degree envelope."""
     base = rademacher_values(n, seed=seed)
@@ -92,7 +98,7 @@ def run(
 
             sample = sample_f_values(
                 make, replicas, seed=seed, discrepancy_tol=tol,
-                max_steps=500_000_000, engine=engine,
+                max_steps=500_000_000, engine=engine, kernel=kernel,
             )
             estimate = estimate_moments(sample, seed=seed)
             table.add_row(

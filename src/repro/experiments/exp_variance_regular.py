@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment
+from repro.api import ParamSpec, engine_param, experiment, kernel_param
 from repro.core.initial import center_simple, rademacher_values
 from repro.core.node_model import NodeModel
 from repro.graphs.generators import (
@@ -33,13 +33,14 @@ from repro.theory.variance import variance_bounds, variance_envelope
 ALPHA = 0.5
 
 
-def _mc_variance(graph, initial, k, replicas, seed, tol, engine="batch"):
+def _mc_variance(graph, initial, k, replicas, seed, tol, engine="batch",
+                 kernel="auto"):
     def make(rng):
         return NodeModel(graph, initial, alpha=ALPHA, k=k, seed=rng)
 
     values = sample_f_values(
         make, replicas, seed=seed, discrepancy_tol=tol, max_steps=500_000_000,
-        engine=engine,
+        engine=engine, kernel=kernel,
     )
     # 99% CIs: the envelope-consistency check below should fail on a real
     # discrepancy, not on a 1-in-20 bootstrap miss.
@@ -54,6 +55,7 @@ def _mc_variance(graph, initial, k, replicas, seed, tol, engine="batch"):
         "replicas": ParamSpec(int, "Monte-Carlo replicas per estimate"),
         "tol": ParamSpec(float, "consensus discrepancy tolerance"),
         "engine": engine_param(),
+        "kernel": kernel_param(),
     },
     presets={
         "fast": {"n": 36, "replicas": 160, "tol": 1e-6},
@@ -61,7 +63,12 @@ def _mc_variance(graph, initial, k, replicas, seed, tol, engine="batch"):
     },
 )
 def run(
-    n: int, replicas: int, tol: float, seed: int = 0, engine: str = "batch"
+    n: int,
+    replicas: int,
+    tol: float,
+    seed: int = 0,
+    engine: str = "batch",
+    kernel: str = "auto",
 ) -> list[ResultTable]:
     """Monte-Carlo Var(F) vs the Proposition 5.8 envelope.
 
@@ -93,7 +100,9 @@ def run(
         ],
     )
     for name, graph, d in graphs:
-        estimate = _mc_variance(graph, base_values, 1, replicas, seed + d, tol, engine)
+        estimate = _mc_variance(
+            graph, base_values, 1, replicas, seed + d, tol, engine, kernel
+        )
         bounds = variance_bounds(graph, base_values, alpha=ALPHA, k=1)
         env_low, env_high = variance_envelope(n, d, 1, ALPHA, norm_sq)
         lo, hi = estimate.variance_ci
@@ -129,7 +138,7 @@ def run(
     k_replicas = max(80, replicas // 2)
     for k in (1, 2, 4, 8):
         estimate = _mc_variance(
-            graph_k, values_k, k, k_replicas, seed + 100 + k, tol, engine
+            graph_k, values_k, k, k_replicas, seed + 100 + k, tol, engine, kernel
         )
         bounds = variance_bounds(graph_k, values_k, alpha=ALPHA, k=k)
         lo, hi = estimate.variance_ci
@@ -151,7 +160,9 @@ def run(
         ("random placement", shuffled),
     ]:
         values = center_simple(values)
-        estimate = _mc_variance(graph_p, values, 1, k_replicas, seed + 200, tol, engine)
+        estimate = _mc_variance(
+            graph_p, values, 1, k_replicas, seed + 200, tol, engine, kernel
+        )
         lo, hi = estimate.variance_ci
         placement.add_row(label, estimate.variance, lo, hi)
     placement.add_note(

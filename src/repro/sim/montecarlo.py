@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.base import AveragingProcess
 from repro.core.convergence import measure_t_eps, run_to_consensus
+from repro.engine.kernels import validate_kernel
 from repro.exceptions import ParameterError
 from repro.rng import SeedLike, as_generator, spawn
 
@@ -78,20 +79,28 @@ def _resolve_engine(
     seed: SeedLike,
     engine: str,
     cache_dir: Optional[str],
+    kernel: str = "auto",
 ):
-    """Validate ``engine`` and resolve the batch route, if any.
+    """Validate ``engine``/``kernel`` and resolve the batch route, if any.
 
     Returns ``(spec, cache)`` when the batch engine applies, or
     ``(None, None)`` when the loop engine was requested or the factory
-    is not batchable.
+    is not batchable.  ``kernel`` selects the stepping kernel of the
+    batch engine (:mod:`repro.engine.kernels`); the loop engine
+    ignores it.
     """
     if engine not in ("batch", "loop"):
         raise ParameterError(f"engine must be 'batch' or 'loop', got {engine!r}")
+    validate_kernel(kernel)
     if engine != "batch":
         return None, None
     spec = _derive_spec(make_process, seed)
     if spec is None:
         return None, None
+    if kernel != spec.kernel:
+        from dataclasses import replace
+
+        spec = replace(spec, kernel=kernel)
     from repro.engine.cache import ResultCache
 
     return spec, ResultCache(cache_dir) if cache_dir else None
@@ -106,16 +115,20 @@ def sample_f_values(
     engine: str = "batch",
     processes: int = 1,
     cache_dir: Optional[str] = None,
+    kernel: str = "auto",
 ) -> np.ndarray:
     """I.i.d. samples of the convergence value ``F``.
 
     ``engine="batch"`` (default) vectorises the whole replica set;
-    ``engine="loop"`` runs one process per replica.  ``processes`` and
-    ``cache_dir`` apply to the batch engine only: the former fans replica
-    shards across worker processes, the latter memoises finished sample
-    arrays on disk (see :class:`repro.engine.cache.ResultCache`).
+    ``engine="loop"`` runs one process per replica.  ``kernel``,
+    ``processes`` and ``cache_dir`` apply to the batch engine only: the
+    first selects the stepping kernel (fused multi-round blocks, the
+    optional numba JIT, or the legacy per-round path — see
+    :mod:`repro.engine.kernels`), the second fans replica shards across
+    worker processes, the third memoises finished sample arrays on disk
+    (see :class:`repro.engine.cache.ResultCache`).
     """
-    spec, cache = _resolve_engine(make_process, seed, engine, cache_dir)
+    spec, cache = _resolve_engine(make_process, seed, engine, cache_dir, kernel)
     if spec is not None:
         from repro.engine.driver import sample_f_batch
 
@@ -146,12 +159,14 @@ def sample_t_eps(
     engine: str = "batch",
     processes: int = 1,
     cache_dir: Optional[str] = None,
+    kernel: str = "auto",
 ) -> np.ndarray:
     """I.i.d. samples of the convergence time ``T_eps``.
 
-    Engine selection works exactly as in :func:`sample_f_values`.
+    Engine and kernel selection work exactly as in
+    :func:`sample_f_values`.
     """
-    spec, cache = _resolve_engine(make_process, seed, engine, cache_dir)
+    spec, cache = _resolve_engine(make_process, seed, engine, cache_dir, kernel)
     if spec is not None:
         from repro.engine.driver import sample_t_eps_batch
 

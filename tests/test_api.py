@@ -125,7 +125,13 @@ class TestRegistry:
         exp = get_experiment("EXP-T222")
         fast = exp.resolve("fast")
         full = exp.resolve("full")
-        assert fast == {"n": 36, "replicas": 160, "tol": 1e-6, "engine": "batch"}
+        assert fast == {
+            "n": 36,
+            "replicas": 160,
+            "tol": 1e-6,
+            "engine": "batch",
+            "kernel": "auto",
+        }
         assert full["n"] == 100 and full["replicas"] == 600
 
     def test_overrides_win_over_preset(self):

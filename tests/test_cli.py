@@ -35,6 +35,31 @@ class TestParser:
         assert args.overrides == ["steps=7"]
         assert args.json
 
+    def test_kernel_flag_all_parsers(self):
+        args = build_cli_parser().parse_args(
+            ["run", "EXP-T222", "--kernel", "fused"]
+        )
+        assert args.kernel == "fused"
+        args = build_cli_parser().parse_args(
+            ["sweep", "EXP-T222", "--set", "n=24,36", "--kernel", "numpy"]
+        )
+        assert args.kernel == "numpy"
+        legacy = build_parser().parse_args(["EXP-T222", "--kernel", "jit"])
+        assert legacy.kernel == "jit"
+        # a misplaced value-taking --kernel must not break legacy routing
+        from repro.cli import _is_legacy
+
+        assert not _is_legacy(["--kernel", "fused", "run"])
+
+    def test_kernel_reaches_provenance(self, capsys):
+        assert main(
+            ["run", "EXP-T221", "--kernel", "fused",
+             "--set", "replicas=2", "--set", "sizes=8", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["provenance"]["parameters"]["kernel"] == "fused"
+        assert payload[0]["spec"]["kernel"] == "fused"
+
     def test_subcommand_diff_flags(self):
         args = build_cli_parser().parse_args(
             ["diff", "a.json", "b.json", "--rel-tol", "0.5"]

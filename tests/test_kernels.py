@@ -1,0 +1,541 @@
+"""Kernel-layer tests: fused/jit block stepping and chunked detection.
+
+Three layers of guarantees, mirroring DESIGN.md section 6:
+
+1. *Replay* — schedule replay is kernel-independent, so every kernel
+   reproduces the scalar oracle bit for bit through the coupling path.
+2. *Free-running bit-equivalence* — where kernels share an RNG layout
+   they must agree exactly: fused == legacy numpy for non-lazy node
+   ``k = 1`` free runs (same stream by construction), fused == jit
+   always (same pre-drawn variates, same IEEE operations), and fused
+   against itself under any chunking of ``run()`` calls.
+3. *Chunked detection* — ``run_until_phi`` hitting times are exact and
+   invariant to ``block_rounds``: the per-block reconstruction
+   backdates each replica to the same crossing round per-round checking
+   finds (``block_rounds = 1`` is the per-round reference).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.edge_model import EdgeModel
+from repro.core.initial import center_simple, rademacher_values
+from repro.core.node_model import NodeModel
+from repro.engine import (
+    BatchEdgeModel,
+    BatchNodeModel,
+    EngineSpec,
+    KERNEL_CHOICES,
+    ResultCache,
+    numba_available,
+    resolve_kernel,
+    sample_f_batch,
+)
+from repro.exceptions import ParameterError
+from repro.graphs.adjacency import Adjacency
+from repro.graphs.generators import complete_graph, random_regular_graph
+from repro.sim.montecarlo import sample_f_values, sample_t_eps
+
+needs_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed"
+)
+
+
+@pytest.fixture
+def regular64():
+    return random_regular_graph(64, 4, seed=0)
+
+
+@pytest.fixture
+def values64():
+    return center_simple(rademacher_values(64, seed=1))
+
+
+@pytest.fixture
+def irregular30():
+    import networkx as nx
+
+    return nx.connected_watts_strogatz_graph(30, 6, 0.3, seed=2)
+
+
+@pytest.fixture
+def values30():
+    return center_simple(np.random.default_rng(3).normal(size=30))
+
+
+class TestKernelResolution:
+    def test_choices_and_invalid(self):
+        assert set(KERNEL_CHOICES) == {"auto", "numpy", "fused", "jit"}
+        with pytest.raises(ParameterError):
+            resolve_kernel("warp")
+
+    def test_numpy_is_identity(self):
+        assert resolve_kernel("numpy") == "numpy"
+
+    def test_auto_and_jit_follow_numba(self):
+        expected = "jit" if numba_available() else "fused"
+        assert resolve_kernel("auto") == expected
+        assert resolve_kernel("jit") == expected  # silent fused fallback
+
+    def test_batch_rejects_unknown_kernel(self, regular64, values64):
+        with pytest.raises(ParameterError):
+            BatchNodeModel(
+                regular64, values64, alpha=0.5, replicas=2, kernel="warp"
+            )
+
+    def test_batch_records_requested_and_effective(self, regular64, values64):
+        batch = BatchNodeModel(
+            regular64, values64, alpha=0.5, replicas=2, kernel="jit"
+        )
+        assert batch.kernel_requested == "jit"
+        assert batch.kernel == ("jit" if numba_available() else "fused")
+
+
+class TestScheduleReplayAcrossKernels:
+    """Replay never draws RNG: every kernel matches the scalar oracle."""
+
+    @pytest.mark.parametrize("kernel", ["numpy", "fused", "jit"])
+    def test_node_model(self, regular64, values64, kernel):
+        ref = NodeModel(
+            regular64, values64, alpha=0.5, k=2, seed=3, record_schedule=True
+        )
+        ref.run(400)
+        batch = BatchNodeModel(
+            regular64, values64, alpha=0.5, k=2, replicas=3, seed=99,
+            kernel=kernel,
+        )
+        batch.replay(ref.schedule)
+        assert batch.t == ref.t
+        np.testing.assert_array_equal(
+            batch.values, np.broadcast_to(ref.values, batch.values.shape)
+        )
+        assert batch.phi[0] == pytest.approx(ref.phi, abs=1e-12)
+
+    @pytest.mark.parametrize("kernel", ["numpy", "fused", "jit"])
+    def test_edge_model(self, regular64, values64, kernel):
+        ref = EdgeModel(
+            regular64, values64, alpha=0.7, seed=4, record_schedule=True
+        )
+        ref.run(400)
+        batch = BatchEdgeModel(
+            regular64, values64, alpha=0.7, replicas=2, seed=99, kernel=kernel
+        )
+        batch.replay(ref.schedule)
+        np.testing.assert_array_equal(batch.values[0], ref.values)
+
+
+class TestFusedMatchesLegacyStream:
+    """Non-lazy node k=1 free runs share the numpy kernel's RNG layout."""
+
+    @pytest.mark.parametrize("backend", ["dense", "csr"])
+    def test_regular_and_irregular(
+        self, regular64, values64, irregular30, values30, backend
+    ):
+        for graph, values, n_rep in (
+            (regular64, values64, 8),
+            (irregular30, values30, 5),
+        ):
+            legacy = BatchNodeModel(
+                graph, values, alpha=0.4, k=1, replicas=n_rep, seed=7,
+                kernel="numpy", backend=backend,
+            )
+            fused = BatchNodeModel(
+                graph, values, alpha=0.4, k=1, replicas=n_rep, seed=7,
+                kernel="fused", backend=backend,
+            )
+            legacy.run(600)
+            fused.run(600)
+            assert fused.t == legacy.t == 600
+            np.testing.assert_array_equal(fused.values, legacy.values)
+            # Deferred moments resync to the same state.
+            np.testing.assert_allclose(fused.phi, legacy.phi, atol=1e-13)
+
+
+class TestChunkInvariance:
+    """One realized trajectory no matter how run() calls are chunked."""
+
+    def _variants(self, make):
+        one = make()
+        one.run(703)
+        chunked = make()
+        for chunk in (1, 3, 130, 17, 256, 296):
+            chunked.run(chunk)
+        np.testing.assert_array_equal(one.values, chunked.values)
+
+    def test_node_k1(self, regular64, values64):
+        self._variants(lambda: BatchNodeModel(
+            regular64, values64, alpha=0.5, k=1, replicas=8, seed=5,
+            kernel="fused",
+        ))
+
+    def test_node_k2_lazy(self, regular64, values64):
+        self._variants(lambda: BatchNodeModel(
+            regular64, values64, alpha=0.5, k=2, replicas=8, seed=5,
+            kernel="fused", lazy=True,
+        ))
+
+    def test_edge_lazy(self, regular64, values64):
+        self._variants(lambda: BatchEdgeModel(
+            regular64, values64, alpha=0.5, replicas=8, seed=5,
+            kernel="fused", lazy=True,
+        ))
+
+
+@needs_numba
+class TestJitBitEquivalence:
+    """jit consumes the same pre-drawn variates: bit-identical to fused."""
+
+    def _pair(self, cls, *args, **kwargs):
+        fused = cls(*args, kernel="fused", **kwargs)
+        jit = cls(*args, kernel="jit", **kwargs)
+        assert jit.kernel == "jit"
+        return fused, jit
+
+    def test_node_k1_run(self, regular64, values64):
+        fused, jit = self._pair(
+            BatchNodeModel, regular64, values64, 0.5, 1, 8, 11
+        )
+        fused.run(500)
+        jit.run(500)
+        np.testing.assert_array_equal(fused.values, jit.values)
+
+    def test_edge_lazy_run(self, regular64, values64):
+        fused, jit = self._pair(
+            BatchEdgeModel, regular64, values64, 0.5, 8, 11, True
+        )
+        fused.run(500)
+        jit.run(500)
+        np.testing.assert_array_equal(fused.values, jit.values)
+
+    def test_hitting_times_match(self, regular64, values64):
+        fused, jit = self._pair(
+            BatchNodeModel, regular64, values64, 0.5, 1, 16, 13
+        )
+        np.testing.assert_array_equal(
+            fused.run_until_phi(1e-4, 500_000),
+            jit.run_until_phi(1e-4, 500_000),
+        )
+
+
+class TestChunkedDetectionBackdating:
+    """Hitting times are exact and invariant to the block size."""
+
+    def _hits(self, make, block_rounds, epsilon, max_steps=500_000):
+        batch = make()
+        batch.block_rounds = block_rounds
+        return batch.run_until_phi(epsilon, max_steps)
+
+    @pytest.mark.parametrize("block_rounds", [3, 17, 64, 256, 1000])
+    def test_node_k1_matches_perround_reference(
+        self, regular64, values64, block_rounds
+    ):
+        def make():
+            return BatchNodeModel(
+                regular64, values64, alpha=0.5, k=1, replicas=16, seed=9,
+                kernel="fused",
+            )
+
+        ref_batch = make()
+        ref_batch.block_rounds = 1
+        reference = ref_batch.run_until_phi(1e-4, 500_000)
+        assert (reference > 0).all()
+        batch = make()
+        batch.block_rounds = block_rounds
+        np.testing.assert_array_equal(
+            batch.run_until_phi(1e-4, 500_000), reference
+        )
+        # Crossed replicas are rewound to their exact crossing-round
+        # state before freezing, so the frozen values (and therefore
+        # phi) are also invariant to the block size.
+        np.testing.assert_array_equal(batch.values, ref_batch.values)
+        np.testing.assert_array_equal(batch.phi, ref_batch.phi)
+        # A second call on the fully-frozen batch reports 0 everywhere,
+        # exactly as the per-round reference does.
+        np.testing.assert_array_equal(
+            batch.run_until_phi(1e-4, 100),
+            ref_batch.run_until_phi(1e-4, 100),
+        )
+
+    @pytest.mark.parametrize("block_rounds", [8, 200])
+    def test_edge_and_lazy(self, regular64, values64, block_rounds):
+        for lazy in (False, True):
+            def make():
+                return BatchEdgeModel(
+                    regular64, values64, alpha=0.5, replicas=8, seed=11,
+                    kernel="fused", lazy=lazy,
+                )
+
+            ref = make()
+            ref.block_rounds = 1
+            reference = ref.run_until_phi(1e-4, 500_000)
+            chunked = make()
+            chunked.block_rounds = block_rounds
+            np.testing.assert_array_equal(
+                chunked.run_until_phi(1e-4, 500_000), reference
+            )
+            # Lazy rewind must skip the coin-tails rounds it never ran.
+            np.testing.assert_array_equal(chunked.values, ref.values)
+
+    def test_node_k2_irregular(self, irregular30, values30):
+        def make():
+            return BatchNodeModel(
+                irregular30, values30, alpha=0.4, k=2, replicas=8, seed=13,
+                kernel="fused",
+            )
+
+        reference = self._hits(make, 1, 1e-5)
+        for block_rounds in (13, 256):
+            np.testing.assert_array_equal(
+                self._hits(make, block_rounds, 1e-5), reference
+            )
+
+    def test_node_k3_full_keys(self, regular64, values64):
+        """The (R, B, d_max + 1) single-draw contract stays invariant."""
+
+        def make():
+            batch = BatchNodeModel(
+                regular64, values64, alpha=0.5, k=3, replicas=6, seed=21,
+                kernel="fused",
+            )
+            assert batch._sampler.uses_subset_keys
+            return batch
+
+        reference = self._hits(make, 1, 1e-5)
+        for block_rounds in (7, 128):
+            np.testing.assert_array_equal(
+                self._hits(make, block_rounds, 1e-5), reference
+            )
+
+    def test_across_resync_boundary(self, regular64, values64):
+        """Trajectories longer than _RESYNC_EVERY stay block-invariant."""
+
+        def make():
+            return BatchNodeModel(
+                regular64, values64, alpha=0.5, k=1, replicas=4, seed=15,
+                kernel="fused",
+            )
+
+        deep = self._hits(make, 512, 1e-10, max_steps=2_000_000)
+        assert deep.max() > 4096
+        np.testing.assert_array_equal(
+            deep, self._hits(make, 1, 1e-10, max_steps=2_000_000)
+        )
+
+    def test_already_converged_and_budget(self, regular64, values64):
+        batch = BatchNodeModel(
+            regular64, np.zeros(64), alpha=0.5, k=1, replicas=4, seed=9,
+            kernel="fused",
+        )
+        np.testing.assert_array_equal(batch.run_until_phi(1e-6, 100), 0)
+        slow = BatchNodeModel(
+            regular64, values64, alpha=0.5, k=1, replicas=4, seed=9,
+            kernel="fused",
+        )
+        times = slow.run_until_phi(1e-12, 10)
+        np.testing.assert_array_equal(times, -1)
+        assert slow.t == 10  # budget respected exactly
+
+    def test_run_after_total_freeze_advances_time(self, regular64, values64):
+        batch = BatchNodeModel(
+            regular64, values64, alpha=0.5, k=1, replicas=3, seed=9,
+            kernel="fused",
+        )
+        batch.freeze(np.arange(3))
+        batch.run(7)
+        assert batch.t == 7
+
+
+class TestStatisticalParity:
+    """Fused-kernel distributions match the loop oracle's moments."""
+
+    def test_f_moments(self, regular64, values64):
+        small = random_regular_graph(36, 4, seed=0)
+        initial = center_simple(rademacher_values(36, seed=1))
+
+        def make(rng):
+            return NodeModel(small, initial, alpha=0.5, k=1, seed=rng)
+
+        loop = sample_f_values(
+            make, 300, seed=5, discrepancy_tol=1e-6, engine="loop"
+        )
+        fused = sample_f_values(
+            make, 300, seed=5, discrepancy_tol=1e-6, engine="batch",
+            kernel="fused",
+        )
+        stderr = np.hypot(loop.std() / np.sqrt(300), fused.std() / np.sqrt(300))
+        assert abs(loop.mean() - fused.mean()) < 5 * stderr
+        ratio = fused.var(ddof=1) / loop.var(ddof=1)
+        assert 0.6 < ratio < 1.7
+
+    def test_t_eps_distribution(self, regular64, values64):
+        small = random_regular_graph(36, 4, seed=0)
+        initial = center_simple(rademacher_values(36, seed=1))
+
+        def make(rng):
+            return NodeModel(small, initial, alpha=0.5, k=1, seed=rng)
+
+        loop = sample_t_eps(make, 1e-6, 60, seed=6, engine="loop")
+        fused = sample_t_eps(
+            make, 1e-6, 60, seed=6, engine="batch", kernel="fused"
+        )
+        assert np.all(fused > 0)
+        assert 0.8 < fused.mean() / loop.mean() < 1.25
+
+    def test_invalid_kernel_rejected(self, regular64, values64):
+        def make(rng):
+            return NodeModel(regular64, values64, alpha=0.5, k=1, seed=rng)
+
+        with pytest.raises(ParameterError):
+            sample_f_values(make, 5, seed=1, kernel="warp")
+
+
+class TestEngineSpecKernel:
+    def test_build_threads_kernel(self, regular64, values64):
+        spec = EngineSpec(
+            "node", Adjacency.from_graph(regular64), values64, 0.5, 1,
+            kernel="numpy",
+        )
+        assert spec.build(4, seed=0).kernel == "numpy"
+        assert EngineSpec(
+            "node", Adjacency.from_graph(regular64), values64, 0.5, 1
+        ).build(4, seed=0).kernel in ("fused", "jit")
+
+    def test_invalid_kernel_rejected(self, regular64, values64):
+        with pytest.raises(ParameterError):
+            EngineSpec(
+                "node", Adjacency.from_graph(regular64), values64, 0.5, 1,
+                kernel="warp",
+            )
+
+    def test_equality_and_hash_include_kernel(self, regular64, values64):
+        adjacency = Adjacency.from_graph(regular64)
+        a = EngineSpec("node", adjacency, values64, 0.5, 1, kernel="fused")
+        b = EngineSpec("node", adjacency, values64, 0.5, 1, kernel="fused")
+        c = EngineSpec("node", adjacency, values64, 0.5, 1, kernel="numpy")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_cache_token_splits_stream_classes(self, regular64, values64):
+        """fused/jit/auto share one stream class; numpy is its own."""
+        adjacency = Adjacency.from_graph(regular64)
+        tokens = {
+            kernel: EngineSpec(
+                "node", adjacency, values64, 0.5, 1, kernel=kernel
+            ).cache_token()
+            for kernel in ("auto", "fused", "jit", "numpy")
+        }
+        assert tokens["auto"] == tokens["fused"] == tokens["jit"]
+        assert tokens["numpy"] != tokens["fused"]
+
+    def test_cache_round_trip_per_kernel(self, tmp_path, regular64, values64):
+        spec = EngineSpec(
+            "node", Adjacency.from_graph(regular64), values64, 0.5, 1,
+            kernel="fused",
+        )
+        cache = ResultCache(tmp_path)
+        first = sample_f_batch(
+            spec, 40, seed=3, discrepancy_tol=1e-6, cache=cache
+        )
+        again = sample_f_batch(
+            spec, 40, seed=3, discrepancy_tol=1e-6, cache=cache
+        )
+        np.testing.assert_array_equal(first, again)
+
+    def test_sharded_runs_identical(self, regular64, values64):
+        spec = EngineSpec(
+            "node", Adjacency.from_graph(regular64), values64, 0.5, 1,
+            kernel="fused",
+        )
+        serial = sample_f_batch(
+            spec, 96, seed=7, discrepancy_tol=1e-6, shard_size=32, processes=1
+        )
+        parallel = sample_f_batch(
+            spec, 96, seed=7, discrepancy_tol=1e-6, shard_size=32, processes=2
+        )
+        np.testing.assert_array_equal(serial, parallel)
+
+
+class TestHighDegreeSubsets:
+    """Rejection-gated k-subsets: d_max > 64 skips the full-key matrix."""
+
+    def test_gate_engages(self):
+        graph = complete_graph(70)
+        batch = BatchNodeModel(
+            graph, np.zeros(70), alpha=0.5, k=2, replicas=2, seed=0
+        )
+        assert batch._sampler._rejection_subsets
+        assert not batch._sampler.uses_subset_keys
+
+    def test_dense_and_csr_agree(self):
+        graph = complete_graph(70)
+        values = center_simple(np.random.default_rng(4).normal(size=70))
+        dense = BatchNodeModel(
+            graph, values, alpha=0.5, k=2, replicas=6, seed=17,
+            backend="dense", kernel="fused",
+        )
+        csr = BatchNodeModel(
+            graph, values, alpha=0.5, k=2, replicas=6, seed=17,
+            backend="csr", kernel="fused",
+        )
+        dense.run(300)
+        csr.run(300)
+        np.testing.assert_array_equal(dense.values, csr.values)
+
+    def test_perround_rejection_dense_csr_agree(self):
+        """kernel='numpy' exercises rejection inside neighbour_means."""
+        graph = complete_graph(70)
+        values = center_simple(np.random.default_rng(5).normal(size=70))
+        dense = BatchNodeModel(
+            graph, values, alpha=0.5, k=3, replicas=4, seed=19,
+            backend="dense", kernel="numpy",
+        )
+        csr = BatchNodeModel(
+            graph, values, alpha=0.5, k=3, replicas=4, seed=19,
+            backend="csr", kernel="numpy",
+        )
+        dense.run(200)
+        csr.run(200)
+        np.testing.assert_array_equal(dense.values, csr.values)
+
+    def test_statistics_match_loop(self):
+        graph = complete_graph(70)
+        values = center_simple(rademacher_values(70, seed=2))
+
+        def make(rng):
+            return NodeModel(graph, values, alpha=0.5, k=2, seed=rng)
+
+        loop = sample_f_values(
+            make, 120, seed=8, discrepancy_tol=1e-6, engine="loop"
+        )
+        fused = sample_f_values(
+            make, 120, seed=8, discrepancy_tol=1e-6, kernel="fused"
+        )
+        ratio = fused.var(ddof=1) / loop.var(ddof=1)
+        assert 0.4 < ratio < 2.5
+
+
+class TestRunSpecKernel:
+    def test_round_trip_and_label(self):
+        from repro.api import RunSpec
+
+        spec = RunSpec("EXP-T222", kernel="fused")
+        assert RunSpec.from_json(spec.to_json()) == spec
+        assert "kernel=fused" in spec.label()
+
+    def test_resolution_folds_kernel(self):
+        from repro.api import RunSpec, resolve_spec
+
+        spec = RunSpec("EXP-T222", kernel="numpy")
+        assert resolve_spec(spec)["kernel"] == "numpy"
+        # Experiments without the parameter ignore the field.
+        assert "kernel" not in resolve_spec(RunSpec("EXP-F1", kernel="numpy"))
+
+    def test_noop_kernel_preserves_key(self):
+        from repro.api import RunSpec
+
+        assert RunSpec("EXP-T222").key() == RunSpec(
+            "EXP-T222", kernel="auto"
+        ).key()
+        assert RunSpec("EXP-T222").key() != RunSpec(
+            "EXP-T222", kernel="numpy"
+        ).key()
