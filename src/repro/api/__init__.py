@@ -32,6 +32,7 @@ from repro.api.registry import (
     ParamSpec,
     all_experiments,
     engine_param,
+    graph_schedule_param,
     kernel_param,
     experiment,
     experiment_ids,
@@ -56,6 +57,7 @@ __all__ = [
     "all_experiments",
     "diff_results",
     "engine_param",
+    "graph_schedule_param",
     "kernel_param",
     "execute",
     "execute_many",

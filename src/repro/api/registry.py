@@ -20,6 +20,7 @@ import functools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Sequence
 
+from repro.engine.dynamic import SCHEDULE_KINDS
 from repro.engine.kernels import KERNEL_CHOICES
 from repro.exceptions import SpecError
 from repro.sim.results import ResultTable
@@ -125,6 +126,22 @@ def kernel_param() -> ParamSpec:
     )
 
 
+def graph_schedule_param() -> ParamSpec:
+    """The shared ``graph_schedule`` parameter of dynamic experiments.
+
+    Selects how the snapshot stream is generated
+    (:mod:`repro.engine.dynamic`): cyclic rotation, seeded random
+    choice per segment, or an edge-rewiring churn stream.
+    """
+    return ParamSpec(
+        str,
+        "time-varying topology stream: cyclic rotation, seeded random "
+        "snapshot choice, or an edge-rewiring churn stream",
+        default="cyclic",
+        choices=tuple(SCHEDULE_KINDS),
+    )
+
+
 @dataclass
 class Experiment:
     """One registered paper artefact: runner plus declared schema."""
@@ -148,6 +165,11 @@ class Experiment:
     def accepts_kernel(self) -> bool:
         """Whether this experiment declares the ``kernel`` parameter."""
         return "kernel" in self.params
+
+    @property
+    def accepts_graph_schedule(self) -> bool:
+        """Whether this experiment declares ``graph_schedule``."""
+        return "graph_schedule" in self.params
 
     def resolve(
         self, preset: str = "fast", overrides: Mapping[str, Any] | None = None
@@ -194,8 +216,9 @@ def merge_engine(
     overrides: Mapping[str, Any] | None,
     engine: str | None,
     kernel: str | None = None,
+    graph_schedule: str | None = None,
 ) -> Dict[str, Any]:
-    """Fold spec-level engine/kernel selections into override form.
+    """Fold spec-level engine/kernel/schedule selections into overrides.
 
     The single home of the rule every front end shares: each selection
     participates only when the experiment *declares* the corresponding
@@ -215,6 +238,12 @@ def merge_engine(
         and "kernel" not in merged
     ):
         merged["kernel"] = kernel
+    if (
+        graph_schedule is not None
+        and experiment.accepts_graph_schedule
+        and "graph_schedule" not in merged
+    ):
+        merged["graph_schedule"] = graph_schedule
     return merged
 
 

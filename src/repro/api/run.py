@@ -18,15 +18,18 @@ from repro.graphs.adjacency import collect_content_hashes
 def resolve_spec(spec: RunSpec) -> Dict[str, Any]:
     """Resolved parameter dict for ``spec`` (defaults < preset < overrides).
 
-    ``spec.engine`` and ``spec.kernel`` are folded in per
-    :func:`repro.api.registry.merge_engine`: each participates only for
-    experiments that declare the corresponding parameter, and explicit
-    keys in ``spec.overrides`` win.
+    ``spec.engine``, ``spec.kernel`` and ``spec.graph_schedule`` are
+    folded in per :func:`repro.api.registry.merge_engine`: each
+    participates only for experiments that declare the corresponding
+    parameter, and explicit keys in ``spec.overrides`` win.
     """
     experiment = get_experiment(spec.experiment_id)
     return experiment.resolve(
         spec.preset,
-        merge_engine(experiment, spec.overrides, spec.engine, spec.kernel),
+        merge_engine(
+            experiment, spec.overrides, spec.engine, spec.kernel,
+            spec.graph_schedule,
+        ),
     )
 
 

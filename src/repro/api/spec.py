@@ -24,7 +24,8 @@ from repro.exceptions import SpecError
 from repro.sim.results import ResultTable
 
 _SPEC_FIELDS = (
-    "experiment_id", "preset", "seed", "engine", "kernel", "overrides", "markdown"
+    "experiment_id", "preset", "seed", "engine", "kernel", "graph_schedule",
+    "overrides", "markdown",
 )
 
 
@@ -46,6 +47,7 @@ class RunSpec:
     seed: int = 0
     engine: str | None = None
     kernel: str | None = None
+    graph_schedule: str | None = None
     overrides: Dict[str, Any] = field(default_factory=dict)
     markdown: bool = False
 
@@ -109,10 +111,13 @@ class RunSpec:
             fallback["engine"] = self.engine
         if self.kernel is not None and "kernel" not in fallback:
             fallback["kernel"] = self.kernel
+        if self.graph_schedule is not None and "graph_schedule" not in fallback:
+            fallback["graph_schedule"] = self.graph_schedule
         try:
             experiment = get_experiment(self.experiment_id)
             merged = merge_engine(
-                experiment, self.overrides, self.engine, self.kernel
+                experiment, self.overrides, self.engine, self.kernel,
+                self.graph_schedule,
             )
             resolved = experiment.resolve(self.preset, merged)
             baseline = experiment.resolve(self.preset)
@@ -147,6 +152,8 @@ class RunSpec:
             extras.append(f"engine={self.engine}")
         if self.kernel is not None:
             extras.append(f"kernel={self.kernel}")
+        if self.graph_schedule is not None:
+            extras.append(f"schedule={self.graph_schedule}")
         extras += [f"{k}={v}" for k, v in sorted(self.overrides.items())]
         return f"{self.experiment_id}[{', '.join(extras)}]"
 

@@ -26,6 +26,7 @@ def expand_grid(
     seed: int = 0,
     engine: str | None = None,
     kernel: str | None = None,
+    graph_schedule: str | None = None,
     overrides: Mapping[str, Any] | None = None,
 ) -> List[RunSpec]:
     """One validated :class:`RunSpec` per point of ``axes``' product.
@@ -61,11 +62,15 @@ def expand_grid(
             seed=seed,
             engine=engine,
             kernel=kernel,
+            graph_schedule=graph_schedule,
             overrides={**common, **point},
         )
         experiment.resolve(
             preset,
-            merge_engine(experiment, spec.overrides, spec.engine, spec.kernel),
+            merge_engine(
+                experiment, spec.overrides, spec.engine, spec.kernel,
+                spec.graph_schedule,
+            ),
         )
         specs.append(spec)
     return specs

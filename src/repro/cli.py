@@ -13,7 +13,11 @@ identically)::
 ``run`` accepts ``--set key=value`` overrides against each experiment's
 declared parameter schema, ``--json`` to emit archived-format payloads,
 and ``--save DIR`` to file results in an :class:`~repro.api.ArtifactStore`.
-``diff`` exits 0 when the runs match within tolerance, 1 otherwise.
+Dynamic-graph experiments additionally take ``--schedule
+cyclic|random|rewire``, ``--switch-every N`` and ``--snapshots N``
+(each applied, like ``--engine``, only where the experiment declares
+the parameter).  ``diff`` exits 0 when the runs match within tolerance,
+1 otherwise.
 
 The pre-subcommand invocation ``python -m repro.cli [ids...] [--slow]
 [--engine batch|loop] [--kernel auto|numpy|fused|jit] [--markdown]
@@ -44,6 +48,7 @@ from repro.api import (
     resolve_spec,
     summary_table,
 )
+from repro.engine.dynamic import SCHEDULE_KINDS
 from repro.engine.kernels import KERNEL_CHOICES
 from repro.exceptions import ArtifactError, ReproError
 from repro.io import ResultBundle, save_bundle
@@ -131,6 +136,14 @@ def build_cli_parser() -> argparse.ArgumentParser:
                      help="replica simulator for Monte-Carlo experiments")
     run.add_argument("--kernel", choices=KERNEL_CHOICES, default=None,
                      help="stepping kernel of the batch engine")
+    run.add_argument("--schedule", dest="graph_schedule",
+                     choices=SCHEDULE_KINDS, default=None,
+                     help="snapshot stream of dynamic-graph experiments")
+    run.add_argument("--switch-every", dest="switch_every", type=int,
+                     default=None,
+                     help="rounds per topology segment (dynamic experiments)")
+    run.add_argument("--snapshots", dest="snapshots", type=int, default=None,
+                     help="snapshot pool size (dynamic experiments)")
     run.add_argument("--set", dest="overrides", action="append", default=[],
                      metavar="KEY=VALUE",
                      help="override a declared parameter (repeatable)")
@@ -158,6 +171,11 @@ def build_cli_parser() -> argparse.ArgumentParser:
     swp.add_argument("--seed", type=int, default=0)
     swp.add_argument("--engine", choices=("batch", "loop"), default=None)
     swp.add_argument("--kernel", choices=KERNEL_CHOICES, default=None)
+    swp.add_argument("--schedule", dest="graph_schedule",
+                     choices=SCHEDULE_KINDS, default=None)
+    swp.add_argument("--switch-every", dest="switch_every", type=int,
+                     default=None)
+    swp.add_argument("--snapshots", dest="snapshots", type=int, default=None)
     swp.add_argument("--markdown", action="store_true")
     swp.add_argument("--json", action="store_true",
                      help="emit results + summary as JSON")
@@ -204,6 +222,23 @@ def _coerce_overrides(experiment_id: str, raw: Dict[str, str]) -> Dict[str, Any]
     }
 
 
+def _fold_dynamic_flags(
+    experiment_id: str, overrides: Dict[str, Any], args: argparse.Namespace
+) -> Dict[str, Any]:
+    """Fold ``--switch-every`` / ``--snapshots`` into override form.
+
+    Like ``--engine``, each flag applies only to experiments that
+    declare the corresponding parameter, and an explicit ``--set``
+    override always wins.
+    """
+    params = get_experiment(experiment_id).params
+    for name in ("switch_every", "snapshots"):
+        value = getattr(args, name, None)
+        if value is not None and name in params and name not in overrides:
+            overrides[name] = params[name].coerce(name, value)
+    return overrides
+
+
 def _check_ids(ids: Sequence[str]) -> int:
     known = experiment_ids()
     unknown = [i for i in ids if i not in known]
@@ -241,8 +276,13 @@ def _run_cmd(args: argparse.Namespace) -> int:
             seed=args.seed,
             engine=args.engine,
             kernel=args.kernel,
-            overrides=_coerce_overrides(
-                experiment_id, _parse_overrides(args.overrides)
+            graph_schedule=args.graph_schedule,
+            overrides=_fold_dynamic_flags(
+                experiment_id,
+                _coerce_overrides(
+                    experiment_id, _parse_overrides(args.overrides)
+                ),
+                args,
             ),
             markdown=args.markdown,
         )
@@ -330,7 +370,10 @@ def _sweep_cmd(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         kernel=args.kernel,
-        overrides=_coerce_overrides(args.id, fixed),
+        graph_schedule=args.graph_schedule,
+        overrides=_fold_dynamic_flags(
+            args.id, _coerce_overrides(args.id, fixed), args
+        ),
     )
     store = ArtifactStore(args.save) if args.save else None
     results = []

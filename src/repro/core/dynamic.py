@@ -2,9 +2,19 @@
 
 Section 3 cites voter-model analyses on *dynamic* graphs ([12]); the
 averaging processes are equally well defined when the graph changes
-between steps, as long as every snapshot is connected.  This module runs
-the NodeModel / EdgeModel over a (cyclic or random) sequence of graph
-snapshots, switching every ``switch_every`` steps.
+between steps, as long as every snapshot is connected.
+:class:`DynamicAveraging` runs the NodeModel / EdgeModel over a (cyclic
+or random) sequence of graph snapshots, switching every
+``switch_every`` steps.
+
+Since the dynamic engine PR this class is a thin scalar facade over
+:mod:`repro.engine`: the snapshot rotation is a frozen
+:class:`~repro.engine.dynamic.GraphSchedule` and the stepping is a
+single-replica :class:`~repro.engine.batch.BatchNodeModel` /
+:class:`~repro.engine.batch.BatchEdgeModel`, so dynamic topologies run
+through exactly the same vectorized, block-kernel, cache-aware pipeline
+as the static ones (the old hand loop over per-segment scalar processes
+survives only as the conformance oracle in ``tests/test_dynamic_engine``).
 
 Two structural facts carry over and are tested:
 
@@ -24,8 +34,8 @@ from typing import Sequence
 import networkx as nx
 import numpy as np
 
-from repro.core.edge_model import EdgeModel
-from repro.core.node_model import NodeModel
+from repro.core.schedule import Schedule
+from repro.engine.dynamic import CyclicSchedule, GraphSchedule, RandomSchedule
 from repro.exceptions import ConvergenceError, ParameterError
 from repro.graphs.adjacency import Adjacency
 from repro.rng import SeedLike, as_generator
@@ -38,7 +48,9 @@ class DynamicAveraging:
     ----------
     snapshots:
         Non-empty sequence of connected graphs on the same node set
-        ``0..n-1``.
+        ``0..n-1``, or a prebuilt
+        :class:`~repro.engine.dynamic.GraphSchedule` (in which case
+        ``switch_every`` and ``shuffle`` are taken from it).
     initial_values:
         ``xi(0)``.
     model:
@@ -49,13 +61,13 @@ class DynamicAveraging:
     switch_every:
         Steps executed on a snapshot before moving on.
     shuffle:
-        If set, the next snapshot is drawn uniformly at random instead of
-        cyclically.
+        If set, each segment's snapshot is drawn uniformly at random
+        (from a stream seeded off ``seed``) instead of cyclically.
     """
 
     def __init__(
         self,
-        snapshots: Sequence[nx.Graph | Adjacency],
+        snapshots: Sequence[nx.Graph | Adjacency] | GraphSchedule,
         initial_values: Sequence[float],
         model: str = "node",
         alpha: float = 0.5,
@@ -64,84 +76,102 @@ class DynamicAveraging:
         shuffle: bool = False,
         seed: SeedLike = None,
     ) -> None:
-        if not snapshots:
-            raise ParameterError("at least one snapshot is required")
         if model not in ("node", "edge"):
             raise ParameterError(f"model must be 'node' or 'edge', got {model!r}")
-        if switch_every < 1:
-            raise ParameterError(f"switch_every must be positive, got {switch_every}")
-        self.adjacencies = [
-            s if isinstance(s, Adjacency) else Adjacency.from_graph(s)
-            for s in snapshots
-        ]
-        n = self.adjacencies[0].n
-        if any(a.n != n for a in self.adjacencies):
-            raise ParameterError("all snapshots must share the same node set")
-        values = np.asarray(initial_values, dtype=np.float64).copy()
-        if values.shape != (n,):
-            raise ParameterError(f"initial_values must have shape ({n},)")
-        if model == "node":
-            min_degree = min(a.d_min for a in self.adjacencies)
-            if not 1 <= k <= min_degree:
-                raise ParameterError(
-                    f"k must be in [1, {min_degree}] for every snapshot, got {k}"
-                )
+        self.rng = as_generator(seed)
+        if isinstance(snapshots, GraphSchedule):
+            schedule = snapshots
+        elif shuffle:
+            # The snapshot stream must be deterministic and random-access
+            # (replays, caching), so it gets its own seed, split off the
+            # process generator once.
+            schedule = RandomSchedule(
+                snapshots,
+                switch_every,
+                seed=int(self.rng.integers(2**63 - 1)),
+            )
+        else:
+            schedule = CyclicSchedule(snapshots, switch_every)
+        self.graph_schedule = schedule
+        self.adjacencies = list(schedule.snapshots)
+        if model == "node" and not 1 <= k <= schedule.d_min:
+            raise ParameterError(
+                f"k must be in [1, {schedule.d_min}] for every snapshot, got {k}"
+            )
+        values = np.asarray(initial_values, dtype=np.float64)
+        if values.shape != (schedule.n,):
+            raise ParameterError(
+                f"initial_values must have shape ({schedule.n},)"
+            )
         self.model = model
         self.alpha = float(alpha)
         self.k = int(k)
-        self.switch_every = int(switch_every)
+        self.switch_every = schedule.switch_every
         self.shuffle = bool(shuffle)
-        self.rng = as_generator(seed)
-        self.values = values
-        self.t = 0
-        self._snapshot_index = 0
-        self._process = self._build_process(self.adjacencies[0])
+        # Imported here, not at module level: repro.core is imported by
+        # repro.engine.batch (for Schedule), so a module-level import of
+        # the batch models would be circular.
+        from repro.engine.batch import BatchEdgeModel, BatchNodeModel
 
+        if model == "node":
+            self._batch = BatchNodeModel(
+                schedule, values, alpha=self.alpha, k=self.k,
+                replicas=1, seed=self.rng,
+            )
+        else:
+            self._batch = BatchEdgeModel(
+                schedule, values, alpha=self.alpha, replicas=1, seed=self.rng,
+            )
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
     @property
     def n(self) -> int:
-        return len(self.values)
+        return self.graph_schedule.n
+
+    @property
+    def t(self) -> int:
+        return self._batch.t
+
+    @property
+    def values(self) -> np.ndarray:
+        """The state vector ``xi(t)`` (a live view, do not mutate)."""
+        return self._batch.values[0]
 
     @property
     def current_snapshot(self) -> int:
-        """Index of the snapshot currently in use."""
-        return self._snapshot_index
+        """Index of the snapshot governing the next step."""
+        return self.graph_schedule.snapshot_at(self.t)
 
     @property
     def discrepancy(self) -> float:
-        return float(self.values.max() - self.values.min())
+        return float(self._batch.discrepancy[0])
 
     @property
     def simple_average(self) -> float:
-        return float(self.values.mean())
+        return float(self._batch.simple_average[0])
 
-    def _build_process(self, adjacency: Adjacency):
-        if self.model == "node":
-            return NodeModel(
-                adjacency, self.values, alpha=self.alpha, k=self.k, seed=self.rng
-            )
-        return EdgeModel(adjacency, self.values, alpha=self.alpha, seed=self.rng)
+    @property
+    def phi(self) -> float:
+        """``phi(xi(t))`` w.r.t. the active snapshot's ``pi``."""
+        return float(self._batch.phi[0])
 
-    def _advance_snapshot(self) -> None:
-        if self.shuffle:
-            self._snapshot_index = int(self.rng.integers(len(self.adjacencies)))
-        else:
-            self._snapshot_index = (self._snapshot_index + 1) % len(self.adjacencies)
-        self._process = self._build_process(self.adjacencies[self._snapshot_index])
-
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
     def run(self, steps: int) -> None:
         """Execute ``steps`` steps, rotating snapshots as configured."""
-        if steps < 0:
-            raise ParameterError(f"steps must be non-negative, got {steps}")
-        executed = 0
-        while executed < steps:
-            remaining_on_snapshot = self.switch_every - (self.t % self.switch_every)
-            chunk = min(remaining_on_snapshot, steps - executed)
-            self._process.run(chunk)
-            self.values = self._process.values
-            self.t += chunk
-            executed += chunk
-            if self.t % self.switch_every == 0:
-                self._advance_snapshot()
+        self._batch.run(steps)
+
+    def replay(self, schedule: Schedule) -> None:
+        """Apply a recorded selection sequence deterministically.
+
+        The snapshot stream advances with ``t`` exactly as in a free
+        run, so replaying a schedule recorded from the scalar
+        per-segment composition reproduces it bit for bit.
+        """
+        self._batch.replay(schedule)
 
     def run_to_consensus(
         self, discrepancy_tol: float = 1e-9, max_steps: int = 50_000_000

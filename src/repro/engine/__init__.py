@@ -11,7 +11,11 @@ correctness oracle), 1–2 orders of magnitude faster per replica.
 Layers
 ------
 :mod:`repro.engine.backend`
-    Batched k-neighbour sampling (dense padded table vs CSR gather).
+    Batched k-neighbour sampling (dense padded table vs CSR gather),
+    including the stacked multi-snapshot form for dynamic topologies.
+:mod:`repro.engine.dynamic`
+    Time-varying topologies: ``GraphSchedule`` (cyclic / random /
+    edge-rewiring snapshot streams) consumed by the batch models.
 :mod:`repro.engine.batch`
     ``BatchNodeModel`` / ``BatchEdgeModel`` and their lazy variants.
 :mod:`repro.engine.kernels`
@@ -30,7 +34,16 @@ from repro.engine.backend import (
     CSRBackend,
     DenseBackend,
     SamplingBackend,
+    SnapshotBackends,
     select_backend,
+)
+from repro.engine.dynamic import (
+    SCHEDULE_KINDS,
+    CyclicSchedule,
+    GraphSchedule,
+    RandomSchedule,
+    RewiringSchedule,
+    build_schedule,
 )
 from repro.engine.kernels import (
     KERNEL_CHOICES,
@@ -59,11 +72,18 @@ __all__ = [
     "BatchEdgeModel",
     "BatchNodeModel",
     "CSRBackend",
+    "CyclicSchedule",
     "DenseBackend",
     "EngineSpec",
+    "GraphSchedule",
     "KERNEL_CHOICES",
+    "RandomSchedule",
     "ResultCache",
+    "RewiringSchedule",
+    "SCHEDULE_KINDS",
     "SamplingBackend",
+    "SnapshotBackends",
+    "build_schedule",
     "measure_t_eps_batch",
     "numba_available",
     "resolve_kernel",

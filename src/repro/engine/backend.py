@@ -26,6 +26,7 @@ of selections through the same code paths the per-round engine uses.
 from __future__ import annotations
 
 import abc
+from typing import Sequence
 
 import numpy as np
 
@@ -50,9 +51,19 @@ class SamplingBackend(abc.ABC):
     ``k`` is fixed per backend instance (it is a model parameter); the
     per-call inputs are the batch's flat value view, the active replica
     rows, and the selected node per row.
+
+    ``d_max`` optionally widens the neighbour-slot axis beyond this
+    snapshot's own maximum degree: the multi-snapshot form
+    (:class:`SnapshotBackends`) pads every snapshot's table to the
+    *schedule-wide* maximum so all snapshots share one stacked layout
+    (and one ``k > 2`` key-matrix width).  Padded slots beyond a node's
+    degree are never selected — the subset sampler masks them even on
+    regular snapshots narrower than the table.
     """
 
-    def __init__(self, adjacency: Adjacency, k: int) -> None:
+    def __init__(
+        self, adjacency: Adjacency, k: int, d_max: int | None = None
+    ) -> None:
         if int(k) != k or k < 1:
             raise ParameterError(f"k must be a positive integer, got {k}")
         if k > adjacency.d_min:
@@ -62,7 +73,12 @@ class SamplingBackend(abc.ABC):
         self.adjacency = adjacency
         self.k = int(k)
         self._degrees = adjacency.degrees
-        self._d_max = int(adjacency.d_max)
+        self._d_max = int(adjacency.d_max if d_max is None else d_max)
+        if self._d_max < adjacency.d_max:
+            raise ParameterError(
+                f"d_max = {self._d_max} is below the snapshot's maximum "
+                f"degree {adjacency.d_max}"
+            )
         # Regular graphs skip the per-node degree gather in the hot path.
         self._common_degree = (
             float(adjacency.d_min) if adjacency.is_regular else None
@@ -76,6 +92,13 @@ class SamplingBackend(abc.ABC):
             and self._d_max > _FULL_KEY_DMAX
             and self.k * self.k <= adjacency.d_min
         )
+
+    @property
+    def d_max(self) -> int:
+        """Width of the neighbour-slot axis (the key-matrix width for
+        ``k > 2``): this snapshot's maximum degree, or the schedule-wide
+        envelope under :class:`SnapshotBackends`."""
+        return self._d_max
 
     @property
     def uses_subset_keys(self) -> bool:
@@ -168,9 +191,10 @@ class SamplingBackend(abc.ABC):
         """
         if not self._rejection_subsets:
             # ``keys`` is consumed: invalid padded slots are masked in
-            # place (a no-op on regular graphs, where every slot is
-            # valid) before the k-smallest partition.
-            if self._common_degree is None:
+            # place (a no-op on regular graphs whose degree fills the
+            # table; a regular snapshot narrower than a stacked table
+            # still needs the mask) before the k-smallest partition.
+            if self._common_degree is None or self._common_degree < self._d_max:
                 keys[np.arange(self._d_max) >= deg[..., None]] = np.inf
             return np.argpartition(keys, self.k - 1, axis=-1)[..., : self.k]
         if keys is not None:  # pragma: no cover - defensive
@@ -236,11 +260,31 @@ class SamplingBackend(abc.ABC):
 
 
 class DenseBackend(SamplingBackend):
-    """Sampling against the precomputed padded neighbour table."""
+    """Sampling against the precomputed padded neighbour table.
 
-    def __init__(self, adjacency: Adjacency, k: int) -> None:
-        super().__init__(adjacency, k)
-        self._table = adjacency.padded_neighbors()
+    ``table`` optionally injects a prebuilt ``(n, d_max)`` table — the
+    stacked multi-snapshot form passes per-snapshot views of one
+    ``(S, n, d_max)`` array, so snapshot selection costs one extra
+    leading index instead of a table rebuild.
+    """
+
+    def __init__(
+        self,
+        adjacency: Adjacency,
+        k: int,
+        d_max: int | None = None,
+        table: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(adjacency, k, d_max=d_max)
+        if table is None:
+            table = adjacency.padded_neighbors()
+        if table.shape != (adjacency.n, self._d_max):
+            raise ParameterError(
+                f"neighbour table shape {table.shape} does not match "
+                f"(n, d_max) = ({adjacency.n}, {self._d_max}); widened "
+                "tables come stacked from SnapshotBackends"
+            )
+        self._table = table
         self._table_flat = np.ascontiguousarray(self._table).reshape(-1)
 
     def _pick_slots(self, nodes, slots):
@@ -259,8 +303,10 @@ class CSRBackend(SamplingBackend):
     instead of the dense backend's persistent O(n * d_max) table).
     """
 
-    def __init__(self, adjacency: Adjacency, k: int) -> None:
-        super().__init__(adjacency, k)
+    def __init__(
+        self, adjacency: Adjacency, k: int, d_max: int | None = None
+    ) -> None:
+        super().__init__(adjacency, k, d_max=d_max)
         self._neighbors = adjacency.neighbors
         self._offsets = adjacency.offsets
 
@@ -287,3 +333,68 @@ def select_backend(
     raise ParameterError(
         f"unknown backend {name!r}; expected 'auto', 'dense' or 'csr'"
     )
+
+
+class SnapshotBackends:
+    """One sampling backend per snapshot, sharing a stacked layout.
+
+    The dynamic engine's counterpart of :func:`select_backend`: for a
+    :class:`~repro.engine.dynamic.GraphSchedule`'s snapshots it builds
+    either
+
+    * the **stacked dense form** — every snapshot's padded neighbour
+      table stacked into one ``(S, n, d_max)`` array (``d_max`` the
+      schedule-wide maximum), each snapshot's :class:`DenseBackend`
+      indexing its own ``(n, d_max)`` view, so per-segment snapshot
+      selection is one extra leading gather index; or
+    * **per-snapshot CSR** — O(E) memory per snapshot for huge graphs,
+      sharing the same ``d_max`` envelope so the ``k > 2`` key-matrix
+      width (and hence the RNG draw shape) is uniform across snapshots.
+
+    All backends share ``k``; building them validates ``k`` against
+    every snapshot's minimum degree.
+    """
+
+    def __init__(
+        self,
+        adjacencies: Sequence[Adjacency],
+        k: int,
+        name: str = "auto",
+    ) -> None:
+        if not adjacencies:
+            raise ParameterError("at least one snapshot is required")
+        n = adjacencies[0].n
+        d_max = max(a.d_max for a in adjacencies)
+        if name not in ("auto", "dense", "csr"):
+            raise ParameterError(
+                f"unknown backend {name!r}; expected 'auto', 'dense' or 'csr'"
+            )
+        dense = name == "dense" or (
+            name == "auto"
+            and len(adjacencies) * n * d_max <= _DENSE_TABLE_LIMIT
+        )
+        self.d_max = d_max
+        if dense:
+            stack = np.zeros((len(adjacencies), n, d_max), dtype=np.int64)
+            for s, adjacency in enumerate(adjacencies):
+                padded = adjacency.padded_neighbors()
+                stack[s, :, : padded.shape[1]] = padded
+            stack.setflags(write=False)
+            self.table = stack
+            self.backends = [
+                DenseBackend(adjacency, k, d_max=d_max, table=stack[s])
+                for s, adjacency in enumerate(adjacencies)
+            ]
+        else:
+            self.table = None
+            self.backends = [
+                CSRBackend(adjacency, k, d_max=d_max)
+                for adjacency in adjacencies
+            ]
+        self.k = self.backends[0].k
+
+    def __len__(self) -> int:
+        return len(self.backends)
+
+    def __getitem__(self, snapshot_id: int) -> SamplingBackend:
+        return self.backends[snapshot_id]

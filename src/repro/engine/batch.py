@@ -47,7 +47,12 @@ import networkx as nx
 import numpy as np
 
 from repro.core.schedule import Schedule
-from repro.engine.backend import SamplingBackend, select_backend
+from repro.engine.backend import (
+    SamplingBackend,
+    SnapshotBackends,
+    select_backend,
+)
+from repro.engine.dynamic import GraphSchedule
 from repro.engine.kernels import (
     BLOCK_EXECUTORS,
     DEFAULT_BLOCK_ROUNDS,
@@ -73,7 +78,16 @@ class BatchAveragingProcess(abc.ABC):
     ----------
     graph:
         Connected undirected graph (``networkx.Graph`` or frozen
-        :class:`Adjacency`).
+        :class:`Adjacency`), or a
+        :class:`~repro.engine.dynamic.GraphSchedule` for a time-varying
+        topology.  With a schedule, round ``t`` runs on
+        ``schedule.adjacency_at(t)``: kernel blocks are clamped so they
+        never straddle a switch boundary (the same discipline as the
+        periodic exact resync), the pi-weighted moments are resynced
+        exactly whenever a switch changes ``pi`` (a no-op for
+        regular-equal-degree snapshot sets, whose uniform ``pi`` keeps
+        the simple average a martingale across switches), and chunked
+        convergence detection stays exact and ``block_rounds``-invariant.
     initial_values:
         Either one vector of length ``n`` (broadcast to every replica)
         or a ``(B, n)`` matrix giving each replica its own start.
@@ -109,9 +123,16 @@ class BatchAveragingProcess(abc.ABC):
     ) -> None:
         if not 0.0 <= alpha < 1.0:
             raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
-        self.adjacency = (
-            graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
-        )
+        if isinstance(graph, GraphSchedule):
+            self.graph_schedule: GraphSchedule | None = graph
+            self.adjacency = graph.snapshots[0]
+        else:
+            self.graph_schedule = None
+            self.adjacency = (
+                graph
+                if isinstance(graph, Adjacency)
+                else Adjacency.from_graph(graph)
+            )
         n = self.adjacency.n
         values = np.asarray(initial_values, dtype=np.float64)
         if values.ndim == 1:
@@ -147,11 +168,23 @@ class BatchAveragingProcess(abc.ABC):
         self.rng = as_generator(seed)
         self.values = values
         self.t = 0
-        self._pi = self.adjacency.stationary_pi()
-        # Regular graphs have constant pi; skip the per-round gather.
-        self._pi_common = (
-            float(self._pi[0]) if self.adjacency.is_regular else None
-        )
+        self._snapshot_id = 0
+        if self.graph_schedule is not None:
+            self._pis = [
+                a.stationary_pi() for a in self.graph_schedule.snapshots
+            ]
+            self._pi_commons = [
+                float(pi[0]) if a.is_regular else None
+                for a, pi in zip(self.graph_schedule.snapshots, self._pis)
+            ]
+            self._pi = self._pis[0]
+            self._pi_common = self._pi_commons[0]
+        else:
+            self._pi = self.adjacency.stationary_pi()
+            # Regular graphs have constant pi; skip the per-round gather.
+            self._pi_common = (
+                float(self._pi[0]) if self.adjacency.is_regular else None
+            )
         self._backend_name = backend
         self.kernel_requested = kernel
         self.kernel = resolve_kernel(kernel)
@@ -205,6 +238,42 @@ class BatchAveragingProcess(abc.ABC):
         self._flat = self.values.reshape(-1)
 
     # ------------------------------------------------------------------
+    # Dynamic topologies
+    # ------------------------------------------------------------------
+    def _activate_snapshot(self, snapshot_id: int) -> None:
+        """Make the given schedule snapshot the active topology.
+
+        Concrete models extend this with their own per-snapshot state
+        (the sampling backend, the directed edge list).
+        """
+        self._snapshot_id = snapshot_id
+        self.adjacency = self.graph_schedule.snapshots[snapshot_id]
+        self._pi = self._pis[snapshot_id]
+        self._pi_common = self._pi_commons[snapshot_id]
+
+    def _sync_snapshot(self) -> None:
+        """Align the active snapshot with the round about to execute.
+
+        No-op on static graphs and within a segment.  Crossing a switch
+        boundary that changes ``pi`` triggers an exact moment resync —
+        the switch analogue of the periodic resync, and the reason phi
+        at round ``t`` is always measured against the snapshot governing
+        round ``t``, exactly as the scalar wrapper's rebuilt tracker
+        does.  Regular-equal-degree snapshot sets share one ``pi``, so
+        their moments (and the martingale ``<1, xi>_pi``) carry across
+        switches untouched.
+        """
+        if self.graph_schedule is None:
+            return
+        snapshot_id = self.graph_schedule.snapshot_at(self.t)
+        if snapshot_id == self._snapshot_id:
+            return
+        pi_changed = not np.array_equal(self._pis[snapshot_id], self._pi)
+        self._activate_snapshot(snapshot_id)
+        if pi_changed:
+            self.resync_moments()
+
+    # ------------------------------------------------------------------
     # Selection: the only model-specific ingredient
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -245,6 +314,7 @@ class BatchAveragingProcess(abc.ABC):
         layout is block-shaped), but it remains valid to call on any
         batch.
         """
+        self._sync_snapshot()
         self.t += 1
         rows = self._active_rows
         if rows.size == 0:
@@ -292,10 +362,15 @@ class BatchAveragingProcess(abc.ABC):
             self._s2[rows] += delta2
 
     def _block_size(self, remaining: int) -> int:
-        """Rounds for the next block: configured size, memory-bounded."""
+        """Rounds for the next block: configured size, memory-bounded,
+        and never straddling a graph-schedule switch boundary (callers
+        must have synced the active snapshot first)."""
         block = max(1, int(self.block_rounds))
         budget = max(1, _BLOCK_BUDGET // (self.replicas * self._plan_width()))
-        return min(block, remaining, budget)
+        block = min(block, remaining, budget)
+        if self.graph_schedule is not None:
+            block = min(block, self.graph_schedule.rounds_until_switch(self.t))
+        return block
 
     def run(self, steps: int) -> None:
         """Execute ``steps`` rounds (one time step per active replica each).
@@ -315,6 +390,7 @@ class BatchAveragingProcess(abc.ABC):
             if self.num_active == 0:
                 self.t += remaining
                 return
+            self._sync_snapshot()
             rounds = self._block_size(remaining)
             plan = self._plan_block(rounds)
             self._block_exec(self._flat, plan, self.alpha, False)
@@ -396,6 +472,7 @@ class BatchAveragingProcess(abc.ABC):
         """
         start = self.t
         while self.num_active and self.t - start < max_steps:
+            self._sync_snapshot()
             rounds = self._block_size(max_steps - (self.t - start))
             rounds = min(rounds, _RESYNC_EVERY - self._rounds_since_resync)
             rows = self._active_rows
@@ -493,8 +570,13 @@ class BatchAveragingProcess(abc.ABC):
     def apply_selection(self, node: int, sample: Sequence[int]) -> None:
         """Apply one shared ``(u, S)`` selection to every active replica.
 
-        An empty ``sample`` is a lazy no-op (time still advances).
+        An empty ``sample`` is a lazy no-op (time still advances).  On a
+        dynamic topology the snapshot stream advances with ``t`` (the
+        step's moment weights come from the snapshot governing it), so
+        replaying a recorded dynamic schedule reproduces the scalar
+        wrapper bit for bit.
         """
+        self._sync_snapshot()
         self.t += 1
         if len(sample) == 0:
             return
@@ -593,7 +675,14 @@ class BatchAveragingProcess(abc.ABC):
     # Observables
     # ------------------------------------------------------------------
     def _ensure_moments(self) -> None:
-        """Resynchronise the moment accumulators if a block left them stale."""
+        """Resynchronise the moment accumulators if a block left them stale.
+
+        Also aligns the active snapshot first, so observables read at a
+        switch boundary use the snapshot (and ``pi``) of the *next*
+        round — matching the scalar wrapper, which rebuilds its tracker
+        the moment a segment ends.
+        """
+        self._sync_snapshot()
         if self._moments_dirty:
             self.resync_moments()
 
@@ -657,10 +746,24 @@ class BatchNodeModel(BatchAveragingProcess):
             backend=backend,
             kernel=kernel,
         )
-        self._sampler: SamplingBackend = select_backend(
-            self.adjacency, k, self._backend_name
-        )
+        if self.graph_schedule is not None:
+            # Stacked multi-snapshot form: one (S, n, d_max) dense table
+            # (or per-snapshot CSR) sharing the schedule-wide d_max, so
+            # snapshot activation swaps a view, never rebuilds a table.
+            self._samplers = SnapshotBackends(
+                self.graph_schedule.snapshots, k, self._backend_name
+            )
+            self._sampler: SamplingBackend = self._samplers[0]
+        else:
+            self._samplers = None
+            self._sampler = select_backend(
+                self.adjacency, k, self._backend_name
+            )
         self.k = self._sampler.k
+
+    def _activate_snapshot(self, snapshot_id: int) -> None:
+        super()._activate_snapshot(snapshot_id)
+        self._sampler = self._samplers[snapshot_id]
 
     def _select_batch(self, rows, row_offsets):
         if self.k == 1:
@@ -683,7 +786,7 @@ class BatchNodeModel(BatchAveragingProcess):
         if self.k <= 2:
             return 1
         if self._sampler.uses_subset_keys:
-            return self.adjacency.d_max + 1
+            return self._sampler.d_max + 1
         return self.k
 
     def _plan_block(self, block_rounds: int) -> BlockPlan:
@@ -735,7 +838,7 @@ class BatchNodeModel(BatchAveragingProcess):
         keys = None
         if self._sampler.uses_subset_keys:
             block = self.rng.random(
-                (block_rounds, self.replicas, self.adjacency.d_max + 1)
+                (block_rounds, self.replicas, self._sampler.d_max + 1)
             )
             u = block[..., 0]
             keys = block[..., 1:]
@@ -783,8 +886,20 @@ class BatchEdgeModel(BatchAveragingProcess):
             backend=backend,
             kernel=kernel,
         )
-        self._tails = self.adjacency.edge_tails
-        self._heads = self.adjacency.edge_heads
+        if self.graph_schedule is not None:
+            self._edges = [
+                (a.edge_tails, a.edge_heads)
+                for a in self.graph_schedule.snapshots
+            ]
+            self._tails, self._heads = self._edges[0]
+        else:
+            self._edges = None
+            self._tails = self.adjacency.edge_tails
+            self._heads = self.adjacency.edge_heads
+
+    def _activate_snapshot(self, snapshot_id: int) -> None:
+        super()._activate_snapshot(snapshot_id)
+        self._tails, self._heads = self._edges[snapshot_id]
 
     def _select_batch(self, rows, row_offsets):
         edges = self.rng.integers(len(self._tails), size=rows.size)

@@ -29,7 +29,12 @@ from repro.engine.batch import (
     BatchEdgeModel,
     BatchNodeModel,
 )
-from repro.engine.kernels import resolve_kernel, validate_kernel
+from repro.engine.dynamic import GraphSchedule
+from repro.engine.kernels import (
+    DEFAULT_BLOCK_ROUNDS,
+    resolve_kernel,
+    validate_kernel,
+)
 from repro.exceptions import ConvergenceError, ParameterError
 from repro.graphs.adjacency import Adjacency
 from repro.rng import SeedLike
@@ -57,11 +62,25 @@ class EngineSpec:
     lazy: bool = False
     backend: str = "auto"
     kernel: str = "auto"
+    graph_schedule: Optional[GraphSchedule] = None
+    block_rounds: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("node", "edge"):
             raise ParameterError(f"kind must be 'node' or 'edge', got {self.kind!r}")
         validate_kernel(self.kernel)
+        if self.block_rounds is not None and self.block_rounds < 1:
+            raise ParameterError(
+                f"block_rounds must be positive, got {self.block_rounds}"
+            )
+        if (
+            self.graph_schedule is not None
+            and self.graph_schedule.snapshots[0] != self.adjacency
+        ):
+            raise ParameterError(
+                "adjacency must be the graph schedule's first snapshot; "
+                "use EngineSpec.for_schedule"
+            )
         values = np.asarray(self.initial_values, dtype=np.float64)
         if values.shape != (self.adjacency.n,):
             raise ParameterError(
@@ -69,6 +88,20 @@ class EngineSpec:
                 f"got {values.shape}"
             )
         object.__setattr__(self, "initial_values", values)
+
+    @classmethod
+    def for_schedule(
+        cls, kind: str, graph_schedule: GraphSchedule, initial_values, alpha, **kwargs
+    ) -> "EngineSpec":
+        """Spec over a time-varying topology (adjacency filled in)."""
+        return cls(
+            kind=kind,
+            adjacency=graph_schedule.snapshots[0],
+            initial_values=initial_values,
+            alpha=alpha,
+            graph_schedule=graph_schedule,
+            **kwargs,
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, EngineSpec):
@@ -82,6 +115,8 @@ class EngineSpec:
             and self.lazy == other.lazy
             and self.backend == other.backend
             and self.kernel == other.kernel
+            and self.graph_schedule == other.graph_schedule
+            and self.block_rounds == other.block_rounds
         )
 
     def __hash__(self) -> int:
@@ -121,9 +156,14 @@ class EngineSpec:
 
     def build(self, replicas: int, seed: SeedLike = None) -> BatchAveragingProcess:
         """Instantiate the batch process for ``replicas`` replicas."""
+        graph = (
+            self.graph_schedule
+            if self.graph_schedule is not None
+            else self.adjacency
+        )
         if self.kind == "node":
-            return BatchNodeModel(
-                self.adjacency,
+            batch: BatchAveragingProcess = BatchNodeModel(
+                graph,
                 self.initial_values,
                 self.alpha,
                 k=self.k,
@@ -133,16 +173,20 @@ class EngineSpec:
                 backend=self.backend,
                 kernel=self.kernel,
             )
-        return BatchEdgeModel(
-            self.adjacency,
-            self.initial_values,
-            self.alpha,
-            replicas=replicas,
-            seed=seed,
-            lazy=self.lazy,
-            backend=self.backend,
-            kernel=self.kernel,
-        )
+        else:
+            batch = BatchEdgeModel(
+                graph,
+                self.initial_values,
+                self.alpha,
+                replicas=replicas,
+                seed=seed,
+                lazy=self.lazy,
+                backend=self.backend,
+                kernel=self.kernel,
+            )
+        if self.block_rounds is not None:
+            batch.block_rounds = int(self.block_rounds)
+        return batch
 
     def cache_token(self) -> str:
         """Deterministic text token identifying this configuration.
@@ -152,17 +196,33 @@ class EngineSpec:
         legacy per-round ``"numpy"`` layout versus the block layout
         shared (bit-identically) by ``"fused"`` and ``"jit"`` — cached
         samples are keyed by stream class so fused and jit runs reuse
-        each other's results while legacy runs stay distinct.
+        each other's results while legacy runs stay distinct.  Block
+        streams additionally key on the (normalised) ``block_rounds``:
+        the realized trajectory of the rejection-sampled high-degree
+        ``k``-subset regime depends on the block size, so a cache hit
+        across differing block sizes must be impossible.  Dynamic
+        topologies append the schedule's content hash, which pins the
+        full snapshot stream (snapshots, cadence, kind, seed).
         """
         values = np.ascontiguousarray(self.initial_values)
         digest = hashlib.sha256(values.tobytes()).hexdigest()[:16]
         k = self.k if self.kind == "node" else 1
         stream = "legacy" if resolve_kernel(self.kernel) == "numpy" else "block"
-        return (
+        token = (
             f"{self.kind}|g={self.adjacency.content_hash()[:16]}"
             f"|x0={digest}|alpha={self.alpha!r}|k={k}|lazy={int(self.lazy)}"
             f"|stream={stream}"
         )
+        if stream == "block":
+            rounds = (
+                DEFAULT_BLOCK_ROUNDS
+                if self.block_rounds is None
+                else int(self.block_rounds)
+            )
+            token += f"|br={rounds}"
+        if self.graph_schedule is not None:
+            token += f"|sched={self.graph_schedule.content_hash()[:16]}"
+        return token
 
 
 @dataclass(frozen=True)

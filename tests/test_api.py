@@ -114,7 +114,7 @@ class TestRegistry:
             "EXP-F1", "EXP-F4", "EXP-T221", "EXP-T221K", "EXP-T221LB",
             "EXP-T222", "EXP-T241", "EXP-T242", "EXP-L41", "EXP-L57",
             "EXP-PB1", "EXP-CE2", "EXP-PRICE", "EXP-MOM", "EXP-IRR",
-            "EXP-ABL", "EXP-VT",
+            "EXP-ABL", "EXP-VT", "EXP-DYN", "EXP-DYNM",
         }
 
     def test_unknown_id_lists_known(self):

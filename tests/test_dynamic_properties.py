@@ -1,0 +1,208 @@
+"""Property-based (hypothesis) invariants of the dynamic-graph engine.
+
+Random snapshot sequences, random switch cadences, random block sizes
+and random run chunkings — the per-step structural facts must survive
+all of them:
+
+* **convex-hull containment**: every state stays inside the hull of the
+  initial values, whatever snapshot is active;
+* **discrepancy monotonicity**: the spread never increases, step by
+  step, across switches and block boundaries alike;
+* the **martingale dichotomy**: the uniform functional is preserved by
+  the NodeModel's expected one-step update in *every* snapshot iff all
+  snapshots are regular with equal degree (``GraphSchedule.uniform_pi``),
+  in which case the engine shares one ``pi`` across switches and the
+  simple average is a martingale of the whole dynamic process.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BatchNodeModel, CyclicSchedule, RandomSchedule
+from repro.graphs.adjacency import Adjacency
+
+N = 12
+
+#: Regular degree-4 snapshot pool (uniform pi everywhere).
+REGULAR_POOL = [
+    Adjacency.from_graph(nx.random_regular_graph(4, N, seed=s))
+    for s in range(3)
+] + [Adjacency.from_graph(nx.circulant_graph(N, [1, 2]))]
+
+#: Mixed pool: the irregular members break the uniform-pi martingale.
+MIXED_POOL = REGULAR_POOL[:2] + [
+    Adjacency.from_graph(nx.cycle_graph(N)),  # regular, different degree
+    Adjacency.from_graph(nx.star_graph(N - 1)),
+    Adjacency.from_graph(nx.wheel_graph(N)),
+    Adjacency.from_graph(nx.connected_watts_strogatz_graph(N, 4, 0.3, seed=7)),
+]
+
+
+@st.composite
+def snapshot_sequence(draw, pool):
+    size = draw(st.integers(min_value=1, max_value=4))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(pool) - 1),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    return [pool[i] for i in indices]
+
+
+chunk_lists = st.lists(
+    st.integers(min_value=1, max_value=40), min_size=1, max_size=8
+)
+
+
+class TestHullAndDiscrepancy:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        snapshots=snapshot_sequence(MIXED_POOL),
+        switch_every=st.integers(min_value=1, max_value=30),
+        block_rounds=st.integers(min_value=1, max_value=300),
+        chunks=chunk_lists,
+        shuffle=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_hull_contained_and_spread_monotone(
+        self, snapshots, switch_every, block_rounds, chunks, shuffle, seed
+    ):
+        schedule = (
+            RandomSchedule(snapshots, switch_every, seed=seed)
+            if shuffle
+            else CyclicSchedule(snapshots, switch_every)
+        )
+        initial = np.random.default_rng(seed).normal(size=N)
+        batch = BatchNodeModel(
+            schedule, initial, 0.5, k=1, replicas=2, seed=seed,
+            kernel="fused",
+        )
+        batch.block_rounds = block_rounds
+        lo, hi = initial.min(), initial.max()
+        spread = batch.discrepancy
+        for chunk in chunks:
+            batch.run(chunk)
+            assert batch.values.min() >= lo - 1e-12
+            assert batch.values.max() <= hi + 1e-12
+            new_spread = batch.discrepancy
+            assert np.all(new_spread <= spread + 1e-12)
+            spread = new_spread
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        switch_every=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_spread_monotone_per_single_step(self, switch_every, seed):
+        """Chunk size 1 checks the invariant literally step by step,
+        including the step *on* every switch boundary."""
+        schedule = CyclicSchedule(MIXED_POOL[:3], switch_every)
+        initial = np.random.default_rng(seed).normal(size=N)
+        batch = BatchNodeModel(
+            schedule, initial, 0.5, k=1, replicas=2, seed=seed,
+            kernel="fused",
+        )
+        spread = batch.discrepancy
+        for _ in range(4 * switch_every + 3):
+            batch.run(1)
+            new_spread = batch.discrepancy
+            assert np.all(new_spread <= spread + 1e-12)
+            spread = new_spread
+
+
+class TestMartingaleDichotomy:
+    """Uniform-pi martingale across switches iff regular equal degree."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        snapshots=snapshot_sequence(MIXED_POOL),
+        switch_every=st.integers(min_value=1, max_value=30),
+    )
+    def test_uniform_pi_iff_regular_equal_degree(
+        self, snapshots, switch_every
+    ):
+        from repro.theory.martingale import node_model_expected_update
+
+        schedule = CyclicSchedule(snapshots, switch_every)
+        degrees = {a.d_min for a in snapshots} | {a.d_max for a in snapshots}
+        expected = len(degrees) == 1
+        assert schedule.uniform_pi == expected
+        # The matrix statement: u^T E[L] = u^T in every snapshot iff
+        # uniform_pi — so the simple average is preserved across
+        # arbitrary switch points exactly in that case.
+        uniform = np.full(N, 1.0 / N)
+        drifts = [
+            float(np.abs(uniform @ node_model_expected_update(a, 0.5) - uniform).max())
+            for a in snapshots
+        ]
+        if expected:
+            assert max(drifts) < 1e-12
+        else:
+            irregular = [a for a in snapshots if not a.is_regular]
+            if irregular:  # heterogeneous degrees within one snapshot
+                assert max(drifts) > 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        snapshots=snapshot_sequence(REGULAR_POOL),
+        switch_every=st.integers(min_value=1, max_value=20),
+        steps=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_engine_shares_pi_across_regular_switches(
+        self, snapshots, switch_every, steps, seed
+    ):
+        """On a uniform-pi schedule the engine never resyncs at a
+        switch: the weighted average *is* the simple average, tracked
+        incrementally straight through every boundary."""
+        schedule = CyclicSchedule(snapshots, switch_every)
+        assert schedule.uniform_pi
+        initial = np.random.default_rng(seed).normal(size=N)
+        batch = BatchNodeModel(
+            schedule, initial, 0.5, k=1, replicas=2, seed=seed,
+            kernel="fused",
+        )
+        batch.run(steps)
+        np.testing.assert_allclose(
+            batch.weighted_average, batch.simple_average, atol=1e-9
+        )
+        pis = [a.stationary_pi() for a in schedule.snapshots]
+        for pi in pis[1:]:
+            np.testing.assert_array_equal(pi, pis[0])
+
+
+class TestHittingTimeProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        switch_every=st.integers(min_value=3, max_value=40),
+        block_rounds=st.integers(min_value=2, max_value=400),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_block_sizes_keep_hits_exact(
+        self, switch_every, block_rounds, seed
+    ):
+        """Random (block_rounds, switch_every) pairs against the
+        per-round reference — the hypothesis form of the fixed-grid
+        invariance test in ``test_dynamic_engine.py``."""
+        schedule = CyclicSchedule(MIXED_POOL[:3], switch_every)
+        initial = np.random.default_rng(seed).normal(size=N)
+
+        def make():
+            return BatchNodeModel(
+                schedule, initial, 0.5, k=1, replicas=4, seed=seed,
+                kernel="fused",
+            )
+
+        reference = make()
+        reference.block_rounds = 1
+        expected = reference.run_until_phi(1e-3, 200_000)
+        batch = make()
+        batch.block_rounds = block_rounds
+        np.testing.assert_array_equal(
+            batch.run_until_phi(1e-3, 200_000), expected
+        )

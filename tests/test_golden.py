@@ -1,0 +1,172 @@
+"""Golden-trajectory regression fixtures.
+
+A small matrix of (model x kernel x backend x static/dynamic) cells is
+run at frozen seeds and the exact end state hashed; the hashes live in
+``tests/golden/trajectories.json``.  Future kernel or backend refactors
+cannot silently change a realized trajectory: any drift fails here with
+the offending cell named.
+
+Everything in a cell is deterministic by construction — circulant and
+wheel graphs (no generator RNG), a linear-ramp initial vector, integer
+PCG64 seeds (stream-compatible across NumPy versions) — so the hashes
+are portable across machines and Python/NumPy versions.
+
+To regenerate after an *intentional* trajectory change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden.py
+
+and commit the rewritten JSON together with the change that justifies
+it.  The jit kernel has no hashes of its own: it is bit-identical to
+fused by contract, asserted directly when numba is available.
+"""
+
+import hashlib
+import json
+import os
+import pathlib
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.initial import center_simple, linear_ramp
+from repro.engine import (
+    BatchEdgeModel,
+    BatchNodeModel,
+    CyclicSchedule,
+    numba_available,
+)
+from repro.graphs.adjacency import Adjacency
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "trajectories.json"
+
+N = 16
+STEPS = 300  # crosses the default 256-round block boundary
+REPLICAS = 3
+SEED = 2024
+SWITCH_EVERY = 13
+
+#: Deterministic topologies: two 4-regular circulants and one irregular
+#: wheel (d_min = 3, so k = 2 stays valid everywhere).
+CIRC_A = Adjacency.from_graph(nx.circulant_graph(N, [1, 2]))
+CIRC_B = Adjacency.from_graph(nx.circulant_graph(N, [1, 3]))
+WHEEL = Adjacency.from_graph(nx.wheel_graph(N))
+
+
+def _graph(topology: str):
+    if topology == "static":
+        return CIRC_A
+    if topology == "static-irregular":
+        return WHEEL
+    return CyclicSchedule([CIRC_A, WHEEL, CIRC_B], SWITCH_EVERY)
+
+
+#: cell id -> construction recipe.  Kernel "jit" is deliberately absent
+#: (bit-identical to "fused"; see test_jit_matches_fused_cells).
+CELLS = {
+    "node-k1.numpy.dense.static": ("node", "numpy", "dense", "static", 1, False),
+    "node-k1.fused.dense.static": ("node", "fused", "dense", "static", 1, False),
+    "node-k1.fused.csr.static": ("node", "fused", "csr", "static", 1, False),
+    "node-k2.fused.dense.static-irregular": (
+        "node", "fused", "dense", "static-irregular", 2, False,
+    ),
+    "node-k1-lazy.fused.dense.static": (
+        "node", "fused", "dense", "static", 1, True,
+    ),
+    "edge.numpy.dense.static": ("edge", "numpy", "dense", "static", 1, False),
+    "edge.fused.dense.static": ("edge", "fused", "dense", "static", 1, False),
+    "node-k1.numpy.dense.dynamic": ("node", "numpy", "dense", "dynamic", 1, False),
+    "node-k1.fused.dense.dynamic": ("node", "fused", "dense", "dynamic", 1, False),
+    "node-k1.fused.csr.dynamic": ("node", "fused", "csr", "dynamic", 1, False),
+    "node-k2.fused.dense.dynamic": ("node", "fused", "dense", "dynamic", 2, False),
+    "node-k1-lazy.fused.dense.dynamic": (
+        "node", "fused", "dense", "dynamic", 1, True,
+    ),
+    "edge.numpy.dense.dynamic": ("edge", "numpy", "dense", "dynamic", 1, False),
+    "edge.fused.dense.dynamic": ("edge", "fused", "dense", "dynamic", 1, False),
+}
+
+
+def _run_cell(recipe):
+    model, kernel, backend, topology, k, lazy = recipe
+    initial = center_simple(linear_ramp(N, 0.0, 1.0))
+    graph = _graph(topology)
+    if model == "node":
+        batch = BatchNodeModel(
+            graph, initial, 0.5, k=k, replicas=REPLICAS, seed=SEED,
+            lazy=lazy, backend=backend, kernel=kernel,
+        )
+    else:
+        batch = BatchEdgeModel(
+            graph, initial, 0.5, replicas=REPLICAS, seed=SEED,
+            lazy=lazy, backend=backend, kernel=kernel,
+        )
+    batch.run(STEPS)
+    return batch
+
+
+def _state_hash(batch) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(batch.values).tobytes()
+    ).hexdigest()[:24]
+
+
+def _load_golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_file_covers_every_cell():
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("regeneration pass (see test_regenerate_golden)")
+    golden = _load_golden()
+    assert set(golden["cells"]) == set(CELLS)
+
+
+@pytest.mark.parametrize("cell_id", sorted(CELLS))
+def test_end_state_matches_golden(cell_id):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("regeneration pass (see test_regenerate_golden)")
+    golden = _load_golden()
+    actual = _state_hash(_run_cell(CELLS[cell_id]))
+    assert actual == golden["cells"][cell_id], (
+        f"trajectory drift in cell {cell_id!r}: hash {actual} != "
+        f"golden {golden['cells'][cell_id]}; if the change is intentional, "
+        "regenerate with REPRO_REGEN_GOLDEN=1 and commit the new fixtures"
+    )
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_REGEN_GOLDEN"),
+    reason="set REPRO_REGEN_GOLDEN=1 to rewrite the fixtures",
+)
+def test_regenerate_golden():
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "meta": {
+            "n": N,
+            "steps": STEPS,
+            "replicas": REPLICAS,
+            "seed": SEED,
+            "switch_every": SWITCH_EVERY,
+            "hash": "sha256(values.tobytes())[:24]",
+        },
+        "cells": {
+            cell_id: _state_hash(_run_cell(recipe))
+            for cell_id, recipe in sorted(CELLS.items())
+        },
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+@pytest.mark.parametrize(
+    "cell_id",
+    sorted(c for c in CELLS if CELLS[c][1] == "fused"),
+)
+def test_jit_matches_fused_cells(cell_id):
+    """jit is hashed implicitly: bit-identical to the fused golden."""
+    model, _, backend, topology, k, lazy = CELLS[cell_id]
+    fused = _run_cell((model, "fused", backend, topology, k, lazy))
+    jit = _run_cell((model, "jit", backend, topology, k, lazy))
+    assert jit.kernel == "jit"
+    np.testing.assert_array_equal(fused.values, jit.values)
