@@ -1,7 +1,7 @@
 """Engine throughput: stepping kernels across batch/size regimes.
 
-Two measurement blocks land in ``BENCH_engine.json`` at the repo root so
-the performance trajectory is tracked across PRs:
+Three measurement blocks land in ``BENCH_engine.json`` at the repo root
+so the performance trajectory is tracked across PRs:
 
 * **baseline** — the PR-1 acceptance workload (512-node 4-regular graph,
   1k replicas) comparing the legacy per-replica loop against the batch
@@ -15,6 +15,11 @@ the performance trajectory is tracked across PRs:
   as null when numba is absent).  The small-B / long-horizon cells are
   where per-round interpreter overhead dominates and the fused kernel
   must hold a >= 5x advantage over the per-round path.
+* **dual** — the dual-engine workloads: batch diffusion (``(B, n, r)``
+  load replicas), batch correlated walks (``(B, n)`` positions) and
+  batch coalescing walks versus the single-replica scalar loop the
+  ``repro.dual`` facades expose.  Each must hold a >= 5x replica
+  throughput advantage over the loop.
 
 Run standalone or under pytest::
 
@@ -39,7 +44,17 @@ import numpy as np
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import center_simple, rademacher_values
 from repro.core.node_model import NodeModel
-from repro.engine import BatchEdgeModel, BatchNodeModel, numba_available
+from repro.dual.coalescing import CoalescingWalks
+from repro.dual.diffusion import DiffusionProcess
+from repro.dual.walks import RandomWalkProcess
+from repro.engine import (
+    BatchCoalescing,
+    BatchDiffusion,
+    BatchEdgeModel,
+    BatchNodeModel,
+    BatchWalks,
+    numba_available,
+)
 from repro.graphs.adjacency import Adjacency
 from repro.graphs.generators import random_regular_graph
 
@@ -64,6 +79,12 @@ SWEEP_BS = (8,) if SMOKE else (64, 1_024)
 SWEEP_ROUNDS = {8: 50, 64: 20_000, 1_024: 3_000}
 
 KERNELS = ("numpy", "fused", "jit")
+
+# Dual workloads: batch diffusion / walks / coalescing vs the scalar loop.
+DUAL_N = 32 if SMOKE else 256
+DUAL_REPLICAS = 4 if SMOKE else 64
+DUAL_ROUNDS = 50 if SMOKE else 2_000
+DUAL_LOOP_ROUNDS = 50 if SMOKE else 2_000
 
 
 def _best_of(repeats, fn):
@@ -165,9 +186,69 @@ def measure_sweep(seed: int = 0) -> list:
     return cells
 
 
-def write_report(baseline: dict, sweep: list) -> dict:
+def measure_dual(seed: int = 0) -> dict:
+    """Batch dual-process throughput vs the single-replica scalar loop.
+
+    Replica-steps/sec for ``B`` batched replicas against ``B`` sequential
+    scalar facades (measured on one and scaled — the loop is linear in
+    the replica count by construction).
+    """
+    graph = random_regular_graph(DUAL_N, DEGREE, seed=seed)
+    adjacency = Adjacency.from_graph(graph)
+    cost = center_simple(rademacher_values(DUAL_N, seed=seed + 1))
+    results = {
+        "workload": {
+            "graph": f"random_regular(n={DUAL_N}, d={DEGREE})",
+            "replicas": DUAL_REPLICAS,
+            "steps_per_replica": DUAL_ROUNDS,
+            "alpha": ALPHA,
+            "k": 1,
+        }
+    }
+
+    def _cell(batch_fn, loop_fn):
+        batch = batch_fn()
+        batch.run(min(DUAL_ROUNDS, 100))  # warm allocator and caches
+        seconds = _best_of(2, lambda: batch.run(DUAL_ROUNDS))
+        batch_rate = DUAL_REPLICAS * DUAL_ROUNDS / seconds
+        loop = loop_fn()
+        loop_seconds = _best_of(
+            2, lambda: [loop.step() for _ in range(DUAL_LOOP_ROUNDS)]
+        )
+        loop_rate = DUAL_LOOP_ROUNDS / loop_seconds
+        return {
+            "batch_replica_steps_per_sec": batch_rate,
+            "loop_replica_steps_per_sec": loop_rate,
+            "speedup_batch_vs_loop": batch_rate / loop_rate,
+        }
+
+    results["diffusion"] = _cell(
+        lambda: BatchDiffusion(
+            adjacency, cost=cost, alpha=ALPHA, k=1,
+            replicas=DUAL_REPLICAS, seed=2,
+        ),
+        lambda: DiffusionProcess(adjacency, cost=cost, alpha=ALPHA, k=1, seed=3),
+    )
+    results["walks"] = _cell(
+        lambda: BatchWalks(
+            adjacency, cost=cost, alpha=ALPHA, k=1,
+            replicas=DUAL_REPLICAS, seed=2,
+        ),
+        lambda: RandomWalkProcess(adjacency, cost=cost, alpha=ALPHA, k=1, seed=3),
+    )
+    results["coalescing"] = _cell(
+        lambda: BatchCoalescing(
+            adjacency, alpha=0.5, replicas=DUAL_REPLICAS, seed=2,
+            track_positions=False,
+        ),
+        lambda: CoalescingWalks(adjacency, alpha=0.5, seed=3),
+    )
+    return results
+
+
+def write_report(baseline: dict, sweep: list, dual: dict) -> dict:
     report = {
-        "schema": 2,
+        "schema": 3,
         "machine": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -176,12 +257,15 @@ def write_report(baseline: dict, sweep: list) -> dict:
         },
         "baseline": baseline,
         "sweep": sweep,
+        "dual": dual,
         "notes": [
             "kernels_replica_steps_per_sec: numpy = PR-1 per-round batch "
             "path, fused = multi-round NumPy blocks, jit = numba "
             "(null when numba is not installed)",
             "small-B cells (replicas=64) are the long-horizon regime "
             "where per-round interpreter overhead dominates",
+            "dual: batch diffusion/walks/coalescing (repro.engine.dual) "
+            "vs the single-replica scalar facade loop",
         ],
     }
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
@@ -189,10 +273,11 @@ def write_report(baseline: dict, sweep: list) -> dict:
 
 
 def test_engine_throughput_regimes():
-    """Baseline stays fast; the fused kernel wins the small-B regime."""
+    """Baseline stays fast; fused wins small-B; dual engine beats the loop."""
     baseline = measure_baseline()
     sweep = measure_sweep()
-    write_report(baseline, sweep)
+    dual = measure_dual()
+    write_report(baseline, sweep, dual)
 
     for cell in sweep:
         ks = cell["kernels_replica_steps_per_sec"]
@@ -215,13 +300,18 @@ def test_engine_throughput_regimes():
     # two measurements; 'best' would be tautological, it includes numpy).
     assert node["fused_kernel_vs_numpy_kernel"] >= 0.9
     assert edge["fused_kernel_vs_numpy_kernel"] >= 0.9
-    # Tentpole: >= 5x over the PR-1 batch path somewhere in the
+    # PR-3 tentpole: >= 5x over the PR-1 batch path somewhere in the
     # small-B / long-horizon regime.
     small_b = [c["best_vs_numpy"] for c in sweep if c["replicas"] == 64]
     assert max(small_b) >= 5.0, f"small-B speedups: {small_b}"
+    # Dual-engine tentpole: batch diffusion and walks (and coalescing)
+    # hold >= 5x replica throughput over the scalar facade loop.
+    for kind in ("diffusion", "walks", "coalescing"):
+        speedup = dual[kind]["speedup_batch_vs_loop"]
+        assert speedup >= 5.0, f"dual {kind} speedup: {speedup:.2f}"
 
 
 if __name__ == "__main__":
-    report = write_report(measure_baseline(), measure_sweep())
+    report = write_report(measure_baseline(), measure_sweep(), measure_dual())
     print(json.dumps(report, indent=2))
     print(f"wrote -> {OUTPUT}")

@@ -13,7 +13,7 @@ from repro.graphs.generators import petersen_graph
 def test_exp_l57_tables(benchmark, show):
     tables = run_once(benchmark, run, fast=True, seed=0)
     show(tables)
-    (table,) = tables
+    table = tables[0]
     assert max(table.column("max|closed-numeric|")) < 1e-10
 
 

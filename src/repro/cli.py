@@ -16,8 +16,12 @@ and ``--save DIR`` to file results in an :class:`~repro.api.ArtifactStore`.
 Dynamic-graph experiments additionally take ``--schedule
 cyclic|random|rewire``, ``--switch-every N`` and ``--snapshots N``
 (each applied, like ``--engine``, only where the experiment declares
-the parameter).  ``diff`` exits 0 when the runs match within tolerance,
-1 otherwise.
+the parameter).  The dual-side experiments (EXP-F1, EXP-F4, EXP-L57,
+EXP-COAL) honour ``--engine batch|loop`` too — their duality checks,
+two-walk occupancy estimates and coalescence-time samples run through
+:mod:`repro.engine.dual` by default — and the duality harness of
+EXP-F1/EXP-F4 honours ``--kernel`` for its primal forward runs.
+``diff`` exits 0 when the runs match within tolerance, 1 otherwise.
 
 The pre-subcommand invocation ``python -m repro.cli [ids...] [--slow]
 [--engine batch|loop] [--kernel auto|numpy|fused|jit] [--markdown]

@@ -37,6 +37,53 @@ class SelectionStep:
         return len(self.sample) == 0
 
 
+def draw_node_selection(
+    adjacency: Adjacency, k: int, rng: np.random.Generator
+) -> SelectionStep:
+    """Draw one fresh NodeModel-law selection ``(u, S)``.
+
+    A uniform node plus a uniform ``k``-subset of its neighbours —
+    the selection law shared by the Averaging Process and all of its
+    Section-5 duals.  This is the single scalar home of the draw the
+    dual process facades use for standalone (non-replay) stepping.
+    """
+    node = int(rng.integers(adjacency.n))
+    start = adjacency.offsets[node]
+    degree = int(adjacency.offsets[node + 1] - start)
+    if k == 1:
+        sample: Tuple[int, ...] = (
+            int(adjacency.neighbors[start + int(rng.integers(degree))]),
+        )
+    elif k == degree:
+        sample = tuple(
+            int(v) for v in adjacency.neighbors[start : start + degree]
+        )
+    else:
+        pool = adjacency.neighbors[start : start + degree]
+        sample = tuple(
+            int(v) for v in rng.choice(pool, size=k, replace=False)
+        )
+    return SelectionStep(node, sample)
+
+
+class SelectionReplayMixin:
+    """Replay plumbing shared by every process that consumes schedules.
+
+    A host class only needs ``step_with(step)``; :meth:`replay` (and
+    the recorded-sequence semantics: no-op steps are identity maps that
+    still advance time) then come for free.  Deduplicates the loop that
+    used to be copied across the three ``repro.dual`` process classes.
+    """
+
+    def step_with(self, step: SelectionStep) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def replay(self, schedule: "Schedule") -> None:
+        """Apply an entire recorded selection sequence in order."""
+        for step in schedule:
+            self.step_with(step)
+
+
 class Schedule:
     """An ordered sequence of :class:`SelectionStep` records.
 

@@ -9,6 +9,12 @@
   closed-form stationary distribution of Lemma 5.7,
 * :mod:`repro.dual.duality` — the executable coupling of Proposition 5.1 /
   Lemma 5.2 plus the worked examples of Figure 1 and Figure 4.
+
+The process classes are thin single-replica facades over the vectorized
+dual batch engine (:mod:`repro.engine.dual`), which advances ``B``
+replicas of the diffusion loads, the correlated walks or the coalescing
+walks per round and drives the shared-schedule duality at engine scale
+(:func:`repro.dual.check_lemma_52`).
 """
 
 from repro.dual.coalescing import CoalescingWalks, meeting_time_estimate
@@ -32,6 +38,7 @@ from repro.dual.qchain import (
 )
 from repro.dual.verification import (
     MomentCheck,
+    check_lemma_52,
     check_lemma_53,
     check_lemma_55,
     check_proposition_54,
@@ -46,6 +53,7 @@ __all__ = [
     "QChain",
     "RandomWalkProcess",
     "averaging_step_matrix",
+    "check_lemma_52",
     "check_lemma_53",
     "check_lemma_55",
     "check_proposition_54",

@@ -15,26 +15,32 @@ walks currently sitting there jump *together* to a uniform random
 neighbour (they are already coalesced — walks on the same node are one
 walk).  For ``alpha = 0`` this is the standard asynchronous coalescing
 walk dual to pull voting.
+
+Since the dual-engine PR this class is a thin scalar facade over
+:class:`repro.engine.dual.BatchCoalescing` (a single-replica batch):
+co-located walks share a position, so a walk's *position* doubles as
+its cluster label and no union-find forest is needed.
+:func:`meeting_time_estimate` samples all of its replicas as one batch.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import networkx as nx
 import numpy as np
 
-from repro.exceptions import ConvergenceError, ParameterError
+from repro.engine.dual import BatchCoalescing
+from repro.exceptions import ParameterError
 from repro.graphs.adjacency import Adjacency
-from repro.rng import SeedLike, as_generator
+from repro.rng import SeedLike
 
 
 class CoalescingWalks:
     """Coalescing random walks under asynchronous node activation.
 
-    ``cluster_of[u]`` maps the walk started at ``u`` to its current
-    cluster representative; ``position_of`` maps representatives to
-    nodes.  Walks that land on an occupied node merge.
+    Walks on the same node are one walk, so the cluster of walk ``u``
+    is identified by its current position: :meth:`cluster_of` and
+    :meth:`position_of` coincide, and :attr:`num_clusters` counts the
+    occupied nodes.
     """
 
     def __init__(
@@ -43,86 +49,58 @@ class CoalescingWalks:
         alpha: float = 0.0,
         seed: SeedLike = None,
     ) -> None:
-        if not 0.0 <= alpha < 1.0:
-            raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
-        self.adjacency = (
-            graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+        self._batch = BatchCoalescing(
+            graph, alpha=alpha, replicas=1, seed=seed, track_positions=True
         )
-        self.alpha = float(alpha)
-        self.rng = as_generator(seed)
-        self.t = 0
-        n = self.adjacency.n
-        # walk u starts at node u; every walk is its own cluster.
-        self._parent = np.arange(n, dtype=np.int64)  # union-find forest
-        self._cluster_node = np.arange(n, dtype=np.int64)
-        # occupancy: node -> cluster representative (or -1).
-        self._occupant = np.arange(n, dtype=np.int64)
-        self.num_clusters = n
+        self.rng = self._batch.rng
 
     # ------------------------------------------------------------------
-    # Union-find
+    # State
     # ------------------------------------------------------------------
-    def _find(self, walk: int) -> int:
-        root = walk
-        parent = self._parent
-        while parent[root] != root:
-            root = parent[root]
-        while parent[walk] != root:  # path compression
-            parent[walk], walk = root, parent[walk]
-        return int(root)
+    @property
+    def adjacency(self) -> Adjacency:
+        return self._batch.adjacency
+
+    @property
+    def alpha(self) -> float:
+        return self._batch.alpha
+
+    @property
+    def t(self) -> int:
+        return self._batch.t
+
+    @property
+    def num_clusters(self) -> int:
+        return int(self._batch.num_clusters[0])
 
     def cluster_of(self, walk: int) -> int:
-        """Representative of the cluster containing ``walk``."""
+        """Representative of the cluster containing ``walk``.
+
+        Clusters are identified by the node they occupy (all co-located
+        walks are one walk), so this equals :meth:`position_of`.
+        """
         if not 0 <= walk < self.adjacency.n:
             raise ParameterError(f"walk index {walk} out of range")
-        return self._find(walk)
+        return int(self._batch.positions[0, walk])
 
     def position_of(self, walk: int) -> int:
         """Current node of the (coalesced) walk containing ``walk``."""
-        return int(self._cluster_node[self._find(walk)])
+        return self.cluster_of(walk)
 
     def positions(self) -> np.ndarray:
         """Node of every original walk (coalesced walks share positions)."""
-        return np.array(
-            [self.position_of(w) for w in range(self.adjacency.n)], dtype=np.int64
-        )
+        return self._batch.positions[0].copy()
 
     # ------------------------------------------------------------------
     # Dynamics
     # ------------------------------------------------------------------
     def step(self) -> None:
         """One asynchronous step: select a node; its occupant may move."""
-        self.t += 1
-        adj = self.adjacency
-        node = int(self.rng.integers(adj.n))
-        cluster = int(self._occupant[node])
-        if cluster == -1:
-            return
-        if self.alpha > 0.0 and self.rng.random() < self.alpha:
-            return
-        start = adj.offsets[node]
-        degree = int(adj.offsets[node + 1] - start)
-        target = int(adj.neighbors[start + int(self.rng.integers(degree))])
-        self._occupant[node] = -1
-        resident = int(self._occupant[target])
-        if resident == -1:
-            self._occupant[target] = cluster
-            self._cluster_node[cluster] = target
-        else:
-            # Merge: attach the moving cluster under the resident.
-            self._parent[cluster] = resident
-            self.num_clusters -= 1
+        self._batch.run(1)
 
     def run_to_coalescence(self, max_steps: int = 100_000_000) -> int:
         """Run until one walk remains; return the coalescence time."""
-        start = self.t
-        while self.num_clusters > 1:
-            if self.t - start >= max_steps:
-                raise ConvergenceError(
-                    f"{self.num_clusters} walks remain after {max_steps} steps"
-                )
-            self.step()
-        return self.t - start
+        return int(self._batch.run_to_coalescence(max_steps=max_steps)[0])
 
 
 def meeting_time_estimate(
@@ -135,13 +113,15 @@ def meeting_time_estimate(
 
     [33] bounds voter consensus time by ``O(t_meet log n)``; this estimate
     is the empirical anchor for that comparison in the voter experiments.
+    The replicas run as one :class:`~repro.engine.dual.BatchCoalescing`
+    batch (label tracking off — only the cluster counts matter here).
     """
     if replicas < 1:
         raise ParameterError(f"replicas must be positive, got {replicas}")
-    rng = as_generator(seed)
     adjacency = graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
-    total = 0
-    for _ in range(replicas):
-        walks = CoalescingWalks(adjacency, alpha=0.0, seed=rng)
-        total += walks.run_to_coalescence(max_steps=max_steps)
-    return total / replicas
+    walks = BatchCoalescing(
+        adjacency, alpha=0.0, replicas=replicas, seed=seed,
+        track_positions=False,
+    )
+    times = walks.run_to_coalescence(max_steps=max_steps)
+    return float(times.mean())

@@ -12,6 +12,14 @@ with ``B(t)`` from Eq. (4) and cost vector ``c = xi(0)^T``.  Proposition
 same distribution as ``xi(T)`` — and Lemma 5.2 makes this an exact per-
 sequence identity, which :mod:`repro.dual.duality` verifies to machine
 precision.
+
+Since the dual-engine PR this class is a thin scalar facade over
+:class:`repro.engine.dual.BatchDiffusion` — a single-replica batch —
+so the diffusion runs through the same vectorized pipeline (shared
+:class:`~repro.engine.backend.SamplingBackend`, reused padded
+neighbour tables and content hashes of a pre-built
+:class:`~repro.graphs.adjacency.Adjacency`) as everything else, and
+``B``-replica dual runs are the same code with ``replicas > 1``.
 """
 
 from __future__ import annotations
@@ -21,19 +29,24 @@ from typing import Sequence
 import networkx as nx
 import numpy as np
 
-from repro.core.schedule import Schedule, SelectionStep
-from repro.exceptions import ParameterError
+from repro.core.schedule import (
+    SelectionReplayMixin,
+    SelectionStep,
+    draw_node_selection,
+)
+from repro.engine.dual import BatchDiffusion
 from repro.graphs.adjacency import Adjacency
-from repro.rng import SeedLike, as_generator
+from repro.rng import SeedLike
 
 
-class DiffusionProcess:
+class DiffusionProcess(SelectionReplayMixin):
     """Multi-commodity load diffusion dual to the NodeModel.
 
     Parameters
     ----------
     graph:
-        Connected undirected graph.
+        Connected undirected graph (``networkx.Graph`` or pre-frozen
+        :class:`Adjacency`, reused as is).
     cost:
         Cost row vector ``c`` (Proposition 5.1 uses ``c = xi(0)^T``).
     alpha, k:
@@ -55,89 +68,66 @@ class DiffusionProcess:
         loads: np.ndarray | None = None,
         seed: SeedLike = None,
     ) -> None:
-        if not 0.0 <= alpha < 1.0:
-            raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
-        self.adjacency = (
-            graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+        if loads is not None:
+            loads = np.asarray(loads, dtype=np.float64)
+        self._batch = BatchDiffusion(
+            graph, cost=cost, alpha=alpha, k=k, replicas=1, loads=loads,
+            seed=seed,
         )
-        n = self.adjacency.n
-        self.cost = np.asarray(cost, dtype=np.float64).reshape(-1)
-        if self.cost.shape != (n,):
-            raise ParameterError(f"cost must have shape ({n},), got {self.cost.shape}")
-        if int(k) != k or k < 1:
-            raise ParameterError(f"k must be a positive integer, got {k}")
-        k = int(k)
-        if k > self.adjacency.d_min:
-            raise ParameterError(
-                f"k = {k} exceeds the minimum degree {self.adjacency.d_min}"
-            )
-        self.alpha = float(alpha)
-        self.k = k
-        if loads is None:
-            loads = np.eye(n)
-        loads = np.asarray(loads, dtype=np.float64).copy()
-        if loads.ndim == 1:
-            loads = loads[:, None]
-        if loads.shape[0] != n:
-            raise ParameterError(
-                f"loads must have {n} rows, got shape {loads.shape}"
-            )
-        self.loads = loads
-        self.rng = as_generator(seed)
-        self.t = 0
+        self.rng = self._batch.rng
+
+    # ------------------------------------------------------------------
+    # Shape and state
+    # ------------------------------------------------------------------
+    @property
+    def adjacency(self) -> Adjacency:
+        return self._batch.adjacency
+
+    @property
+    def alpha(self) -> float:
+        return self._batch.alpha
+
+    @property
+    def k(self) -> int:
+        return self._batch.k
+
+    @property
+    def n(self) -> int:
+        return self._batch.n
+
+    @property
+    def t(self) -> int:
+        return self._batch.t
+
+    @property
+    def num_commodities(self) -> int:
+        return self._batch.num_commodities
+
+    @property
+    def cost(self) -> np.ndarray:
+        return self._batch.cost
+
+    @property
+    def loads(self) -> np.ndarray:
+        """The ``(n, r)`` load matrix ``q(t)`` (a live view)."""
+        return self._batch.loads[0]
 
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
-    @property
-    def n(self) -> int:
-        return self.adjacency.n
-
-    @property
-    def num_commodities(self) -> int:
-        return self.loads.shape[1]
-
     def step_with(self, step: SelectionStep) -> None:
         """Apply one diffusion step for the given selection ``(u, S)``.
 
         Equivalent to ``loads <- B loads`` with ``B`` from Eq. (4), but in
         O(k * r) instead of O(n^2 * r).
         """
-        self.t += 1
-        if step.is_noop:
-            return
-        u = step.node
-        moving = (1.0 - self.alpha) * self.loads[u]
-        share = moving / len(step.sample)
-        self.loads[u] -= moving
-        for v in step.sample:
-            self.loads[v] += share
+        self._batch.step_with(step)
 
     def step(self) -> SelectionStep:
         """Draw a fresh NodeModel-law selection, apply it, and return it."""
-        adj = self.adjacency
-        node = int(self.rng.integers(adj.n))
-        start = adj.offsets[node]
-        degree = int(adj.offsets[node + 1] - start)
-        if self.k == 1:
-            sample: tuple[int, ...] = (
-                int(adj.neighbors[start + int(self.rng.integers(degree))]),
-            )
-        elif self.k == degree:
-            sample = tuple(int(v) for v in adj.neighbors[start : start + degree])
-        else:
-            pool = adj.neighbors[start : start + degree]
-            sample = tuple(
-                int(v) for v in self.rng.choice(pool, size=self.k, replace=False)
-            )
-        selection = SelectionStep(node, sample)
+        selection = draw_node_selection(self.adjacency, self.k, self.rng)
         self.step_with(selection)
         return selection
-
-    def replay(self, schedule: Schedule) -> None:
-        """Apply an entire selection sequence in order."""
-        for step in schedule:
-            self.step_with(step)
 
     # ------------------------------------------------------------------
     # Observables
@@ -145,11 +135,11 @@ class DiffusionProcess:
     @property
     def costs(self) -> np.ndarray:
         """Cost vector ``W(t) = c q(t)``, one entry per commodity."""
-        return self.cost @ self.loads
+        return self._batch.costs[0]
 
     def commodity_load(self, commodity: int) -> np.ndarray:
         """Load vector ``q^(commodity)(t)`` (a copy)."""
-        return self.loads[:, commodity].copy()
+        return self._batch.loads[0, :, commodity].copy()
 
     def total_mass(self) -> np.ndarray:
         """Per-commodity total load — invariant 1 for unit commodities.
@@ -157,4 +147,4 @@ class DiffusionProcess:
         Each ``B(t)`` is column-stochastic on column ``u`` (mass moves, it
         is never created or destroyed), so this is conserved exactly.
         """
-        return self.loads.sum(axis=0)
+        return self._batch.total_mass()[0]

@@ -1,14 +1,24 @@
-"""Statistical verification of the Section 5 duality chain.
+"""Verification of the Section 5 duality chain, at engine scale.
 
-The proof of Theorem 2.2(2) rests on three identities:
+The proof of Theorem 2.2(2) rests on these identities:
 
+* Lemma 5.2:    ``W(T) = xi(T)^T``  per selection sequence  (exact)
 * Lemma 5.3:    ``E[W~(u)(t) | chi] = W(u)(t)``          (first moments)
 * Prop. 5.4:    ``E[W~(u) W~(v)] = E[W(u) W(v)]``        (second moments)
 * Lemma 5.5:    ``E[W~(a)(T) W~(b)(T)] -> sum mu(u,v) xi_u xi_v``
 
-This module estimates each side by Monte Carlo and reports the
-discrepancies with standard errors, turning the lemmas into executable
-checks (used by the test suite and available for user graphs).
+:func:`check_lemma_52` runs the *exact* identity as an engine-scale
+conformance harness — primal batch forward, batch diffusion on the
+reversed recorded selection stream, every replica checked to machine
+precision, under every kernel (see
+:func:`repro.engine.dual.run_duality_batch`).  The statistical checks
+estimate each side by Monte Carlo and report discrepancies with
+standard errors; with ``engine="batch"`` (the default) their replica
+loops run as single :class:`~repro.engine.dual.BatchWalks` /
+:class:`~repro.engine.dual.BatchDiffusion` batches — the same
+quantities at 1–2 orders of magnitude more replicas per second —
+while ``engine="loop"`` keeps the original per-replica facade loops
+as the correctness oracle.
 """
 
 from __future__ import annotations
@@ -22,9 +32,16 @@ from repro.core.schedule import Schedule
 from repro.dual.diffusion import DiffusionProcess
 from repro.dual.qchain import QChain
 from repro.dual.walks import RandomWalkProcess
+from repro.engine.dual import (
+    BatchDiffusion,
+    BatchDualityReport,
+    BatchWalks,
+    run_duality_batch,
+)
 from repro.exceptions import ParameterError
 from repro.graphs.adjacency import Adjacency
 from repro.rng import SeedLike, as_generator, spawn
+from repro.sim.montecarlo import validate_engine as _validate_engine
 
 
 @dataclass(frozen=True)
@@ -53,6 +70,43 @@ class MomentCheck:
         return abs(self.estimate - self.reference) <= tolerance
 
 
+def check_lemma_52(
+    graph: nx.Graph | Adjacency,
+    initial_values: np.ndarray,
+    alpha: float,
+    k: int = 1,
+    steps: int = 256,
+    replicas: int = 64,
+    seed: SeedLike = None,
+    kind: str = "node",
+    lazy: bool = False,
+    backend: str = "auto",
+    kernel: str = "auto",
+) -> BatchDualityReport:
+    """Lemma 5.2 at engine scale: the exact reversed-sequence identity.
+
+    Runs ``replicas`` primal trajectories forward through the batch
+    engine (under the requested ``kernel``), records every replica's
+    selection stream, replays the reversed streams through one
+    :class:`~repro.engine.dual.BatchDiffusion`, and returns the
+    per-replica residual report — ``report.verified()`` asserts
+    ``max_b max_u |W_b(T) - xi_b(T)| <= 1e-9``.
+    """
+    return run_duality_batch(
+        graph,
+        initial_values,
+        alpha,
+        k=k,
+        steps=steps,
+        replicas=replicas,
+        seed=seed,
+        kind=kind,
+        lazy=lazy,
+        backend=backend,
+        kernel=kernel,
+    )
+
+
 def check_lemma_53(
     graph: nx.Graph | Adjacency,
     cost: np.ndarray,
@@ -62,28 +116,40 @@ def check_lemma_53(
     walk: int,
     replicas: int = 20_000,
     seed: SeedLike = None,
+    engine: str = "batch",
 ) -> MomentCheck:
     """Lemma 5.3: conditional mean walk cost equals the diffusion cost.
 
     Fixes ``schedule`` (= ``chi``), replays it through ``replicas``
     independent walk systems, and compares the empirical mean cost of
-    ``walk`` with the deterministic diffusion cost ``W(walk)``.
+    ``walk`` with the deterministic diffusion cost ``W(walk)``.  With
+    ``engine="batch"`` all walk systems replay as one ``(B, n)``
+    position matrix.
     """
     if replicas < 2:
         raise ParameterError("replicas must be at least 2")
+    _validate_engine(engine)
     adjacency = graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
     cost = np.asarray(cost, dtype=np.float64)
     diffusion = DiffusionProcess(adjacency, cost=cost, alpha=alpha, k=k)
     diffusion.replay(schedule)
     reference = float(diffusion.costs[walk])
 
-    rng = as_generator(seed)
-    samples = np.empty(replicas)
-    walks = RandomWalkProcess(adjacency, cost=cost, alpha=alpha, k=k, seed=rng)
-    for i in range(replicas):
-        walks.positions[:] = np.arange(adjacency.n)
-        walks.replay(schedule)
-        samples[i] = walks.costs[walk]
+    if engine == "batch":
+        batch = BatchWalks(
+            adjacency, cost=cost, alpha=alpha, k=k, replicas=replicas,
+            seed=seed,
+        )
+        batch.replay(schedule)
+        samples = batch.costs[:, walk].astype(np.float64)
+    else:
+        rng = as_generator(seed)
+        samples = np.empty(replicas)
+        walks = RandomWalkProcess(adjacency, cost=cost, alpha=alpha, k=k, seed=rng)
+        for i in range(replicas):
+            walks.positions[:] = np.arange(adjacency.n)
+            walks.replay(schedule)
+            samples[i] = walks.costs[walk]
     return MomentCheck(
         estimate=float(samples.mean()),
         reference=reference,
@@ -100,6 +166,7 @@ def check_proposition_54(
     pair: tuple[int, int],
     replicas: int = 4_000,
     seed: SeedLike = None,
+    engine: str = "batch",
 ) -> MomentCheck:
     """Prop. 5.4: E[W~(u) W~(v)] = E[W(u) W(v)] over random schedules.
 
@@ -113,26 +180,64 @@ def check_proposition_54(
     walks launched from the same node (the Q-chain's ``S_0`` states),
     not one walk squared.  The per-replica product differences then have
     mean 0 under the proposition.
+
+    With ``engine="batch"`` the per-replica schedules are one recorded
+    :class:`~repro.engine.selection.RecordedSelections` stream drawn by
+    a free-running :class:`~repro.engine.dual.BatchDiffusion` (whose
+    selection draws are the primal block contract), consumed by two
+    :class:`~repro.engine.dual.BatchWalks` batches.
     """
     if replicas < 2:
         raise ParameterError("replicas must be at least 2")
+    _validate_engine(engine)
     u, v = pair
     adjacency = graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
     cost = np.asarray(cost, dtype=np.float64)
-    differences = np.empty(replicas)
-    for i, rng in enumerate(spawn(seed, replicas)):
-        diffusion = DiffusionProcess(adjacency, cost=cost, alpha=alpha, k=k, seed=rng)
-        schedule = Schedule()
-        for _ in range(steps):
-            selection = diffusion.step()
-            schedule.append(selection.node, selection.sample)
-        walks_a = RandomWalkProcess(adjacency, cost=cost, alpha=alpha, k=k, seed=rng)
-        walks_a.replay(schedule)
-        walks_b = RandomWalkProcess(adjacency, cost=cost, alpha=alpha, k=k, seed=rng)
-        walks_b.replay(schedule)
-        w_product = float(diffusion.costs[u] * diffusion.costs[v])
-        walk_product = float(walks_a.costs[u] * walks_b.costs[v])
-        differences[i] = walk_product - w_product
+    if engine == "batch":
+        seed_d, seed_a, seed_b = spawn(seed, 3)
+        diffusion = BatchDiffusion(
+            adjacency, cost=cost, alpha=alpha, k=k, replicas=replicas,
+            seed=seed_d,
+        )
+        diffusion.record_selections()
+        diffusion.run(steps)
+        selections = diffusion.recorded_selections()
+        walks_a = BatchWalks(
+            adjacency, cost=cost, alpha=alpha, k=k, replicas=replicas,
+            seed=seed_a,
+        )
+        walks_a.apply_selections(selections)
+        walks_b = BatchWalks(
+            adjacency, cost=cost, alpha=alpha, k=k, replicas=replicas,
+            seed=seed_b,
+        )
+        walks_b.apply_selections(selections)
+        w_costs = diffusion.costs
+        differences = (
+            walks_a.costs[:, u] * walks_b.costs[:, v]
+            - w_costs[:, u] * w_costs[:, v]
+        )
+    else:
+        differences = np.empty(replicas)
+        for i, rng in enumerate(spawn(seed, replicas)):
+            scalar = DiffusionProcess(
+                adjacency, cost=cost, alpha=alpha, k=k, seed=rng
+            )
+            schedule = Schedule()
+            for _ in range(steps):
+                selection = scalar.step()
+                schedule.append(selection.node, selection.sample)
+            walks_a = RandomWalkProcess(
+                adjacency, cost=cost, alpha=alpha, k=k, seed=rng
+            )
+            walks_a.replay(schedule)
+            walks_b = RandomWalkProcess(
+                adjacency, cost=cost, alpha=alpha, k=k, seed=rng
+            )
+            walks_b.replay(schedule)
+            w_product = float(scalar.costs[u] * scalar.costs[v])
+            walk_product = float(walks_a.costs[u] * walks_b.costs[v])
+            differences[i] = walk_product - w_product
     return MomentCheck(
         estimate=float(differences.mean()),
         reference=0.0,
@@ -149,6 +254,7 @@ def check_lemma_55(
     horizon: int,
     replicas: int = 4_000,
     seed: SeedLike = None,
+    engine: str = "batch",
 ) -> MomentCheck:
     """Lemma 5.5: the long-run pair-cost moment equals the mu-quadratic form.
 
@@ -161,10 +267,13 @@ def check_lemma_55(
     selection sequence (walks never interact directly — only through the
     schedule — so this preserves the Q-chain's joint law and also makes
     diagonal pairs ``a == b`` meaningful: two distinct walks launched
-    from one node, the chain's ``S_0`` states).
+    from one node, the chain's ``S_0`` states).  With ``engine="batch"``
+    the first walk batch free-runs with selection recording on and the
+    second consumes the recorded stream.
     """
     if replicas < 2:
         raise ParameterError("replicas must be at least 2")
+    _validate_engine(engine)
     a, b = pair
     adjacency = graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
     cost = np.asarray(cost, dtype=np.float64)
@@ -172,19 +281,34 @@ def check_lemma_55(
     mu = chain.stationary_closed_form()
     reference = float(np.sum(mu * np.outer(cost, cost).reshape(-1)))
 
-    samples = np.empty(replicas)
-    for i, rng in enumerate(spawn(seed, replicas)):
-        child_a, child_b = spawn(rng, 2)
-        walks_a = RandomWalkProcess(
-            adjacency, cost=cost, alpha=alpha, k=k, seed=child_a
+    if engine == "batch":
+        seed_a, seed_b = spawn(seed, 2)
+        walks_a = BatchWalks(
+            adjacency, cost=cost, alpha=alpha, k=k, replicas=replicas,
+            seed=seed_a,
         )
-        walks_b = RandomWalkProcess(
-            adjacency, cost=cost, alpha=alpha, k=k, seed=child_b
+        walks_a.record_selections()
+        walks_a.run(horizon)
+        walks_b = BatchWalks(
+            adjacency, cost=cost, alpha=alpha, k=k, replicas=replicas,
+            seed=seed_b,
         )
-        for _ in range(horizon):
-            selection = walks_a.step()
-            walks_b.step_with(selection)
-        samples[i] = walks_a.costs[a] * walks_b.costs[b]
+        walks_b.apply_selections(walks_a.recorded_selections())
+        samples = walks_a.costs[:, a] * walks_b.costs[:, b]
+    else:
+        samples = np.empty(replicas)
+        for i, rng in enumerate(spawn(seed, replicas)):
+            child_a, child_b = spawn(rng, 2)
+            loop_a = RandomWalkProcess(
+                adjacency, cost=cost, alpha=alpha, k=k, seed=child_a
+            )
+            loop_b = RandomWalkProcess(
+                adjacency, cost=cost, alpha=alpha, k=k, seed=child_b
+            )
+            for _ in range(horizon):
+                selection = loop_a.step()
+                loop_b.step_with(selection)
+            samples[i] = loop_a.costs[a] * loop_b.costs[b]
     return MomentCheck(
         estimate=float(samples.mean()),
         reference=reference,

@@ -13,6 +13,12 @@ The cost of walk ``u`` is ``W~^(u)(t) = xi_{position_u(t)}(0)``; Lemma 5.3
 shows its conditional expectation equals the diffusion cost ``W^(u)(t)``,
 and Proposition 5.4 lifts this to second moments — both are verified
 empirically by the test suite.
+
+Since the dual-engine PR this class is a thin scalar facade over
+:class:`repro.engine.dual.BatchWalks` (a single-replica batch): each
+non-noop step consumes one ``(n,)`` plane of movement uniforms whose
+entries encode both the move/stay coin and the target slot, which is
+exactly the ``B = 1`` column of the batch engine's vectorized law.
 """
 
 from __future__ import annotations
@@ -22,19 +28,24 @@ from typing import Sequence
 import networkx as nx
 import numpy as np
 
-from repro.core.schedule import Schedule, SelectionStep
-from repro.exceptions import ParameterError
+from repro.core.schedule import (
+    SelectionReplayMixin,
+    SelectionStep,
+    draw_node_selection,
+)
+from repro.engine.dual import BatchWalks
 from repro.graphs.adjacency import Adjacency
-from repro.rng import SeedLike, as_generator
+from repro.rng import SeedLike
 
 
-class RandomWalkProcess:
+class RandomWalkProcess(SelectionReplayMixin):
     """``n`` correlated walks driven by shared NodeModel selections.
 
     Parameters
     ----------
     graph:
-        Connected undirected graph.
+        Connected undirected graph (``networkx.Graph`` or pre-frozen
+        :class:`Adjacency`, reused as is).
     cost:
         The vector ``xi(0)`` defining walk costs.
     alpha, k:
@@ -56,83 +67,56 @@ class RandomWalkProcess:
         positions: Sequence[int] | None = None,
         seed: SeedLike = None,
     ) -> None:
-        if not 0.0 <= alpha < 1.0:
-            raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
-        self.adjacency = (
-            graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+        self._batch = BatchWalks(
+            graph, cost=cost, alpha=alpha, k=k, replicas=1,
+            positions=positions, seed=seed,
         )
-        n = self.adjacency.n
-        self.cost = np.asarray(cost, dtype=np.float64).reshape(-1)
-        if self.cost.shape != (n,):
-            raise ParameterError(f"cost must have shape ({n},), got {self.cost.shape}")
-        if int(k) != k or k < 1:
-            raise ParameterError(f"k must be a positive integer, got {k}")
-        k = int(k)
-        if k > self.adjacency.d_min:
-            raise ParameterError(
-                f"k = {k} exceeds the minimum degree {self.adjacency.d_min}"
-            )
-        self.alpha = float(alpha)
-        self.k = k
-        if positions is None:
-            positions = np.arange(n, dtype=np.int64)
-        self.positions = np.asarray(positions, dtype=np.int64).copy()
-        if self.positions.shape != (n,):
-            raise ParameterError(
-                f"positions must have shape ({n},), got {self.positions.shape}"
-            )
-        if np.any((self.positions < 0) | (self.positions >= n)):
-            raise ParameterError("positions must be valid node indices")
-        self.rng = as_generator(seed)
-        self.t = 0
+        self.rng = self._batch.rng
+
+    # ------------------------------------------------------------------
+    # Shape and state
+    # ------------------------------------------------------------------
+    @property
+    def adjacency(self) -> Adjacency:
+        return self._batch.adjacency
+
+    @property
+    def alpha(self) -> float:
+        return self._batch.alpha
+
+    @property
+    def k(self) -> int:
+        return self._batch.k
+
+    @property
+    def n(self) -> int:
+        return self._batch.n
+
+    @property
+    def t(self) -> int:
+        return self._batch.t
+
+    @property
+    def cost(self) -> np.ndarray:
+        return self._batch.cost
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current walk positions (a live, writable view)."""
+        return self._batch.positions[0]
 
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
-    @property
-    def n(self) -> int:
-        return self.adjacency.n
-
     def step_with(self, step: SelectionStep) -> None:
         """Move all walks sitting on ``step.node`` per the shared selection."""
-        self.t += 1
-        if step.is_noop:
-            return
-        at_node = np.flatnonzero(self.positions == step.node)
-        if len(at_node) == 0:
-            return
-        sample = np.asarray(step.sample, dtype=np.int64)
-        moves = self.rng.random(len(at_node)) < (1.0 - self.alpha)
-        movers = at_node[moves]
-        if len(movers):
-            targets = sample[self.rng.integers(len(sample), size=len(movers))]
-            self.positions[movers] = targets
+        self._batch.step_with(step)
 
     def step(self) -> SelectionStep:
         """Draw a fresh NodeModel-law selection, apply it, and return it."""
-        adj = self.adjacency
-        node = int(self.rng.integers(adj.n))
-        start = adj.offsets[node]
-        degree = int(adj.offsets[node + 1] - start)
-        if self.k == 1:
-            sample: tuple[int, ...] = (
-                int(adj.neighbors[start + int(self.rng.integers(degree))]),
-            )
-        elif self.k == degree:
-            sample = tuple(int(v) for v in adj.neighbors[start : start + degree])
-        else:
-            pool = adj.neighbors[start : start + degree]
-            sample = tuple(
-                int(v) for v in self.rng.choice(pool, size=self.k, replace=False)
-            )
-        selection = SelectionStep(node, sample)
+        selection = draw_node_selection(self.adjacency, self.k, self.rng)
         self.step_with(selection)
         return selection
-
-    def replay(self, schedule: Schedule) -> None:
-        """Drive the walks through an entire selection sequence."""
-        for step in schedule:
-            self.step_with(step)
 
     # ------------------------------------------------------------------
     # Observables
@@ -140,8 +124,8 @@ class RandomWalkProcess:
     @property
     def costs(self) -> np.ndarray:
         """Per-walk costs ``W~^(u)(t) = xi_{position_u(t)}(0)``."""
-        return self.cost[self.positions]
+        return self._batch.costs[0]
 
     def occupancy(self) -> np.ndarray:
         """Number of walks on each node (sums to ``n``)."""
-        return np.bincount(self.positions, minlength=self.n)
+        return self._batch.occupancy()[0]

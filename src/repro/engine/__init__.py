@@ -28,6 +28,15 @@ Layers
 :mod:`repro.engine.cache`
     On-disk memoisation keyed by (model, graph hash, alpha, k, seed,
     tolerance) so repeated sweeps resume for free.
+:mod:`repro.engine.selection`
+    The single home of block-selection drawing (shared by the primal
+    block kernels and the dual engine) and recorded per-replica
+    selection streams.
+:mod:`repro.engine.dual`
+    The batch dual engine: ``BatchDiffusion`` / ``BatchWalks`` /
+    ``BatchCoalescing``, ``DualSpec`` cache keying, sharded
+    coalescence-time sampling, and the engine-scale Lemma 5.2
+    shared-schedule duality harness (``run_duality_batch``).
 """
 
 from repro.engine.backend import (
@@ -57,6 +66,17 @@ from repro.engine.batch import (
     BatchNodeModel,
 )
 from repro.engine.cache import ResultCache
+from repro.engine.dual import (
+    DUAL_KINDS,
+    BatchCoalescing,
+    BatchDiffusion,
+    BatchDualityReport,
+    BatchWalks,
+    DualSpec,
+    run_duality_batch,
+    sample_coalescence_times,
+)
+from repro.engine.selection import RecordedSelections
 from repro.engine.driver import (
     BatchConsensusResult,
     EngineSpec,
@@ -68,10 +88,19 @@ from repro.engine.driver import (
 
 __all__ = [
     "BatchAveragingProcess",
+    "BatchCoalescing",
     "BatchConsensusResult",
+    "BatchDiffusion",
+    "BatchDualityReport",
     "BatchEdgeModel",
     "BatchNodeModel",
+    "BatchWalks",
     "CSRBackend",
+    "DUAL_KINDS",
+    "DualSpec",
+    "RecordedSelections",
+    "run_duality_batch",
+    "sample_coalescence_times",
     "CyclicSchedule",
     "DenseBackend",
     "EngineSpec",

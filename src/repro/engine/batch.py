@@ -59,6 +59,12 @@ from repro.engine.kernels import (
     BlockPlan,
     resolve_kernel,
 )
+from repro.engine.selection import (
+    RecordedSelections,
+    draw_edge_block,
+    draw_node_block,
+    normalise_picked,
+)
 from repro.exceptions import ParameterError
 from repro.graphs.adjacency import Adjacency
 from repro.rng import SeedLike, as_generator
@@ -202,6 +208,7 @@ class BatchAveragingProcess(abc.ABC):
         self._row_offsets = self._active_rows * n
         self._coef = None
         self._rounds_since_resync = 0
+        self._recording: list | None = None
         self.resync_moments()
 
     # ------------------------------------------------------------------
@@ -236,6 +243,70 @@ class BatchAveragingProcess(abc.ABC):
         self._row_offsets = self._active_rows * self.n
         self._coef = None
         self._flat = self.values.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Selection recording (the dual coupling's input)
+    # ------------------------------------------------------------------
+    def record_selections(self, enable: bool = True) -> None:
+        """Start (or stop) recording every subsequent selection.
+
+        While enabled, each executed round's per-replica selections
+        ``(node, neighbour sample)`` are kept — under every kernel, since
+        both the per-round and the block paths record before applying —
+        and :meth:`recorded_selections` returns them as one
+        :class:`~repro.engine.selection.RecordedSelections` stream.  The
+        dual engine replays that stream forwards (conformance) or
+        reversed (the Lemma 5.2 coupling).  Frozen replicas' and lazy
+        no-op rounds appear as ``keep = False`` entries.
+        """
+        self._recording = [] if enable else None
+
+    def recorded_selections(self) -> RecordedSelections:
+        """The selection stream recorded since :meth:`record_selections`."""
+        if self._recording is None:
+            raise ParameterError(
+                "selection recording is not enabled; call "
+                "record_selections() before stepping"
+            )
+        if not self._recording:
+            raise ParameterError("no rounds executed while recording")
+        return RecordedSelections.concatenate(self._recording)
+
+    @property
+    def _selection_width(self) -> int:
+        """Sample size of one recorded selection (k for the node model)."""
+        return getattr(self, "k", 1)
+
+    def _record_block(self, nodes, picked, keep, rows) -> None:
+        """Record one block's active-row selections in full-batch form."""
+        picked = normalise_picked(picked)
+        if rows.size == self.replicas:
+            self._record_append(
+                nodes.copy(), picked.copy(), None if keep is None else keep.copy()
+            )
+            return
+        rounds = nodes.shape[0]
+        full_nodes = np.zeros((rounds, self.replicas), dtype=np.int64)
+        full_picked = np.zeros(
+            (rounds, self.replicas, picked.shape[2]), dtype=np.int64
+        )
+        full_keep = np.zeros((rounds, self.replicas), dtype=bool)
+        full_nodes[:, rows] = nodes
+        full_picked[:, rows] = picked
+        full_keep[:, rows] = True if keep is None else keep
+        self._record_append(full_nodes, full_picked, full_keep)
+
+    def _record_append(self, nodes, picked, keep) -> None:
+        self._recording.append(RecordedSelections(nodes, picked, keep))
+
+    def _record_noop_round(self) -> None:
+        """Record a round in which no replica performed an update."""
+        width = self._selection_width
+        self._record_append(
+            np.zeros((1, self.replicas), dtype=np.int64),
+            np.zeros((1, self.replicas, width), dtype=np.int64),
+            np.zeros((1, self.replicas), dtype=bool),
+        )
 
     # ------------------------------------------------------------------
     # Dynamic topologies
@@ -279,12 +350,15 @@ class BatchAveragingProcess(abc.ABC):
     @abc.abstractmethod
     def _select_batch(
         self, rows: np.ndarray, row_offsets: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Draw ``(nodes, neighbour_means)`` for the given replica rows.
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``(nodes, neighbour_means, picked)`` for the replica rows.
 
         ``row_offsets`` is ``rows * n``, the flat-index base of each
         row into the cached flat view — precomputed so the hot path
         can use cheap 1-D gathers instead of 2-D fancy indexing.
+        ``picked`` holds the gathered neighbour ids (``(A,)`` or
+        ``(A, k)``); selection recording consumes it, the update path
+        only needs the means.
         """
 
     @abc.abstractmethod
@@ -318,6 +392,8 @@ class BatchAveragingProcess(abc.ABC):
         self.t += 1
         rows = self._active_rows
         if rows.size == 0:
+            if self._recording is not None:
+                self._record_noop_round()
             return
         offsets = self._row_offsets
         if self.lazy:
@@ -325,8 +401,15 @@ class BatchAveragingProcess(abc.ABC):
             rows = rows[keep]
             offsets = offsets[keep]
             if rows.size == 0:
+                if self._recording is not None:
+                    self._record_noop_round()
                 return
-        nodes, means = self._select_batch(rows, offsets)
+        nodes, means, picked = self._select_batch(rows, offsets)
+        if self._recording is not None:
+            flat_picked = picked if picked.ndim == 2 else picked[:, None]
+            self._record_block(
+                nodes[None, :], flat_picked[None, :, :], None, rows
+            )
         self._apply_rows(rows, offsets, nodes, means)
         self._rounds_since_resync += 1
         if self._rounds_since_resync >= _RESYNC_EVERY:
@@ -388,6 +471,9 @@ class BatchAveragingProcess(abc.ABC):
         remaining = steps
         while remaining > 0:
             if self.num_active == 0:
+                if self._recording is not None:
+                    for _ in range(remaining):
+                        self._record_noop_round()
                 self.t += remaining
                 return
             self._sync_snapshot()
@@ -591,18 +677,6 @@ class BatchAveragingProcess(abc.ABC):
     # ------------------------------------------------------------------
     # Block-plan helpers shared by the concrete models
     # ------------------------------------------------------------------
-    def _split_lazy(self, u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Split the lazy coin off a uniform matrix.
-
-        ``u`` is i.i.d. uniform on [0, 1); the leading bit is the coin
-        (heads = perform the update) and ``2u mod 1`` is again uniform
-        and independent of it — the same bit-recycling the per-round
-        node/slot draw uses.
-        """
-        doubled = u * 2.0
-        keep = doubled >= 1.0
-        return keep, doubled - keep
-
     def _coef_vector(self, active: int, k: int) -> np.ndarray:
         """``[beta/k ... | alpha ...]`` matching a packed cat-index row."""
         if self._coef is None or self._coef.size != (k + 1) * active:
@@ -772,15 +846,18 @@ class BatchNodeModel(BatchAveragingProcess):
             # independent — halving the RNG traffic of the hot path.
             scaled = self.rng.random(rows.size) * self.n
             nodes = scaled.astype(np.int64)
-            means = self._sampler.pick_one(
-                self._flat, row_offsets, nodes, scaled - nodes
-            )
-            return nodes, means
+            picked = self._sampler.pick_block(nodes, scaled - nodes)
+            return nodes, self._flat[row_offsets + picked], picked
+        # The subset draw mirrors SamplingBackend.neighbour_means (same
+        # variates in the same order) but keeps the picked ids so the
+        # recording path can observe them.
         nodes = self.rng.integers(self.n, size=rows.size)
-        means = self._sampler.neighbour_means(
-            self.values, self._flat, rows, row_offsets, nodes, self.rng
-        )
-        return nodes, means
+        keys = None
+        if self._sampler.uses_subset_keys:
+            keys = self.rng.random((len(nodes), self._sampler.d_max))
+        picked = self._sampler.pick_subsets(nodes, keys, self.rng)
+        means = self.values[rows[:, None], picked].mean(axis=1)
+        return nodes, means, picked
 
     def _plan_width(self) -> int:
         if self.k <= 2:
@@ -790,69 +867,21 @@ class BatchNodeModel(BatchAveragingProcess):
         return self.k
 
     def _plan_block(self, block_rounds: int) -> BlockPlan:
+        # The draw itself lives in repro.engine.selection so the dual
+        # engine consumes bit-identical selection streams at a fixed
+        # seed (see draw_node_block for the per-shape decode contract).
         rows = self._active_rows
-        full = rows.size == self.replicas
-        if self.k <= 2:
-            # Node (and for k = 2 the ordered distinct neighbour pair)
-            # decoded from ONE uniform per round: integer part selects
-            # the node; the fractional part — exact, because
-            # floor-subtraction of doubles is — carries ~44 spare
-            # mantissa bits that index the neighbour slot (k = 1) or
-            # one of the deg*(deg-1) ordered pairs (k = 2).
-            u = self.rng.random((block_rounds, self.replicas))
-            if not full:
-                u = u[:, rows]
-            keep = None
-            if self.lazy:
-                keep, u = self._split_lazy(u)
-            np.multiply(u, self.n, out=u)
-            nodes = u.astype(np.int64)
-            np.subtract(u, nodes, out=u)
-            sampler = self._sampler
-            if self.k == 1:
-                return self._pack_plan(
-                    nodes, sampler.pick_block(nodes, u), keep
-                )
-            if sampler._common_degree is not None:
-                degree_m1 = int(sampler._common_degree) - 1
-                np.multiply(u, float(degree_m1 + 1) * degree_m1, out=u)
-            else:
-                degree_m1 = sampler._degrees[nodes] - 1
-                np.multiply(u, (degree_m1 + 1) * degree_m1, out=u)
-            pair = u.astype(np.int64)
-            first, second = np.divmod(pair, degree_m1)
-            second += second >= first
-            return self._pack_plan(
-                nodes,
-                (
-                    sampler._pick_slots(nodes, first),
-                    sampler._pick_slots(nodes, second),
-                ),
-                keep,
-            )
-
-        # k > 2: node selector and subset keys come from one C-order
-        # draw so block splits cannot reorder the stream; neighbour
-        # subsets are computed for the full batch because the rejection
-        # strategy may consume extra (data-dependent) variates.
-        keys = None
-        if self._sampler.uses_subset_keys:
-            block = self.rng.random(
-                (block_rounds, self.replicas, self._sampler.d_max + 1)
-            )
-            u = block[..., 0]
-            keys = block[..., 1:]
-        else:
-            u = self.rng.random((block_rounds, self.replicas))
-        keep = None
-        if self.lazy:
-            keep, u = self._split_lazy(u)
-        nodes = (u * self.n).astype(np.int64)
-        picked = self._sampler.pick_subsets(nodes, keys, self.rng)
-        if not full:
-            nodes = nodes[:, rows]
-            picked = picked[:, rows, :]
-            keep = None if keep is None else keep[:, rows]
+        nodes, picked, keep = draw_node_block(
+            self._sampler,
+            self.rng,
+            self.n,
+            block_rounds,
+            self.replicas,
+            rows,
+            self.lazy,
+        )
+        if self._recording is not None:
+            self._record_block(nodes, picked, keep, rows)
         return self._pack_plan(nodes, picked, keep)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -904,19 +933,23 @@ class BatchEdgeModel(BatchAveragingProcess):
     def _select_batch(self, rows, row_offsets):
         edges = self.rng.integers(len(self._tails), size=rows.size)
         nodes = self._tails[edges]
-        means = self._flat[row_offsets + self._heads[edges]]
-        return nodes, means
+        picked = self._heads[edges]
+        return nodes, self._flat[row_offsets + picked], picked
 
     def _plan_block(self, block_rounds: int) -> BlockPlan:
         rows = self._active_rows
-        u = self.rng.random((block_rounds, self.replicas))
-        if rows.size != self.replicas:
-            u = u[:, rows]
-        keep = None
-        if self.lazy:
-            keep, u = self._split_lazy(u)
-        edges = (u * len(self._tails)).astype(np.int64)
-        return self._pack_plan(self._tails[edges], self._heads[edges], keep)
+        nodes, picked, keep = draw_edge_block(
+            self._tails,
+            self._heads,
+            self.rng,
+            block_rounds,
+            self.replicas,
+            rows,
+            self.lazy,
+        )
+        if self._recording is not None:
+            self._record_block(nodes, picked, keep, rows)
+        return self._pack_plan(nodes, picked[0], keep)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -39,6 +39,7 @@ from repro.experiments import exp_alpha_ablation  # EXP-ABL
 from repro.experiments import exp_variance_trajectory  # EXP-VT
 from repro.experiments import exp_dynamic_convergence  # EXP-DYN
 from repro.experiments import exp_dynamic_martingale  # EXP-DYNM
+from repro.experiments import exp_coalescing  # EXP-COAL
 
 #: Experiment id -> legacy runner, as indexed in DESIGN.md section 3.
 EXPERIMENTS: Dict[str, Callable[..., List[ResultTable]]] = {

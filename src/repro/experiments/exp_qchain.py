@@ -6,14 +6,26 @@ enumeration of the model's joint one-step law, (ii) solve ``mu Q = mu``
 numerically, and (iii) compare against the three-value closed form.  All
 three agree to machine precision; the table also reports the
 irreversibility the paper highlights (detailed balance fails for k > 1).
+
+A second, Monte-Carlo table closes the loop empirically: two tagged
+walks (two walk systems driven by one shared selection stream — the
+chain's exact joint law) are run past the mixing time and the empirical
+class occupancies ``P(S_0), P(S_1), P(S_+)`` are compared with the
+closed-form masses ``n mu_0, n d mu_1, n (n - d - 1) mu_+``.  With
+``engine="batch"`` all replicas run as two
+:class:`~repro.engine.dual.BatchWalks` batches; ``engine="loop"`` keeps
+the scalar per-replica loop as the oracle.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, experiment
+from repro.api import ParamSpec, engine_param, experiment
 from repro.dual.qchain import QChain, mu_closed_form
+from repro.dual.walks import RandomWalkProcess
+from repro.engine.dual import BatchWalks
+from repro.graphs.adjacency import Adjacency
 from repro.graphs.generators import (
     complete_graph,
     cycle_graph,
@@ -22,39 +34,11 @@ from repro.graphs.generators import (
     random_regular_graph,
     torus_graph,
 )
+from repro.rng import spawn
 from repro.sim.results import ResultTable
 
 
-@experiment(
-    "EXP-L57",
-    artefact="Lemma 5.7: Q-chain closed-form stationary distribution",
-    params={
-        "alphas": ParamSpec("floats", "alpha grid"),
-        "extended": ParamSpec(
-            bool, "include the larger torus/hypercube/random-regular graphs"
-        ),
-    },
-    presets={
-        "fast": {"alphas": [0.25, 0.5, 0.75], "extended": False},
-        "full": {"alphas": [0.1, 0.25, 0.5, 0.75, 0.9], "extended": True},
-    },
-)
-def run(
-    alphas: list, extended: bool = False, seed: int = 0
-) -> list[ResultTable]:
-    """Closed-form mu vs numeric stationary distribution across a grid."""
-    graphs = [
-        ("cycle(8)", cycle_graph(8)),
-        ("complete(6)", complete_graph(6)),
-        ("petersen", petersen_graph()),
-    ]
-    if extended:
-        graphs += [
-            ("torus(16)", torus_graph(16)),
-            ("hypercube(16)", hypercube_graph(16)),
-            ("random_regular(12,5)", random_regular_graph(12, 5, seed=seed)),
-        ]
-
+def _closed_form_table(graphs, alphas: list, seed: int) -> ResultTable:
     table = ResultTable(
         title="Lemma 5.7: closed-form (mu_0, mu_1, mu_+) vs numeric stationary law",
         columns=[
@@ -97,4 +81,149 @@ def run(
         "the chain is irreducible + aperiodic but not reversible for k > 1 "
         "(Section 5.3); the closed form nevertheless solves mu Q = mu exactly"
     )
-    return [table]
+    return table
+
+
+def _pair_positions_batch(
+    adjacency: Adjacency, alpha: float, k: int, horizon: int,
+    replicas: int, seed: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """End positions of two tagged walks per replica (batch engine)."""
+    cost = np.zeros(adjacency.n)
+    seed_a, seed_b = spawn(seed, 2)
+    walks_a = BatchWalks(
+        adjacency, cost=cost, alpha=alpha, k=k, replicas=replicas, seed=seed_a
+    )
+    walks_a.record_selections()
+    walks_a.run(horizon)
+    walks_b = BatchWalks(
+        adjacency, cost=cost, alpha=alpha, k=k, replicas=replicas, seed=seed_b
+    )
+    walks_b.apply_selections(walks_a.recorded_selections())
+    return walks_a.positions[:, 0].copy(), walks_b.positions[:, 0].copy()
+
+
+def _pair_positions_loop(
+    adjacency: Adjacency, alpha: float, k: int, horizon: int,
+    replicas: int, seed: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """End positions of two tagged walks per replica (scalar oracle)."""
+    cost = np.zeros(adjacency.n)
+    pos_a = np.empty(replicas, dtype=np.int64)
+    pos_b = np.empty(replicas, dtype=np.int64)
+    for i, rng in enumerate(spawn(seed, replicas)):
+        child_a, child_b = spawn(rng, 2)
+        walks_a = RandomWalkProcess(
+            adjacency, cost=cost, alpha=alpha, k=k, seed=child_a
+        )
+        walks_b = RandomWalkProcess(
+            adjacency, cost=cost, alpha=alpha, k=k, seed=child_b
+        )
+        for _ in range(horizon):
+            selection = walks_a.step()
+            walks_b.step_with(selection)
+        pos_a[i] = walks_a.positions[0]
+        pos_b[i] = walks_b.positions[0]
+    return pos_a, pos_b
+
+
+def _occupancy_table(
+    graphs, alphas: list, horizon: int, replicas: int, seed: int, engine: str
+) -> ResultTable:
+    table = ResultTable(
+        title=(
+            "Lemma 5.7 empirically: two-walk class occupancy at horizon "
+            f"T={horizon} vs the stationary masses"
+        ),
+        columns=[
+            "graph", "alpha", "k", "engine",
+            "P(S0)", "n*mu_0", "P(S1)", "n*d*mu_1", "P(S+)", "mass_+",
+            "max|dev|",
+        ],
+    )
+    sample = _pair_positions_batch if engine == "batch" else _pair_positions_loop
+    for name, graph in graphs:
+        adjacency = Adjacency.from_graph(graph)
+        n, d = adjacency.n, adjacency.degree
+        dense = np.zeros((n, n), dtype=bool)
+        dense[adjacency.edge_tails, adjacency.edge_heads] = True
+        for alpha in alphas:
+            k = 1
+            pos_a, pos_b = sample(
+                adjacency, alpha, k, horizon, replicas, seed
+            )
+            same = pos_a == pos_b
+            adjacent = dense[pos_a, pos_b]
+            p0 = float(same.mean())
+            p1 = float(adjacent.mean())
+            p_plus = float((~same & ~adjacent).mean())
+            mu0, mu1, mu_plus = mu_closed_form(n, d, k, alpha)
+            masses = (n * mu0, n * d * mu1, n * (n - d - 1) * mu_plus)
+            deviation = max(
+                abs(p0 - masses[0]), abs(p1 - masses[1]), abs(p_plus - masses[2])
+            )
+            table.add_row(
+                name, alpha, k, engine,
+                p0, masses[0], p1, masses[1], p_plus, masses[2],
+                deviation,
+            )
+    table.add_note(
+        "the two tagged walks start on one node (an S_0 state) and share "
+        "their selection stream; past the mixing time the pair law is mu"
+    )
+    return table
+
+
+@experiment(
+    "EXP-L57",
+    artefact="Lemma 5.7: Q-chain closed-form stationary distribution",
+    params={
+        "alphas": ParamSpec("floats", "alpha grid"),
+        "extended": ParamSpec(
+            bool, "include the larger torus/hypercube/random-regular graphs"
+        ),
+        "replicas": ParamSpec(int, "Monte-Carlo replicas of the occupancy check"),
+        "horizon": ParamSpec(int, "steps the two tagged walks run"),
+        "engine": engine_param(),
+    },
+    presets={
+        "fast": {
+            "alphas": [0.25, 0.5, 0.75],
+            "extended": False,
+            "replicas": 2_000,
+            "horizon": 300,
+        },
+        "full": {
+            "alphas": [0.1, 0.25, 0.5, 0.75, 0.9],
+            "extended": True,
+            "replicas": 10_000,
+            "horizon": 1_200,
+        },
+    },
+)
+def run(
+    alphas: list,
+    extended: bool = False,
+    replicas: int = 2_000,
+    horizon: int = 300,
+    seed: int = 0,
+    engine: str = "batch",
+) -> list[ResultTable]:
+    """Closed-form mu vs numeric and empirical estimates across a grid."""
+    graphs = [
+        ("cycle(8)", cycle_graph(8)),
+        ("complete(6)", complete_graph(6)),
+        ("petersen", petersen_graph()),
+    ]
+    if extended:
+        graphs += [
+            ("torus(16)", torus_graph(16)),
+            ("hypercube(16)", hypercube_graph(16)),
+            ("random_regular(12,5)", random_regular_graph(12, 5, seed=seed)),
+        ]
+    return [
+        _closed_form_table(graphs, alphas, seed),
+        _occupancy_table(
+            graphs[:2], alphas, horizon, replicas, seed, engine
+        ),
+    ]

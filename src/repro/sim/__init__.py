@@ -12,6 +12,7 @@ from repro.sim.montecarlo import (
     estimate_moments,
     replicate,
     sample_f_values,
+    sample_meeting_times,
     sample_t_eps,
 )
 from repro.sim.results import ResultTable
@@ -24,6 +25,7 @@ __all__ = [
     "grid",
     "replicate",
     "sample_f_values",
+    "sample_meeting_times",
     "sample_t_eps",
     "sweep",
 ]

@@ -32,6 +32,17 @@ from repro.exceptions import ParameterError
 from repro.rng import SeedLike, as_generator, spawn
 
 
+def validate_engine(engine: str) -> str:
+    """Check an ``engine=`` selection (``"batch"`` or ``"loop"``).
+
+    The single home of the validation every engine-switchable sampler
+    and verification check shares.
+    """
+    if engine not in ("batch", "loop"):
+        raise ParameterError(f"engine must be 'batch' or 'loop', got {engine!r}")
+    return engine
+
+
 def replicate(
     make_process: Callable[[np.random.Generator], AveragingProcess],
     run_one: Callable[[AveragingProcess], float],
@@ -89,8 +100,7 @@ def _resolve_engine(
     batch engine (:mod:`repro.engine.kernels`); the loop engine
     ignores it.
     """
-    if engine not in ("batch", "loop"):
-        raise ParameterError(f"engine must be 'batch' or 'loop', got {engine!r}")
+    validate_engine(engine)
     validate_kernel(kernel)
     if engine != "batch":
         return None, None
@@ -184,6 +194,61 @@ def sample_t_eps(
         return float(measure_t_eps(process, epsilon, max_steps))
 
     return replicate(make_process, run_one, replicas, seed)
+
+
+def sample_meeting_times(
+    graph,
+    replicas: int,
+    seed: SeedLike = None,
+    alpha: float = 0.0,
+    max_steps: int = 100_000_000,
+    engine: str = "batch",
+    processes: int = 1,
+    cache_dir: Optional[str] = None,
+    shard_size: Optional[int] = None,
+) -> np.ndarray:
+    """I.i.d. samples of the coalescing walks' full coalescence time.
+
+    The dual-side sampler: one walk starts on every node, walks that
+    meet merge (laziness ``alpha``), and each replica reports the time
+    until one walk remains — the classical voter-dual quantity the
+    Section-5 machinery generalises.  ``engine="batch"`` runs all
+    replicas as one :class:`~repro.engine.dual.BatchCoalescing` batch,
+    sharded / multiprocessed / disk-cached exactly like
+    :func:`sample_f_values`; ``engine="loop"`` runs one scalar
+    :class:`~repro.dual.CoalescingWalks` per replica (the oracle).
+    """
+    validate_engine(engine)
+    if replicas < 1:
+        raise ParameterError(f"replicas must be positive, got {replicas}")
+    from repro.graphs.adjacency import Adjacency
+
+    adjacency = (
+        graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+    )
+    if engine == "batch":
+        from repro.engine.cache import ResultCache
+        from repro.engine.dual import DualSpec, sample_coalescence_times
+
+        spec = DualSpec(kind="coalescing", adjacency=adjacency, alpha=alpha)
+        cache = ResultCache(cache_dir) if cache_dir else None
+        return sample_coalescence_times(
+            spec,
+            replicas,
+            seed=seed,
+            max_steps=max_steps,
+            shard_size=shard_size,
+            processes=processes,
+            cache=cache,
+        )
+
+    from repro.dual.coalescing import CoalescingWalks
+
+    times = np.empty(replicas)
+    for i, rng in enumerate(spawn(seed, replicas)):
+        walks = CoalescingWalks(adjacency, alpha=alpha, seed=rng)
+        times[i] = walks.run_to_coalescence(max_steps=max_steps)
+    return times
 
 
 @dataclass(frozen=True)

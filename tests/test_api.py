@@ -64,10 +64,10 @@ class TestRunSpec:
         assert via_field.key() == via_override.key()
 
     def test_key_ignores_engine_that_cannot_affect_resolution(self):
-        # EXP-F4 declares no engine parameter: the field is a no-op and
+        # EXP-VT declares no engine parameter: the field is a no-op and
         # must not split the configuration's identity.
-        assert RunSpec("EXP-F4", engine="batch").key() == RunSpec("EXP-F4").key()
-        assert RunSpec("EXP-F4", engine="loop").key() == RunSpec("EXP-F4").key()
+        assert RunSpec("EXP-VT", engine="batch").key() == RunSpec("EXP-VT").key()
+        assert RunSpec("EXP-VT", engine="loop").key() == RunSpec("EXP-VT").key()
         # The declared default is equally a no-op.
         assert (
             RunSpec("EXP-T222", engine="batch").key()
@@ -114,7 +114,7 @@ class TestRegistry:
             "EXP-F1", "EXP-F4", "EXP-T221", "EXP-T221K", "EXP-T221LB",
             "EXP-T222", "EXP-T241", "EXP-T242", "EXP-L41", "EXP-L57",
             "EXP-PB1", "EXP-CE2", "EXP-PRICE", "EXP-MOM", "EXP-IRR",
-            "EXP-ABL", "EXP-VT", "EXP-DYN", "EXP-DYNM",
+            "EXP-ABL", "EXP-VT", "EXP-DYN", "EXP-DYNM", "EXP-COAL",
         }
 
     def test_unknown_id_lists_known(self):
@@ -182,9 +182,9 @@ class TestParamSpec:
 
 class TestExecute:
     def test_engine_field_ignored_without_engine_param(self):
-        # EXP-F4 declares no engine; the spec-level field is a no-op,
+        # EXP-VT declares no engine; the spec-level field is a no-op,
         # matching the legacy CLI's --engine behaviour.
-        assert "engine" not in resolve_spec(RunSpec("EXP-F4", engine="loop"))
+        assert "engine" not in resolve_spec(RunSpec("EXP-VT", engine="loop"))
 
     def test_engine_field_applies_when_declared(self):
         assert resolve_spec(RunSpec("EXP-T222", engine="loop"))["engine"] == "loop"
@@ -198,7 +198,8 @@ class TestExecute:
 
         result = execute(RunSpec("EXP-F1", overrides={"steps": 5}, seed=3))
         assert result.provenance.version == repro.__version__
-        assert result.provenance.parameters == {"steps": 5}
+        assert result.provenance.parameters["steps"] == 5
+        assert result.provenance.parameters["engine"] == "batch"
         assert result.provenance.wall_time_s > 0
         assert result.provenance.graph_hashes  # graphs were frozen
         assert all(len(h) == 64 for h in result.provenance.graph_hashes)

@@ -285,12 +285,14 @@ class TestRegistryIntegrity:
                 assert not unknown, (exp.id, preset, unknown)
 
     def test_engine_declared_only_by_monte_carlo_runners(self):
+        """Engine selection: the nine MC runners plus the dual workloads."""
         with_engine = {
             exp.id for exp in all_experiments() if exp.accepts_engine
         }
         assert with_engine == {
             "EXP-T221", "EXP-T221K", "EXP-T221LB", "EXP-T222", "EXP-T241",
             "EXP-T242", "EXP-MOM", "EXP-IRR", "EXP-ABL",
+            "EXP-F1", "EXP-F4", "EXP-L57", "EXP-COAL",
         }
 
     def test_legacy_runners_accept_fast_and_seed(self):

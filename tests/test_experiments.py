@@ -10,6 +10,7 @@ import pytest
 
 from repro.experiments import (
     EXPERIMENTS,
+    exp_coalescing,
     exp_fig_duality,
     exp_k_dependence,
     exp_lower_bound,
@@ -25,7 +26,7 @@ class TestRegistry:
             "EXP-F1", "EXP-F4", "EXP-T221", "EXP-T221K", "EXP-T221LB",
             "EXP-T222", "EXP-T241", "EXP-T242", "EXP-L41", "EXP-L57",
             "EXP-PB1", "EXP-CE2", "EXP-PRICE", "EXP-MOM", "EXP-IRR",
-            "EXP-ABL", "EXP-VT", "EXP-DYN", "EXP-DYNM",
+            "EXP-ABL", "EXP-VT", "EXP-DYN", "EXP-DYNM", "EXP-COAL",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -42,23 +43,51 @@ class TestFigureExperiments:
         assert all(random_table.column("exact"))
 
     def test_figure4_all_rows_match(self):
-        (table,) = exp_fig_duality.run_figure4(fast=True, seed=0)
-        assert all(table.column("match"))
+        tables = exp_fig_duality.run_figure4(fast=True, seed=0)
+        assert all(tables[0].column("match"))
+
+    def test_engine_scale_duality_exact(self):
+        tables = exp_fig_duality.run_figure1(fast=True, seed=0)
+        assert all(tables[2].column("exact"))
+        tables = exp_fig_duality.run_figure4(fast=True, seed=0)
+        assert all(tables[1].column("exact"))
 
 
 class TestQChainExperiment:
     def test_closed_form_errors_tiny(self):
-        (table,) = exp_qchain.run(fast=True, seed=0)
+        table = exp_qchain.run(fast=True, seed=0)[0]
         errors = table.column("max|closed-numeric|")
         assert max(errors) < 1e-10
 
     def test_irreversibility_pattern(self):
-        (table,) = exp_qchain.run(fast=True, seed=0)
+        table = exp_qchain.run(fast=True, seed=0)[0]
         ks = table.column("k")
         reversible = table.column("reversible")
         for k, rev in zip(ks, reversible):
             if k > 1:
                 assert not rev
+
+
+class TestCoalescingExperiment:
+    def test_meeting_times_positive_and_ordered(self):
+        tables = exp_coalescing.run(
+            fast=True, seed=0, replicas=40, alphas=[0.0, 0.5]
+        )
+        meeting = tables[0]
+        means = meeting.column("mean_T_coal")
+        assert all(m > 0 for m in means)
+        graphs = meeting.column("graph")
+        # The cycle's walks take the longest to meet among the three.
+        assert means[graphs.index("cycle")] == max(means)
+
+    def test_lazy_slowdown_direction(self):
+        tables = exp_coalescing.run(
+            fast=True, seed=0, replicas=40, alphas=[0.0, 0.5]
+        )
+        slowdown = tables[1]
+        factors = slowdown.column("x_vs_alpha0")
+        assert factors[0] == 1.0
+        assert factors[1] > 1.3  # ~2x in expectation at alpha = 0.5
 
 
 class TestMartingaleExperiment:

@@ -31,8 +31,11 @@ import pytest
 
 from repro.core.initial import center_simple, linear_ramp
 from repro.engine import (
+    BatchCoalescing,
+    BatchDiffusion,
     BatchEdgeModel,
     BatchNodeModel,
+    BatchWalks,
     CyclicSchedule,
     numba_available,
 )
@@ -87,6 +90,55 @@ CELLS = {
 }
 
 
+#: Dual-engine cells: kind, backend, topology key, k, alpha.  The
+#: diffusion/walk/coalescing batch processes are deterministic at the
+#: frozen seed exactly like the primal ones.
+DUAL_CELLS = {
+    "dual-diffusion-k1.dense.static": ("diffusion", "dense", "static", 1, 0.5),
+    "dual-diffusion-k2.csr.static-irregular": (
+        "diffusion", "csr", "static-irregular", 2, 0.25,
+    ),
+    "dual-walks-k1.dense.static": ("walks", "dense", "static", 1, 0.5),
+    "dual-walks-k2.dense.static-irregular": (
+        "walks", "dense", "static-irregular", 2, 0.5,
+    ),
+    "dual-coalescing.dense.static": ("coalescing", "dense", "static", 1, 0.25),
+}
+
+
+def _run_dual_cell(recipe):
+    kind, backend, topology, k, alpha = recipe
+    cost = center_simple(linear_ramp(N, 0.0, 1.0))
+    adjacency = _graph(topology)
+    if kind == "diffusion":
+        batch = BatchDiffusion(
+            adjacency, cost=cost, alpha=alpha, k=k, replicas=REPLICAS,
+            seed=SEED, backend=backend,
+        )
+    elif kind == "walks":
+        batch = BatchWalks(
+            adjacency, cost=cost, alpha=alpha, k=k, replicas=REPLICAS,
+            seed=SEED, backend=backend,
+        )
+    else:
+        batch = BatchCoalescing(
+            adjacency, alpha=alpha, replicas=REPLICAS, seed=SEED,
+            backend=backend,
+        )
+    batch.run(STEPS)
+    return batch
+
+
+def _dual_state_hash(batch) -> str:
+    if isinstance(batch, BatchDiffusion):
+        payload = np.ascontiguousarray(batch.loads).tobytes()
+    else:
+        payload = np.ascontiguousarray(batch.positions).tobytes()
+        if isinstance(batch, BatchCoalescing):
+            payload += np.ascontiguousarray(batch.num_clusters).tobytes()
+    return hashlib.sha256(payload).hexdigest()[:24]
+
+
 def _run_cell(recipe):
     model, kernel, backend, topology, k, lazy = recipe
     initial = center_simple(linear_ramp(N, 0.0, 1.0))
@@ -120,6 +172,7 @@ def test_golden_file_covers_every_cell():
         pytest.skip("regeneration pass (see test_regenerate_golden)")
     golden = _load_golden()
     assert set(golden["cells"]) == set(CELLS)
+    assert set(golden["dual_cells"]) == set(DUAL_CELLS)
 
 
 @pytest.mark.parametrize("cell_id", sorted(CELLS))
@@ -132,6 +185,20 @@ def test_end_state_matches_golden(cell_id):
         f"trajectory drift in cell {cell_id!r}: hash {actual} != "
         f"golden {golden['cells'][cell_id]}; if the change is intentional, "
         "regenerate with REPRO_REGEN_GOLDEN=1 and commit the new fixtures"
+    )
+
+
+@pytest.mark.parametrize("cell_id", sorted(DUAL_CELLS))
+def test_dual_end_state_matches_golden(cell_id):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("regeneration pass (see test_regenerate_golden)")
+    golden = _load_golden()
+    actual = _dual_state_hash(_run_dual_cell(DUAL_CELLS[cell_id]))
+    assert actual == golden["dual_cells"][cell_id], (
+        f"trajectory drift in dual cell {cell_id!r}: hash {actual} != "
+        f"golden {golden['dual_cells'][cell_id]}; if the change is "
+        "intentional, regenerate with REPRO_REGEN_GOLDEN=1 and commit the "
+        "new fixtures"
     )
 
 
@@ -149,10 +216,17 @@ def test_regenerate_golden():
             "seed": SEED,
             "switch_every": SWITCH_EVERY,
             "hash": "sha256(values.tobytes())[:24]",
+            "dual_hash": (
+                "sha256(loads|positions[+num_clusters] .tobytes())[:24]"
+            ),
         },
         "cells": {
             cell_id: _state_hash(_run_cell(recipe))
             for cell_id, recipe in sorted(CELLS.items())
+        },
+        "dual_cells": {
+            cell_id: _dual_state_hash(_run_dual_cell(recipe))
+            for cell_id, recipe in sorted(DUAL_CELLS.items())
         },
     }
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")

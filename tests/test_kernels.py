@@ -528,7 +528,7 @@ class TestRunSpecKernel:
         spec = RunSpec("EXP-T222", kernel="numpy")
         assert resolve_spec(spec)["kernel"] == "numpy"
         # Experiments without the parameter ignore the field.
-        assert "kernel" not in resolve_spec(RunSpec("EXP-F1", kernel="numpy"))
+        assert "kernel" not in resolve_spec(RunSpec("EXP-VT", kernel="numpy"))
 
     def test_noop_kernel_preserves_key(self):
         from repro.api import RunSpec

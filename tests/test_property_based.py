@@ -223,9 +223,12 @@ class TestMuClosedFormProperties:
         total = n * mu0 + n * d * mu1 + n * (n - d - 1) * mu_plus
         assert total == pytest.approx(1.0, abs=1e-9)
         # gamma = k(1+alpha) - (1-alpha) can be 0 at the voter boundary
-        # (alpha = 0, k = 1), where mu_1 and mu_+ legitimately vanish;
-        # subnormal alpha gives harmless -1e-39-scale rounding residue.
-        assert mu0 > 0 and mu1 >= -1e-30 and mu_plus >= -1e-30
+        # (alpha = 0, k = 1), where mu_1 and mu_+ legitimately vanish.
+        # For 0 < alpha below float epsilon, (1 +- alpha) both round to
+        # 1.0 so gamma computes to exactly 0 while 2*alpha*k does not,
+        # leaving an O(alpha)-scale negative rounding residue.
+        residue = 4.0 * k * alpha + 1e-30
+        assert mu0 > 0 and mu1 >= -residue and mu_plus >= -residue
         if alpha > 1e-12:
             assert mu1 > 0 and mu_plus > 0
 
