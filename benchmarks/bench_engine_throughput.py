@@ -1,7 +1,14 @@
 """Engine throughput: stepping kernels across batch/size regimes.
 
-Three measurement blocks land in ``BENCH_engine.json`` at the repo root
-so the performance trajectory is tracked across PRs:
+Measurements flow through the ``repro.obs`` layer instead of hand-rolled
+timers: each workload runs under its own :class:`~repro.obs.Tracer`
+(span clock for wall time) and the executed replica-step count comes
+from the :data:`~repro.obs.METRICS` registry delta, so the benchmark
+reports the work the engine actually did rather than the work the
+script assumed it would do.
+
+Four measurement blocks land in ``BENCH_engine.json`` (schema 4) at the
+repo root so the performance trajectory is tracked across PRs:
 
 * **baseline** — the PR-1 acceptance workload (512-node 4-regular graph,
   1k replicas) comparing the legacy per-replica loop against the batch
@@ -20,6 +27,11 @@ so the performance trajectory is tracked across PRs:
   batch coalescing walks versus the single-replica scalar loop the
   ``repro.dual`` facades expose.  Each must hold a >= 5x replica
   throughput advantage over the loop.
+* **telemetry** — a traced :func:`~repro.engine.sample_t_eps_batch` run
+  of the baseline workload, summarised into a per-phase time breakdown
+  (span self-times), engine counters, peak state bytes and shard
+  balance.  This is the profile the throughput numbers above should be
+  read against.
 
 Run standalone or under pytest::
 
@@ -36,7 +48,6 @@ from __future__ import annotations
 import json
 import os
 import platform
-import time
 from pathlib import Path
 
 import numpy as np
@@ -53,10 +64,13 @@ from repro.engine import (
     BatchEdgeModel,
     BatchNodeModel,
     BatchWalks,
+    EngineSpec,
     numba_available,
+    sample_t_eps_batch,
 )
 from repro.graphs.adjacency import Adjacency
 from repro.graphs.generators import random_regular_graph
+from repro.obs import METRICS, Tracer, activate, build_telemetry, summarize
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
@@ -86,14 +100,41 @@ DUAL_REPLICAS = 4 if SMOKE else 64
 DUAL_ROUNDS = 50 if SMOKE else 2_000
 DUAL_LOOP_ROUNDS = 50 if SMOKE else 2_000
 
+# Telemetry profile: a sharded sample_t_eps_batch over the baseline graph.
+TELEM_REPLICAS = 16 if SMOKE else 512
+TELEM_SHARD = 8 if SMOKE else 128
+TELEM_EPS = 1e-2 if SMOKE else 1e-4
+TELEM_MAX_STEPS = 50_000 if SMOKE else 5_000_000
 
-def _best_of(repeats, fn):
-    """Best wall-clock of ``repeats`` runs (shields against machine noise)."""
-    best = np.inf
-    for _ in range(repeats):
-        started = time.perf_counter()
+
+def _obs_run(fn):
+    """``(seconds, counter_delta)`` for one ``fn()`` call, via the obs layer.
+
+    The span clock supplies the wall time and the metric registry delta
+    the executed work, replacing the hand-rolled ``perf_counter`` pairs
+    earlier revisions of this benchmark carried.
+    """
+    baseline = METRICS.snapshot()
+    tracer = Tracer()
+    with activate(tracer), tracer.span("bench.workload"):
         fn()
-        best = min(best, time.perf_counter() - started)
+    span = tracer.find("bench.workload")[0]
+    return span.duration, METRICS.delta(baseline)["counters"]
+
+
+def _best_rate(repeats, fn, fallback_steps):
+    """Best replica-steps/sec of ``repeats`` runs (shields machine noise).
+
+    The step count comes from the ``engine.replica_steps`` counter when
+    the workload is instrumented (every batch averaging model is); the
+    dual-process batches and scalar loop facades fall back to the
+    analytic count.
+    """
+    best = 0.0
+    for _ in range(repeats):
+        seconds, counters = _obs_run(fn)
+        steps = counters.get("engine.replica_steps", fallback_steps)
+        best = max(best, steps / seconds)
     return best
 
 
@@ -119,8 +160,9 @@ def _measure_kernels(kind, adjacency, values, replicas, rounds):
             continue
         batch = _make_batch(kind, adjacency, values, replicas, kernel)
         batch.run(min(rounds, 200))  # warm caches, allocator and any JIT
-        seconds = _best_of(2, lambda: batch.run(rounds))
-        out[kernel] = replicas * rounds / seconds
+        out[kernel] = _best_rate(
+            2, lambda: batch.run(rounds), replicas * rounds
+        )
     return out
 
 
@@ -147,7 +189,9 @@ def measure_baseline(seed: int = 0) -> dict:
         else:
             loop = EdgeModel(graph, values, alpha=ALPHA, seed=3)
         loop.run(min(LOOP_STEPS, 10_000))
-        loop_steps_per_sec = LOOP_STEPS / _best_of(2, lambda: loop.run(LOOP_STEPS))
+        loop_steps_per_sec = _best_rate(
+            2, lambda: loop.run(LOOP_STEPS), LOOP_STEPS
+        )
         best = max(v for v in kernels.values() if v is not None)
         results[kind] = {
             "kernels_replica_steps_per_sec": kernels,
@@ -209,13 +253,15 @@ def measure_dual(seed: int = 0) -> dict:
     def _cell(batch_fn, loop_fn):
         batch = batch_fn()
         batch.run(min(DUAL_ROUNDS, 100))  # warm allocator and caches
-        seconds = _best_of(2, lambda: batch.run(DUAL_ROUNDS))
-        batch_rate = DUAL_REPLICAS * DUAL_ROUNDS / seconds
-        loop = loop_fn()
-        loop_seconds = _best_of(
-            2, lambda: [loop.step() for _ in range(DUAL_LOOP_ROUNDS)]
+        batch_rate = _best_rate(
+            2, lambda: batch.run(DUAL_ROUNDS), DUAL_REPLICAS * DUAL_ROUNDS
         )
-        loop_rate = DUAL_LOOP_ROUNDS / loop_seconds
+        loop = loop_fn()
+        loop_rate = _best_rate(
+            2,
+            lambda: [loop.step() for _ in range(DUAL_LOOP_ROUNDS)],
+            DUAL_LOOP_ROUNDS,
+        )
         return {
             "batch_replica_steps_per_sec": batch_rate,
             "loop_replica_steps_per_sec": loop_rate,
@@ -246,9 +292,59 @@ def measure_dual(seed: int = 0) -> dict:
     return results
 
 
-def write_report(baseline: dict, sweep: list, dual: dict) -> dict:
+def measure_telemetry(seed: int = 0) -> dict:
+    """Per-phase profile of the baseline workload (the schema-4 block).
+
+    Runs a sharded :func:`~repro.engine.sample_t_eps_batch` over the
+    baseline graph under an enabled tracer and condenses the result via
+    :func:`~repro.obs.summarize`: where the wall time goes (span self
+    times), how many blocks each kernel dispatched, peak state bytes and
+    the shard balance.
+    """
+    graph = random_regular_graph(BASE_N, DEGREE, seed=seed)
+    adjacency = Adjacency.from_graph(graph)
+    values = center_simple(rademacher_values(BASE_N, seed=seed + 1))
+    spec = EngineSpec(
+        kind="node", adjacency=adjacency, initial_values=values,
+        alpha=ALPHA, k=1, kernel="fused",
+    )
+    baseline = METRICS.snapshot()
+    tracer = Tracer()
+    with activate(tracer):
+        sample_t_eps_batch(
+            spec,
+            epsilon=TELEM_EPS,
+            replicas=TELEM_REPLICAS,
+            seed=seed + 2,
+            max_steps=TELEM_MAX_STEPS,
+            shard_size=TELEM_SHARD,
+        )
+    summary = summarize(build_telemetry(tracer, METRICS.delta(baseline)))
+    shards = summary["shards"]
+    return {
+        "workload": {
+            "entry": "sample_t_eps_batch",
+            "graph": f"random_regular(n={BASE_N}, d={DEGREE})",
+            "replicas": TELEM_REPLICAS,
+            "shard_size": TELEM_SHARD,
+            "epsilon": TELEM_EPS,
+            "kernel": "fused",
+        },
+        "wall_s": summary["wall_s"],
+        "phases": summary["top_spans"],
+        "counters": summary["counters"],
+        "peaks": summary["peaks"],
+        "shards": (
+            None
+            if shards is None
+            else {key: value for key, value in shards.items() if key != "rows"}
+        ),
+    }
+
+
+def write_report(baseline: dict, sweep: list, dual: dict, telemetry: dict) -> dict:
     report = {
-        "schema": 3,
+        "schema": 4,
         "machine": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -258,6 +354,7 @@ def write_report(baseline: dict, sweep: list, dual: dict) -> dict:
         "baseline": baseline,
         "sweep": sweep,
         "dual": dual,
+        "telemetry": telemetry,
         "notes": [
             "kernels_replica_steps_per_sec: numpy = PR-1 per-round batch "
             "path, fused = multi-round NumPy blocks, jit = numba "
@@ -266,6 +363,10 @@ def write_report(baseline: dict, sweep: list, dual: dict) -> dict:
             "where per-round interpreter overhead dominates",
             "dual: batch diffusion/walks/coalescing (repro.engine.dual) "
             "vs the single-replica scalar facade loop",
+            "timings via repro.obs (span clock + engine.replica_steps "
+            "counter delta); telemetry = traced sample_t_eps_batch "
+            "profile of the baseline workload, phases sorted by span "
+            "self time",
         ],
     }
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
@@ -277,7 +378,8 @@ def test_engine_throughput_regimes():
     baseline = measure_baseline()
     sweep = measure_sweep()
     dual = measure_dual()
-    write_report(baseline, sweep, dual)
+    telemetry = measure_telemetry()
+    write_report(baseline, sweep, dual, telemetry)
 
     for cell in sweep:
         ks = cell["kernels_replica_steps_per_sec"]
@@ -287,6 +389,13 @@ def test_engine_throughput_regimes():
             f"fused {ks['fused'] / 1e6:6.1f} M/s "
             f"({cell['fused_vs_numpy']:.2f}x), best {cell['best_vs_numpy']:.2f}x"
         )
+    # The telemetry block is structural (no timing floors): the traced
+    # profile must carry phases, engine counters and the fused dispatch
+    # count — asserted in smoke mode too, this is what CI actually pins.
+    assert telemetry["phases"], "traced profile produced no spans"
+    assert telemetry["counters"].get("engine.replica_steps", 0) > 0
+    assert telemetry["counters"].get("engine.blocks.fused", 0) > 0
+    assert telemetry["shards"] is not None and telemetry["shards"]["count"] >= 2
     if SMOKE:
         return  # exercised end to end; no timing assertions on tiny runs
 
@@ -312,6 +421,8 @@ def test_engine_throughput_regimes():
 
 
 if __name__ == "__main__":
-    report = write_report(measure_baseline(), measure_sweep(), measure_dual())
+    report = write_report(
+        measure_baseline(), measure_sweep(), measure_dual(), measure_telemetry()
+    )
     print(json.dumps(report, indent=2))
     print(f"wrote -> {OUTPUT}")

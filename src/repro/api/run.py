@@ -3,6 +3,16 @@
 :func:`execute` is the single path every front end uses — the subcommand
 CLI, the legacy shim, the sweep driver, and the CI smoke job all funnel
 through it, so a spec archived today replays identically tomorrow.
+
+With ``spec.trace`` the whole run executes under an enabled
+:class:`~repro.obs.trace.Tracer`: the instrumented engine stack lights
+up (spans, chunk-boundary streams, merged multiprocessing-worker
+traces), the run's metric *delta* is taken against a pre-run snapshot of
+the process-wide registry, and the frozen block lands on
+``RunResult.telemetry`` — persisted by the artifact store, summarised by
+``repro trace``.  Tracing never changes what a run computes (the
+off-state contract in :mod:`repro.obs.trace` holds in the on-state too:
+instrumentation reads, it never draws).
 """
 
 from __future__ import annotations
@@ -33,16 +43,52 @@ def resolve_spec(spec: RunSpec) -> Dict[str, Any]:
     )
 
 
+def _effective_kernel(parameters: Dict[str, Any]) -> str | None:
+    """The kernel the engine will actually dispatch, or ``None``.
+
+    Experiments that do not declare a ``kernel`` parameter report none;
+    for the rest the requested name is resolved exactly as the batch
+    models resolve it, so provenance records ``"fused"`` when a ``"jit"``
+    request degraded (satellite of the silent-fallback fix).
+    """
+    requested = parameters.get("kernel")
+    if requested is None:
+        return None
+    from repro.engine.kernels import resolve_kernel
+
+    try:
+        return resolve_kernel(str(requested))
+    except Exception:
+        return None
+
+
 def execute(spec: RunSpec) -> RunResult:
     """Run one spec and return its tables with full provenance."""
     import repro
 
     experiment = get_experiment(spec.experiment_id)
     parameters = resolve_spec(spec)
-    with collect_content_hashes() as hashes:
-        started = time.perf_counter()
-        tables = experiment.fn(seed=spec.seed, **parameters)
-        wall_time = time.perf_counter() - started
+    telemetry = None
+    if spec.trace:
+        from repro.obs import METRICS, Tracer, activate, build_telemetry
+
+        baseline = METRICS.snapshot()
+        tracer = Tracer()
+        with activate(tracer):
+            with tracer.span(
+                "run", experiment=spec.experiment_id, preset=spec.preset,
+                seed=spec.seed,
+            ), collect_content_hashes() as hashes:
+                started = time.perf_counter()
+                with tracer.span("experiment", id=spec.experiment_id):
+                    tables = experiment.fn(seed=spec.seed, **parameters)
+                wall_time = time.perf_counter() - started
+        telemetry = build_telemetry(tracer, METRICS.delta(baseline))
+    else:
+        with collect_content_hashes() as hashes:
+            started = time.perf_counter()
+            tables = experiment.fn(seed=spec.seed, **parameters)
+            wall_time = time.perf_counter() - started
     return RunResult(
         spec=spec,
         tables=list(tables),
@@ -53,7 +99,9 @@ def execute(spec: RunSpec) -> RunResult:
             graph_hashes=sorted(set(hashes)),
             wall_time_s=wall_time,
             timestamp=time.time(),
+            kernel=_effective_kernel(parameters),
         ),
+        telemetry=telemetry,
     )
 
 

@@ -25,7 +25,7 @@ from repro.sim.results import ResultTable
 
 _SPEC_FIELDS = (
     "experiment_id", "preset", "seed", "engine", "kernel", "graph_schedule",
-    "overrides", "markdown",
+    "overrides", "markdown", "trace",
 )
 
 
@@ -50,6 +50,10 @@ class RunSpec:
     graph_schedule: str | None = None
     overrides: Dict[str, Any] = field(default_factory=dict)
     markdown: bool = False
+    # Observability opt-in: attaches a telemetry block to the result.
+    # Like markdown, trace is an output option — it never participates
+    # in key(), because tracing must not change what a run computes.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.experiment_id, str) or not self.experiment_id:
@@ -168,6 +172,9 @@ class Provenance:
     graph_hashes: List[str]
     wall_time_s: float
     timestamp: float
+    #: The *effective* kernel the engine resolved to (e.g. a requested
+    #: ``"jit"`` that degraded to ``"fused"``), when the run used one.
+    kernel: str | None = None
 
     def to_payload(self) -> dict:
         return _normalise(asdict(self))
@@ -182,6 +189,7 @@ class Provenance:
                 graph_hashes=list(payload["graph_hashes"]),
                 wall_time_s=float(payload["wall_time_s"]),
                 timestamp=float(payload["timestamp"]),
+                kernel=payload.get("kernel"),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise SpecError(f"malformed provenance payload: {error}") from error
@@ -194,14 +202,20 @@ class RunResult:
     spec: RunSpec
     tables: List[ResultTable]
     provenance: Provenance
+    #: Observability block (see :mod:`repro.obs.export`); present only
+    #: when the run executed with ``spec.trace``.
+    telemetry: Dict[str, Any] | None = None
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "schema": 1,
             "spec": self.spec.to_payload(),
             "provenance": self.provenance.to_payload(),
             "tables": [table.to_payload() for table in self.tables],
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "RunResult":
@@ -213,7 +227,13 @@ class RunResult:
             ]
         except (KeyError, TypeError) as error:
             raise SpecError(f"malformed run result payload: {error}") from error
-        return cls(spec=spec, tables=tables, provenance=provenance)
+        telemetry = payload.get("telemetry")
+        return cls(
+            spec=spec,
+            tables=tables,
+            provenance=provenance,
+            telemetry=dict(telemetry) if telemetry is not None else None,
+        )
 
     def to_json(self) -> str:
         return json.dumps(self.to_payload(), indent=2, default=str)

@@ -51,6 +51,19 @@ def diff_results(
             f"{old.spec.experiment_id} -> {new.spec.experiment_id}"
         )
         return problems
+    # Effective-kernel drift (e.g. one side's "jit" silently degraded to
+    # "fused") explains many throughput regressions: surface it whenever
+    # both provenances recorded a kernel.
+    old_kernel = old.provenance.kernel
+    new_kernel = new.provenance.kernel
+    if (
+        old_kernel is not None
+        and new_kernel is not None
+        and old_kernel != new_kernel
+    ):
+        problems.append(
+            f"effective kernel changed: {old_kernel} -> {new_kernel}"
+        )
     old_by_title = {table.title: table for table in old.tables}
     new_by_title = {table.title: table for table in new.tables}
     for title in old_by_title:

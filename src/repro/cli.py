@@ -9,6 +9,10 @@ identically)::
     python -m repro.cli list --json
     python -m repro.cli sweep EXP-T222 --set n=24,36 --save results/
     python -m repro.cli diff results/EXP-T222.fast.s0.json results/other.json
+    python -m repro.cli run EXP-F1 --trace --save results/
+    python -m repro.cli trace summary results/EXP-F1.fast.s0.json
+    python -m repro.cli trace export results/EXP-F1.fast.s0.json --chrome t.json
+    python -m repro.cli cache stats .cache/
 
 ``run`` accepts ``--set key=value`` overrides against each experiment's
 declared parameter schema, ``--json`` to emit archived-format payloads,
@@ -57,7 +61,7 @@ from repro.engine.kernels import KERNEL_CHOICES
 from repro.exceptions import ArtifactError, ReproError
 from repro.io import ResultBundle, save_bundle
 
-SUBCOMMANDS = ("run", "list", "sweep", "diff")
+SUBCOMMANDS = ("run", "list", "sweep", "diff", "trace", "cache")
 
 
 # ----------------------------------------------------------------------
@@ -153,6 +157,11 @@ def build_cli_parser() -> argparse.ArgumentParser:
                      help="override a declared parameter (repeatable)")
     run.add_argument("--markdown", action="store_true",
                      help="render tables as markdown")
+    run.add_argument("--trace", action="store_true",
+                     help=(
+                         "run under the observability tracer and attach a "
+                         "telemetry block to each result (see repro trace)"
+                     ))
     run.add_argument("--json", action="store_true",
                      help="emit RunResult JSON payloads instead of tables")
     run.add_argument("--save", metavar="DIR", default=None,
@@ -197,6 +206,48 @@ def build_cli_parser() -> argparse.ArgumentParser:
                      help="relative tolerance for numeric cells (default 0.25)")
     dif.add_argument("--json", action="store_true",
                      help="emit the differences as JSON")
+
+    trc = sub.add_parser(
+        "trace", help="inspect/export the telemetry of a traced run"
+    )
+    trc_sub = trc.add_subparsers(dest="action", required=True)
+    tsm = trc_sub.add_parser(
+        "summary",
+        help="top spans by self time, cache stats, shard balance",
+    )
+    tsm.add_argument("artifact",
+                     help="artefact file, store key, or experiment id")
+    tsm.add_argument("--store", metavar="DIR", default=None,
+                     help="ArtifactStore to resolve keys/ids against")
+    tsm.add_argument("--top", type=int, default=12,
+                     help="span rows to show (default 12)")
+    tsm.add_argument("--json", action="store_true",
+                     help="emit the summary as JSON")
+    tex = trc_sub.add_parser(
+        "export", help="export the span tree (Chrome trace event format)"
+    )
+    tex.add_argument("artifact",
+                     help="artefact file, store key, or experiment id")
+    tex.add_argument("--store", metavar="DIR", default=None,
+                     help="ArtifactStore to resolve keys/ids against")
+    tex.add_argument("--chrome", metavar="OUT", default=None,
+                     help="write chrome://tracing JSON to OUT (else stdout)")
+
+    cch = sub.add_parser(
+        "cache", help="inspect/evict the engine's on-disk result cache"
+    )
+    cch_sub = cch.add_subparsers(dest="action", required=True)
+    cst = cch_sub.add_parser(
+        "stats", help="entries, total bytes, hit/miss since process start"
+    )
+    cst.add_argument("dir", metavar="DIR", help="cache directory")
+    cst.add_argument("--json", action="store_true",
+                     help="emit the statistics as JSON")
+    ccl = cch_sub.add_parser("clear", help="delete cache entries")
+    ccl.add_argument("dir", metavar="DIR", help="cache directory")
+    ccl.add_argument("--older-than", dest="older_than", type=float,
+                     default=None, metavar="SECONDS",
+                     help="evict only entries older than this age")
     return parser
 
 
@@ -289,6 +340,7 @@ def _run_cmd(args: argparse.Namespace) -> int:
                 args,
             ),
             markdown=args.markdown,
+            trace=args.trace,
         )
         resolve_spec(spec)
         specs.append(spec)
@@ -391,18 +443,55 @@ def _sweep_cmd(args: argparse.Namespace) -> int:
             if not args.json:
                 print(f"saved -> {path}")
     summary = summary_table(axes, results)
+    timings = _cell_timings(axes, results)
     if args.json:
         print(json.dumps(
             {
                 "results": [result.to_payload() for result in results],
                 "summary": summary.to_payload(),
+                "timings": timings,
             },
             indent=2,
             default=str,
         ))
     else:
         print(summary.render_markdown() if args.markdown else summary.render())
+        print()
+        print(_render_cell_timings(timings))
     return 0
+
+
+def _cell_timings(
+    axes: Dict[str, List[str]], results: List[RunResult]
+) -> List[dict]:
+    """Per-cell wall times, slowest first — the adaptive governor's
+    first real input signal (see ROADMAP)."""
+    rows = []
+    for result in results:
+        resolved = result.provenance.parameters
+        cell = {
+            name: resolved.get(name, result.spec.overrides.get(name))
+            for name in axes
+        }
+        rows.append({
+            "cell": cell,
+            "wall_time_s": result.provenance.wall_time_s,
+            "key": result.spec.key(),
+        })
+    rows.sort(key=lambda row: -row["wall_time_s"])
+    return rows
+
+
+def _render_cell_timings(timings: List[dict], top: int = 8) -> str:
+    total = sum(row["wall_time_s"] for row in timings)
+    lines = [f"slowest cells ({total:.1f}s total):"]
+    for row in timings[:top]:
+        cell = ", ".join(f"{k}={v}" for k, v in row["cell"].items())
+        share = row["wall_time_s"] / total if total else 0.0
+        lines.append(
+            f"  {row['wall_time_s']:>8.2f}s  {share:>4.0%}  {cell}"
+        )
+    return "\n".join(lines)
 
 
 def _diff_operand(token: str, store: ArtifactStore | None) -> RunResult:
@@ -423,6 +512,70 @@ def _diff_operand(token: str, store: ArtifactStore | None) -> RunResult:
         if any(record.key == token for record in store.records()):
             raise
         return store.latest(token)
+
+
+def _trace_cmd(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store) if args.store else None
+    result = _diff_operand(args.artifact, store)
+    if result.telemetry is None:
+        print(
+            f"error: {args.artifact!r} carries no telemetry; re-run the "
+            "experiment with --trace",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "summary":
+        from repro.obs import render_summary, summarize
+
+        summary = summarize(result.telemetry, top=args.top)
+        if args.json:
+            print(json.dumps(summary, indent=2, default=str))
+        else:
+            print(f"trace of {result.spec.label()}")
+            print()
+            print(render_summary(summary))
+        return 0
+    from repro.obs import chrome_trace
+
+    payload = json.dumps(chrome_trace(result.telemetry), default=str)
+    if args.chrome:
+        Path(args.chrome).write_text(payload)
+        print(f"wrote -> {args.chrome}")
+    else:
+        print(payload)
+    return 0
+
+
+def _cache_cmd(args: argparse.Namespace) -> int:
+    from repro.engine.cache import ResultCache
+
+    directory = Path(args.dir)
+    if not directory.is_dir():
+        print(f"error: {args.dir!r} is not a directory", file=sys.stderr)
+        return 2
+    cache = ResultCache(directory)
+    if args.action == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            print(f"cache      {stats['directory']}")
+            print(f"entries    {stats['entries']}")
+            print(f"bytes      {stats['total_bytes']}")
+            print(
+                f"process    {stats['hits']} hits / {stats['misses']} misses, "
+                f"{stats['bytes_read']}B read / "
+                f"{stats['bytes_written']}B written"
+            )
+        return 0
+    removed = cache.clear(older_than_seconds=args.older_than)
+    scope = (
+        f" older than {args.older_than:.0f}s"
+        if args.older_than is not None
+        else ""
+    )
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}{scope}")
+    return 0
 
 
 def _diff_cmd(args: argparse.Namespace) -> int:
@@ -520,6 +673,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             "list": _list_cmd,
             "sweep": _sweep_cmd,
             "diff": _diff_cmd,
+            "trace": _trace_cmd,
+            "cache": _cache_cmd,
         }[args.command]
         return handler(args)
     except ReproError as error:

@@ -67,6 +67,8 @@ from repro.engine.selection import (
 )
 from repro.exceptions import ParameterError
 from repro.graphs.adjacency import Adjacency
+from repro.obs.metrics import METRICS
+from repro.obs.trace import active_tracer
 from repro.rng import SeedLike, as_generator
 
 #: Rounds between exact moment recomputations (kills float drift).
@@ -210,6 +212,12 @@ class BatchAveragingProcess(abc.ABC):
         self._rounds_since_resync = 0
         self._recording: list | None = None
         self.resync_moments()
+        # (B, n) value state plus the two (B,) moment accumulators: the
+        # live footprint the adaptive governor will budget against.
+        METRICS.peak(
+            "engine.state_peak_bytes",
+            self.values.nbytes + self._s1.nbytes + self._s2.nbytes,
+        )
 
     # ------------------------------------------------------------------
     # Shape and activity
@@ -339,10 +347,14 @@ class BatchAveragingProcess(abc.ABC):
         snapshot_id = self.graph_schedule.snapshot_at(self.t)
         if snapshot_id == self._snapshot_id:
             return
-        pi_changed = not np.array_equal(self._pis[snapshot_id], self._pi)
-        self._activate_snapshot(snapshot_id)
-        if pi_changed:
-            self.resync_moments()
+        with active_tracer().span(
+            "engine.snapshot_switch", t=self.t, snapshot=snapshot_id
+        ):
+            pi_changed = not np.array_equal(self._pis[snapshot_id], self._pi)
+            self._activate_snapshot(snapshot_id)
+            if pi_changed:
+                self.resync_moments()
+        METRICS.count("engine.snapshot_switches")
 
     # ------------------------------------------------------------------
     # Selection: the only model-specific ingredient
@@ -465,6 +477,12 @@ class BatchAveragingProcess(abc.ABC):
         if steps < 0:
             raise ParameterError(f"steps must be non-negative, got {steps}")
         if self._block_exec is None:
+            # run() never freezes replicas, so the whole loop's work is
+            # known up front — one counter update, not one per round.
+            METRICS.count("engine.replica_steps", steps * self.num_active)
+            if steps:
+                METRICS.count("engine.rng_blocks", steps)
+                METRICS.count("engine.blocks.numpy")
             for _ in range(steps):
                 self.step_batch()
             return
@@ -480,9 +498,16 @@ class BatchAveragingProcess(abc.ABC):
             rounds = self._block_size(remaining)
             plan = self._plan_block(rounds)
             self._block_exec(self._flat, plan, self.alpha, False)
+            self._count_block(rounds)
             self._moments_dirty = True
             self.t += rounds
             remaining -= rounds
+
+    def _count_block(self, rounds: int) -> None:
+        """Per-block work accounting (amortised: never per round)."""
+        METRICS.count("engine.replica_steps", rounds * self.num_active)
+        METRICS.count("engine.rng_blocks")
+        METRICS.count(f"engine.blocks.{self.kernel}")
 
     def run_until_phi(self, epsilon: float, max_steps: int) -> np.ndarray:
         """Per-replica ``T_eps``: step until every replica has ``phi <= eps``.
@@ -517,7 +542,9 @@ class BatchAveragingProcess(abc.ABC):
     ) -> np.ndarray:
         """The PR-1 per-round detection loop (``"numpy"`` kernel)."""
         start = self.t
+        replica_steps = 0
         while self.num_active and self.t - start < max_steps:
+            replica_steps += self.num_active
             self.step_batch()
             rows = self._active_rows
             phi = np.maximum(self._s2[rows] - self._s1[rows] ** 2, 0.0)
@@ -525,6 +552,10 @@ class BatchAveragingProcess(abc.ABC):
             if len(done):
                 hit[done] = self.t - start
                 self.freeze(done)
+        if replica_steps:
+            METRICS.count("engine.replica_steps", replica_steps)
+            METRICS.count("engine.rng_blocks", self.t - start)
+            METRICS.count("engine.blocks.numpy")
         return hit
 
     def _run_until_phi_blocked(
@@ -557,6 +588,7 @@ class BatchAveragingProcess(abc.ABC):
         :mod:`repro.engine.kernels`).
         """
         start = self.t
+        tracer = active_tracer()
         while self.num_active and self.t - start < max_steps:
             self._sync_snapshot()
             rounds = self._block_size(max_steps - (self.t - start))
@@ -564,6 +596,7 @@ class BatchAveragingProcess(abc.ABC):
             rows = self._active_rows
             plan = self._plan_block(rounds)
             old_blk, new_blk = self._block_exec(self._flat, plan, self.alpha, True)
+            self._count_block(rounds)
             self.t += rounds
             self._rounds_since_resync += rounds
 
@@ -596,6 +629,14 @@ class BatchAveragingProcess(abc.ABC):
                     plan, old_blk, traj1, traj2, rows, crossed, first, resynced
                 )
                 self.freeze(done)
+            if tracer.enabled:
+                # Chunk-boundary stream samples: the block already ended
+                # and phi was already computed, so recording reads what
+                # exists — it cannot perturb the trajectory or the RNG.
+                tracer.record("engine.phi_max", self.t, float(phi[-1].max()))
+                tracer.record(
+                    "engine.active_replicas", self.t, self.num_active
+                )
         return hit
 
     def _rewind_crossed(

@@ -18,10 +18,13 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
 import numpy as np
+
+from repro.obs.metrics import METRICS
 
 #: Bump when the engine's sampling law changes; invalidates old entries.
 _CACHE_VERSION = 1
@@ -58,17 +61,27 @@ class ResultCache:
         return self.directory / f"{key}.npy", self.directory / f"{key}.json"
 
     def load(self, spec, params: str, seed) -> Optional[np.ndarray]:
-        """Return the memoised array, or ``None`` on miss / uncacheable seed."""
+        """Return the memoised array, or ``None`` on miss / uncacheable seed.
+
+        Hits and misses feed the process-wide ``cache.*`` counters (an
+        uncacheable seed counts as neither — the cache was never asked a
+        answerable question).
+        """
         token = _seed_token(seed)
         if token is None:
             return None
         path, _ = self._paths(self._key(spec, params, token))
         if not path.exists():
+            METRICS.count("cache.misses")
             return None
         try:
-            return np.load(path)
+            array = np.load(path)
         except (OSError, ValueError):  # corrupt entry: treat as a miss
+            METRICS.count("cache.misses")
             return None
+        METRICS.count("cache.hits")
+        METRICS.count("cache.bytes_read", array.nbytes)
+        return array
 
     def store(self, spec, params: str, seed, array: np.ndarray) -> bool:
         """Persist ``array``; returns whether anything was written."""
@@ -98,14 +111,62 @@ class ResultCache:
                 indent=2,
             )
         )
+        METRICS.count("cache.bytes_written", np.asarray(array).nbytes)
         return True
 
-    def clear(self) -> int:
-        """Delete every entry; returns the number of arrays removed."""
+    def stats(self) -> dict:
+        """Directory contents plus this process's hit/miss counters.
+
+        ``entries``/``total_bytes`` are read from disk (they include
+        entries written by other processes); hits, misses and byte flows
+        come from the process-wide registry — "since process start", the
+        contract ``repro cache stats`` documents.
+        """
+        entries = 0
+        total_bytes = 0
+        for path in self.directory.glob("*.npy"):
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:  # racing a concurrent clear()
+                continue
+            entries += 1
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "hits": int(METRICS.value("cache.hits")),
+            "misses": int(METRICS.value("cache.misses")),
+            "bytes_read": int(METRICS.value("cache.bytes_read")),
+            "bytes_written": int(METRICS.value("cache.bytes_written")),
+        }
+
+    def clear(self, older_than_seconds: Optional[float] = None) -> int:
+        """Delete entries; returns the number of arrays removed.
+
+        With ``older_than_seconds`` only entries whose ``.npy`` mtime is
+        older than that age are evicted — and the array is always
+        removed *before* its sidecar, so a crash mid-eviction leaves an
+        orphan sidecar (harmless: lookups key on the ``.npy``) rather
+        than a sidecar-less array that debugging tools cannot explain.
+        """
+        cutoff = (
+            None
+            if older_than_seconds is None
+            else time.time() - older_than_seconds
+        )
         removed = 0
         for path in self.directory.glob("*.npy"):
-            path.unlink()
+            if cutoff is not None:
+                try:
+                    if path.stat().st_mtime >= cutoff:
+                        continue
+                except OSError:  # already gone
+                    continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
             removed += 1
-        for path in self.directory.glob("*.json"):
-            path.unlink()
+            path.with_suffix(".json").unlink(missing_ok=True)
+        METRICS.count("cache.evictions", removed)
         return removed

@@ -18,6 +18,8 @@ can be rebuilt inside worker processes and results memoised on disk:
 from __future__ import annotations
 
 import hashlib
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
@@ -37,6 +39,8 @@ from repro.engine.kernels import (
 )
 from repro.exceptions import ConvergenceError, ParameterError
 from repro.graphs.adjacency import Adjacency
+from repro.obs.metrics import METRICS
+from repro.obs.trace import Span, Tracer, activate, active_tracer
 from repro.rng import SeedLike
 
 #: Replicas per shard when the caller does not choose one.
@@ -297,12 +301,26 @@ def run_to_consensus_batch(
         phi_out[done] = np.maximum(s2 - s1 * s1, 0.0)
         batch.freeze(done)
 
+    tracer = active_tracer()
     start = batch.t
     _harvest(start)
     while batch.num_active and batch.t - start < max_steps:
         remaining = max_steps - (batch.t - start)
         batch.run(min(check_every, remaining))
         _harvest(start)
+        if tracer.enabled:
+            # Harvest checks are chunk boundaries: sampling here cannot
+            # change how many rounds run or what the RNG draws.
+            tracer.record("engine.active_replicas", batch.t, batch.num_active)
+            rows = batch._active_rows
+            if len(rows):
+                tracer.record(
+                    "engine.max_discrepancy",
+                    batch.t,
+                    float(batch.discrepancy[rows].max()),
+                )
+    if tracer.enabled:
+        tracer.streams.histogram("consensus_rounds", t)
     if batch.num_active:
         rows = batch._active_rows
         worst = float(batch.discrepancy[rows].max())
@@ -366,6 +384,24 @@ def _run_shard_t(
     return measure_t_eps_batch(batch, epsilon, max_steps).astype(np.float64)
 
 
+def _traced_worker(worker, spec: EngineSpec, replicas: int, seed, args):
+    """Run ``worker`` in a child process under its own tracer.
+
+    Returns ``(result, span_payloads, counter_delta)``: the worker's
+    spans travel back through the ordinary shard-result plumbing and are
+    re-attached under the parent's shard span; the counter delta (taken
+    against a baseline so pool-reused workers never double-count) is
+    folded into the parent's registry.
+    """
+    baseline = METRICS.snapshot()
+    tracer = Tracer()
+    with activate(tracer), tracer.span(
+        "engine.worker", pid=os.getpid(), replicas=replicas
+    ):
+        out = worker(spec, replicas, seed, *args)
+    return out, tracer.to_payload(), METRICS.delta(baseline)["counters"]
+
+
 def _run_sharded(
     worker,
     spec: EngineSpec,
@@ -387,18 +423,46 @@ def _run_sharded(
         children = seed.bit_generator.seed_seq.spawn(len(sizes))  # type: ignore[union-attr]
     else:
         children = np.random.SeedSequence(seed).spawn(len(sizes))
+    tracer = active_tracer()
     if processes == 1 or len(sizes) == 1:
-        parts = [
-            worker(spec, size, child, *args)
-            for size, child in zip(sizes, children)
-        ]
-    else:
+        parts = []
+        for index, (size, child) in enumerate(zip(sizes, children)):
+            t0 = time.perf_counter()
+            with tracer.span("engine.shard", shard=index, replicas=size):
+                parts.append(worker(spec, size, child, *args))
+            METRICS.gauge("engine.shard_seconds", time.perf_counter() - t0)
+    elif not tracer.enabled:
         with ProcessPoolExecutor(max_workers=processes) as pool:
             futures = [
                 pool.submit(worker, spec, size, child, *args)
                 for size, child in zip(sizes, children)
             ]
             parts = [f.result() for f in futures]
+    else:
+        # Traced fan-out: each worker runs under its own tracer and
+        # ships its spans (plus run-scoped counters) back with the
+        # shard result; the parent re-attaches them under a per-shard
+        # span, shifted onto its own clock.
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            futures = [
+                pool.submit(_traced_worker, worker, spec, size, child, args)
+                for size, child in zip(sizes, children)
+            ]
+            parts = []
+            for index, future in enumerate(futures):
+                t0 = time.perf_counter()
+                with tracer.span(
+                    "engine.shard", shard=index, replicas=sizes[index]
+                ) as handle:
+                    out, span_payloads, counters = future.result()
+                METRICS.gauge("engine.shard_seconds", time.perf_counter() - t0)
+                worker_spans = [Span.from_payload(p) for p in span_payloads]
+                tracer.attach(handle.span, worker_spans, handle.span.start)
+                if worker_spans:
+                    handle.add(worker_s=worker_spans[0].duration)
+                for name, value in counters.items():
+                    METRICS.count(name, value)
+                parts.append(out)
     return np.concatenate(parts)
 
 
@@ -424,22 +488,29 @@ def sample_f_batch(
         f"F|tol={discrepancy_tol!r}|max={max_steps}|r={replicas}"
         f"|shard={shard_size or _DEFAULT_SHARD}"
     )
-    if cache is not None:
-        hit = cache.load(spec, params, seed)
-        if hit is not None:
-            return hit
-    out = _run_sharded(
-        _run_shard_f,
-        spec,
-        replicas,
-        seed,
-        shard_size,
-        processes,
-        discrepancy_tol,
-        max_steps,
-    )
-    if cache is not None:
-        cache.store(spec, params, seed, out)
+    tracer = active_tracer()
+    with tracer.span(
+        "engine.sample_f", replicas=replicas, processes=processes
+    ) as handle:
+        if cache is not None:
+            with tracer.span("cache.load"):
+                hit = cache.load(spec, params, seed)
+            if hit is not None:
+                handle.add(cache="hit")
+                return hit
+        out = _run_sharded(
+            _run_shard_f,
+            spec,
+            replicas,
+            seed,
+            shard_size,
+            processes,
+            discrepancy_tol,
+            max_steps,
+        )
+        if cache is not None:
+            with tracer.span("cache.store"):
+                cache.store(spec, params, seed, out)
     return out
 
 
@@ -458,20 +529,29 @@ def sample_t_eps_batch(
         f"T|eps={epsilon!r}|max={max_steps}|r={replicas}"
         f"|shard={shard_size or _DEFAULT_SHARD}"
     )
-    if cache is not None:
-        hit = cache.load(spec, params, seed)
-        if hit is not None:
-            return hit
-    out = _run_sharded(
-        _run_shard_t,
-        spec,
-        replicas,
-        seed,
-        shard_size,
-        processes,
-        epsilon,
-        max_steps,
-    )
-    if cache is not None:
-        cache.store(spec, params, seed, out)
+    tracer = active_tracer()
+    with tracer.span(
+        "engine.sample_t_eps", replicas=replicas, processes=processes
+    ) as handle:
+        if cache is not None:
+            with tracer.span("cache.load"):
+                hit = cache.load(spec, params, seed)
+            if hit is not None:
+                handle.add(cache="hit")
+                return hit
+        out = _run_sharded(
+            _run_shard_t,
+            spec,
+            replicas,
+            seed,
+            shard_size,
+            processes,
+            epsilon,
+            max_steps,
+        )
+        if cache is not None:
+            with tracer.span("cache.store"):
+                cache.store(spec, params, seed, out)
+    if tracer.enabled:
+        tracer.streams.histogram("t_eps_rounds", out)
     return out

@@ -67,6 +67,8 @@ from repro.engine.selection import (
 from repro.engine.backend import select_backend
 from repro.exceptions import ConvergenceError, ParameterError
 from repro.graphs.adjacency import Adjacency
+from repro.obs.metrics import METRICS
+from repro.obs.trace import active_tracer
 from repro.rng import SeedLike, as_generator
 
 #: Default rounds per free-run selection block (matches the primal
@@ -254,6 +256,8 @@ class BatchDiffusion(BatchDualProcess):
         self.loads = np.ascontiguousarray(loads)
         self._flat = self.loads.reshape(B * n, -1)
         self._base = self._rows * n
+        # The (B, n, r) load cube dominates the dual side's footprint.
+        METRICS.peak("engine.state_peak_bytes", self.loads.nbytes)
 
     @property
     def num_commodities(self) -> int:
@@ -777,21 +781,30 @@ def sample_coalescence_times(
         f"COAL|max={max_steps}|r={replicas}"
         f"|shard={shard_size or _DEFAULT_SHARD}"
     )
-    if cache is not None:
-        hit = cache.load(spec, params, seed)
-        if hit is not None:
-            return hit
-    out = _run_sharded(
-        _run_shard_coalescence,
-        spec,
-        replicas,
-        seed,
-        shard_size,
-        processes,
-        max_steps,
-    )
-    if cache is not None:
-        cache.store(spec, params, seed, out)
+    tracer = active_tracer()
+    with tracer.span(
+        "engine.sample_coalescence", replicas=replicas, processes=processes
+    ) as handle:
+        if cache is not None:
+            with tracer.span("cache.load"):
+                hit = cache.load(spec, params, seed)
+            if hit is not None:
+                handle.add(cache="hit")
+                return hit
+        out = _run_sharded(
+            _run_shard_coalescence,
+            spec,
+            replicas,
+            seed,
+            shard_size,
+            processes,
+            max_steps,
+        )
+        if cache is not None:
+            with tracer.span("cache.store"):
+                cache.store(spec, params, seed, out)
+    if tracer.enabled:
+        tracer.streams.histogram("coalescence_rounds", out)
     return out
 
 
@@ -887,19 +900,29 @@ def run_duality_batch(
             backend=backend,
             kernel=kernel,
         )
-    primal.record_selections()
-    primal.run(steps)
-    selections = primal.recorded_selections()
-
-    diffusion = BatchDiffusion(
-        adjacency,
-        cost=initial,
-        alpha=alpha,
-        k=k if kind == "node" else 1,
+    tracer = active_tracer()
+    with tracer.span(
+        "engine.duality",
+        kind=kind,
+        kernel=primal.kernel,
         replicas=replicas,
-        backend=backend,
-    )
-    diffusion.apply_selections(selections.reversed())
+        steps=steps,
+    ):
+        with tracer.span("dual.primal_forward"):
+            primal.record_selections()
+            primal.run(steps)
+            selections = primal.recorded_selections()
+
+        diffusion = BatchDiffusion(
+            adjacency,
+            cost=initial,
+            alpha=alpha,
+            k=k if kind == "node" else 1,
+            replicas=replicas,
+            backend=backend,
+        )
+        with tracer.span("dual.reversed_replay"):
+            diffusion.apply_selections(selections.reversed())
     return BatchDualityReport(
         xi_final=primal.values.copy(),
         w_final=np.ascontiguousarray(diffusion.costs),

@@ -327,20 +327,27 @@ def build_schedule(
     ``len(graphs)`` snapshots are derived from it (``rewires`` defaults
     to one eighth of the base's edges, at least 1).
     """
-    if kind == "cyclic":
-        return CyclicSchedule(graphs, switch_every)
-    if kind == "random":
-        return RandomSchedule(graphs, switch_every, seed=seed)
-    if kind == "rewire":
-        frozen = _freeze_snapshots(graphs)
-        churn = rewires if rewires is not None else max(1, frozen[0].m // 8)
-        return RewiringSchedule(
-            frozen[0],
-            num_snapshots=len(frozen),
-            switch_every=switch_every,
-            rewires=churn,
-            seed=seed,
-        )
+    from repro.obs.trace import active_tracer
+
+    with active_tracer().span(
+        "engine.build_schedule", kind=kind, snapshots=len(graphs)
+    ):
+        if kind == "cyclic":
+            return CyclicSchedule(graphs, switch_every)
+        if kind == "random":
+            return RandomSchedule(graphs, switch_every, seed=seed)
+        if kind == "rewire":
+            frozen = _freeze_snapshots(graphs)
+            churn = (
+                rewires if rewires is not None else max(1, frozen[0].m // 8)
+            )
+            return RewiringSchedule(
+                frozen[0],
+                num_snapshots=len(frozen),
+                switch_every=switch_every,
+                rewires=churn,
+                seed=seed,
+            )
     raise ParameterError(
         f"unknown graph schedule {kind!r}; expected one of "
         + ", ".join(repr(k) for k in SCHEDULE_KINDS)

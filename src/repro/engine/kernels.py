@@ -68,9 +68,12 @@ across the two.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.exceptions import ParameterError
+from repro.obs.metrics import METRICS
 
 #: Valid ``kernel=`` names accepted across the engine, API and CLI.
 KERNEL_CHOICES = ("auto", "numpy", "fused", "jit")
@@ -105,19 +108,38 @@ def validate_kernel(name: str) -> str:
     return name
 
 
+_FALLBACK_WARNED = False
+
+
 def resolve_kernel(name: str) -> str:
     """Resolve a requested kernel name to the effective one.
 
     ``"auto"`` prefers the jit kernel when numba is importable and falls
-    back to the fused NumPy kernel otherwise; an explicit ``"jit"``
-    request degrades the same way (silently — numba is an optional
-    accelerator, never a requirement).
+    back to the fused NumPy kernel otherwise.  An explicit ``"jit"``
+    request degrades the same way — numba is an optional accelerator,
+    never a requirement — but *visibly*: a one-time ``RuntimeWarning``
+    plus the ``engine.kernel_fallback`` counter, so BENCH and provenance
+    records stop silently reporting a backend that never ran.
     """
+    global _FALLBACK_WARNED
     validate_kernel(name)
     if name == "numpy":
         return "numpy"
     if name in ("auto", "jit"):
-        return "jit" if numba_available() else "fused"
+        if numba_available():
+            return "jit"
+        if name == "jit":
+            METRICS.count("engine.kernel_fallback")
+            if not _FALLBACK_WARNED:
+                _FALLBACK_WARNED = True
+                warnings.warn(
+                    "kernel='jit' requested but numba is not importable; "
+                    "falling back to the fused NumPy kernel "
+                    "(this warning is emitted once per process)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return "fused"
     return "fused"
 
 

@@ -1,0 +1,45 @@
+"""`repro.obs` — zero-dependency observability for the whole stack.
+
+Spans (:mod:`~repro.obs.trace`), counters/gauges/peaks
+(:mod:`~repro.obs.metrics`), chunk-boundary metric streams
+(:mod:`~repro.obs.stream`), and export/summary helpers
+(:mod:`~repro.obs.export`).  The engine reports to the process-wide
+:func:`active_tracer` and :data:`METRICS`; runs opt in via
+``RunSpec.trace`` and receive a ``telemetry`` block on their result.
+"""
+
+from repro.obs.export import (
+    TELEMETRY_SCHEMA,
+    build_telemetry,
+    chrome_trace,
+    render_summary,
+    summarize,
+)
+from repro.obs.metrics import METRICS, MetricRegistry
+from repro.obs.stream import Series, StreamSet
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    activate,
+    active_tracer,
+    set_active,
+    traced,
+)
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "build_telemetry",
+    "chrome_trace",
+    "render_summary",
+    "summarize",
+    "METRICS",
+    "MetricRegistry",
+    "Series",
+    "StreamSet",
+    "Span",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "set_active",
+    "traced",
+]

@@ -1,0 +1,105 @@
+"""Process-wide counters, gauges, and peak-hold high-water gauges.
+
+The single :data:`METRICS` registry is always on: increments are one
+dict operation, cheap enough for per-block (never per-round) call sites,
+and the cache layer's hits/misses accumulate for the whole process —
+which is exactly what ``repro cache stats`` reports.  Run-scoped
+telemetry takes a :meth:`~MetricRegistry.snapshot` before executing and
+a :meth:`~MetricRegistry.delta` after, so concurrent bookkeeping from
+other runs in the same process never leaks into a run's counters.
+
+Conventions
+-----------
+* **Counters** accumulate monotonically: ``engine.replica_steps``,
+  ``engine.rng_blocks``, ``engine.blocks.<kernel>`` (dispatches by
+  kernel name), ``engine.kernel_fallback``, ``engine.snapshot_switches``,
+  ``cache.hits`` / ``cache.misses`` / ``cache.bytes_read`` /
+  ``cache.bytes_written``, ``sweep.cells``.
+* **Gauges** hold the latest value: ``engine.shard_seconds`` (the most
+  recent shard's wall time; per-shard detail lives in spans).
+* **Peaks** hold the high-water mark: ``engine.state_peak_bytes`` — the
+  estimated peak footprint of live ``(B, n)`` / ``(B, n, r)`` state,
+  the adaptive-governor input named in the ROADMAP.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping
+
+
+class MetricRegistry:
+    """Thread-safe named counters, gauges and peak-hold gauges."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._peaks: Dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Writers
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to the counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def peak(self, name: str, value: float) -> None:
+        """Raise the peak-hold gauge ``name`` to ``value`` if higher."""
+        with self._lock:
+            if value > self._peaks.get(name, float("-inf")):
+                self._peaks[name] = value
+
+    # ------------------------------------------------------------------
+    # Readers
+    # ------------------------------------------------------------------
+    def value(self, name: str) -> float:
+        """Current counter value (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """Frozen copy of every metric, suitable for :meth:`delta`."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "peaks": dict(self._peaks),
+            }
+
+    def delta(self, baseline: Mapping[str, Mapping[str, float]]) -> dict:
+        """Metrics attributable to work since ``baseline``.
+
+        Counters subtract the baseline (zero-delta entries dropped);
+        gauges and peaks report their current values — a peak is a
+        high-water mark, not a flow, so differencing it is meaningless.
+        """
+        current = self.snapshot()
+        base = baseline.get("counters", {})
+        counters = {
+            name: value - base.get(name, 0)
+            for name, value in current["counters"].items()
+            if value != base.get(name, 0)
+        }
+        return {
+            "counters": counters,
+            "gauges": current["gauges"],
+            "peaks": current["peaks"],
+        }
+
+    def reset(self) -> None:
+        """Zero everything (test isolation; production never resets)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._peaks.clear()
+
+
+#: The process-wide registry every instrumented module reports to.
+METRICS = MetricRegistry()

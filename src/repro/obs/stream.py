@@ -1,0 +1,115 @@
+"""Per-round metric streams recorded at chunk boundaries.
+
+A :class:`Series` is an append-only ``(t, value)`` sequence — the
+max-discrepancy trajectory of a consensus run, the count of still-active
+replicas, the per-block max phi.  The engine appends samples **only at
+chunk boundaries** (harvest checks, block ends, snapshot switches): the
+points where it already pauses to look at the state.  Recording
+therefore never changes how many rounds a block executes or how the RNG
+stream is consumed — instrumentation cannot break ``block_rounds``
+invariance or perturb a trajectory.
+
+A :class:`StreamSet` is the named collection a
+:class:`~repro.obs.trace.Tracer` owns; histograms (e.g.
+rounds-to-convergence) are stored alongside the series as frozen
+``(bin_edges, counts)`` pairs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Sequence
+
+
+class Series:
+    """Append-only ``(t, value)`` samples of one named observable."""
+
+    __slots__ = ("name", "ts", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ts: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        self.ts.append(float(t))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def to_payload(self) -> dict:
+        return {"t": list(self.ts), "value": list(self.values)}
+
+
+class StreamSet:
+    """Named series plus histograms, lazily created on first append."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, Series] = {}
+        self._histograms: Dict[str, dict] = {}
+        self._lock = threading.Lock()
+
+    def series(self, name: str) -> Series:
+        found = self._series.get(name)
+        if found is None:
+            with self._lock:
+                found = self._series.setdefault(name, Series(name))
+        return found
+
+    def histogram(
+        self,
+        name: str,
+        values: Sequence[float],
+        bins: int = 16,
+    ) -> None:
+        """Record a frozen histogram of ``values`` under ``name``.
+
+        Repeated recordings accumulate counts when the edges agree and
+        re-bin the union otherwise (numpy chooses fresh edges).
+        """
+        import numpy as np
+
+        data = np.asarray(values, dtype=np.float64)
+        if data.size == 0:
+            return
+        with self._lock:
+            existing = self._histograms.get(name)
+        if existing is None:
+            counts, edges = np.histogram(data, bins=bins)
+        else:
+            edges = np.asarray(existing["bin_edges"])
+            counts, _ = np.histogram(
+                np.clip(data, edges[0], edges[-1]), bins=edges
+            )
+            counts = counts + np.asarray(existing["counts"])
+        with self._lock:
+            self._histograms[name] = {
+                "bin_edges": [float(e) for e in edges],
+                "counts": [int(c) for c in counts],
+            }
+
+    def __bool__(self) -> bool:
+        return bool(self._series or self._histograms)
+
+    def to_payload(self) -> dict:
+        return {
+            "series": {
+                name: series.to_payload()
+                for name, series in sorted(self._series.items())
+            },
+            "histograms": {
+                name: dict(h) for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "StreamSet":
+        streams = cls()
+        for name, body in payload.get("series", {}).items():
+            series = streams.series(name)
+            series.ts = [float(t) for t in body.get("t", [])]
+            series.values = [float(v) for v in body.get("value", [])]
+        for name, body in payload.get("histograms", {}).items():
+            streams._histograms[name] = dict(body)
+        return streams

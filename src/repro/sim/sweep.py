@@ -10,9 +10,12 @@ without bespoke loop nests.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.exceptions import ParameterError
+from repro.obs.metrics import METRICS
+from repro.obs.trace import active_tracer
 from repro.sim.results import ResultTable
 
 
@@ -58,8 +61,14 @@ def sweep(
     if overlap:
         raise ParameterError(f"common keys {overlap} collide with axes")
     table = ResultTable(title, columns=[*names, *measurements])
+    tracer = active_tracer()
     for point in grid(axes):
-        outcome = evaluate(**point, **common)
+        attrs = {name: str(point[name]) for name in names}
+        started = time.perf_counter()
+        with tracer.span("sweep.cell", **attrs):
+            outcome = evaluate(**point, **common)
+        METRICS.count("sweep.cells")
+        METRICS.gauge("sweep.cell_seconds", time.perf_counter() - started)
         missing = [m for m in measurements if m not in outcome]
         if missing:
             raise ParameterError(

@@ -232,6 +232,26 @@ def test_regenerate_golden():
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 
+@pytest.mark.parametrize("cell_id", sorted(CELLS))
+def test_end_state_matches_golden_under_tracing(cell_id):
+    """The off-state contract, asserted in the on-state: an enabled
+    tracer observes but never perturbs — every golden hash is
+    bit-identical with tracing active (numpy and fused kernels alike)."""
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("regeneration pass (see test_regenerate_golden)")
+    from repro.obs import Tracer, activate
+
+    golden = _load_golden()
+    tracer = Tracer()
+    with activate(tracer):
+        actual = _state_hash(_run_cell(CELLS[cell_id]))
+    assert actual == golden["cells"][cell_id], (
+        f"tracing perturbed cell {cell_id!r}: hash {actual} != "
+        f"golden {golden['cells'][cell_id]} — instrumentation must never "
+        "touch RNG state or values"
+    )
+
+
 @pytest.mark.skipif(not numba_available(), reason="numba not installed")
 @pytest.mark.parametrize(
     "cell_id",
