@@ -14,6 +14,9 @@ four cooperating pieces (see DESIGN.md section 5):
   registry and runs it with provenance collection.
 * :class:`ArtifactStore` (:mod:`repro.api.store`) — a manifest-indexed
   archive of results, reloadable and regression-diffable by spec.
+* :func:`submit` / :class:`JobHandle` (:mod:`repro.jobs`) — the async
+  face: file a spec with a ``repro serve`` worker pool and wait on the
+  handle instead of blocking in-process (see DESIGN.md section 10).
 
 Quick tour::
 
@@ -42,11 +45,13 @@ from repro.api.run import execute, execute_many, resolve_spec
 from repro.api.spec import Provenance, RunResult, RunSpec
 from repro.api.store import ArtifactRecord, ArtifactStore, diff_results
 from repro.api.sweep import expand_grid, summary_table
+from repro.jobs.handle import JobHandle, submit
 
 __all__ = [
     "ArtifactRecord",
     "ArtifactStore",
     "Experiment",
+    "JobHandle",
     "PRESETS",
     "ParamSpec",
     "Provenance",
@@ -66,5 +71,6 @@ __all__ = [
     "experiment_ids",
     "get_experiment",
     "resolve_spec",
+    "submit",
     "summary_table",
 ]

@@ -105,6 +105,39 @@ def execute(spec: RunSpec) -> RunResult:
     )
 
 
-def execute_many(specs: Iterable[RunSpec]) -> List[RunResult]:
-    """Execute specs in order; fails fast on the first error."""
-    return [execute(spec) for spec in specs]
+def execute_many(
+    specs: Iterable[RunSpec], *, memo: bool = True
+) -> List[RunResult]:
+    """Execute specs in order; fails fast on the first error.
+
+    Identical configurations (equal :meth:`RunSpec.key`, i.e. identical
+    resolved parameters and seed) invoke the engine **once**: later
+    duplicates reuse the first run's tables and provenance under their
+    own spec (output options like ``markdown`` never enter the key, so
+    a memo hit is exact).  Hits count as ``api.memo_hits`` in
+    :data:`~repro.obs.metrics.METRICS`.  Pass ``memo=False`` to force
+    every spec through the engine, e.g. when timing runs.
+    """
+    results: List[RunResult] = []
+    by_key: Dict[str, RunResult] = {}
+    for spec in specs:
+        key = spec.key() if memo else None
+        if key is not None and key in by_key:
+            first = by_key[key]
+            from repro.obs.metrics import METRICS
+
+            METRICS.count("api.memo_hits")
+            results.append(
+                RunResult(
+                    spec=spec,
+                    tables=list(first.tables),
+                    provenance=first.provenance,
+                    telemetry=first.telemetry,
+                )
+            )
+            continue
+        result = execute(spec)
+        if key is not None:
+            by_key[key] = result
+        results.append(result)
+    return results

@@ -17,6 +17,13 @@ overwrites its artefact (one canonical record per configuration, the
 ``save_bundle`` convention).  Table comparison reuses
 :func:`repro.io.diff_tables`, and legacy ``ResultBundle`` archives can be
 absorbed with :meth:`ArtifactStore.import_bundle`.
+
+The store is safe under concurrent writers — the job service points
+many worker processes at one store.  Artefact and manifest writes are
+atomic (unique temp file + ``os.replace``, so readers never see a torn
+JSON), and the manifest's read-modify-write cycle in :meth:`save` runs
+under a :class:`~repro.locks.FileLock`, so two workers archiving at
+the same moment cannot drop each other's manifest entries.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from typing import Any, Dict, List
 from repro.api.spec import RunResult, RunSpec
 from repro.exceptions import ArtifactError
 from repro.io import ResultBundle, diff_tables
+from repro.locks import FileLock, atomic_write_text
 
 MANIFEST_NAME = "manifest.json"
 _SCHEMA = 1
@@ -147,9 +155,12 @@ class ArtifactStore:
             "schema": _SCHEMA,
             "records": {key: asdict(record) for key, record in records.items()},
         }
-        tmp = self.manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        tmp.replace(self.manifest_path)
+        atomic_write_text(
+            self.manifest_path, json.dumps(payload, indent=2, sort_keys=True)
+        )
+
+    def _manifest_lock(self) -> FileLock:
+        return FileLock(self.root / (MANIFEST_NAME + ".lock"))
 
     # ------------------------------------------------------------------
     # Save / load / list
@@ -158,15 +169,18 @@ class ArtifactStore:
         """Archive ``result``; returns the artefact path.
 
         Re-saving the same configuration (same :meth:`RunSpec.key`)
-        overwrites the previous artefact and manifest entry.
+        overwrites the previous artefact and manifest entry.  Safe
+        under concurrent writers: the artefact lands atomically and
+        the manifest update is serialised by a file lock.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         key = result.spec.key()
         file_name = f"{key}.json"
-        (self.root / file_name).write_text(result.to_json())
-        records = self._read_manifest()
-        records[key] = ArtifactRecord.from_result(result, file_name)
-        self._write_manifest(records)
+        atomic_write_text(self.root / file_name, result.to_json())
+        with self._manifest_lock():
+            records = self._read_manifest()
+            records[key] = ArtifactRecord.from_result(result, file_name)
+            self._write_manifest(records)
         return self.root / file_name
 
     def records(self) -> List[ArtifactRecord]:

@@ -14,6 +14,16 @@ identically)::
     python -m repro.cli trace export results/EXP-F1.fast.s0.json --chrome t.json
     python -m repro.cli cache stats .cache/
 
+Job service (async execution over the same specs, DESIGN.md section 10)::
+
+    python -m repro.cli submit EXP-F1 --root jobs/
+    python -m repro.cli serve --root jobs/ --workers 2 --until-idle
+    python -m repro.cli status JOB --root jobs/
+    python -m repro.cli fetch JOB --root jobs/ --wait --timeout 60
+    python -m repro.cli jobs list --root jobs/ --json
+    python -m repro.cli jobs cancel JOB --root jobs/
+    python -m repro.cli jobs stop --root jobs/
+
 ``run`` accepts ``--set key=value`` overrides against each experiment's
 declared parameter schema, ``--json`` to emit archived-format payloads,
 and ``--save DIR`` to file results in an :class:`~repro.api.ArtifactStore`.
@@ -60,8 +70,12 @@ from repro.engine.dynamic import SCHEDULE_KINDS
 from repro.engine.kernels import KERNEL_CHOICES
 from repro.exceptions import ArtifactError, ReproError
 from repro.io import ResultBundle, save_bundle
+from repro.jobs.handle import DEFAULT_ROOT as JOBS_DEFAULT_ROOT
 
-SUBCOMMANDS = ("run", "list", "sweep", "diff", "trace", "cache")
+SUBCOMMANDS = (
+    "run", "list", "sweep", "diff", "trace", "cache",
+    "serve", "submit", "status", "fetch", "jobs",
+)
 
 
 # ----------------------------------------------------------------------
@@ -248,6 +262,96 @@ def build_cli_parser() -> argparse.ArgumentParser:
     ccl.add_argument("--older-than", dest="older_than", type=float,
                      default=None, metavar="SECONDS",
                      help="evict only entries older than this age")
+
+    # ------------------------------------------------------------------
+    # Job service (repro.jobs)
+    # ------------------------------------------------------------------
+    def add_root(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--root", metavar="DIR", default=JOBS_DEFAULT_ROOT,
+                       help=f"service root (default: {JOBS_DEFAULT_ROOT})")
+
+    srv = sub.add_parser(
+        "serve", help="run a worker pool over a job-queue root"
+    )
+    add_root(srv)
+    srv.add_argument("--workers", type=int, default=2,
+                     help="worker processes to keep alive (default 2)")
+    srv.add_argument("--heartbeat-timeout", dest="heartbeat_timeout",
+                     type=float, default=5.0,
+                     help=(
+                         "seconds of heartbeat silence after which a "
+                         "claimed job is requeued (default 5)"
+                     ))
+    srv.add_argument("--until-idle", dest="until_idle", action="store_true",
+                     help="exit (cleanly) once the queue drains")
+    srv.add_argument("--timeout", type=float, default=None,
+                     help="stop serving after this many seconds")
+    srv.add_argument("--json", action="store_true",
+                     help="emit the final service stats as JSON")
+
+    sbm = sub.add_parser(
+        "submit", help="file run specs with the job service (non-blocking)"
+    )
+    sbm.add_argument("ids", nargs="+", metavar="EXPERIMENT",
+                     help="experiment ids to submit")
+    add_root(sbm)
+    sbm.add_argument("--preset", choices=("fast", "full"), default="fast")
+    sbm.add_argument("--seed", type=int, default=0)
+    sbm.add_argument("--engine", choices=("batch", "loop"), default=None)
+    sbm.add_argument("--kernel", choices=KERNEL_CHOICES, default=None)
+    sbm.add_argument("--schedule", dest="graph_schedule",
+                     choices=SCHEDULE_KINDS, default=None)
+    sbm.add_argument("--switch-every", dest="switch_every", type=int,
+                     default=None)
+    sbm.add_argument("--snapshots", dest="snapshots", type=int, default=None)
+    sbm.add_argument("--set", dest="overrides", action="append", default=[],
+                     metavar="KEY=VALUE")
+    sbm.add_argument("--trace", action="store_true",
+                     help="execute under the tracer (telemetry on the artefact)")
+    sbm.add_argument("--max-retries", dest="max_retries", type=int, default=3,
+                     help="requeues before quarantine (default 3)")
+    sbm.add_argument("--wait", action="store_true",
+                     help="block until completion and print the result")
+    sbm.add_argument("--timeout", type=float, default=None,
+                     help="with --wait: give up after this many seconds")
+    sbm.add_argument("--markdown", action="store_true")
+    sbm.add_argument("--json", action="store_true",
+                     help="emit job ids (and, with --wait, results) as JSON")
+
+    sts = sub.add_parser("status", help="report one job's lifecycle state")
+    sts.add_argument("job", metavar="JOB", help="job id")
+    add_root(sts)
+    sts.add_argument("--json", action="store_true")
+
+    fch = sub.add_parser("fetch", help="retrieve a completed job's result")
+    fch.add_argument("job", metavar="JOB", help="job id")
+    add_root(fch)
+    fch.add_argument("--wait", action="store_true",
+                     help="block until the job completes first")
+    fch.add_argument("--timeout", type=float, default=None,
+                     help="with --wait: give up after this many seconds")
+    fch.add_argument("--markdown", action="store_true")
+    fch.add_argument("--json", action="store_true",
+                     help="emit the full RunResult payload as JSON")
+
+    jbs = sub.add_parser("jobs", help="inspect/manage the job queue")
+    jbs_sub = jbs.add_subparsers(dest="action", required=True)
+    jls = jbs_sub.add_parser("list", help="all job records plus service stats")
+    add_root(jls)
+    jls.add_argument("--json", action="store_true")
+    jcn = jbs_sub.add_parser("cancel", help="cancel a queued/coalesced job")
+    jcn.add_argument("job", metavar="JOB", help="job id")
+    add_root(jcn)
+    jst = jbs_sub.add_parser(
+        "stop", help="ask serve loops and workers on this root to exit"
+    )
+    add_root(jst)
+    jtr = jbs_sub.add_parser(
+        "trace", help="service timeline as a telemetry block / Chrome trace"
+    )
+    add_root(jtr)
+    jtr.add_argument("--chrome", metavar="OUT", default=None,
+                     help="write chrome://tracing JSON to OUT (else stdout)")
     return parser
 
 
@@ -578,6 +682,207 @@ def _cache_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Job service subcommands
+# ----------------------------------------------------------------------
+def _serve_cmd(args: argparse.Namespace) -> int:
+    from repro.jobs import Orchestrator
+
+    orchestrator = Orchestrator(
+        args.root,
+        workers=args.workers,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    try:
+        stats = orchestrator.serve(
+            until_idle=args.until_idle, timeout=args.timeout
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        orchestrator.shutdown()
+        stats = orchestrator.queue.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        states = ", ".join(
+            f"{state}={count}"
+            for state, count in sorted(stats["states"].items())
+        ) or "(none)"
+        print(
+            f"served {stats['jobs']} job(s): {states}; "
+            f"deduped={stats['deduped']} retried={stats['retried']}"
+        )
+    return 0
+
+
+def _submit_cmd(args: argparse.Namespace) -> int:
+    from repro.jobs import submit
+
+    status = _check_ids(args.ids)
+    if status:
+        return status
+    # Validate every spec up front, exactly as `run` does: a bad
+    # override must fail before anything enters the queue.
+    specs = []
+    for experiment_id in args.ids:
+        spec = RunSpec(
+            experiment_id=experiment_id,
+            preset=args.preset,
+            seed=args.seed,
+            engine=args.engine,
+            kernel=args.kernel,
+            graph_schedule=args.graph_schedule,
+            overrides=_fold_dynamic_flags(
+                experiment_id,
+                _coerce_overrides(
+                    experiment_id, _parse_overrides(args.overrides)
+                ),
+                args,
+            ),
+            markdown=args.markdown,
+            trace=args.trace,
+        )
+        resolve_spec(spec)
+        specs.append(spec)
+    handles = [
+        submit(spec, root=args.root, max_retries=args.max_retries)
+        for spec in specs
+    ]
+    payloads = []
+    for handle in handles:
+        job = handle.status(follow=False)
+        entry = {
+            "job": job.id,
+            "key": job.key,
+            "state": job.state,
+            "coalesced_into": job.coalesced_into,
+        }
+        if args.json and not args.wait:
+            payloads.append(entry)
+        elif not args.json:
+            note = (
+                f" (coalesced into {job.coalesced_into})"
+                if job.coalesced_into else ""
+            )
+            print(f"submitted {job.id}  {job.spec.label()}{note}")
+    if args.wait:
+        for handle in handles:
+            result = handle.wait(timeout=args.timeout)
+            if args.json:
+                payloads.append(result.to_payload())
+            else:
+                _print_result(
+                    result, args.markdown, result.provenance.wall_time_s
+                )
+    if args.json:
+        print(json.dumps(payloads, indent=2, default=str))
+    return 0
+
+
+def _job_payload(queue: "JobQueue", job: "Job") -> dict:  # noqa: F821
+    heartbeat = queue.read_heartbeat(job.id)
+    payload = job.to_payload()
+    payload["heartbeat"] = heartbeat
+    return payload
+
+
+def _status_cmd(args: argparse.Namespace) -> int:
+    from repro.jobs import JobQueue
+
+    queue = JobQueue(args.root)
+    job = queue.get(args.job)
+    resolved = queue.resolve(job)
+    if args.json:
+        payload = _job_payload(queue, job)
+        if resolved.id != job.id:
+            payload["resolved"] = _job_payload(queue, resolved)
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return 0
+    print(f"job        {job.id}")
+    print(f"spec       {job.spec.label()}")
+    print(f"state      {job.state}"
+          + (f" (follows {resolved.id}: {resolved.state})"
+             if resolved.id != job.id else ""))
+    print(f"attempts   {resolved.attempts}/{resolved.max_retries}")
+    if resolved.error:
+        print(f"error      {resolved.error.strip().splitlines()[-1]}")
+    heartbeat = queue.read_heartbeat(resolved.id)
+    if heartbeat:
+        age = time.time() - heartbeat["t"]
+        steps = heartbeat.get("counters", {}).get("engine.replica_steps")
+        progress = f", {steps:.0f} replica-steps" if steps else ""
+        print(f"worker     pid {heartbeat['pid']}, heartbeat {age:.1f}s ago"
+              f"{progress}")
+    return 0
+
+
+def _fetch_cmd(args: argparse.Namespace) -> int:
+    from repro.jobs import JobHandle, JobQueue
+
+    handle = JobHandle(JobQueue(args.root), args.job)
+    result = (
+        handle.wait(timeout=args.timeout) if args.wait else handle.result()
+    )
+    if args.json:
+        print(json.dumps(result.to_payload(), indent=2, default=str))
+    else:
+        _print_result(result, args.markdown, result.provenance.wall_time_s)
+    return 0
+
+
+def _jobs_cmd(args: argparse.Namespace) -> int:
+    from repro.jobs import JobQueue, jobs_telemetry
+
+    queue = JobQueue(args.root)
+    if args.action == "list":
+        jobs = queue.jobs()
+        stats = queue.stats()
+        if args.json:
+            print(json.dumps(
+                {
+                    "jobs": [_job_payload(queue, job) for job in jobs],
+                    "stats": stats,
+                },
+                indent=2, sort_keys=True, default=str,
+            ))
+            return 0
+        if not jobs:
+            print(f"no jobs under {queue.root}")
+            return 0
+        for job in jobs:
+            target = f" -> {job.coalesced_into}" if job.coalesced_into else ""
+            print(
+                f"{job.id}  {job.state:<11}  attempts={job.attempts}  "
+                f"{job.spec.label()}{target}"
+            )
+        states = ", ".join(
+            f"{state}={count}"
+            for state, count in sorted(stats["states"].items())
+        )
+        print(f"\n{stats['jobs']} job(s): {states}; "
+              f"deduped={stats['deduped']} retried={stats['retried']}")
+        return 0
+    if args.action == "cancel":
+        job = queue.cancel(args.job)
+        print(f"cancelled {job.id}")
+        return 0
+    if args.action == "stop":
+        queue.request_stop()
+        print(f"stop requested -> {queue.stop_path}")
+        return 0
+    # action == "trace": the service timeline through the obs tooling.
+    telemetry = jobs_telemetry(queue)
+    if args.chrome:
+        from repro.obs import chrome_trace
+
+        Path(args.chrome).write_text(
+            json.dumps(chrome_trace(telemetry), default=str)
+        )
+        print(f"wrote -> {args.chrome}")
+    else:
+        print(json.dumps(telemetry, indent=2, default=str))
+    return 0
+
+
 def _diff_cmd(args: argparse.Namespace) -> int:
     store = ArtifactStore(args.store) if args.store else None
     left = _diff_operand(args.left, store)
@@ -675,6 +980,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             "diff": _diff_cmd,
             "trace": _trace_cmd,
             "cache": _cache_cmd,
+            "serve": _serve_cmd,
+            "submit": _submit_cmd,
+            "status": _status_cmd,
+            "fetch": _fetch_cmd,
+            "jobs": _jobs_cmd,
         }[args.command]
         return handler(args)
     except ReproError as error:

@@ -58,3 +58,12 @@ class SpecError(ReproError, ValueError):
 
 class ArtifactError(ReproError):
     """An artifact store operation failed (missing key, corrupt manifest)."""
+
+
+class JobError(ReproError):
+    """A job-service operation failed.
+
+    Raised by :mod:`repro.jobs` for unknown job ids, malformed job
+    records, waits that time out, lost claim ownership, and handles
+    resolved against failed/quarantined/cancelled jobs.
+    """

@@ -1,0 +1,74 @@
+"""Async job orchestration over the declarative run API.
+
+The serving stack the ROADMAP's worker/orchestrator split asks for
+(DESIGN.md section 10), in five cooperating pieces:
+
+* :class:`~repro.jobs.queue.JobQueue` — a persistent on-disk queue of
+  :class:`~repro.jobs.model.Job` records with rename-atomic claims.
+* :mod:`repro.jobs.dedup` — concurrent identical submissions coalesce
+  into one computation, fanned out through the
+  :class:`~repro.api.store.ArtifactStore`.
+* :class:`~repro.jobs.worker.Worker` — claims jobs, runs
+  :func:`repro.api.execute`, streams heartbeat progress back.
+* :class:`~repro.jobs.orchestrator.Orchestrator` — spawns/supervises
+  the worker pool, requeues dead workers' jobs with capped exponential
+  backoff, quarantines poison jobs after ``max_retries``.
+* :func:`~repro.jobs.handle.submit` / :class:`~repro.jobs.handle.JobHandle`
+  — the client face, re-exported as :func:`repro.api.submit`.
+
+Quick tour::
+
+    from repro.api import RunSpec, submit
+    from repro.jobs import serve          # or: repro serve --root DIR
+
+    handle = submit(RunSpec("EXP-F1"), root="jobs/")
+    serve("jobs/", workers=2, until_idle=True)
+    result = handle.wait(timeout=60)
+"""
+
+from repro.jobs.dedup import DedupIndex
+from repro.jobs.handle import DEFAULT_ROOT, JobHandle, submit
+from repro.jobs.model import (
+    ACTIVE_STATES,
+    CANCELLED,
+    CLAIMED,
+    COALESCED,
+    DEFAULT_MAX_RETRIES,
+    DONE,
+    FAILED,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    backoff_seconds,
+)
+from repro.jobs.orchestrator import Orchestrator, serve
+from repro.jobs.queue import JobQueue
+from repro.jobs.telemetry import jobs_telemetry
+from repro.jobs.worker import Worker
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CANCELLED",
+    "CLAIMED",
+    "COALESCED",
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_ROOT",
+    "DONE",
+    "DedupIndex",
+    "FAILED",
+    "Job",
+    "JobHandle",
+    "JobQueue",
+    "Orchestrator",
+    "QUARANTINED",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "Worker",
+    "backoff_seconds",
+    "jobs_telemetry",
+    "serve",
+    "submit",
+]

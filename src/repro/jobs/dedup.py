@@ -1,0 +1,86 @@
+"""Request deduplication: concurrent identical submissions cost one run.
+
+The service's identity of a computation is :meth:`RunSpec.key` — the
+same content-addressed key the :class:`~repro.api.store.ArtifactStore`
+files results under.  While a job for some key is *active* (queued,
+claimed or running), every further submission of the same key is
+coalesced: it gets its own job record (state ``coalesced``) pointing at
+the active *primary*, never enters the queue, and resolves the moment
+the primary's artefact lands in the store.  A million identical sweep
+requests therefore cost one engine computation plus a million manifest
+reads.
+
+The index is a directory of marker files, one per active key (the file
+name is a hash of the key — keys embed experiment ids and override
+digests and can exceed filename limits; the key itself is stored inside
+the marker).  Markers are only consulted and written under the queue's
+submit lock, so the classic check-then-create race between two
+submitters cannot mint two primaries.  A marker whose primary has
+reached a terminal state is stale (e.g. the releasing process died
+between finishing the job and unlinking the marker) and is simply
+replaced by the next submission of that key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.locks import atomic_write_text
+
+
+class DedupIndex:
+    """Key -> active primary job id, backed by marker files."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def _marker(self, key: str) -> Path:
+        return self.root / (hashlib.sha256(key.encode()).hexdigest()[:24] + ".json")
+
+    def active_primary(
+        self, key: str, is_active: Callable[[str], bool]
+    ) -> Optional[str]:
+        """The job id currently computing ``key``, or ``None``.
+
+        ``is_active`` maps a job id to liveness; a marker pointing at a
+        finished (or vanished) job is treated as absent.
+        """
+        marker = self._marker(key)
+        try:
+            payload = json.loads(marker.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        job_id = payload.get("job")
+        if not job_id or not is_active(job_id):
+            return None
+        return str(job_id)
+
+    def register(self, key: str, job_id: str) -> None:
+        """Record ``job_id`` as the primary for ``key`` (overwrites a
+        stale marker; callers hold the submit lock)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self._marker(key), json.dumps({"key": key, "job": job_id})
+        )
+
+    def release(self, key: str, job_id: str) -> None:
+        """Drop the marker for ``key`` if ``job_id`` still owns it.
+
+        Called on every terminal transition of a primary.  The
+        ownership check keeps a slow releaser (e.g. a worker that lost
+        its job to the orchestrator's dead-worker sweep) from deleting
+        the marker of the replacement primary.
+        """
+        marker = self._marker(key)
+        try:
+            payload = json.loads(marker.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return
+        if payload.get("job") == job_id:
+            try:
+                marker.unlink()
+            except FileNotFoundError:
+                pass

@@ -1,0 +1,114 @@
+"""Client-side view of a submitted job: ``submit()`` and ``JobHandle``.
+
+This is the async face of the declarative API.  Where
+:func:`repro.api.execute` blocks the calling process,
+:func:`submit` files a :class:`~repro.api.spec.RunSpec` with a service
+root and returns immediately; a worker pool (``repro serve``) does the
+computing, and the handle's :meth:`~JobHandle.wait` turns back into the
+exact same :class:`~repro.api.spec.RunResult` a synchronous ``execute``
+would have produced — loaded from the shared
+:class:`~repro.api.store.ArtifactStore`, bit-identical tables and all,
+because both paths run the same engine at the same seed.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.api.spec import RunResult, RunSpec
+from repro.exceptions import ArtifactError, JobError
+from repro.jobs.model import (
+    CANCELLED,
+    DEFAULT_MAX_RETRIES,
+    DONE,
+    FAILED,
+    QUARANTINED,
+    Job,
+)
+from repro.jobs.queue import JobQueue
+
+#: Default service root, shared by the CLI subcommands.
+DEFAULT_ROOT = ".repro_jobs"
+
+
+def submit(
+    spec: RunSpec,
+    root: str | Path = DEFAULT_ROOT,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+) -> "JobHandle":
+    """File ``spec`` with the service at ``root``; non-blocking.
+
+    Concurrent submissions of identical configurations (same
+    ``spec.key()``) coalesce into one computation; the returned handle
+    resolves through the primary job transparently.
+    """
+    queue = JobQueue(root)
+    job = queue.submit(spec, max_retries=max_retries)
+    return JobHandle(queue, job.id)
+
+
+class JobHandle:
+    """Pollable reference to one submitted job."""
+
+    def __init__(self, queue: JobQueue | str | Path, job_id: str) -> None:
+        self.queue = queue if isinstance(queue, JobQueue) else JobQueue(queue)
+        self.job_id = job_id
+
+    def status(self, follow: bool = True) -> Job:
+        """The current job record (``follow`` resolves coalescence)."""
+        job = self.queue.get(self.job_id)
+        return self.queue.resolve(job) if follow else job
+
+    def state(self) -> str:
+        return self.status().state
+
+    def progress(self) -> Optional[Dict[str, Any]]:
+        """The live heartbeat of the executing job, if any."""
+        return self.queue.read_heartbeat(self.status().id)
+
+    def result(self) -> RunResult:
+        """The archived result; raises :class:`JobError` unless done."""
+        job = self.status()
+        if job.state != DONE:
+            raise JobError(
+                f"job {self.job_id} is {job.state}, not done"
+                + (f": {job.error}" if job.error else "")
+            )
+        try:
+            return self.queue.store.load(job.key)
+        except ArtifactError as error:
+            raise JobError(
+                f"job {self.job_id} finished but its artefact is missing: "
+                f"{error}"
+            ) from error
+
+    def wait(
+        self, timeout: Optional[float] = None, poll: float = 0.1
+    ) -> RunResult:
+        """Block until the job completes; returns its result.
+
+        Raises :class:`JobError` on failure, quarantine, cancellation,
+        or timeout.  Waiting is pure polling of the job record — the
+        handle works from any process that can see the service root.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.status()
+            if job.state == DONE:
+                return self.result()
+            if job.state in (FAILED, QUARANTINED, CANCELLED):
+                raise JobError(
+                    f"job {self.job_id} {job.state}"
+                    + (f": {job.error}" if job.error else "")
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise JobError(
+                    f"timed out after {timeout:.1f}s waiting for job "
+                    f"{self.job_id} (currently {job.state})"
+                )
+            time.sleep(poll)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JobHandle({self.job_id!r}, root={str(self.queue.root)!r})"

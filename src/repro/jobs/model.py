@@ -1,0 +1,141 @@
+"""The job record: one submitted :class:`~repro.api.spec.RunSpec` plus
+its position in the service's lifecycle state machine.
+
+State machine (DESIGN.md section 10)::
+
+    queued ──claim──▶ claimed ──▶ running ──▶ done
+      ▲                  │            │   └──▶ failed        (exec error)
+      │                  └────────────┴──▶ requeue           (dead worker)
+      └── backoff ◀──────┘   after max_retries ▶ quarantined
+    queued ──cancel──▶ cancelled
+    submit of an active key ──▶ coalesced (follows its primary)
+
+``queued``/``claimed``/``running`` are *active*; ``done``/``failed``/
+``quarantined``/``cancelled`` are *terminal*.  A ``coalesced`` job never
+executes: it points at the primary job computing the identical
+configuration and reports that job's progress (see
+:mod:`repro.jobs.dedup`).
+
+Records are plain JSON files, one per job, living in the state
+directory that matches their ``state`` field (``running`` shares the
+``claimed/`` directory — the claim rename, not the running flag, is
+what grants ownership).  All writes go through
+:func:`repro.locks.atomic_write_text`, so a record is never observed
+half-written.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.api.spec import RunSpec
+from repro.exceptions import JobError
+
+JOB_SCHEMA = 1
+
+QUEUED = "queued"
+CLAIMED = "claimed"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+QUARANTINED = "quarantined"
+CANCELLED = "cancelled"
+COALESCED = "coalesced"
+
+#: States in which a job still owns (or awaits) a computation.
+ACTIVE_STATES = frozenset({QUEUED, CLAIMED, RUNNING})
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, QUARANTINED, CANCELLED})
+ALL_STATES = ACTIVE_STATES | TERMINAL_STATES | {COALESCED}
+
+#: Default retry policy: first requeue after ~0.5s, doubling per
+#: attempt, never more than BACKOFF_CAP_S between attempts.
+DEFAULT_MAX_RETRIES = 3
+BACKOFF_BASE_S = 0.5
+BACKOFF_CAP_S = 30.0
+
+
+def new_job_id() -> str:
+    """A short collision-resistant job id (``j`` + 12 hex chars)."""
+    return "j" + uuid.uuid4().hex[:12]
+
+
+def backoff_seconds(attempt: int, base: float = BACKOFF_BASE_S,
+                    cap: float = BACKOFF_CAP_S) -> float:
+    """Capped exponential backoff before retry number ``attempt`` (>= 1)."""
+    return min(cap, base * (2.0 ** max(attempt - 1, 0)))
+
+
+@dataclass
+class Job:
+    """One unit of service work: a spec plus lifecycle bookkeeping."""
+
+    spec: RunSpec
+    id: str = field(default_factory=new_job_id)
+    state: str = QUEUED
+    #: Cached ``spec.key()`` — the dedup/store identity of the
+    #: configuration (recomputing it needs the registry; the service
+    #: must be able to reason about jobs without importing experiments).
+    key: str = ""
+    attempts: int = 0
+    max_retries: int = DEFAULT_MAX_RETRIES
+    submitted_at: float = field(default_factory=time.time)
+    claimed_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    worker_pid: Optional[int] = None
+    #: Earliest wall-clock time a requeued job may be claimed again.
+    not_before: float = 0.0
+    error: Optional[str] = None
+    #: For ``coalesced`` jobs: the id of the primary computing this key.
+    coalesced_into: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            self.key = self.spec.key()
+        if self.state not in ALL_STATES:
+            raise JobError(f"unknown job state {self.state!r}")
+
+    @property
+    def active(self) -> bool:
+        return self.state in ACTIVE_STATES
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def label(self) -> str:
+        return f"{self.id} {self.spec.label()} [{self.state}]"
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        payload = asdict(self)
+        payload["spec"] = self.spec.to_payload()
+        payload["schema"] = JOB_SCHEMA
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "Job":
+        try:
+            data = dict(payload)
+            data.pop("schema", None)
+            data["spec"] = RunSpec.from_payload(data["spec"])
+            return cls(**data)
+        except (KeyError, TypeError, ValueError) as error:
+            raise JobError(f"malformed job record: {error}") from error
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Job":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise JobError(f"invalid job record JSON: {error}") from error
+        return cls.from_payload(payload)

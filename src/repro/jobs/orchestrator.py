@@ -1,0 +1,203 @@
+"""The orchestrator: spawns workers, buries the dead, requeues their jobs.
+
+One supervising process owns the worker pool.  Its ``serve`` loop does
+three things per tick:
+
+1. **Respawn** — a worker subprocess that exited (crash, OOM kill)
+   while the service should still be running is replaced, keeping the
+   pool at its configured size.
+2. **Dead-job sweep** — every claimed/running job's heartbeat is
+   checked.  A job whose worker pid is gone, or whose heartbeat is
+   older than ``heartbeat_timeout``, has lost its worker: it is
+   requeued with capped exponential backoff (``jobs.retried``), or
+   quarantined once it has burned ``max_retries`` attempts
+   (``jobs.quarantined`` — the poison-job valve that keeps one
+   crashing spec from eating the pool forever).
+3. **Shutdown checks** — a ``STOP`` file (``repro jobs stop``) or, with
+   ``until_idle``, a drained queue ends the loop; workers see the same
+   STOP file and exit after their current job, so shutdown is clean by
+   construction and SIGTERM is only the impatient fallback.
+
+Supervision is pure queue-state observation: the orchestrator never
+talks to workers directly, so it supervises workers it did not spawn
+(e.g. extra workers started by hand on the same root) exactly as well
+as its own.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.jobs.model import CLAIMED, RUNNING
+from repro.jobs.queue import JobQueue
+
+
+def _pid_alive(pid: Optional[int]) -> bool:
+    if not pid:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists but not ours
+        return True
+    return True
+
+
+class Orchestrator:
+    """Worker-pool supervisor over one :class:`JobQueue` root."""
+
+    def __init__(
+        self,
+        root: str,
+        workers: int = 2,
+        heartbeat_timeout: float = 5.0,
+        poll: float = 0.2,
+        worker_poll: float = 0.1,
+        heartbeat_interval: float = 0.5,
+        imports: Sequence[str] = (),
+    ) -> None:
+        self.queue = JobQueue(root)
+        self.workers = workers
+        self.heartbeat_timeout = heartbeat_timeout
+        self.poll = poll
+        self.worker_poll = worker_poll
+        self.heartbeat_interval = heartbeat_interval
+        self.imports = list(imports)
+        self.procs: List[subprocess.Popen] = []
+        self._spawned = 0
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> subprocess.Popen:
+        self._spawned += 1
+        log = open(
+            self.queue.root / "logs" / f"worker-{self._spawned}.log", "ab"
+        )
+        argv = [
+            sys.executable, "-m", "repro.jobs.worker", str(self.queue.root),
+            "--poll", str(self.worker_poll),
+            "--heartbeat-interval", str(self.heartbeat_interval),
+        ]
+        for module in self.imports:
+            argv.append(f"--import={module}")
+        proc = subprocess.Popen(argv, stdout=log, stderr=log)
+        log.close()
+        return proc
+
+    def start(self) -> None:
+        """Create the layout and bring the pool up to size."""
+        self.queue.ensure_layout()
+        self.queue.clear_stop()
+        while len(self.procs) < self.workers:
+            self.procs.append(self._spawn_worker())
+
+    def _respawn_dead(self) -> None:
+        for index, proc in enumerate(self.procs):
+            if proc.poll() is not None:
+                self.procs[index] = self._spawn_worker()
+
+    # ------------------------------------------------------------------
+    # Dead-job sweep
+    # ------------------------------------------------------------------
+    def sweep(self) -> int:
+        """Requeue every claimed job whose worker is gone or silent.
+
+        Returns the number of jobs moved (requeued or quarantined).
+        """
+        moved = 0
+        now = time.time()
+        for job in self.queue.jobs(states=(CLAIMED, RUNNING)):
+            heartbeat = self.queue.read_heartbeat(job.id)
+            last_seen = (
+                heartbeat["t"] if heartbeat else (job.claimed_at or now)
+            )
+            stale = now - last_seen > self.heartbeat_timeout
+            dead = not _pid_alive(job.worker_pid)
+            if not (stale or dead):
+                continue
+            reason = (
+                f"worker {job.worker_pid} "
+                + ("died" if dead else
+                   f"silent for {now - last_seen:.1f}s")
+            )
+            try:
+                self.queue.requeue(job, reason)
+                moved += 1
+            except Exception:
+                continue  # the worker beat us to a terminal transition
+        return moved
+
+    # ------------------------------------------------------------------
+    # Serve loop
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        until_idle: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Supervise until STOP / drained (``until_idle``) / ``timeout``.
+
+        Returns the final :meth:`JobQueue.stats` dict.  Always shuts
+        the pool down before returning, even on an exception.
+        """
+        self.start()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            while True:
+                if self.queue.stop_requested():
+                    break
+                self._respawn_dead()
+                self.sweep()
+                if until_idle and self.queue.idle():
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                time.sleep(self.poll)
+        finally:
+            self.shutdown()
+        return self.queue.stats()
+
+    def shutdown(self, grace: float = 5.0) -> None:
+        """Stop the pool: STOP file, then SIGTERM, then SIGKILL."""
+        self.queue.request_stop()
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline and any(
+            proc.poll() is None for proc in self.procs
+        ):
+            time.sleep(0.05)
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in self.procs:
+            try:
+                proc.wait(timeout=grace)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+                proc.kill()
+                proc.wait()
+        self.procs.clear()
+        self.queue.clear_stop()
+
+
+def serve(
+    root: str,
+    workers: int = 2,
+    heartbeat_timeout: float = 5.0,
+    until_idle: bool = False,
+    timeout: Optional[float] = None,
+    imports: Sequence[str] = (),
+) -> Dict[str, Any]:
+    """Run a worker pool over ``root``; returns the final stats."""
+    orchestrator = Orchestrator(
+        root,
+        workers=workers,
+        heartbeat_timeout=heartbeat_timeout,
+        imports=imports,
+    )
+    return orchestrator.serve(until_idle=until_idle, timeout=timeout)

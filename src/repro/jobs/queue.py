@@ -1,0 +1,382 @@
+"""Persistent on-disk job queue with atomic claims.
+
+Layout (everything under one service root, safe to ``rm -rf`` when
+idle)::
+
+    root/
+      queued/<job>.json        eligible for claiming (FIFO by submit time)
+      claimed/<job>.json       owned by a worker (states claimed|running)
+      done|failed|quarantined|cancelled|coalesced/<job>.json
+      heartbeats/<job>.json    worker liveness + progress counters
+      keys/<hash>.json         dedup markers (see repro.jobs.dedup)
+      store/                   ArtifactStore the results land in
+      logs/                    worker stdout/stderr (orchestrator-spawned)
+      submit.lock              FileLock serialising submissions
+      STOP                     cooperative shutdown request
+
+The concurrency design is rename-based: *moving a record between state
+directories is the transaction*.  ``os.rename`` on one filesystem is
+atomic, so when several workers race to claim a job exactly one rename
+succeeds and the losers get ``FileNotFoundError`` and move on — no lock
+is held while claiming or completing.  The only locked section is
+submission, where the dedup check-then-register must be indivisible.
+
+Metric counters (``jobs.submitted`` / ``jobs.deduped`` /
+``jobs.retried`` / ``jobs.failed`` / ``jobs.completed`` /
+``jobs.quarantined``) land in the process-wide
+:data:`~repro.obs.metrics.METRICS` registry of whichever process
+performed the transition; :meth:`JobQueue.stats` derives the same
+totals from the records themselves, which is what the CLI reports —
+record-derived numbers survive process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.api.spec import RunSpec
+from repro.api.store import ArtifactStore
+from repro.exceptions import JobError
+from repro.jobs.dedup import DedupIndex
+from repro.jobs.model import (
+    ACTIVE_STATES,
+    CANCELLED,
+    CLAIMED,
+    COALESCED,
+    DEFAULT_MAX_RETRIES,
+    DONE,
+    FAILED,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    Job,
+    backoff_seconds,
+)
+from repro.locks import FileLock, atomic_write_text
+from repro.obs.metrics import METRICS
+
+#: state -> directory name.  ``running`` keeps living in ``claimed/``:
+#: the claim rename grants ownership, the running flag is bookkeeping.
+STATE_DIRS = {
+    QUEUED: "queued",
+    CLAIMED: "claimed",
+    RUNNING: "claimed",
+    DONE: "done",
+    FAILED: "failed",
+    QUARANTINED: "quarantined",
+    CANCELLED: "cancelled",
+    COALESCED: "coalesced",
+}
+_DIR_NAMES = ("queued", "claimed", "done", "failed", "quarantined",
+              "cancelled", "coalesced")
+STOP_NAME = "STOP"
+
+
+class JobQueue:
+    """Directory-backed queue of :class:`~repro.jobs.model.Job`\\ s."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.dedup = DedupIndex(self.root / "keys")
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def ensure_layout(self) -> None:
+        for name in _DIR_NAMES + ("heartbeats", "keys", "logs"):
+            (self.root / name).mkdir(parents=True, exist_ok=True)
+
+    def _dir(self, state: str) -> Path:
+        return self.root / STATE_DIRS[state]
+
+    def _path(self, job: Job) -> Path:
+        return self._dir(job.state) / f"{job.id}.json"
+
+    @property
+    def store(self) -> ArtifactStore:
+        """The artefact store results are fanned out through."""
+        return ArtifactStore(self.root / "store")
+
+    # ------------------------------------------------------------------
+    # Submission (the one locked section: dedup must be indivisible)
+    # ------------------------------------------------------------------
+    def submit(
+        self, spec: RunSpec, max_retries: int = DEFAULT_MAX_RETRIES
+    ) -> Job:
+        """Enqueue ``spec``; returns the new job record.
+
+        A submission whose ``spec.key()`` matches a still-active job
+        coalesces into it instead of enqueueing (state ``coalesced``,
+        counted as ``jobs.deduped``).
+        """
+        self.ensure_layout()
+        job = Job(spec=spec, max_retries=max_retries)
+        with FileLock(self.root / "submit.lock"):
+            primary = self.dedup.active_primary(job.key, self._is_active)
+            if primary is not None:
+                job.state = COALESCED
+                job.coalesced_into = primary
+                self._write(job)
+                METRICS.count("jobs.submitted")
+                METRICS.count("jobs.deduped")
+                return job
+            self._write(job)
+            self.dedup.register(job.key, job.id)
+        METRICS.count("jobs.submitted")
+        return job
+
+    def _is_active(self, job_id: str) -> bool:
+        try:
+            return self.get(job_id).active
+        except JobError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Claiming (lock-free: the rename is the transaction)
+    # ------------------------------------------------------------------
+    def claim(self, worker_pid: int | None = None) -> Optional[Job]:
+        """Atomically take ownership of the oldest eligible queued job.
+
+        Returns ``None`` when nothing is claimable (empty queue, or all
+        queued jobs still inside their retry backoff window).
+        """
+        now = time.time()
+        candidates: List[Job] = []
+        for job in self._read_dir("queued"):
+            if job.not_before <= now:
+                candidates.append(job)
+        candidates.sort(key=lambda j: (j.submitted_at, j.id))
+        pid = os.getpid() if worker_pid is None else worker_pid
+        for job in candidates:
+            source = self._dir(QUEUED) / f"{job.id}.json"
+            target = self._dir(CLAIMED) / f"{job.id}.json"
+            try:
+                os.rename(source, target)
+            except FileNotFoundError:
+                continue  # another worker won this one
+            job.state = CLAIMED
+            job.claimed_at = time.time()
+            job.worker_pid = pid
+            self._write(job)
+            self.write_heartbeat(job)
+            return job
+        return None
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def update(self, job: Job) -> None:
+        """Rewrite ``job``'s record in place (no state-directory move)."""
+        self._write(job)
+
+    def transition(self, job: Job, state: str, *, error: str | None = None,
+                   ) -> Job:
+        """Move ``job`` from its current state directory to ``state``'s.
+
+        Raises :class:`JobError` if the job is no longer where the
+        caller believes it is — e.g. a worker finishing a job the
+        orchestrator already requeued to a new owner.  Terminal
+        transitions release the dedup marker and drop the heartbeat.
+        """
+        source = self._path(job)
+        job_after = Job.from_payload(job.to_payload())
+        job_after.state = state
+        if error is not None:
+            job_after.error = error
+        if state in (DONE, FAILED, QUARANTINED, CANCELLED):
+            job_after.finished_at = time.time()
+        target = self._path(job_after)
+        if source != target:
+            try:
+                os.rename(source, target)
+            except FileNotFoundError:
+                raise JobError(
+                    f"job {job.id} is no longer {job.state} (lost ownership)"
+                ) from None
+        self._write(job_after)
+        if job_after.terminal:
+            self.dedup.release(job_after.key, job_after.id)
+            self._drop_heartbeat(job_after.id)
+        return job_after
+
+    def requeue(self, job: Job, reason: str) -> Job:
+        """Return a claimed/running job to the queue with backoff.
+
+        Used by the orchestrator's dead-worker sweep.  After
+        ``max_retries`` requeues the job is quarantined instead
+        (poison-job protection).  Counts ``jobs.retried`` or
+        ``jobs.quarantined``.
+        """
+        if job.attempts + 1 > job.max_retries:
+            quarantined = self.transition(job, QUARANTINED, error=reason)
+            METRICS.count("jobs.quarantined")
+            return quarantined
+        source = self._path(job)
+        job_after = Job.from_payload(job.to_payload())
+        job_after.attempts += 1
+        job_after.state = QUEUED
+        job_after.claimed_at = None
+        job_after.worker_pid = None
+        job_after.error = reason
+        job_after.not_before = time.time() + backoff_seconds(job_after.attempts)
+        try:
+            os.rename(source, self._path(job_after))
+        except FileNotFoundError:
+            raise JobError(
+                f"job {job.id} is no longer {job.state} (lost ownership)"
+            ) from None
+        self._write(job_after)
+        self._drop_heartbeat(job_after.id)
+        METRICS.count("jobs.retried")
+        return job_after
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued or coalesced job (running work is not torn
+        down — cancel the queue entry before a worker claims it)."""
+        job = self.get(job_id)
+        if job.state not in (QUEUED, COALESCED):
+            raise JobError(
+                f"only queued/coalesced jobs can be cancelled; "
+                f"{job_id} is {job.state}"
+            )
+        return self.transition(job, CANCELLED, error="cancelled")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        for name in _DIR_NAMES:
+            path = self.root / name / f"{job_id}.json"
+            try:
+                return Job.from_json(path.read_text())
+            except FileNotFoundError:
+                continue
+        raise JobError(f"no job {job_id!r} under {self.root}")
+
+    def resolve(self, job: Job) -> Job:
+        """Follow a coalesced job to the primary doing its work.
+
+        A coalesced job whose primary vanished (e.g. its record was
+        pruned) is reported as-is; callers treat that as failed.
+        """
+        seen = set()
+        while job.state == COALESCED and job.coalesced_into:
+            if job.id in seen:  # defensive: cyclic records
+                break
+            seen.add(job.id)
+            try:
+                job = self.get(job.coalesced_into)
+            except JobError:
+                break
+        return job
+
+    def jobs(self, states: Iterable[str] | None = None) -> List[Job]:
+        """All job records, oldest first (optionally filtered by state)."""
+        wanted = set(states) if states is not None else None
+        records = [
+            job
+            for name in _DIR_NAMES
+            for job in self._read_dir(name)
+            if wanted is None or job.state in wanted
+        ]
+        records.sort(key=lambda j: (j.submitted_at, j.id))
+        return records
+
+    def idle(self) -> bool:
+        """True when no job is queued, claimed or running."""
+        return not any(
+            self._read_dir(name) for name in ("queued", "claimed")
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Service totals derived from the records (cross-process)."""
+        jobs = self.jobs()
+        by_state: Dict[str, int] = {}
+        for job in jobs:
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "jobs": len(jobs),
+            "states": by_state,
+            "submitted": len(jobs),
+            "deduped": by_state.get(COALESCED, 0),
+            "retried": sum(job.attempts for job in jobs),
+            "failed": by_state.get(FAILED, 0),
+            "quarantined": by_state.get(QUARANTINED, 0),
+            "done": by_state.get(DONE, 0),
+        }
+
+    # ------------------------------------------------------------------
+    # Heartbeats (worker liveness + streamed progress)
+    # ------------------------------------------------------------------
+    def heartbeat_path(self, job_id: str) -> Path:
+        return self.root / "heartbeats" / f"{job_id}.json"
+
+    def write_heartbeat(
+        self, job: Job, counters: Dict[str, float] | None = None
+    ) -> None:
+        payload = {
+            "job": job.id,
+            "pid": job.worker_pid,
+            "state": job.state,
+            "t": time.time(),
+            "counters": dict(counters or {}),
+        }
+        atomic_write_text(self.heartbeat_path(job.id), json.dumps(payload))
+
+    def read_heartbeat(self, job_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(self.heartbeat_path(job_id).read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def _drop_heartbeat(self, job_id: str) -> None:
+        try:
+            self.heartbeat_path(job_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Cooperative shutdown
+    # ------------------------------------------------------------------
+    @property
+    def stop_path(self) -> Path:
+        return self.root / STOP_NAME
+
+    def request_stop(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stop_path.touch()
+
+    def stop_requested(self) -> bool:
+        return self.stop_path.exists()
+
+    def clear_stop(self) -> None:
+        try:
+            self.stop_path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Record IO
+    # ------------------------------------------------------------------
+    def _write(self, job: Job) -> None:
+        atomic_write_text(self._path(job), job.to_json())
+
+    def _read_dir(self, name: str) -> List[Job]:
+        directory = self.root / name
+        jobs: List[Job] = []
+        try:
+            entries = sorted(os.listdir(directory))
+        except FileNotFoundError:
+            return jobs
+        for entry in entries:
+            if not entry.endswith(".json"):
+                continue
+            try:
+                jobs.append(Job.from_json((directory / entry).read_text()))
+            except (FileNotFoundError, JobError):
+                continue  # claimed away mid-listing, or torn legacy file
+        return jobs

@@ -1,0 +1,91 @@
+"""Service-level telemetry: one span per job, worker traces grafted in.
+
+:func:`jobs_telemetry` folds a queue's job records into the same
+schema-1 telemetry block :mod:`repro.obs.export` produces for a single
+run, so the whole service timeline reuses the existing tooling —
+``chrome_trace`` renders it in Perfetto with one track per worker pid,
+``summarize`` aggregates it.  Each job becomes a ``job`` span (queued
+wait + run phase as children); when a job executed with ``spec.trace``
+its archived worker telemetry is re-rooted under the job's run span,
+shifted onto the service clock via :meth:`repro.obs.trace.Span.shifted`
+— the per-job merge of worker spans.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+from repro.jobs.model import DONE
+from repro.jobs.queue import JobQueue
+from repro.obs.export import TELEMETRY_SCHEMA
+from repro.obs.trace import Span
+
+
+def _job_span(queue: JobQueue, job: Any, t0: float, now: float) -> Span:
+    end = job.finished_at or now
+    claimed = job.claimed_at
+    children: List[Span] = []
+    if claimed is not None:
+        children.append(
+            Span("job.queued", job.submitted_at - t0, claimed - job.submitted_at)
+        )
+        run_attrs = (
+            {"pid": job.worker_pid} if job.worker_pid is not None else {}
+        )
+        run = Span("job.run", claimed - t0, end - claimed, attrs=run_attrs)
+        if job.state == DONE and job.spec.trace:
+            try:
+                telemetry = queue.store.load(job.key).telemetry
+            except Exception:
+                telemetry = None
+            if telemetry:
+                run.children = [
+                    Span.from_payload(payload).shifted(claimed - t0)
+                    for payload in telemetry.get("spans", [])
+                ]
+        children.append(run)
+    else:
+        children.append(
+            Span("job.queued", job.submitted_at - t0, end - job.submitted_at)
+        )
+    return Span(
+        "job",
+        job.submitted_at - t0,
+        end - job.submitted_at,
+        attrs={
+            "job": job.id,
+            "experiment": job.spec.experiment_id,
+            "key": job.key,
+            "state": job.state,
+            "attempts": job.attempts,
+            **(
+                {"pid": job.worker_pid}
+                if job.worker_pid is not None else {}
+            ),
+        },
+        children=children,
+    )
+
+
+def jobs_telemetry(queue: JobQueue) -> Dict[str, Any]:
+    """A schema-1 telemetry block for the whole service timeline."""
+    jobs = queue.jobs()
+    now = time.time()
+    t0 = min((job.submitted_at for job in jobs), default=now)
+    spans = [_job_span(queue, job, t0, now) for job in jobs]
+    stats = queue.stats()
+    counters = {
+        f"jobs.{name}": float(stats[name])
+        for name in ("submitted", "deduped", "retried", "failed",
+                     "quarantined", "done")
+    }
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "spans": [span.to_payload() for span in spans],
+        "dropped_spans": 0,
+        "counters": counters,
+        "gauges": {},
+        "peaks": {},
+        "streams": {"series": {}, "histograms": {}},
+    }

@@ -1,0 +1,192 @@
+"""The worker: claims jobs, executes them, streams progress back.
+
+A worker is a plain process (``python -m repro.jobs.worker ROOT``) with
+no shared memory: everything it knows arrives through the queue
+directories, everything it reports leaves through heartbeat files, job
+records and the artefact store.  That is what makes the orchestrator's
+supervision honest — killing a worker with ``SIGKILL`` mid-job loses
+nothing but the partial computation, and the engine's disk cache means
+even that is usually reclaimed on retry.
+
+While a job runs, a daemon heartbeat thread rewrites
+``heartbeats/<job>.json`` every ``heartbeat_interval`` seconds with the
+worker pid and the run-scoped delta of the process-wide metric
+registry — ``engine.replica_steps`` ticking upward in a heartbeat *is*
+the partial-progress stream, shard by shard, without the engine knowing
+the service exists.  Jobs submitted with ``spec.trace`` execute under a
+tracer exactly as ``repro run --trace`` would, so the archived artefact
+carries a telemetry block and ``repro trace summary`` works on
+service-produced results.
+
+Failure split: an exception out of :func:`repro.api.execute` is a
+*deterministic* failure (bad spec, broken experiment) — retrying cannot
+heal it, so the job goes straight to ``failed``.  Worker *death* is
+transient by assumption and handled by the orchestrator's
+heartbeat-timeout sweep (requeue with backoff, quarantine after
+``max_retries``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import sys
+import threading
+import time
+import traceback
+from typing import Optional, Sequence
+
+from repro.exceptions import JobError
+from repro.jobs.model import DONE, FAILED, RUNNING, Job
+from repro.jobs.queue import JobQueue
+from repro.obs.metrics import METRICS
+
+
+class _HeartbeatThread(threading.Thread):
+    """Rewrites the job's heartbeat until stopped."""
+
+    def __init__(self, queue: JobQueue, job: Job, interval: float) -> None:
+        super().__init__(daemon=True, name=f"heartbeat-{job.id}")
+        self.queue = queue
+        self.job = job
+        self.interval = interval
+        self.baseline = METRICS.snapshot()
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.beat()
+
+    def beat(self) -> None:
+        delta = METRICS.delta(self.baseline)
+        self.queue.write_heartbeat(self.job, counters=delta["counters"])
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+class Worker:
+    """Claims and executes jobs from one queue root."""
+
+    def __init__(
+        self,
+        root: str,
+        poll: float = 0.2,
+        heartbeat_interval: float = 0.5,
+    ) -> None:
+        self.queue = JobQueue(root)
+        self.poll = poll
+        self.heartbeat_interval = heartbeat_interval
+        self.pid = os.getpid()
+
+    # ------------------------------------------------------------------
+    # Loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_jobs: Optional[int] = None,
+        idle_exit: Optional[float] = None,
+    ) -> int:
+        """Claim-and-execute until told to stop; returns jobs processed.
+
+        Exits when the queue's STOP file appears, after ``max_jobs``
+        jobs, or after ``idle_exit`` seconds without claimable work.
+        """
+        self.queue.ensure_layout()
+        processed = 0
+        idle_since = time.monotonic()
+        while True:
+            if self.queue.stop_requested():
+                break
+            if max_jobs is not None and processed >= max_jobs:
+                break
+            if self.run_one():
+                processed += 1
+                idle_since = time.monotonic()
+                continue
+            if (
+                idle_exit is not None
+                and time.monotonic() - idle_since > idle_exit
+            ):
+                break
+            time.sleep(self.poll)
+        return processed
+
+    def run_one(self) -> bool:
+        """Claim and fully process one job; False when queue is empty."""
+        job = self.queue.claim(worker_pid=self.pid)
+        if job is None:
+            return False
+        self.process(job)
+        return True
+
+    # ------------------------------------------------------------------
+    # One job
+    # ------------------------------------------------------------------
+    def process(self, job: Job) -> Job:
+        from repro.api.run import execute
+
+        job.state = RUNNING
+        self.queue.update(job)
+        heartbeat = _HeartbeatThread(self.queue, job, self.heartbeat_interval)
+        heartbeat.start()
+        try:
+            result = execute(job.spec)
+        except Exception:
+            heartbeat.stop()
+            return self._finish(job, FAILED, traceback.format_exc(limit=20))
+        heartbeat.stop()
+        try:
+            self.queue.store.save(result)
+        except Exception:
+            return self._finish(job, FAILED, traceback.format_exc(limit=20))
+        return self._finish(job, DONE, None)
+
+    def _finish(self, job: Job, state: str, error: str | None) -> Job:
+        try:
+            finished = self.queue.transition(job, state, error=error)
+        except JobError:
+            # The orchestrator requeued this job to another owner while
+            # we were (slowly but successfully) computing.  The result
+            # is already in the store under the spec key, so the
+            # replacement run resolves to the identical artefact.
+            METRICS.count("jobs.lost_ownership")
+            return job
+        METRICS.count("jobs.completed" if state == DONE else "jobs.failed")
+        return finished
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Job-queue worker: claims RunSpecs and executes them",
+    )
+    parser.add_argument("root", help="service root directory")
+    parser.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between claim attempts when idle")
+    parser.add_argument("--heartbeat-interval", type=float, default=0.5,
+                        help="seconds between heartbeat writes")
+    parser.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after this many jobs")
+    parser.add_argument("--idle-exit", type=float, default=None,
+                        help="exit after this many idle seconds")
+    parser.add_argument("--import", dest="imports", action="append",
+                        default=[], metavar="MODULE",
+                        help=(
+                            "import MODULE before serving (registers "
+                            "extra experiments; repeatable)"
+                        ))
+    args = parser.parse_args(argv)
+    for module in args.imports:
+        importlib.import_module(module)
+    worker = Worker(
+        args.root, poll=args.poll, heartbeat_interval=args.heartbeat_interval
+    )
+    processed = worker.run(max_jobs=args.max_jobs, idle_exit=args.idle_exit)
+    print(f"worker {os.getpid()}: processed {processed} job(s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""Advisory cross-process file locks for shared on-disk state.
+
+Both the :class:`~repro.api.store.ArtifactStore` manifest and the job
+queue's submit path are read-modify-write cycles over files that
+multiple processes touch concurrently (workers, the orchestrator, and
+any number of submitting clients).  :class:`FileLock` serialises those
+cycles with the oldest portable primitive there is: an ``O_CREAT |
+O_EXCL`` lock file.  Creation is atomic on every POSIX filesystem (and
+on NTFS), needs no extra dependency, and — unlike ``fcntl`` range locks
+— survives being taken by a subprocess that re-opens the path.
+
+A lock left behind by a killed process would deadlock everyone, so a
+lock file older than ``stale_after`` seconds is broken: the waiter
+unlinks it and retries.  Holders therefore must keep critical sections
+far shorter than ``stale_after`` (every caller in this package holds a
+lock for a few milliseconds — one JSON read plus one atomic write).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+
+class LockTimeout(ReproError):
+    """A :class:`FileLock` could not be acquired within its timeout."""
+
+
+class FileLock:
+    """Context-managed advisory lock backed by an ``O_EXCL`` file.
+
+    Parameters
+    ----------
+    path:
+        Location of the lock file (created on acquire, removed on
+        release).  Parent directories are created as needed.
+    timeout:
+        Seconds to keep retrying before raising :class:`LockTimeout`.
+    poll:
+        Sleep between acquisition attempts.
+    stale_after:
+        Age (by mtime) past which an existing lock file is presumed
+        abandoned by a dead process and broken.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        timeout: float = 10.0,
+        poll: float = 0.005,
+        stale_after: float = 30.0,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll = poll
+        self.stale_after = stale_after
+        self._fd: int | None = None
+
+    def acquire(self) -> "FileLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                self._break_if_stale()
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        f"could not acquire {self.path} within "
+                        f"{self.timeout:.1f}s"
+                    )
+                time.sleep(self.poll)
+                continue
+            os.write(fd, f"{os.getpid()} {time.time()}\n".encode())
+            self._fd = fd
+            return self
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        os.close(self._fd)
+        self._fd = None
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            # Broken as stale by a waiter; nothing left to remove.
+            pass
+
+    def _break_if_stale(self) -> None:
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except FileNotFoundError:
+            return
+        if age > self.stale_after:
+            try:
+                self.path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (unique temp + rename).
+
+    The temp file lives in the target's directory so ``os.replace`` is
+    a same-filesystem rename: readers see either the old content or the
+    new, never a torn write — the invariant every concurrent consumer
+    of manifests, job records and heartbeats relies on.
+    """
+    target = Path(path)
+    tmp = target.with_name(
+        f".{target.name}.{os.getpid()}.{time.monotonic_ns()}.tmp"
+    )
+    tmp.write_text(text)
+    os.replace(tmp, target)

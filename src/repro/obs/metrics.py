@@ -14,7 +14,13 @@ Conventions
   ``engine.rng_blocks``, ``engine.blocks.<kernel>`` (dispatches by
   kernel name), ``engine.kernel_fallback``, ``engine.snapshot_switches``,
   ``cache.hits`` / ``cache.misses`` / ``cache.bytes_read`` /
-  ``cache.bytes_written``, ``sweep.cells``.
+  ``cache.bytes_written``, ``sweep.cells``, ``api.memo_hits``
+  (``execute_many`` duplicates served without an engine run), and the
+  job service's ``jobs.submitted`` / ``jobs.deduped`` /
+  ``jobs.retried`` / ``jobs.failed`` / ``jobs.completed`` /
+  ``jobs.quarantined`` / ``jobs.lost_ownership`` — counted in whichever
+  process performed the transition; cross-process totals come from
+  :meth:`repro.jobs.queue.JobQueue.stats`.
 * **Gauges** hold the latest value: ``engine.shard_seconds`` (the most
   recent shard's wall time; per-shard detail lives in spans).
 * **Peaks** hold the high-water mark: ``engine.state_peak_bytes`` — the

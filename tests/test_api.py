@@ -346,3 +346,72 @@ class TestDiffResults:
         assert any("appeared" in p for p in problems)
         problems = diff_results(extra, _result())
         assert any("disappeared" in p for p in problems)
+
+
+class TestExecuteMany:
+    def test_identical_specs_invoke_engine_once(self, monkeypatch):
+        from repro.api import execute_many
+        from repro.obs.metrics import METRICS
+
+        experiment = get_experiment("EXP-F4")
+        calls = []
+        real_fn = experiment.fn
+
+        def counting_fn(*args, **kwargs):
+            calls.append(1)
+            return real_fn(*args, **kwargs)
+
+        monkeypatch.setattr(experiment, "fn", counting_fn)
+        base = METRICS.value("api.memo_hits")
+        specs = [RunSpec("EXP-F4", seed=1) for _ in range(6)]
+        results = execute_many(specs)
+        assert len(calls) == 1  # six identical specs, one engine run
+        assert len(results) == 6
+        assert METRICS.value("api.memo_hits") - base == 5
+        first = results[0]
+        for result in results[1:]:
+            assert result.provenance is first.provenance
+            assert [t.to_payload() for t in result.tables] == [
+                t.to_payload() for t in first.tables
+            ]
+
+    def test_distinct_specs_each_execute(self, monkeypatch):
+        from repro.api import execute_many
+
+        experiment = get_experiment("EXP-F4")
+        calls = []
+        real_fn = experiment.fn
+
+        def counting_fn(*args, **kwargs):
+            calls.append(1)
+            return real_fn(*args, **kwargs)
+
+        monkeypatch.setattr(experiment, "fn", counting_fn)
+        results = execute_many([RunSpec("EXP-F4", seed=1),
+                                RunSpec("EXP-F4", seed=2)])
+        assert len(calls) == 2
+        assert results[0].spec.seed == 1 and results[1].spec.seed == 2
+
+    def test_memo_false_forces_every_run(self, monkeypatch):
+        from repro.api import execute_many
+
+        experiment = get_experiment("EXP-F4")
+        calls = []
+        real_fn = experiment.fn
+
+        def counting_fn(*args, **kwargs):
+            calls.append(1)
+            return real_fn(*args, **kwargs)
+
+        monkeypatch.setattr(experiment, "fn", counting_fn)
+        execute_many([RunSpec("EXP-F4"), RunSpec("EXP-F4")], memo=False)
+        assert len(calls) == 2
+
+    def test_memo_hit_keeps_each_specs_output_options(self):
+        from repro.api import execute_many
+
+        plain = RunSpec("EXP-F4", seed=3)
+        marked = RunSpec("EXP-F4", seed=3, markdown=True)
+        results = execute_many([plain, marked])
+        assert results[0].spec is plain
+        assert results[1].spec is marked  # memo hit, own spec preserved

@@ -305,3 +305,111 @@ class TestRegistryIntegrity:
             assert "seed" in signature.parameters, key
         # And the convention actually executes (cheapest experiment).
         assert EXPERIMENTS["EXP-F4"](fast=True, seed=0)
+
+
+class TestJobServiceParsers:
+    def test_serve_flags(self):
+        args = build_cli_parser().parse_args(
+            ["serve", "--root", "jobs/", "--workers", "3",
+             "--heartbeat-timeout", "2.5", "--until-idle", "--timeout", "9"]
+        )
+        assert args.command == "serve"
+        assert args.root == "jobs/"
+        assert args.workers == 3
+        assert args.heartbeat_timeout == 2.5
+        assert args.until_idle
+        assert args.timeout == 9.0
+
+    def test_submit_mirrors_run_flags(self):
+        args = build_cli_parser().parse_args(
+            ["submit", "EXP-F1", "--root", "jobs/", "--seed", "5",
+             "--set", "steps=7", "--trace", "--max-retries", "1",
+             "--wait", "--timeout", "30", "--json"]
+        )
+        assert args.command == "submit"
+        assert args.ids == ["EXP-F1"]
+        assert args.seed == 5
+        assert args.overrides == ["steps=7"]
+        assert args.trace and args.wait and args.json
+        assert args.max_retries == 1
+
+    def test_status_fetch_jobs_flags(self):
+        args = build_cli_parser().parse_args(["status", "j0ddc0ffee"])
+        assert args.command == "status" and args.job == "j0ddc0ffee"
+        args = build_cli_parser().parse_args(
+            ["fetch", "jab", "--wait", "--timeout", "4", "--json"]
+        )
+        assert args.command == "fetch" and args.wait and args.timeout == 4.0
+        args = build_cli_parser().parse_args(["jobs", "list", "--json"])
+        assert args.command == "jobs" and args.action == "list"
+        args = build_cli_parser().parse_args(["jobs", "cancel", "jab"])
+        assert args.action == "cancel" and args.job == "jab"
+        args = build_cli_parser().parse_args(["jobs", "stop"])
+        assert args.action == "stop"
+
+
+class TestJobServiceCommands:
+    """Inline-worker coverage; full subprocess E2E lives in test_jobs.py."""
+
+    @staticmethod
+    def _drain(root):
+        from repro.jobs import Worker
+
+        Worker(root, poll=0.01).run(idle_exit=0.05)
+
+    def test_submit_validates_before_enqueueing(self, tmp_path, capsys):
+        root = str(tmp_path)
+        assert main(["submit", "EXP-NOPE", "--root", root]) == 2
+        assert "unknown experiment ids" in capsys.readouterr().err
+        assert main(["submit", "EXP-F4", "--set", "bogus=1",
+                     "--root", root]) == 2
+        assert "no parameter 'bogus'" in capsys.readouterr().err
+        from repro.jobs import JobQueue
+
+        assert JobQueue(root).jobs() == []  # nothing leaked into the queue
+
+    def test_submit_status_fetch_round_trip(self, tmp_path, capsys):
+        root = str(tmp_path)
+        assert main(["submit", "EXP-F4", "--root", root, "--json"]) == 0
+        [entry] = json.loads(capsys.readouterr().out)
+        assert entry["state"] == "queued"
+        self._drain(root)
+        assert main(["status", entry["job"], "--root", root, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["state"] == "done"
+        assert main(["fetch", entry["job"], "--root", root, "--json"]) == 0
+        fetched = json.loads(capsys.readouterr().out)
+        assert fetched["spec"]["experiment_id"] == "EXP-F4"
+        assert fetched["tables"][0]["title"].startswith("Figure 4")
+
+    def test_duplicate_submission_reports_coalescence(self, tmp_path, capsys):
+        root = str(tmp_path)
+        assert main(["submit", "EXP-F4", "--root", root, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["submit", "EXP-F4", "--root", root, "--json"]) == 0
+        [entry] = json.loads(capsys.readouterr().out)
+        assert entry["state"] == "coalesced"
+        assert entry["coalesced_into"]
+
+    def test_jobs_list_cancel_and_stop(self, tmp_path, capsys):
+        root = str(tmp_path)
+        assert main(["submit", "EXP-F4", "--root", root, "--json"]) == 0
+        [entry] = json.loads(capsys.readouterr().out)
+        assert main(["jobs", "list", "--root", root, "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing["stats"]["jobs"] == 1
+        assert listing["jobs"][0]["id"] == entry["job"]
+        assert main(["jobs", "cancel", entry["job"], "--root", root]) == 0
+        assert "cancelled" in capsys.readouterr().out
+        assert main(["jobs", "stop", "--root", root]) == 0
+        capsys.readouterr()
+        from repro.jobs import JobQueue
+
+        assert JobQueue(root).stop_requested()
+
+    def test_fetch_unfinished_job_errors(self, tmp_path, capsys):
+        root = str(tmp_path)
+        assert main(["submit", "EXP-F4", "--root", root, "--json"]) == 0
+        [entry] = json.loads(capsys.readouterr().out)
+        assert main(["fetch", entry["job"], "--root", root]) == 2
+        assert "not done" in capsys.readouterr().err

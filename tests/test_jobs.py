@@ -1,0 +1,592 @@
+"""Tests for the async job-orchestration service (repro.jobs).
+
+Layered like the subsystem itself: file locks, the job model, the
+queue's rename-atomic transitions, dedup coalescing, the worker run
+inline, and finally full end-to-end service runs with subprocess
+workers — including the acceptance scenarios: N concurrent identical
+submissions costing one engine computation, SIGKILL crash recovery
+with retry, and the submit/fetch round trip being bit-identical to a
+synchronous run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+
+import pytest
+
+from repro.api import ArtifactStore, RunResult, RunSpec, execute
+from repro.api.registry import REGISTRY
+from repro.exceptions import JobError
+from repro.jobs import (
+    CANCELLED,
+    COALESCED,
+    DONE,
+    FAILED,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobHandle,
+    JobQueue,
+    Orchestrator,
+    Worker,
+    backoff_seconds,
+    jobs_telemetry,
+    submit,
+)
+from repro.locks import FileLock, LockTimeout, atomic_write_text
+from repro.obs import chrome_trace
+from repro.obs.metrics import METRICS
+
+TEST_EXPERIMENT_ID = "TEST-SVC"
+_TEST_MODULE = "repro_svc_testexp"
+_TEST_MODULE_SOURCE = textwrap.dedent(
+    '''
+    """Service-test probe experiment (written by tests/test_jobs.py)."""
+    import os
+    import time
+
+    from repro.api.registry import ParamSpec, experiment
+    from repro.sim.results import ResultTable
+
+
+    @experiment(
+        "TEST-SVC",
+        artefact="job-service end-to-end probe",
+        params={
+            "touch_file": ParamSpec(
+                str, "append one line per engine invocation", default=""
+            ),
+            "block_file": ParamSpec(
+                str, "spin while this file exists", default=""
+            ),
+            "value": ParamSpec(int, "payload column", default=1),
+        },
+    )
+    def run_probe(seed=0, touch_file="", block_file="", value=1):
+        if touch_file:
+            with open(touch_file, "a") as handle:
+                handle.write(f"{os.getpid()}\\n")
+        while block_file and os.path.exists(block_file):
+            time.sleep(0.02)
+        table = ResultTable("probe", ["seed", "value"])
+        table.add_row(seed, value)
+        return [table]
+    '''
+)
+
+
+@pytest.fixture(scope="module")
+def probe_module(tmp_path_factory):
+    """The probe experiment, importable here AND by worker subprocesses."""
+    directory = tmp_path_factory.mktemp("svc_mod")
+    (directory / f"{_TEST_MODULE}.py").write_text(_TEST_MODULE_SOURCE)
+    sys.path.insert(0, str(directory))
+    extra = os.environ.get("PYTHONPATH", "")
+    os.environ["PYTHONPATH"] = (
+        f"{extra}{os.pathsep}{directory}" if extra else str(directory)
+    )
+    __import__(_TEST_MODULE)
+    yield _TEST_MODULE
+    sys.path.remove(str(directory))
+    os.environ["PYTHONPATH"] = extra
+    sys.modules.pop(_TEST_MODULE, None)
+    REGISTRY.pop(TEST_EXPERIMENT_ID, None)
+
+
+def _drain_inline(root, jobs=None):
+    """Process everything queued with an in-process worker."""
+    return Worker(str(root), poll=0.01).run(max_jobs=jobs, idle_exit=0.05)
+
+
+# ----------------------------------------------------------------------
+# File locks
+# ----------------------------------------------------------------------
+class TestFileLock:
+    def test_mutual_exclusion_between_threads(self, tmp_path):
+        path = tmp_path / "x.lock"
+        order = []
+
+        def hold():
+            with FileLock(path):
+                order.append("enter")
+                time.sleep(0.1)
+                order.append("exit")
+
+        first = threading.Thread(target=hold)
+        first.start()
+        time.sleep(0.02)
+        with FileLock(path, timeout=5):
+            order.append("second")
+        first.join()
+        assert order == ["enter", "exit", "second"]
+
+    def test_timeout_raises(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            with pytest.raises(LockTimeout):
+                FileLock(path, timeout=0.05, stale_after=60).acquire()
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("dead\n")
+        old = time.time() - 120
+        os.utime(path, (old, old))
+        with FileLock(path, timeout=1, stale_after=30):
+            pass  # acquired despite the abandoned lock file
+
+    def test_atomic_write_replaces_whole_file(self, tmp_path):
+        target = tmp_path / "data.json"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+        assert list(tmp_path.iterdir()) == [target]  # no temp litter
+
+
+# ----------------------------------------------------------------------
+# Job model
+# ----------------------------------------------------------------------
+class TestJobModel:
+    def test_json_round_trip(self):
+        job = Job(spec=RunSpec("EXP-F4", seed=3), max_retries=5)
+        job.error = "boom"
+        clone = Job.from_json(job.to_json())
+        assert clone == job
+        assert clone.key == RunSpec("EXP-F4", seed=3).key()
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(JobError):
+            Job(spec=RunSpec("EXP-F4"), state="lost")
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(JobError, match="malformed job record"):
+            Job.from_payload({"id": "j1"})
+
+    def test_backoff_grows_and_caps(self):
+        delays = [backoff_seconds(attempt) for attempt in range(1, 12)]
+        assert delays[:3] == [0.5, 1.0, 2.0]
+        assert delays == sorted(delays)
+        assert max(delays) == 30.0
+
+
+# ----------------------------------------------------------------------
+# Queue
+# ----------------------------------------------------------------------
+class TestJobQueue:
+    def test_submit_enqueues_and_registers_key(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(RunSpec("EXP-F4"))
+        assert job.state == QUEUED
+        assert (tmp_path / "queued" / f"{job.id}.json").exists()
+        assert queue.dedup.active_primary(job.key, queue._is_active) == job.id
+
+    def test_claim_is_fifo_and_exclusive(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first = queue.submit(RunSpec("EXP-F4", seed=1))
+        second = queue.submit(RunSpec("EXP-F4", seed=2))
+        claimed = queue.claim()
+        assert claimed.id == first.id
+        assert claimed.state == "claimed"
+        assert queue.claim().id == second.id
+        assert queue.claim() is None
+
+    def test_requeue_backoff_then_quarantine(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(RunSpec("EXP-F4"), max_retries=1)
+        job = queue.claim()
+        retried = queue.requeue(job, "worker died")
+        assert retried.state == QUEUED
+        assert retried.attempts == 1
+        assert retried.not_before > time.time()
+        assert queue.claim() is None  # still inside the backoff window
+        retried.not_before = 0.0
+        queue.update(retried)
+        job = queue.claim()
+        quarantined = queue.requeue(job, "worker died again")
+        assert quarantined.state == QUARANTINED
+        assert "died again" in quarantined.error
+        # terminal: the key is free for a fresh primary
+        fresh = queue.submit(RunSpec("EXP-F4"))
+        assert fresh.state == QUEUED
+
+    def test_lost_ownership_is_an_error(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(RunSpec("EXP-F4"))
+        job = queue.claim()
+        queue.requeue(job, "presumed dead")  # orchestrator stole it back
+        with pytest.raises(JobError, match="lost ownership"):
+            queue.transition(job, DONE)
+
+    def test_cancel_only_inactive(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(RunSpec("EXP-F4"))
+        assert queue.cancel(job.id).state == CANCELLED
+        job2 = queue.submit(RunSpec("EXP-F4"))
+        queue.claim()
+        with pytest.raises(JobError, match="only queued/coalesced"):
+            queue.cancel(job2.id)
+
+    def test_get_unknown_job(self, tmp_path):
+        with pytest.raises(JobError, match="no job"):
+            JobQueue(tmp_path).get("jdeadbeef")
+
+    def test_heartbeats_round_trip_and_drop(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(RunSpec("EXP-F4"))
+        job = queue.claim(worker_pid=4242)
+        beat = queue.read_heartbeat(job.id)
+        assert beat["pid"] == 4242
+        queue.write_heartbeat(job, counters={"engine.replica_steps": 7.0})
+        assert queue.read_heartbeat(job.id)["counters"] == {
+            "engine.replica_steps": 7.0
+        }
+        queue.transition(job, DONE)
+        assert queue.read_heartbeat(job.id) is None
+
+    def test_stop_flag(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        assert not queue.stop_requested()
+        queue.request_stop()
+        assert queue.stop_requested()
+        queue.clear_stop()
+        assert not queue.stop_requested()
+
+
+# ----------------------------------------------------------------------
+# Dedup
+# ----------------------------------------------------------------------
+class TestDedup:
+    def test_concurrent_identical_submissions_coalesce(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        base = METRICS.value("jobs.deduped")
+        handles = [submit(RunSpec("EXP-F4"), root=tmp_path) for _ in range(8)]
+        states = [h.status(follow=False).state for h in handles]
+        assert states.count(QUEUED) == 1
+        assert states.count(COALESCED) == 7
+        assert METRICS.value("jobs.deduped") - base == 7
+        stats = queue.stats()
+        assert stats["deduped"] == 7
+        primary = handles[0].status(follow=False)
+        for handle in handles[1:]:
+            assert handle.status(follow=False).coalesced_into == primary.id
+            assert handle.status(follow=True).id == primary.id
+
+    def test_different_configurations_do_not_coalesce(self, tmp_path):
+        first = submit(RunSpec("EXP-F4", seed=0), root=tmp_path)
+        second = submit(RunSpec("EXP-F4", seed=1), root=tmp_path)
+        assert first.status(follow=False).state == QUEUED
+        assert second.status(follow=False).state == QUEUED
+
+    def test_terminal_primary_frees_the_key(self, tmp_path):
+        submit(RunSpec("EXP-F4"), root=tmp_path)
+        _drain_inline(tmp_path)
+        again = submit(RunSpec("EXP-F4"), root=tmp_path)
+        assert again.status(follow=False).state == QUEUED
+
+
+# ----------------------------------------------------------------------
+# Worker (inline, no subprocesses)
+# ----------------------------------------------------------------------
+class TestWorkerInline:
+    def test_done_job_round_trips_result(self, tmp_path):
+        handle = submit(RunSpec("EXP-F4", seed=5), root=tmp_path)
+        assert _drain_inline(tmp_path) == 1
+        job = handle.status()
+        assert job.state == DONE
+        result = handle.result()
+        direct = execute(RunSpec("EXP-F4", seed=5))
+        assert [t.to_payload() for t in result.tables] == [
+            t.to_payload() for t in direct.tables
+        ]
+        assert result.provenance.graph_hashes == direct.provenance.graph_hashes
+
+    def test_coalesced_followers_share_the_artifact(self, tmp_path):
+        handles = [
+            submit(RunSpec("EXP-F4", seed=2), root=tmp_path) for _ in range(3)
+        ]
+        assert _drain_inline(tmp_path) == 1  # one computation for three
+        payloads = [
+            [t.to_payload() for t in h.wait(timeout=5).tables] for h in handles
+        ]
+        assert payloads[0] == payloads[1] == payloads[2]
+
+    def test_deterministic_failure_is_terminal(self, tmp_path):
+        base = METRICS.value("jobs.failed")
+        handle = submit(RunSpec("EXP-NOPE"), root=tmp_path)
+        _drain_inline(tmp_path)
+        job = handle.status()
+        assert job.state == FAILED
+        assert "EXP-NOPE" in job.error
+        assert METRICS.value("jobs.failed") - base == 1
+        with pytest.raises(JobError, match="failed"):
+            handle.wait(timeout=1)
+
+    def test_traced_job_archives_telemetry(self, tmp_path):
+        from repro.obs import summarize
+
+        handle = submit(RunSpec("EXP-F1", trace=True), root=tmp_path)
+        _drain_inline(tmp_path)
+        result = handle.wait(timeout=5)
+        assert result.telemetry is not None
+        assert result.telemetry["spans"]
+        summary = summarize(result.telemetry)
+        assert summary["span_count"] > 0
+
+    def test_wait_timeout(self, tmp_path):
+        handle = submit(RunSpec("EXP-F4"), root=tmp_path)
+        with pytest.raises(JobError, match="timed out"):
+            handle.wait(timeout=0.1, poll=0.02)
+
+    def test_worker_stops_on_stop_file(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.ensure_layout()
+        queue.request_stop()
+        assert Worker(str(tmp_path)).run() == 0  # returns immediately
+
+
+# ----------------------------------------------------------------------
+# Orchestrator sweep (no subprocesses: dead pids faked)
+# ----------------------------------------------------------------------
+class TestOrchestratorSweep:
+    @staticmethod
+    def _dead_pid() -> int:
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        return proc.pid
+
+    def test_dead_worker_job_is_requeued(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(RunSpec("EXP-F4"))
+        queue.claim(worker_pid=self._dead_pid())
+        orchestrator = Orchestrator(str(tmp_path), workers=0)
+        base = METRICS.value("jobs.retried")
+        assert orchestrator.sweep() == 1
+        assert METRICS.value("jobs.retried") - base == 1
+        [job] = queue.jobs(states=(QUEUED,))
+        assert job.attempts == 1
+        assert "died" in job.error
+
+    def test_poison_job_quarantined_after_max_retries(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(RunSpec("EXP-F4"), max_retries=1)
+        orchestrator = Orchestrator(str(tmp_path), workers=0)
+        for _ in range(2):
+            queue.claim(worker_pid=self._dead_pid())
+            orchestrator.sweep()
+            requeued = queue.jobs(states=(QUEUED,))
+            for job in requeued:  # lift the backoff gate for the re-claim
+                job.not_before = 0.0
+                queue.update(job)
+        [job] = queue.jobs(states=(QUARANTINED,))
+        assert job.attempts == 1
+        assert queue.stats()["quarantined"] == 1
+
+    def test_live_fresh_worker_is_left_alone(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(RunSpec("EXP-F4"))
+        queue.claim(worker_pid=os.getpid())
+        assert Orchestrator(str(tmp_path), workers=0).sweep() == 0
+
+
+# ----------------------------------------------------------------------
+# Service telemetry
+# ----------------------------------------------------------------------
+class TestJobsTelemetry:
+    def test_spans_and_counters(self, tmp_path):
+        handles = [
+            submit(RunSpec("EXP-F4", trace=True), root=tmp_path)
+            for _ in range(2)
+        ]
+        _drain_inline(tmp_path)
+        handles[0].wait(timeout=5)
+        queue = JobQueue(tmp_path)
+        telemetry = jobs_telemetry(queue)
+        assert telemetry["schema"] == 1
+        assert telemetry["counters"]["jobs.submitted"] == 2.0
+        assert telemetry["counters"]["jobs.deduped"] == 1.0
+        job_spans = [
+            span for span in telemetry["spans"] if span["name"] == "job"
+        ]
+        assert len(job_spans) == 2
+        done_span = next(
+            span for span in job_spans if span["attrs"]["state"] == DONE
+        )
+        run_child = next(
+            child for child in done_span["children"]
+            if child["name"] == "job.run"
+        )
+        # the worker's archived trace is merged under the job's run span
+        assert run_child.get("children"), "worker spans not grafted"
+        # and the whole block renders through the existing obs tooling
+        events = chrome_trace(telemetry)["traceEvents"]
+        assert any(event["ph"] == "X" for event in events)
+
+
+# ----------------------------------------------------------------------
+# End-to-end service runs (subprocess workers)
+# ----------------------------------------------------------------------
+class TestServiceEndToEnd:
+    def test_eight_concurrent_identical_submissions_one_computation(
+        self, tmp_path, probe_module
+    ):
+        root = tmp_path / "svc"
+        touch = tmp_path / "invocations.txt"
+        spec = RunSpec(
+            TEST_EXPERIMENT_ID, overrides={"touch_file": str(touch)}
+        )
+        threads_results = []
+
+        def submit_one():
+            threads_results.append(submit(spec, root=root))
+
+        threads = [threading.Thread(target=submit_one) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = Orchestrator(
+            str(root), workers=2, poll=0.05, worker_poll=0.05,
+            imports=[probe_module],
+        ).serve(until_idle=True, timeout=90)
+        assert stats["done"] == 1
+        assert stats["deduped"] == 7
+        assert touch.read_text().count("\n") == 1  # ONE engine computation
+        reference = [
+            t.to_payload() for t in execute(spec).tables
+        ]
+        for handle in threads_results:
+            result = handle.wait(timeout=10)
+            assert [t.to_payload() for t in result.tables] == reference
+        # exactly one artefact in the fan-out store
+        assert len(ArtifactStore(root / "store").records()) == 1
+
+    def test_sigkilled_worker_job_is_retried_to_completion(
+        self, tmp_path, probe_module
+    ):
+        root = tmp_path / "svc"
+        block = tmp_path / "block"
+        block.touch()
+        spec = RunSpec(
+            TEST_EXPERIMENT_ID,
+            overrides={"block_file": str(block)},
+            trace=True,
+        )
+        handle = submit(spec, root=root)
+        job_id = handle.status(follow=False).id
+        orchestrator = Orchestrator(
+            str(root), workers=1, heartbeat_timeout=3.0, poll=0.05,
+            worker_poll=0.05, heartbeat_interval=0.1,
+            imports=[probe_module],
+        )
+        server = threading.Thread(
+            target=orchestrator.serve,
+            kwargs={"until_idle": True, "timeout": 90},
+        )
+        server.start()
+        try:
+            queue = JobQueue(root)
+            deadline = time.monotonic() + 60
+            victim = None
+            while time.monotonic() < deadline:
+                beat = queue.read_heartbeat(job_id)
+                if beat and beat.get("state") == RUNNING and beat.get("pid"):
+                    victim = beat["pid"]
+                    break
+                time.sleep(0.05)
+            assert victim, "worker never started running the job"
+            os.kill(victim, signal.SIGKILL)
+            block.unlink()  # the retry must complete quickly
+            result = handle.wait(timeout=60)
+        finally:
+            queue.request_stop()
+            server.join(timeout=30)
+        job = handle.status()
+        assert job.state == DONE
+        assert job.attempts == 1  # exactly one requeue
+        assert queue.stats()["retried"] == 1
+        # provenance survived the retry: the resolved parameters are the
+        # submitted configuration, and the traced run's telemetry merged
+        assert result.provenance.parameters["block_file"] == str(block)
+        assert result.telemetry is not None
+        telemetry = jobs_telemetry(queue)
+        [job_span] = [
+            span for span in telemetry["spans"] if span["name"] == "job"
+        ]
+        assert job_span["attrs"]["attempts"] == 1
+        run_child = next(
+            child for child in job_span["children"]
+            if child["name"] == "job.run"
+        )
+        assert run_child.get("children"), "worker trace not merged"
+
+    def test_cli_submit_serve_fetch_matches_synchronous_run(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        root = str(tmp_path / "svc")
+        assert main([
+            "submit", "EXP-F4", "--seed", "3", "--root", root, "--json",
+        ]) == 0
+        [entry] = json.loads(capsys.readouterr().out)
+        assert main([
+            "serve", "--root", root, "--workers", "1", "--until-idle",
+            "--timeout", "90",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["fetch", entry["job"], "--root", root, "--json"]) == 0
+        fetched = json.loads(capsys.readouterr().out)
+        assert main(["run", "EXP-F4", "--seed", "3", "--json"]) == 0
+        [ran] = json.loads(capsys.readouterr().out)
+        assert fetched["tables"] == ran["tables"]
+        assert fetched["spec"]["seed"] == 3
+        assert (
+            fetched["provenance"]["graph_hashes"]
+            == ran["provenance"]["graph_hashes"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Concurrent-writer safety of the ArtifactStore (satellite)
+# ----------------------------------------------------------------------
+class TestStoreConcurrency:
+    @staticmethod
+    def _result(index: int) -> RunResult:
+        from repro.api.spec import Provenance
+        from repro.sim.results import ResultTable
+
+        table = ResultTable("t", ["i"])
+        table.add_row(index)
+        return RunResult(
+            spec=RunSpec(f"EXP-CONC-{index}"),
+            tables=[table],
+            provenance=Provenance(
+                parameters={}, engine=None, version="test",
+                graph_hashes=[], wall_time_s=0.0, timestamp=float(index),
+            ),
+        )
+
+    def test_parallel_saves_lose_no_manifest_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        results = [self._result(index) for index in range(16)]
+        threads = [
+            threading.Thread(target=store.save, args=(result,))
+            for result in results
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = store.records()
+        assert len(records) == 16  # unlocked read-modify-write drops some
+        for index in range(16):
+            reloaded = store.load(f"EXP-CONC-{index}.fast.s0")
+            assert reloaded.tables[0].rows == [[index]]
