@@ -25,7 +25,7 @@ from repro.sim.results import ResultTable
 
 _SPEC_FIELDS = (
     "experiment_id", "preset", "seed", "engine", "kernel", "graph_schedule",
-    "overrides", "markdown", "trace",
+    "overrides", "markdown", "trace", "timeout_s",
 )
 
 
@@ -54,12 +54,31 @@ class RunSpec:
     # Like markdown, trace is an output option — it never participates
     # in key(), because tracing must not change what a run computes.
     trace: bool = False
+    # Wall-clock deadline for service execution (seconds).  Enforced by
+    # the job worker's watchdog, not the engine: a hung kernel becomes
+    # a retriable failure instead of a stuck claim.  An execution
+    # option like markdown/trace — never part of key(), because a
+    # deadline must not change what a run computes.
+    timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.experiment_id, str) or not self.experiment_id:
             raise SpecError("experiment_id must be a non-empty string")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise SpecError(f"seed must be an int, got {self.seed!r}")
+        if self.timeout_s is not None:
+            if isinstance(self.timeout_s, bool) or not isinstance(
+                self.timeout_s, (int, float)
+            ):
+                raise SpecError(
+                    f"timeout_s must be a positive number or None, "
+                    f"got {self.timeout_s!r}"
+                )
+            self.timeout_s = float(self.timeout_s)
+            if self.timeout_s <= 0:
+                raise SpecError(
+                    f"timeout_s must be positive, got {self.timeout_s!r}"
+                )
         self.overrides = {
             str(k): _normalise(v) for k, v in dict(self.overrides).items()
         }

@@ -24,22 +24,40 @@ atomic (unique temp file + ``os.replace``, so readers never see a torn
 JSON), and the manifest's read-modify-write cycle in :meth:`save` runs
 under a :class:`~repro.locks.FileLock`, so two workers archiving at
 the same moment cannot drop each other's manifest entries.
+
+The store is also *crash-consistent* (DESIGN.md section 11): every
+manifest entry carries the sha256 of its artefact file, :meth:`load`
+verifies it and quarantines corrupt artefacts (``quarantine/``, entry
+dropped, ``store.quarantined`` counted) instead of returning bad data,
+a corrupt manifest is rebuilt from the artefact files themselves, and
+``ENOSPC`` surfaces as :class:`~repro.exceptions.StorageError` so the
+job service can fail the affected job cleanly.
 """
 
 from __future__ import annotations
 
+import errno
+import hashlib
 import json
+import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, List
 
 from repro.api.spec import RunResult, RunSpec
-from repro.exceptions import ArtifactError
+from repro.exceptions import ArtifactError, SpecError, StorageError
 from repro.io import ResultBundle, diff_tables
-from repro.locks import FileLock, atomic_write_text
+from repro.locks import FileLock, atomic_write_text, read_text
+from repro.obs.metrics import METRICS
 
 MANIFEST_NAME = "manifest.json"
+#: corrupt artefacts are moved here (never deleted) pending recompute.
+QUARANTINE_DIR = "quarantine"
 _SCHEMA = 1
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 def diff_results(
@@ -105,9 +123,14 @@ class ArtifactRecord:
     version: str
     wall_time_s: float
     timestamp: float
+    #: sha256 of the artefact file's exact bytes.  Empty for records
+    #: written before checksumming existed; those skip verification.
+    sha256: str = ""
 
     @classmethod
-    def from_result(cls, result: RunResult, file: str) -> "ArtifactRecord":
+    def from_result(
+        cls, result: RunResult, file: str, sha256: str = ""
+    ) -> "ArtifactRecord":
         spec, prov = result.spec, result.provenance
         return cls(
             key=spec.key(),
@@ -119,6 +142,7 @@ class ArtifactRecord:
             version=prov.version,
             wall_time_s=prov.wall_time_s,
             timestamp=prov.timestamp,
+            sha256=sha256,
         )
 
 
@@ -135,19 +159,37 @@ class ArtifactStore:
     def manifest_path(self) -> Path:
         return self.root / MANIFEST_NAME
 
-    def _read_manifest(self) -> Dict[str, ArtifactRecord]:
+    def _read_manifest(
+        self, heal: bool = True, locked: bool = False
+    ) -> Dict[str, ArtifactRecord]:
+        """Parse the manifest; a corrupt one is rebuilt, not fatal.
+
+        The manifest is an *index*, the artefact files are the truth:
+        when the index is unparseable (torn legacy write, bit rot) it
+        is reconstructed by scanning the artefacts
+        (:meth:`rebuild_manifest`) instead of bricking the store.
+        ``heal=False`` reports the corruption as an
+        :class:`ArtifactError` instead (fsck's read-only mode);
+        ``locked=True`` tells the rebuild the caller already holds the
+        manifest lock (:class:`FileLock` is not reentrant).
+        """
         if not self.manifest_path.exists():
             return {}
         try:
-            payload = json.loads(self.manifest_path.read_text())
+            payload = json.loads(
+                read_text(self.manifest_path, site="store.manifest")
+            )
             records = {
                 key: ArtifactRecord(**entry)
                 for key, entry in payload["records"].items()
             }
         except (json.JSONDecodeError, KeyError, TypeError) as error:
-            raise ArtifactError(
-                f"corrupt manifest at {self.manifest_path}: {error}"
-            ) from error
+            if not heal:
+                raise ArtifactError(
+                    f"corrupt manifest at {self.manifest_path}: {error}"
+                ) from error
+            METRICS.count("store.manifest_rebuilt")
+            return self.rebuild_manifest(locked=locked)
         return records
 
     def _write_manifest(self, records: Dict[str, ArtifactRecord]) -> None:
@@ -155,12 +197,55 @@ class ArtifactStore:
             "schema": _SCHEMA,
             "records": {key: asdict(record) for key, record in records.items()},
         }
-        atomic_write_text(
-            self.manifest_path, json.dumps(payload, indent=2, sort_keys=True)
-        )
+        try:
+            atomic_write_text(
+                self.manifest_path,
+                json.dumps(payload, indent=2, sort_keys=True),
+                site="store.manifest",
+            )
+        except OSError as error:
+            if error.errno == errno.ENOSPC:
+                raise StorageError(
+                    f"disk full while writing manifest "
+                    f"{self.manifest_path}: {error}"
+                ) from error
+            raise
 
     def _manifest_lock(self) -> FileLock:
         return FileLock(self.root / (MANIFEST_NAME + ".lock"))
+
+    def rebuild_manifest(
+        self, locked: bool = False
+    ) -> Dict[str, ArtifactRecord]:
+        """Reconstruct the manifest by scanning the artefact files.
+
+        Every parseable ``*.json`` artefact gets a fresh entry (with a
+        freshly computed checksum — the rebuilt index trusts the bytes
+        it actually read); unparseable files are skipped and left for
+        :meth:`verify` to report.  The file name, not the re-derived
+        spec key, is the entry's key: names were minted from keys at
+        save time and survive registry drift.
+        """
+        records: Dict[str, ArtifactRecord] = {}
+        for path in sorted(self.root.glob("*.json")):
+            if path.name == MANIFEST_NAME:
+                continue
+            try:
+                text = path.read_text()
+                result = RunResult.from_json(text)
+            except (OSError, SpecError):
+                continue
+            record = ArtifactRecord.from_result(
+                result, path.name, sha256=_sha256(text)
+            )
+            record.key = path.stem
+            records[path.stem] = record
+        if locked:
+            self._write_manifest(records)
+        else:
+            with self._manifest_lock():
+                self._write_manifest(records)
+        return records
 
     # ------------------------------------------------------------------
     # Save / load / list
@@ -176,10 +261,23 @@ class ArtifactStore:
         self.root.mkdir(parents=True, exist_ok=True)
         key = result.spec.key()
         file_name = f"{key}.json"
-        atomic_write_text(self.root / file_name, result.to_json())
+        text = result.to_json()
+        try:
+            atomic_write_text(
+                self.root / file_name, text, site="store.artifact"
+            )
+        except OSError as error:
+            if error.errno == errno.ENOSPC:
+                raise StorageError(
+                    f"disk full while archiving {key!r} under "
+                    f"{self.root}: {error}"
+                ) from error
+            raise
         with self._manifest_lock():
-            records = self._read_manifest()
-            records[key] = ArtifactRecord.from_result(result, file_name)
+            records = self._read_manifest(locked=True)
+            records[key] = ArtifactRecord.from_result(
+                result, file_name, sha256=_sha256(text)
+            )
             self._write_manifest(records)
         return self.root / file_name
 
@@ -206,17 +304,63 @@ class ArtifactStore:
         ]
 
     def load(self, key: str) -> RunResult:
-        """Reload one archived run by its manifest key."""
+        """Reload one archived run by its manifest key.
+
+        The artefact's bytes are verified against the manifest
+        checksum; a mismatch (or unparseable content) quarantines the
+        file and drops the entry, so the raised
+        :class:`ArtifactError` means "recompute this key" — the next
+        submission of the configuration runs instead of serving rot.
+        A missing artefact file likewise drops its dangling entry.
+        """
         records = self._read_manifest()
         if key not in records:
             raise ArtifactError(
                 f"no artefact {key!r} in {self.root}; "
                 f"known keys: {', '.join(sorted(records)) or '(none)'}"
             )
-        path = self.root / records[key].file
-        if not path.exists():
-            raise ArtifactError(f"manifest entry {key!r} points at missing {path}")
-        return RunResult.from_json(path.read_text())
+        record = records[key]
+        path = self.root / record.file
+        try:
+            text = read_text(path, site="store.artifact")
+        except FileNotFoundError:
+            self._drop_record(key)
+            raise ArtifactError(
+                f"manifest entry {key!r} points at missing {path}; "
+                f"entry dropped — resubmit to recompute"
+            ) from None
+        if record.sha256 and _sha256(text) != record.sha256:
+            self._quarantine(key, record)
+            raise ArtifactError(
+                f"artefact {key!r} failed its checksum (corrupt read from "
+                f"{path}); quarantined — resubmit to recompute"
+            )
+        try:
+            return RunResult.from_json(text)
+        except SpecError as error:
+            self._quarantine(key, record)
+            raise ArtifactError(
+                f"artefact {key!r} is unparseable ({error}); "
+                f"quarantined — resubmit to recompute"
+            ) from error
+
+    def _drop_record(self, key: str) -> None:
+        with self._manifest_lock():
+            records = self._read_manifest(locked=True)
+            if key in records:
+                del records[key]
+                self._write_manifest(records)
+
+    def _quarantine(self, key: str, record: ArtifactRecord) -> None:
+        """Move a corrupt artefact aside and forget its manifest entry."""
+        METRICS.count("store.quarantined")
+        quarantine = self.root / QUARANTINE_DIR
+        quarantine.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(self.root / record.file, quarantine / record.file)
+        except FileNotFoundError:
+            pass
+        self._drop_record(key)
 
     def load_spec(self, spec: RunSpec) -> RunResult:
         """Reload the archived run of ``spec``'s configuration."""
@@ -231,6 +375,78 @@ class ArtifactStore:
             )
         newest = max(matches, key=lambda record: record.timestamp)
         return self.load(newest.key)
+
+    # ------------------------------------------------------------------
+    # Integrity checking (repro fsck)
+    # ------------------------------------------------------------------
+    def verify(self, repair: bool = False) -> Dict[str, Any]:
+        """Check manifest <-> artefact agreement; optionally repair.
+
+        Findings: a corrupt manifest, entries whose file is missing,
+        checksum mismatches, unparseable artefacts, and artefact files
+        the manifest does not index.  With ``repair=True`` each finding
+        is fixed the same way the hot path would fix it (rebuild,
+        drop, quarantine, re-index).  Returns ``{"findings": [...],
+        "repaired": N}``; an empty findings list means clean.
+        """
+        findings: List[str] = []
+        repaired = 0
+        try:
+            records = self._read_manifest(heal=False)
+        except ArtifactError as error:
+            findings.append(f"manifest: {error}")
+            if not repair:
+                return {"findings": findings, "repaired": repaired}
+            records = self.rebuild_manifest()
+            METRICS.count("store.manifest_rebuilt")
+            repaired += 1
+        indexed = set()
+        for key, record in sorted(records.items()):
+            path = self.root / record.file
+            indexed.add(record.file)
+            try:
+                text = path.read_text()
+            except FileNotFoundError:
+                findings.append(
+                    f"entry {key}: missing artefact file {record.file}"
+                )
+                if repair:
+                    self._drop_record(key)
+                    repaired += 1
+                continue
+            if record.sha256 and _sha256(text) != record.sha256:
+                findings.append(f"entry {key}: checksum mismatch")
+                if repair:
+                    self._quarantine(key, record)
+                    repaired += 1
+                continue
+            try:
+                RunResult.from_json(text)
+            except SpecError as error:
+                findings.append(f"entry {key}: unparseable ({error})")
+                if repair:
+                    self._quarantine(key, record)
+                    repaired += 1
+        for path in sorted(self.root.glob("*.json")):
+            if path.name == MANIFEST_NAME or path.name in indexed:
+                continue
+            findings.append(f"unindexed artefact file {path.name}")
+            if repair:
+                try:
+                    text = path.read_text()
+                    result = RunResult.from_json(text)
+                except (OSError, SpecError):
+                    continue  # unparseable strays stay for inspection
+                with self._manifest_lock():
+                    live = self._read_manifest(locked=True)
+                    record = ArtifactRecord.from_result(
+                        result, path.name, sha256=_sha256(text)
+                    )
+                    record.key = path.stem
+                    live[path.stem] = record
+                    self._write_manifest(live)
+                repaired += 1
+        return {"findings": findings, "repaired": repaired}
 
     # ------------------------------------------------------------------
     # Regression diffing

@@ -74,7 +74,7 @@ from repro.jobs.handle import DEFAULT_ROOT as JOBS_DEFAULT_ROOT
 
 SUBCOMMANDS = (
     "run", "list", "sweep", "diff", "trace", "cache",
-    "serve", "submit", "status", "fetch", "jobs",
+    "serve", "submit", "status", "fetch", "jobs", "fsck",
 )
 
 
@@ -310,6 +310,12 @@ def build_cli_parser() -> argparse.ArgumentParser:
                      help="execute under the tracer (telemetry on the artefact)")
     sbm.add_argument("--max-retries", dest="max_retries", type=int, default=3,
                      help="requeues before quarantine (default 3)")
+    sbm.add_argument("--timeout-s", dest="timeout_s", type=float, default=None,
+                     metavar="SECONDS",
+                     help=(
+                         "wall-clock deadline per job; a worker abandons "
+                         "the run past it and the job retries with backoff"
+                     ))
     sbm.add_argument("--wait", action="store_true",
                      help="block until completion and print the result")
     sbm.add_argument("--timeout", type=float, default=None,
@@ -352,6 +358,23 @@ def build_cli_parser() -> argparse.ArgumentParser:
     add_root(jtr)
     jtr.add_argument("--chrome", metavar="OUT", default=None,
                      help="write chrome://tracing JSON to OUT (else stdout)")
+
+    fsk = sub.add_parser(
+        "fsck",
+        help="check (or repair) a service root's on-disk invariants",
+    )
+    add_root(fsk)
+    fsk.add_argument("--cache", metavar="DIR", default=None,
+                     help="also check an engine cache directory")
+    fsk.add_argument("--repair", action="store_true",
+                     help="fix findings in place (default: read-only report)")
+    fsk.add_argument("--grace", type=float, default=5.0, metavar="SECONDS",
+                     help=(
+                         "ignore files younger than this, so live workers' "
+                         "in-flight writes are not reported (default 5)"
+                     ))
+    fsk.add_argument("--json", action="store_true",
+                     help="emit the full report as JSON")
     return parser
 
 
@@ -740,6 +763,7 @@ def _submit_cmd(args: argparse.Namespace) -> int:
             ),
             markdown=args.markdown,
             trace=args.trace,
+            timeout_s=args.timeout_s,
         )
         resolve_spec(spec)
         specs.append(spec)
@@ -883,6 +907,29 @@ def _jobs_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fsck_cmd(args: argparse.Namespace) -> int:
+    from repro.jobs import fsck
+
+    report = fsck(
+        args.root,
+        cache_dir=args.cache,
+        repair=args.repair,
+        grace_s=args.grace,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+        return 0 if report["clean"] else 1
+    for finding in report["findings"]:
+        print(finding)
+    verdict = "clean" if report["clean"] else "NOT clean"
+    tail = f", repaired {report['repaired']}" if args.repair else ""
+    print(
+        f"fsck {args.root}: {len(report['findings'])} finding(s){tail} "
+        f"-> {verdict}"
+    )
+    return 0 if report["clean"] else 1
+
+
 def _diff_cmd(args: argparse.Namespace) -> int:
     store = ArtifactStore(args.store) if args.store else None
     left = _diff_operand(args.left, store)
@@ -985,6 +1032,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             "status": _status_cmd,
             "fetch": _fetch_cmd,
             "jobs": _jobs_cmd,
+            "fsck": _fsck_cmd,
         }[args.command]
         return handler(args)
     except ReproError as error:

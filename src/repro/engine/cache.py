@@ -10,24 +10,40 @@ parameters and the integer seed, so repeated sweeps resume for free.
 Only deterministic seeds are cached: with ``seed=None`` (OS entropy) or
 a live ``Generator`` whose position is unknowable, ``load`` and
 ``store`` silently no-op rather than serve a wrong answer.
+
+Entries are crash-consistent: the sidecar records the sha256 of the
+array file's bytes, ``load`` verifies it and quarantines mismatches
+(``quarantine/``, counted as ``cache.quarantined``) as a miss — the
+engine recomputes rather than consuming a torn or bit-rotted array.
+``ENOSPC`` on write degrades to a counted no-op
+(``cache.enospc_skips``): the cache is an accelerator, never a
+durability dependency.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
+import io
 import json
 import os
 import tempfile
 import time
+import warnings
 from pathlib import Path
 from typing import Optional
 
 import numpy as np
 
+from repro.faults import injector as _faults
+from repro.locks import atomic_write_text
 from repro.obs.metrics import METRICS
 
 #: Bump when the engine's sampling law changes; invalidates old entries.
 _CACHE_VERSION = 1
+
+#: corrupt entries are moved here (never deleted) for inspection.
+QUARANTINE_DIR = "quarantine"
 
 
 def _seed_token(seed) -> Optional[str]:
@@ -70,49 +86,171 @@ class ResultCache:
         token = _seed_token(seed)
         if token is None:
             return None
-        path, _ = self._paths(self._key(spec, params, token))
+        path, meta_path = self._paths(self._key(spec, params, token))
         if not path.exists():
             METRICS.count("cache.misses")
             return None
         try:
-            array = np.load(path)
-        except (OSError, ValueError):  # corrupt entry: treat as a miss
+            blob = _faults.on_read("cache.npy", path, path.read_bytes())
+        except OSError:
+            METRICS.count("cache.misses")
+            return None
+        expected = self._meta_sha(meta_path)
+        if expected is not None and (
+            hashlib.sha256(blob).hexdigest() != expected
+        ):
+            # Torn write or bit rot: the bytes are not what we stored.
+            self._quarantine(path, meta_path)
+            METRICS.count("cache.misses")
+            return None
+        try:
+            array = np.load(io.BytesIO(blob))
+        except (OSError, ValueError):
+            # Unparseable without a checksum to blame (legacy entry):
+            # same treatment, quarantine and recompute.
+            self._quarantine(path, meta_path)
             METRICS.count("cache.misses")
             return None
         METRICS.count("cache.hits")
         METRICS.count("cache.bytes_read", array.nbytes)
         return array
 
+    def _meta_sha(self, meta_path: Path) -> Optional[str]:
+        """The sidecar's recorded checksum, or ``None`` when absent.
+
+        Sidecars predating checksumming (or torn ones) yield ``None``:
+        the entry then only has ``np.load`` parseability vouching for
+        it, exactly the pre-checksum behaviour.
+        """
+        try:
+            meta = json.loads(
+                _faults.on_read(
+                    "cache.meta", meta_path, meta_path.read_text()
+                )
+            )
+        except (OSError, json.JSONDecodeError):
+            return None
+        digest = meta.get("sha256")
+        return str(digest) if digest else None
+
+    def _quarantine(self, path: Path, meta_path: Path) -> None:
+        """Move a corrupt entry (array + sidecar) aside, never delete."""
+        quarantine = self.directory / QUARANTINE_DIR
+        quarantine.mkdir(parents=True, exist_ok=True)
+        for victim in (path, meta_path):
+            try:
+                os.replace(victim, quarantine / victim.name)
+            except FileNotFoundError:
+                pass
+        METRICS.count("cache.quarantined")
+
     def store(self, spec, params: str, seed, array: np.ndarray) -> bool:
-        """Persist ``array``; returns whether anything was written."""
+        """Persist ``array``; returns whether anything was written.
+
+        A full disk never fails the computation that produced the
+        array: ``ENOSPC`` turns the write into a counted no-op
+        (``cache.enospc_skips`` plus a warning) and returns ``False`` —
+        the cache is an accelerator, not a durability requirement.
+        """
         token = _seed_token(seed)
         if token is None:
             return False
         key = self._key(spec, params, token)
         path, meta_path = self._paths(key)
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".npy.tmp")
+        blob_io = io.BytesIO()
+        np.save(blob_io, np.asarray(array))
+        blob = blob_io.getvalue()
+        digest = hashlib.sha256(blob).hexdigest()
+        tmp = None
         try:
+            payload = _faults.on_write("cache.npy", path, blob)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".npy.tmp")
             with os.fdopen(fd, "wb") as handle:
-                np.save(handle, np.asarray(array))
+                handle.write(payload)
+            _faults.on_replace("cache.npy", path)
             os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
-        meta_path.write_text(
-            json.dumps(
+            _faults.on_published("cache.npy", path)
+            meta_text = json.dumps(
                 {
                     "version": _CACHE_VERSION,
                     "spec": spec.cache_token(),
                     "params": params,
                     "seed": token,
                     "count": int(np.asarray(array).shape[0]),
+                    "sha256": digest,
                 },
                 indent=2,
             )
-        )
+            atomic_write_text(meta_path, meta_text, site="cache.meta")
+        except OSError as error:
+            if tmp is not None and os.path.exists(tmp):
+                os.unlink(tmp)
+            if error.errno == errno.ENOSPC:
+                METRICS.count("cache.enospc_skips")
+                warnings.warn(
+                    f"cache write skipped, disk full: {path}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return False
+            raise
+        except BaseException:
+            # A *simulated* crash cleans nothing up — a real dead
+            # process would not either; recovery reaps the debris.
+            if (
+                not _faults.crashed()
+                and tmp is not None
+                and os.path.exists(tmp)
+            ):
+                os.unlink(tmp)
+            raise
         METRICS.count("cache.bytes_written", np.asarray(array).nbytes)
         return True
+
+    def verify(self, repair: bool = False, grace_s: float = 60.0) -> dict:
+        """Integrity pass for ``repro fsck``: checksums, strays, temps.
+
+        Reports (and with ``repair=True`` fixes) orphaned temp files
+        older than ``grace_s`` (reaped), checksum mismatches and
+        unparseable arrays (quarantined).  Returns ``{"findings":
+        [...], "repaired": N}``.
+        """
+        findings = []
+        repaired = 0
+        now = time.time()
+        for tmp in sorted(self.directory.glob("*.tmp")):
+            try:
+                if now - tmp.stat().st_mtime < grace_s:
+                    continue  # possibly a live writer's in-flight temp
+            except OSError:
+                continue
+            findings.append(f"orphan temp file {tmp.name}")
+            if repair:
+                tmp.unlink(missing_ok=True)
+                repaired += 1
+        for path in sorted(self.directory.glob("*.npy")):
+            meta_path = path.with_suffix(".json")
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue
+            expected = self._meta_sha(meta_path)
+            if expected is not None and (
+                hashlib.sha256(blob).hexdigest() != expected
+            ):
+                findings.append(f"entry {path.stem[:12]}: checksum mismatch")
+            else:
+                try:
+                    np.load(io.BytesIO(blob))
+                    continue
+                except (OSError, ValueError):
+                    findings.append(
+                        f"entry {path.stem[:12]}: unparseable array"
+                    )
+            if repair:
+                self._quarantine(path, meta_path)
+                repaired += 1
+        return {"findings": findings, "repaired": repaired}
 
     def stats(self) -> dict:
         """Directory contents plus this process's hit/miss counters.

@@ -60,6 +60,17 @@ class ArtifactError(ReproError):
     """An artifact store operation failed (missing key, corrupt manifest)."""
 
 
+class StorageError(ArtifactError):
+    """The storage medium itself failed (disk full, unwritable path).
+
+    Distinct from :class:`ArtifactError`'s logical failures so callers
+    can tell "this key does not exist" from "the disk is out of space":
+    the former is a caller bug, the latter is an operational condition —
+    the job service fails the affected job cleanly with a diagnosable
+    message instead of crashing the worker.
+    """
+
+
 class JobError(ReproError):
     """A job-service operation failed.
 

@@ -1,0 +1,60 @@
+"""Chaos-harness helpers: coverage observation and plan matrices.
+
+The chaos suite runs one *observing* pass of a scenario (no faults,
+plan just counts ops per site), then derives plans from the coverage
+map: :func:`crash_plans` enumerates a crash at **every** observed
+(site, op) so no injection point goes untested, and
+:func:`seeded_plans` pads the matrix with deterministic random
+single-fault plans up to the requested size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping
+
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.faults import injector
+
+
+def observe(scenario: Callable[[], None]) -> Dict[str, int]:
+    """Run ``scenario`` under an empty plan; return site -> op count.
+
+    The empty plan injects nothing — it only records which seams fire
+    and how often, which is the universe the crash matrix enumerates.
+    """
+    plan = FaultPlan(name="observe")
+    with injector.injected(plan):
+        scenario()
+    return dict(plan.observed)
+
+
+def crash_plans(coverage: Mapping[str, int]) -> List[FaultPlan]:
+    """One ``crash_before`` and one ``crash_after`` plan per (site, op).
+
+    This is the "crash at every injection point at least once"
+    guarantee: every observed operation of every site gets killed on
+    both sides of its publish.
+    """
+    plans: List[FaultPlan] = []
+    for site in sorted(coverage):
+        for op in range(1, int(coverage[site]) + 1):
+            for kind in ("crash_before", "crash_after"):
+                plans.append(
+                    FaultPlan(
+                        rules=[FaultRule(site, op, kind)],
+                        name=f"{site}#{op}:{kind}",
+                    )
+                )
+    return plans
+
+
+def seeded_plans(
+    coverage: Mapping[str, int], count: int, seed: int = 0
+) -> List[FaultPlan]:
+    """``count`` deterministic random single-fault plans over ``coverage``."""
+    return [
+        FaultPlan.random(seed * 100_003 + i, coverage) for i in range(count)
+    ]
+
+
+__all__ = ["crash_plans", "observe", "seeded_plans"]

@@ -1,0 +1,146 @@
+"""Process-wide fault-plan installation and the IO seams that consult it.
+
+The persistence layers (``repro.locks``, ``repro.jobs.queue``,
+``repro.api.store``, ``repro.engine.cache``) route every write,
+publishing rename, read-back, and lock acquisition through the
+``on_*`` functions below.  With no plan installed each seam is a
+single module-global ``None`` check — the same disabled-overhead
+contract the obs tracer keeps (< 2%, enforced by
+``tests/test_faults.py``).
+
+Install a plan for the duration of a block::
+
+    from repro.faults import FaultPlan, FaultRule, injected
+
+    plan = FaultPlan([FaultRule("queue.claim", 1, "crash_after")])
+    with injected(plan):
+        ...  # the first queued->claimed rename publishes, then "dies"
+
+Installation is process-global, not thread-local, on purpose: a
+worker's heartbeat thread must see the same simulated disk as the
+worker's main thread.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.faults.plan import FaultPlan, InjectedCrash
+
+_PLAN: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Install ``plan`` process-wide (replacing any active plan)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def uninstall() -> None:
+    """Remove the active plan; every seam returns to its no-op path."""
+    global _PLAN
+    _PLAN = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The currently installed plan, or ``None``."""
+    return _PLAN
+
+
+@contextlib.contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Context manager: install ``plan``, uninstall on exit."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+def crashed() -> bool:
+    """True when the active plan has already simulated process death.
+
+    Cleanup code that would not run in a real crash (``finally``
+    blocks releasing locks, deleting temp files) checks this to stay
+    faithful: a dead process unwinds nothing.
+    """
+    return _PLAN is not None and _PLAN.crashed
+
+
+# ----------------------------------------------------------------------
+# Seams.  Fast path first in every one of them.
+# ----------------------------------------------------------------------
+
+def on_write(site: str, path, data):
+    """Start of a write-op; returns the (possibly torn) payload.
+
+    May raise ``OSError(ENOSPC)`` or :class:`InjectedCrash`.
+    """
+    if _PLAN is None:
+        return data
+    return _PLAN.begin_write(site, path, data)
+
+
+def on_replace(site: str, path, op_start: bool = False) -> None:
+    """Immediately before a publishing rename.
+
+    ``op_start=True`` marks bare renames (queue state transitions)
+    that have no preceding :func:`on_write` phase.
+    """
+    if _PLAN is None:
+        return
+    _PLAN.at_replace(site, path, op_start)
+
+
+def on_published(site: str, path) -> None:
+    """Immediately after a publishing rename succeeded."""
+    if _PLAN is None:
+        return
+    _PLAN.at_published(site, path)
+
+
+def on_read(site: str, path, data):
+    """A completed read-back; returns the (possibly corrupted) data."""
+    if _PLAN is None:
+        return data
+    return _PLAN.on_read(site, path, data)
+
+
+def on_lock(site: str, path) -> None:
+    """Right after a ``FileLock`` acquisition (crash kinds die holding it)."""
+    if _PLAN is None:
+        return
+    _PLAN.on_lock(site, path)
+
+
+def heartbeat_time(site: str, t: float) -> float:
+    """Filter a heartbeat timestamp (``stale_clock`` skews it)."""
+    if _PLAN is None:
+        return t
+    return _PLAN.heartbeat_time(site, t)
+
+
+def heartbeat_pid(site: str, pid: Optional[int]) -> Optional[int]:
+    """Filter a recorded pid (``pid_reuse`` substitutes a live one)."""
+    if _PLAN is None:
+        return pid
+    return _PLAN.heartbeat_pid(site, pid)
+
+
+__all__ = [
+    "FaultPlan",
+    "InjectedCrash",
+    "active",
+    "crashed",
+    "heartbeat_pid",
+    "heartbeat_time",
+    "injected",
+    "install",
+    "on_lock",
+    "on_published",
+    "on_read",
+    "on_replace",
+    "on_write",
+    "uninstall",
+]

@@ -1,0 +1,333 @@
+"""Deterministic fault plans: *what* goes wrong, *where*, and *when*.
+
+A :class:`FaultPlan` is a serialisable list of :class:`FaultRule`\\ s,
+each naming an **injection site** (a seam in the persistence stack,
+e.g. ``"queue.claim"`` or ``"store.manifest"``), the 1-based **op
+index** of the IO operation at that site, and a fault **kind**.  The
+plan is installed process-wide (:mod:`repro.faults.injector`) and the
+instrumented seams consult it on every operation; with no plan
+installed every seam is a single ``None`` check, mirroring the obs
+tracer's disabled-overhead contract.
+
+Fault kinds and the seam phase they fire at:
+
+===============  ====================================================
+``crash_before``  :class:`InjectedCrash` immediately **before** the
+                  publishing rename — a temp file may be orphaned, the
+                  target is untouched.
+``crash_after``   :class:`InjectedCrash` immediately **after** the
+                  publish — the new content is visible but none of the
+                  caller's follow-up bookkeeping ran.  On read sites:
+                  crash after the read; on lock sites: die *holding*
+                  the lock.
+``torn``          The written payload is truncated to ``arg`` (default
+                  0.5) of its length **and** the process crashes after
+                  the publish — a torn write as a crashing filesystem
+                  would leave it.
+``enospc``        ``OSError(ENOSPC)`` out of the write — disk full.
+``corrupt``       The payload read back is bit-flipped at a
+                  plan-deterministic position (silent media
+                  corruption).
+``stale_clock``   Heartbeat timestamps are skewed ``arg`` (default
+                  3600) seconds into the past on **every** write.
+``pid_reuse``     Heartbeat/claim pids are replaced by a live pid
+                  (default: this process's parent) on **every** write
+                  — the pid-liveness check must not be fooled.
+===============  ====================================================
+
+``stale_clock``/``pid_reuse`` are *filters* (they apply to every
+matching operation; ``op`` is ignored), all other kinds are
+*one-shot* (they fire at exactly the ``op``-th operation of their
+site).  After any crash kind fires the plan is **dead**: every further
+seam call raises :class:`InjectedCrash` too, because a crashed process
+performs no more IO — this keeps in-process crash simulation coherent
+(heartbeat threads stop beating, locked sections never release).
+
+A plan also *observes*: :attr:`FaultPlan.observed` counts the ops seen
+per site (the coverage map the chaos harness enumerates crash plans
+from) and :attr:`FaultPlan.injected` logs every fired fault.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import METRICS
+
+PLAN_SCHEMA = 1
+
+#: Kinds that end the simulated process.
+CRASH_KINDS = frozenset({"crash_before", "crash_after", "torn"})
+#: Kinds that apply to every matching op (``op`` ignored).
+FILTER_KINDS = frozenset({"stale_clock", "pid_reuse"})
+ALL_KINDS = CRASH_KINDS | FILTER_KINDS | {"enospc", "corrupt"}
+
+#: Injection-log entries kept per plan (filters would otherwise spam).
+_MAX_LOG = 1000
+
+
+class InjectedCrash(BaseException):
+    """A simulated process death at an injection point.
+
+    Deliberately a :class:`BaseException`: production code catching
+    ``Exception`` (the worker's failure split, the store's cleanup
+    paths) must treat an injected crash as death, not as a handleable
+    error — exactly as a real ``SIGKILL`` would not be handleable.
+    """
+
+    def __init__(self, site: str, op: int, kind: str) -> None:
+        super().__init__(f"injected {kind} at {site}#{op}")
+        self.site = site
+        self.op = op
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault: ``kind`` at the ``op``-th operation of ``site``."""
+
+    site: str
+    op: int
+    kind: str
+    arg: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {', '.join(sorted(ALL_KINDS))}"
+            )
+
+
+class FaultPlan:
+    """Seeded, serialisable schedule of injected faults.
+
+    Thread-safe: op counting takes an internal lock (heartbeat threads
+    write concurrently with the main thread), rule lists are frozen at
+    construction.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[FaultRule] = (),
+        seed: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.seed = seed
+        self.name = name or (
+            "+".join(f"{r.site}#{r.op}:{r.kind}" for r in self.rules)
+            or "observe"
+        )
+        self.observed: Dict[str, int] = {}
+        self.injected: List[Dict[str, Any]] = []
+        self.crashed = False
+        self._armed: Dict[str, Tuple[int, Optional[FaultRule]]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Rule lookup
+    # ------------------------------------------------------------------
+    def _match(self, site: str, op: int) -> Optional[FaultRule]:
+        for rule in self.rules:
+            if rule.site == site and rule.op == op:
+                if rule.kind not in FILTER_KINDS:
+                    return rule
+        return None
+
+    def _filter(self, kind: str, site: str) -> Optional[FaultRule]:
+        for rule in self.rules:
+            if rule.kind == kind and rule.site == site:
+                return rule
+        return None
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def _log(self, site: str, op: int, kind: str, phase: str) -> None:
+        METRICS.count("faults.injected")
+        with self._lock:
+            if len(self.injected) < _MAX_LOG:
+                self.injected.append(
+                    {"site": site, "op": op, "kind": kind, "phase": phase}
+                )
+
+    def _crash(self, site: str, op: int, kind: str, phase: str) -> None:
+        self.crashed = True
+        self._log(site, op, kind, phase)
+        raise InjectedCrash(site, op, kind)
+
+    def _check_dead(self, site: str) -> None:
+        if self.crashed:
+            raise InjectedCrash(site, 0, "dead")
+
+    def _count(self, site: str) -> int:
+        with self._lock:
+            self.observed[site] = self.observed.get(site, 0) + 1
+            return self.observed[site]
+
+    # ------------------------------------------------------------------
+    # Seam phases (called by repro.faults.injector)
+    # ------------------------------------------------------------------
+    def begin_write(self, site: str, path, data):
+        """First phase of a write-op: counts it; enospc/torn fire here."""
+        self._check_dead(site)
+        op = self._count(site)
+        rule = self._match(site, op)
+        self._armed[site] = (op, rule)
+        if rule is None:
+            return data
+        if rule.kind == "enospc":
+            import errno
+            import os as _os
+
+            self._log(site, op, rule.kind, "write")
+            raise OSError(
+                errno.ENOSPC,
+                "injected fault: no space left on device",
+                _os.fspath(path),
+            )
+        if rule.kind == "torn":
+            fraction = 0.5 if rule.arg is None else float(rule.arg)
+            keep = max(0, int(len(data) * fraction))
+            self._log(site, op, rule.kind, "write")
+            return data[:keep]
+        return data
+
+    def at_replace(self, site: str, path, op_start: bool) -> None:
+        """Immediately before the publishing rename.
+
+        ``op_start`` marks bare renames (no write phase): the op is
+        counted here instead.
+        """
+        self._check_dead(site)
+        if op_start:
+            op = self._count(site)
+            self._armed[site] = (op, self._match(site, op))
+        op, rule = self._armed.get(site, (self.observed.get(site, 0), None))
+        if rule is not None and rule.kind == "crash_before":
+            self._crash(site, op, rule.kind, "replace")
+
+    def at_published(self, site: str, path) -> None:
+        """Immediately after the publishing rename."""
+        self._check_dead(site)
+        op, rule = self._armed.pop(site, (self.observed.get(site, 0), None))
+        if rule is not None and rule.kind in ("crash_after", "torn"):
+            self._crash(site, op, rule.kind, "published")
+
+    def on_read(self, site: str, path, data):
+        """A read-back: corruption and read-side crashes fire here."""
+        self._check_dead(site)
+        op = self._count(site)
+        rule = self._match(site, op)
+        if rule is None:
+            return data
+        if rule.kind == "corrupt":
+            self._log(site, op, rule.kind, "read")
+            return _corrupt(data, rule)
+        if rule.kind in ("crash_before", "crash_after"):
+            self._crash(site, op, rule.kind, "read")
+        return data
+
+    def on_lock(self, site: str, path) -> None:
+        """Fires right after a FileLock acquisition (die holding it)."""
+        self._check_dead(site)
+        op = self._count(site)
+        rule = self._match(site, op)
+        if rule is not None and rule.kind in ("crash_before", "crash_after"):
+            self._crash(site, op, rule.kind, "lock")
+
+    def heartbeat_time(self, site: str, t: float) -> float:
+        rule = self._filter("stale_clock", site)
+        if rule is None:
+            return t
+        self._log(site, 0, rule.kind, "filter")
+        return t - (3600.0 if rule.arg is None else float(rule.arg))
+
+    def heartbeat_pid(self, site: str, pid: Optional[int]) -> Optional[int]:
+        rule = self._filter("pid_reuse", site)
+        if rule is None:
+            return pid
+        import os as _os
+
+        self._log(site, 0, rule.kind, "filter")
+        return int(rule.arg) if rule.arg else _os.getppid()
+
+    # ------------------------------------------------------------------
+    # Construction and serialisation
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        coverage: Mapping[str, int],
+        kinds: Iterable[str] = ("crash_before", "crash_after", "torn",
+                                "enospc", "corrupt"),
+    ) -> "FaultPlan":
+        """One seeded single-rule plan drawn from a coverage map.
+
+        ``coverage`` maps site -> op count (from an observing run, see
+        :func:`repro.faults.chaos.observe`); the (site, op, kind)
+        triple is a deterministic function of ``seed``.
+        """
+        rng = random.Random(seed)
+        sites = sorted(coverage)
+        if not sites:
+            raise ValueError("cannot draw a fault from empty coverage")
+        site = rng.choice(sites)
+        op = rng.randint(1, max(1, int(coverage[site])))
+        kind = rng.choice(sorted(kinds))
+        arg = None
+        if kind == "torn":
+            arg = round(rng.uniform(0.0, 0.9), 3)
+        return cls(
+            rules=[FaultRule(site, op, kind, arg)],
+            seed=seed,
+            name=f"seed{seed}:{site}#{op}:{kind}",
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": PLAN_SCHEMA,
+            "name": self.name,
+            "seed": self.seed,
+            "rules": [asdict(rule) for rule in self.rules],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        try:
+            rules = [FaultRule(**entry) for entry in payload["rules"]]
+            return cls(
+                rules=rules,
+                seed=payload.get("seed"),
+                name=str(payload.get("name", "")),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"malformed fault plan payload: {error}") from error
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_payload(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan({self.name!r}, rules={len(self.rules)})"
+
+
+def _corrupt(data, rule: FaultRule):
+    """Flip one position of ``data``, deterministically per rule."""
+    if not data:
+        return data
+    position = (hash((rule.site, rule.op)) & 0x7FFFFFFF) % len(data)
+    if isinstance(data, bytes):
+        flipped = bytes([data[position] ^ 0xFF])
+        return data[:position] + flipped + data[position + 1:]
+    # str: overwrite with a character that breaks JSON wherever it lands
+    return data[:position] + "\x00" + data[position + 1:]

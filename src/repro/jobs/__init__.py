@@ -15,6 +15,10 @@ The serving stack the ROADMAP's worker/orchestrator split asks for
   backoff, quarantines poison jobs after ``max_retries``.
 * :func:`~repro.jobs.handle.submit` / :class:`~repro.jobs.handle.JobHandle`
   — the client face, re-exported as :func:`repro.api.submit`.
+* :func:`~repro.jobs.fsck.fsck` +
+  :meth:`~repro.jobs.queue.JobQueue.recover` — crash-consistency: the
+  invariant checker behind ``repro fsck [--repair]`` and the recovery
+  pass the orchestrator runs at serve-start (DESIGN.md section 11).
 
 Quick tour::
 
@@ -27,6 +31,7 @@ Quick tour::
 """
 
 from repro.jobs.dedup import DedupIndex
+from repro.jobs.fsck import fsck, queue_findings
 from repro.jobs.handle import DEFAULT_ROOT, JobHandle, submit
 from repro.jobs.model import (
     ACTIVE_STATES,
@@ -68,7 +73,9 @@ __all__ = [
     "TERMINAL_STATES",
     "Worker",
     "backoff_seconds",
+    "fsck",
     "jobs_telemetry",
+    "queue_findings",
     "serve",
     "submit",
 ]

@@ -28,7 +28,7 @@ import json
 from pathlib import Path
 from typing import Callable, Optional
 
-from repro.locks import atomic_write_text
+from repro.locks import atomic_write_text, read_text
 
 
 class DedupIndex:
@@ -50,7 +50,7 @@ class DedupIndex:
         """
         marker = self._marker(key)
         try:
-            payload = json.loads(marker.read_text())
+            payload = json.loads(read_text(marker, site="dedup.marker"))
         except (FileNotFoundError, json.JSONDecodeError):
             return None
         job_id = payload.get("job")
@@ -63,8 +63,29 @@ class DedupIndex:
         stale marker; callers hold the submit lock)."""
         self.root.mkdir(parents=True, exist_ok=True)
         atomic_write_text(
-            self._marker(key), json.dumps({"key": key, "job": job_id})
+            self._marker(key),
+            json.dumps({"key": key, "job": job_id}),
+            site="dedup.marker",
         )
+
+    def markers(self):
+        """All marker files as ``(path, payload_or_None)`` pairs.
+
+        ``None`` payloads mark unreadable/corrupt markers; recovery and
+        fsck garbage-collect both those and markers whose primary job
+        no longer exists or is no longer active.
+        """
+        try:
+            entries = sorted(self.root.glob("*.json"))
+        except OSError:
+            return []
+        out = []
+        for path in entries:
+            try:
+                out.append((path, json.loads(path.read_text())))
+            except (FileNotFoundError, json.JSONDecodeError):
+                out.append((path, None))
+        return out
 
     def release(self, key: str, job_id: str) -> None:
         """Drop the marker for ``key`` if ``job_id`` still owns it.
@@ -76,7 +97,7 @@ class DedupIndex:
         """
         marker = self._marker(key)
         try:
-            payload = json.loads(marker.read_text())
+            payload = json.loads(read_text(marker, site="dedup.marker"))
         except (FileNotFoundError, json.JSONDecodeError):
             return
         if payload.get("job") == job_id:

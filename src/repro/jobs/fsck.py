@@ -1,0 +1,199 @@
+"""Service-wide integrity checking: ``repro fsck [--repair]``.
+
+One pass over every persistent layer a service root owns — queue state
+directories, dedup markers, heartbeats, locks, the artefact store, and
+optionally an engine cache directory — verifying the invariants that
+DESIGN.md section 11 promises and the chaos suite enforces:
+
+* every record's ``state`` field agrees with the directory it lives in
+  (the directory is the rename-transaction's truth);
+* every record parses;
+* no orphaned temp files or abandoned lock-break debris;
+* every dedup marker points at an existing, still-active job;
+* every heartbeat belongs to a claimed/running job;
+* no lock file is older than the staleness threshold;
+* every manifest entry names an existing artefact whose bytes match
+  its recorded sha256, and every artefact file is indexed;
+* every cache entry's bytes match its sidecar checksum.
+
+Read-only by default: findings are reported, nothing is touched.  With
+``repair=True`` the findings are fixed by the same code the hot paths
+use — :meth:`~repro.jobs.queue.JobQueue.recover`,
+:meth:`~repro.api.store.ArtifactStore.verify` and
+:meth:`~repro.engine.cache.ResultCache.verify` — then re-checked, so a
+repairing fsck reports whether the root actually came back clean.
+
+Counted in the obs registry: ``fsck.findings`` and ``fsck.repairs``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import JobError
+from repro.jobs.model import Job
+from repro.jobs.queue import _DIR_NAMES, STATE_DIRS, JobQueue
+from repro.obs.metrics import METRICS
+
+#: Locks and debris older than this are considered abandoned.
+DEFAULT_LOCK_STALE_S = 30.0
+
+
+def queue_findings(
+    queue: JobQueue,
+    grace_s: float = 5.0,
+    lock_stale_s: float = DEFAULT_LOCK_STALE_S,
+) -> List[str]:
+    """Read-only invariant check over one queue root.
+
+    ``grace_s`` ignores files younger than that age, so an fsck racing
+    live workers does not report in-flight writes as debris.
+    """
+    findings: List[str] = []
+    now = time.time()
+
+    def _old(path: Path) -> bool:
+        try:
+            return now - path.stat().st_mtime >= grace_s
+        except OSError:
+            return False
+
+    sweep_dirs = [queue.root] + [
+        queue.root / name for name in _DIR_NAMES + ("heartbeats", "keys")
+    ]
+    for directory in sweep_dirs:
+        for pattern in (".*.tmp", "*.stale.*"):
+            for debris in directory.glob(pattern):
+                if debris.is_file() and _old(debris):
+                    findings.append(
+                        f"queue: orphan temp file "
+                        f"{debris.relative_to(queue.root)}"
+                    )
+
+    for name in _DIR_NAMES:
+        for path in sorted((queue.root / name).glob("*.json")):
+            if not _old(path):
+                continue
+            try:
+                job = Job.from_json(path.read_text())
+            except (FileNotFoundError, JobError):
+                if path.exists():
+                    findings.append(f"queue: unparseable record {name}/{path.name}")
+                continue
+            if STATE_DIRS[job.state] != name:
+                findings.append(
+                    f"queue: record {path.name} in {name}/ claims state "
+                    f"{job.state!r}"
+                )
+
+    for marker, payload in queue.dedup.markers():
+        if not _old(marker):
+            continue
+        primary = str(payload.get("job") or "") if payload else ""
+        if not primary:
+            findings.append(f"queue: unparseable dedup marker {marker.name}")
+        elif not queue._is_active(primary):
+            findings.append(
+                f"queue: dedup marker {marker.name} points at inactive "
+                f"job {primary}"
+            )
+
+    claimed_ids = {p.stem for p in (queue.root / "claimed").glob("*.json")}
+    for heartbeat in (queue.root / "heartbeats").glob("*.json"):
+        if heartbeat.stem not in claimed_ids and _old(heartbeat):
+            findings.append(
+                f"queue: orphan heartbeat {heartbeat.name} "
+                f"(job not claimed/running)"
+            )
+
+    for lock_path in (queue.root / "submit.lock",
+                      queue.root / "store" / "manifest.json.lock"):
+        try:
+            age = now - lock_path.stat().st_mtime
+        except OSError:
+            continue
+        if age >= lock_stale_s:
+            findings.append(
+                f"queue: stale lock {lock_path.name} (held {age:.1f}s)"
+            )
+
+    return findings
+
+
+def fsck(
+    root: str | Path,
+    cache_dir: Optional[str | Path] = None,
+    repair: bool = False,
+    grace_s: float = 5.0,
+    lock_stale_s: float = DEFAULT_LOCK_STALE_S,
+) -> Dict[str, Any]:
+    """Check (and with ``repair`` fix) every persistent layer of ``root``.
+
+    Returns a report dict::
+
+        {"clean": bool, "findings": [...], "repaired": N,
+         "queue": {...}, "store": {...}, "cache": {...}?}
+
+    ``clean`` reflects the state *after* any repairs: a repairing fsck
+    re-checks and reports residual problems, a read-only fsck reports
+    what it saw.
+    """
+    queue = JobQueue(root)
+    report: Dict[str, Any] = {"root": str(root)}
+    repaired = 0
+
+    q_findings = queue_findings(
+        queue, grace_s=grace_s, lock_stale_s=lock_stale_s
+    )
+    report["queue"] = {"findings": q_findings}
+    if repair and q_findings:
+        recovered = queue.recover(grace_s=grace_s, lock_grace_s=lock_stale_s)
+        report["queue"]["recovered"] = recovered
+        repaired += sum(recovered.values())
+
+    store_report = queue.store.verify(repair=repair)
+    report["store"] = store_report
+    repaired += store_report["repaired"]
+
+    if cache_dir is not None:
+        from repro.engine.cache import ResultCache
+
+        cache_report = ResultCache(cache_dir).verify(
+            repair=repair, grace_s=grace_s
+        )
+        report["cache"] = cache_report
+        repaired += cache_report["repaired"]
+
+    findings = list(q_findings) + list(store_report["findings"])
+    if "cache" in report:
+        findings += list(report["cache"]["findings"])
+
+    if repair and findings:
+        residual = queue_findings(
+            queue, grace_s=grace_s, lock_stale_s=lock_stale_s
+        )
+        residual += queue.store.verify(repair=False)["findings"]
+        if cache_dir is not None:
+            from repro.engine.cache import ResultCache
+
+            residual += ResultCache(cache_dir).verify(
+                repair=False, grace_s=grace_s
+            )["findings"]
+        report["residual"] = residual
+        clean = not residual
+    else:
+        clean = not findings
+
+    report["findings"] = findings
+    report["repaired"] = repaired
+    report["clean"] = clean
+    if findings:
+        METRICS.count("fsck.findings", len(findings))
+    if repaired:
+        METRICS.count("fsck.repairs", repaired)
+    return report
+
+
+__all__ = ["DEFAULT_LOCK_STALE_S", "fsck", "queue_findings"]

@@ -87,6 +87,9 @@ class Job:
     claimed_at: Optional[float] = None
     finished_at: Optional[float] = None
     worker_pid: Optional[int] = None
+    #: Hostname of the claiming worker — pid liveness checks are only
+    #: meaningful on the host that issued the pid (multi-host prep).
+    worker_host: Optional[str] = None
     #: Earliest wall-clock time a requeued job may be claimed again.
     not_before: float = 0.0
     error: Optional[str] = None

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import signal
+import socket
 import subprocess
 import sys
 import time
@@ -92,8 +93,15 @@ class Orchestrator:
         return proc
 
     def start(self) -> None:
-        """Create the layout and bring the pool up to size."""
+        """Create the layout, repair crash debris, bring the pool up.
+
+        The :meth:`JobQueue.recover` pass runs before any worker
+        spawns: orphaned temps are reaped, half-renamed records
+        re-homed and dangling markers collected while nothing is racing
+        the repair.
+        """
         self.queue.ensure_layout()
+        self.queue.recover()
         self.queue.clear_stop()
         while len(self.procs) < self.workers:
             self.procs.append(self._spawn_worker())
@@ -113,17 +121,28 @@ class Orchestrator:
         """
         moved = 0
         now = time.time()
+        local_host = socket.gethostname()
         for job in self.queue.jobs(states=(CLAIMED, RUNNING)):
             heartbeat = self.queue.read_heartbeat(job.id)
             last_seen = (
                 heartbeat["t"] if heartbeat else (job.claimed_at or now)
             )
             stale = now - last_seen > self.heartbeat_timeout
-            dead = not _pid_alive(job.worker_pid)
+            # A pid-liveness probe is only meaningful on the host that
+            # issued the pid: for a worker on another host (or a legacy
+            # record with no host) the heartbeat timeout is the sole
+            # death signal — os.kill(pid, 0) here would interrogate an
+            # unrelated local process that merely reuses the number.
+            worker_host = job.worker_host or (
+                heartbeat.get("host") if heartbeat else None
+            )
+            dead = worker_host == local_host and not _pid_alive(
+                job.worker_pid
+            )
             if not (stale or dead):
                 continue
             reason = (
-                f"worker {job.worker_pid} "
+                f"worker {worker_host or '?'}:{job.worker_pid} "
                 + ("died" if dead else
                    f"silent for {now - last_seen:.1f}s")
             )

@@ -9,6 +9,7 @@ idle)::
       done|failed|quarantined|cancelled|coalesced/<job>.json
       heartbeats/<job>.json    worker liveness + progress counters
       keys/<hash>.json         dedup markers (see repro.jobs.dedup)
+      corrupt/<job>.json       unparseable records set aside by recover()
       store/                   ArtifactStore the results land in
       logs/                    worker stdout/stderr (orchestrator-spawned)
       submit.lock              FileLock serialising submissions
@@ -34,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional
@@ -41,6 +43,7 @@ from typing import Any, Dict, Iterable, List, Optional
 from repro.api.spec import RunSpec
 from repro.api.store import ArtifactStore
 from repro.exceptions import JobError
+from repro.faults import injector as _faults
 from repro.jobs.dedup import DedupIndex
 from repro.jobs.model import (
     ACTIVE_STATES,
@@ -56,7 +59,7 @@ from repro.jobs.model import (
     Job,
     backoff_seconds,
 )
-from repro.locks import FileLock, atomic_write_text
+from repro.locks import FileLock, atomic_write_text, read_text
 from repro.obs.metrics import METRICS
 
 #: state -> directory name.  ``running`` keeps living in ``claimed/``:
@@ -73,6 +76,20 @@ STATE_DIRS = {
 }
 _DIR_NAMES = ("queued", "claimed", "done", "failed", "quarantined",
               "cancelled", "coalesced")
+#: directory name -> canonical state for records found there.  The
+#: directory is the transaction, so on recovery the directory wins over
+#: whatever state a half-updated payload claims.
+_DIR_STATES = {
+    "queued": QUEUED,
+    "claimed": CLAIMED,
+    "done": DONE,
+    "failed": FAILED,
+    "quarantined": QUARANTINED,
+    "cancelled": CANCELLED,
+    "coalesced": COALESCED,
+}
+#: unparseable records are moved here (never deleted) by recovery/fsck.
+CORRUPT_DIR = "corrupt"
 STOP_NAME = "STOP"
 
 
@@ -154,13 +171,16 @@ class JobQueue:
         for job in candidates:
             source = self._dir(QUEUED) / f"{job.id}.json"
             target = self._dir(CLAIMED) / f"{job.id}.json"
+            _faults.on_replace("queue.claim", target, op_start=True)
             try:
                 os.rename(source, target)
             except FileNotFoundError:
                 continue  # another worker won this one
+            _faults.on_published("queue.claim", target)
             job.state = CLAIMED
             job.claimed_at = time.time()
             job.worker_pid = pid
+            job.worker_host = socket.gethostname()
             self._write(job)
             self.write_heartbeat(job)
             return job
@@ -191,12 +211,14 @@ class JobQueue:
             job_after.finished_at = time.time()
         target = self._path(job_after)
         if source != target:
+            _faults.on_replace("queue.transition", target, op_start=True)
             try:
                 os.rename(source, target)
             except FileNotFoundError:
                 raise JobError(
                     f"job {job.id} is no longer {job.state} (lost ownership)"
                 ) from None
+            _faults.on_published("queue.transition", target)
         self._write(job_after)
         if job_after.terminal:
             self.dedup.release(job_after.key, job_after.id)
@@ -221,14 +243,18 @@ class JobQueue:
         job_after.state = QUEUED
         job_after.claimed_at = None
         job_after.worker_pid = None
+        job_after.worker_host = None
         job_after.error = reason
         job_after.not_before = time.time() + backoff_seconds(job_after.attempts)
+        target = self._path(job_after)
+        _faults.on_replace("queue.requeue", target, op_start=True)
         try:
-            os.rename(source, self._path(job_after))
+            os.rename(source, target)
         except FileNotFoundError:
             raise JobError(
                 f"job {job.id} is no longer {job.state} (lost ownership)"
             ) from None
+        _faults.on_published("queue.requeue", target)
         self._write(job_after)
         self._drop_heartbeat(job_after.id)
         METRICS.count("jobs.retried")
@@ -252,7 +278,7 @@ class JobQueue:
         for name in _DIR_NAMES:
             path = self.root / name / f"{job_id}.json"
             try:
-                return Job.from_json(path.read_text())
+                return Job.from_json(read_text(path, site="queue.record"))
             except FileNotFoundError:
                 continue
         raise JobError(f"no job {job_id!r} under {self.root}")
@@ -310,6 +336,156 @@ class JobQueue:
         }
 
     # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def recover(
+        self, grace_s: float = 5.0, lock_grace_s: float | None = None
+    ) -> Dict[str, int]:
+        """Repair the on-disk state after crashes; returns what it fixed.
+
+        Run at serve-start (and by ``repro fsck --repair``).  Every
+        rename in this queue is atomic, so a crash can only leave four
+        kinds of debris, each detected by an invariant and repaired:
+
+        * **Orphaned temp files** — an ``atomic_write_text`` that died
+          before its publishing rename.  Reaped.
+        * **Half-renamed records** — a state rename published but the
+          process died before rewriting the payload, so the record's
+          ``state`` field disagrees with its directory.  The directory
+          *is* the transaction, so the directory wins: a record found
+          in ``claimed/`` claiming to be queued is un-claimed back to
+          ``queued/`` (its claimer died mid-claim); a record in a
+          terminal directory with an active payload gets its payload
+          finalised and its dedup marker/heartbeat released.
+        * **Unparseable records** — torn by a pre-atomic writer or
+          corrupted by the medium.  Moved to ``corrupt/`` (never
+          deleted) so a human can inspect them.
+        * **Dangling bookkeeping** — dedup markers whose primary job is
+          gone or finished, heartbeats for jobs no longer claimed,
+          abandoned submit locks.  Garbage-collected.
+
+        ``grace_s`` protects live activity: only files at least that
+        old are touched, so ``recover`` is safe to run while workers
+        are active.  ``lock_grace_s`` (default: the FileLock staleness
+        threshold) bounds lock-file age separately.
+        """
+        self.ensure_layout()
+        now = time.time()
+        report = {
+            "orphan_tmps": 0,
+            "rehomed": 0,
+            "corrupt_records": 0,
+            "stale_markers": 0,
+            "orphan_heartbeats": 0,
+            "stale_locks": 0,
+        }
+
+        def _old(path: Path) -> bool:
+            try:
+                return now - path.stat().st_mtime >= grace_s
+            except OSError:
+                return False
+
+        # Orphaned temp files (and abandoned lock-break asides).
+        sweep_dirs = [self.root] + [
+            self.root / name
+            for name in _DIR_NAMES + ("heartbeats", "keys")
+        ]
+        for directory in sweep_dirs:
+            for pattern in (".*.tmp", "*.stale.*"):
+                for debris in directory.glob(pattern):
+                    if debris.is_file() and _old(debris):
+                        debris.unlink(missing_ok=True)
+                        report["orphan_tmps"] += 1
+
+        # Records: corrupt aside, half-renamed re-homed.
+        corrupt_dir = self.root / CORRUPT_DIR
+        for name in _DIR_NAMES:
+            directory = self.root / name
+            for path in sorted(directory.glob("*.json")):
+                if not _old(path):
+                    continue
+                try:
+                    job = Job.from_json(path.read_text())
+                except (FileNotFoundError, JobError):
+                    if path.exists():
+                        corrupt_dir.mkdir(parents=True, exist_ok=True)
+                        os.replace(path, corrupt_dir / path.name)
+                        report["corrupt_records"] += 1
+                    continue
+                if STATE_DIRS[job.state] != name:
+                    if self._rehome(job, name):
+                        report["rehomed"] += 1
+
+        # Dedup markers whose primary is gone or inactive.
+        for marker, payload in self.dedup.markers():
+            if not _old(marker):
+                continue
+            primary = str(payload.get("job") or "") if payload else ""
+            if not primary or not self._is_active(primary):
+                marker.unlink(missing_ok=True)
+                report["stale_markers"] += 1
+
+        # Heartbeats for jobs that are no longer claimed/running.
+        claimed_ids = {
+            path.stem for path in (self.root / "claimed").glob("*.json")
+        }
+        for heartbeat in (self.root / "heartbeats").glob("*.json"):
+            if heartbeat.stem not in claimed_ids and _old(heartbeat):
+                heartbeat.unlink(missing_ok=True)
+                report["orphan_heartbeats"] += 1
+
+        # Abandoned locks (a holder that died keeps everyone waiting
+        # until staleness; recovery breaks them eagerly and atomically).
+        lock_grace = 30.0 if lock_grace_s is None else lock_grace_s
+        for lock_path in (self.root / "submit.lock",
+                          self.root / "store" / "manifest.json.lock"):
+            if not lock_path.exists():
+                continue
+            FileLock(lock_path, stale_after=lock_grace)._break_if_stale()
+            if not lock_path.exists():
+                report["stale_locks"] += 1
+
+        METRICS.count("queue.recovered_orphans", report["orphan_tmps"])
+        for key in ("rehomed", "corrupt_records", "stale_markers",
+                    "orphan_heartbeats", "stale_locks"):
+            if report[key]:
+                METRICS.count(f"queue.recovered_{key}", report[key])
+        return report
+
+    def _rehome(self, job: Job, dir_name: str) -> bool:
+        """Make ``job``'s payload agree with the directory it lives in."""
+        path = self.root / dir_name / f"{job.id}.json"
+        if dir_name == "claimed" and job.state == QUEUED:
+            # Claim rename published, claimer died before the rewrite:
+            # nobody owns this job, so un-claim it.
+            target = self.root / "queued" / f"{job.id}.json"
+            try:
+                os.rename(path, target)
+            except FileNotFoundError:
+                return False
+            job.claimed_at = None
+            job.worker_pid = None
+            job.worker_host = None
+            atomic_write_text(target, job.to_json(), site="queue.record")
+            return True
+        job.state = _DIR_STATES[dir_name]
+        if dir_name == "queued":
+            job.claimed_at = None
+            job.worker_pid = None
+            job.worker_host = None
+        if job.terminal and job.finished_at is None:
+            job.finished_at = time.time()
+        try:
+            atomic_write_text(path, job.to_json(), site="queue.record")
+        except FileNotFoundError:
+            return False
+        if job.terminal:
+            self.dedup.release(job.key, job.id)
+            self._drop_heartbeat(job.id)
+        return True
+
+    # ------------------------------------------------------------------
     # Heartbeats (worker liveness + streamed progress)
     # ------------------------------------------------------------------
     def heartbeat_path(self, job_id: str) -> Path:
@@ -320,16 +496,23 @@ class JobQueue:
     ) -> None:
         payload = {
             "job": job.id,
-            "pid": job.worker_pid,
+            "pid": _faults.heartbeat_pid("queue.heartbeat", job.worker_pid),
+            "host": job.worker_host or socket.gethostname(),
             "state": job.state,
-            "t": time.time(),
+            "t": _faults.heartbeat_time("queue.heartbeat", time.time()),
             "counters": dict(counters or {}),
         }
-        atomic_write_text(self.heartbeat_path(job.id), json.dumps(payload))
+        atomic_write_text(
+            self.heartbeat_path(job.id),
+            json.dumps(payload),
+            site="queue.heartbeat",
+        )
 
     def read_heartbeat(self, job_id: str) -> Optional[Dict[str, Any]]:
         try:
-            return json.loads(self.heartbeat_path(job_id).read_text())
+            return json.loads(
+                read_text(self.heartbeat_path(job_id), site="queue.heartbeat")
+            )
         except (FileNotFoundError, json.JSONDecodeError):
             return None
 
@@ -363,7 +546,7 @@ class JobQueue:
     # Record IO
     # ------------------------------------------------------------------
     def _write(self, job: Job) -> None:
-        atomic_write_text(self._path(job), job.to_json())
+        atomic_write_text(self._path(job), job.to_json(), site="queue.record")
 
     def _read_dir(self, name: str) -> List[Job]:
         directory = self.root / name
@@ -376,7 +559,11 @@ class JobQueue:
             if not entry.endswith(".json"):
                 continue
             try:
-                jobs.append(Job.from_json((directory / entry).read_text()))
+                jobs.append(
+                    Job.from_json(
+                        read_text(directory / entry, site="queue.record")
+                    )
+                )
             except (FileNotFoundError, JobError):
                 continue  # claimed away mid-listing, or torn legacy file
         return jobs

@@ -31,16 +31,22 @@ from __future__ import annotations
 import argparse
 import importlib
 import os
+import socket
 import sys
 import threading
 import time
 import traceback
 from typing import Optional, Sequence
 
-from repro.exceptions import JobError
+from repro.api.spec import RunSpec
+from repro.exceptions import JobError, StorageError
 from repro.jobs.model import DONE, FAILED, RUNNING, Job
 from repro.jobs.queue import JobQueue
 from repro.obs.metrics import METRICS
+
+
+class _DeadlineExceeded(Exception):
+    """A job's ``spec.timeout_s`` wall-clock deadline expired."""
 
 
 class _HeartbeatThread(threading.Thread):
@@ -79,6 +85,12 @@ class Worker:
         self.poll = poll
         self.heartbeat_interval = heartbeat_interval
         self.pid = os.getpid()
+        self.host = socket.gethostname()
+
+    @property
+    def id(self) -> str:
+        """``host:pid`` — pids are only meaningful on their own host."""
+        return f"{self.host}:{self.pid}"
 
     # ------------------------------------------------------------------
     # Loop
@@ -125,23 +137,77 @@ class Worker:
     # One job
     # ------------------------------------------------------------------
     def process(self, job: Job) -> Job:
-        from repro.api.run import execute
-
         job.state = RUNNING
         self.queue.update(job)
         heartbeat = _HeartbeatThread(self.queue, job, self.heartbeat_interval)
         heartbeat.start()
         try:
-            result = execute(job.spec)
-        except Exception:
+            try:
+                result = self._execute(job.spec)
+            except _DeadlineExceeded as error:
+                # A hung kernel is transient by policy: requeue with
+                # backoff (quarantine after max_retries) instead of
+                # leaving a stuck claim or declaring a deterministic
+                # failure.  The abandoned daemon thread may run on; its
+                # result is simply never saved.
+                METRICS.count("jobs.deadline_kills")
+                try:
+                    return self.queue.requeue(job, str(error))
+                except JobError:
+                    METRICS.count("jobs.lost_ownership")
+                    return job
+            except Exception:
+                return self._finish(
+                    job, FAILED, traceback.format_exc(limit=20)
+                )
+            try:
+                self.queue.store.save(result)
+            except StorageError as error:
+                # Operational failure (disk full), not a spec bug: fail
+                # the job with the diagnosis, no traceback noise.
+                return self._finish(job, FAILED, f"storage error: {error}")
+            except Exception:
+                return self._finish(
+                    job, FAILED, traceback.format_exc(limit=20)
+                )
+            return self._finish(job, DONE, None)
+        finally:
             heartbeat.stop()
-            return self._finish(job, FAILED, traceback.format_exc(limit=20))
-        heartbeat.stop()
-        try:
-            self.queue.store.save(result)
-        except Exception:
-            return self._finish(job, FAILED, traceback.format_exc(limit=20))
-        return self._finish(job, DONE, None)
+
+    def _execute(self, spec: RunSpec):
+        """Run ``spec``, bounded by its wall-clock deadline if it has one.
+
+        The watchdog is a thread join, not SIGALRM: it works from any
+        thread, composes with workers embedded in larger processes, and
+        needs no signal handler coordination.  The execution happens in
+        a daemon thread; if the deadline passes the worker abandons it
+        and raises :class:`_DeadlineExceeded`.
+        """
+        from repro.api.run import execute
+
+        if spec.timeout_s is None:
+            return execute(spec)
+        outcome: dict = {}
+
+        def _run() -> None:
+            try:
+                outcome["result"] = execute(spec)
+            except BaseException as error:  # delivered to the caller
+                outcome["error"] = error
+
+        thread = threading.Thread(
+            target=_run, daemon=True, name=f"exec-{spec.experiment_id}"
+        )
+        thread.start()
+        thread.join(spec.timeout_s)
+        if thread.is_alive():
+            raise _DeadlineExceeded(
+                f"deadline of {spec.timeout_s:g}s exceeded by worker "
+                f"{self.id}"
+            )
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["result"]
 
     def _finish(self, job: Job, state: str, error: str | None) -> Job:
         try:
@@ -184,7 +250,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.root, poll=args.poll, heartbeat_interval=args.heartbeat_interval
     )
     processed = worker.run(max_jobs=args.max_jobs, idle_exit=args.idle_exit)
-    print(f"worker {os.getpid()}: processed {processed} job(s)", file=sys.stderr)
+    print(f"worker {worker.id}: processed {processed} job(s)", file=sys.stderr)
     return 0
 
 

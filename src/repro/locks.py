@@ -10,19 +10,34 @@ on NTFS), needs no extra dependency, and — unlike ``fcntl`` range locks
 — survives being taken by a subprocess that re-opens the path.
 
 A lock left behind by a killed process would deadlock everyone, so a
-lock file older than ``stale_after`` seconds is broken: the waiter
-unlinks it and retries.  Holders therefore must keep critical sections
-far shorter than ``stale_after`` (every caller in this package holds a
-lock for a few milliseconds — one JSON read plus one atomic write).
+lock file older than ``stale_after`` seconds is broken.  The break is
+itself atomic: the waiter *renames* the stale lock aside to a unique
+name before unlinking it, so when several waiters race to break the
+same lock, ``os.rename`` guarantees exactly one of them wins — the
+losers see ``FileNotFoundError`` and go back to polling.  (A bare
+``stat``-then-``unlink`` break has an ABA race: waiter A stats a stale
+lock, waiter B breaks it *and re-acquires*, then A unlinks B's fresh
+lock and a third process acquires alongside B.)  Holders therefore
+must keep critical sections far shorter than ``stale_after`` (every
+caller in this package holds a lock for a few milliseconds — one JSON
+read plus one atomic write).
+
+Every IO step here runs through the :mod:`repro.faults` seams so the
+chaos suite can tear writes, crash around renames, and die holding
+locks; with no fault plan installed each seam is a single ``None``
+check.
 """
 
 from __future__ import annotations
 
 import os
+import socket
 import time
 from pathlib import Path
 
 from repro.exceptions import ReproError
+from repro.faults import injector as _faults
+from repro.obs.metrics import METRICS
 
 
 class LockTimeout(ReproError):
@@ -44,6 +59,9 @@ class FileLock:
     stale_after:
         Age (by mtime) past which an existing lock file is presumed
         abandoned by a dead process and broken.
+    site:
+        Fault-injection site name recorded on acquisition
+        (:mod:`repro.faults`).
     """
 
     def __init__(
@@ -52,11 +70,13 @@ class FileLock:
         timeout: float = 10.0,
         poll: float = 0.005,
         stale_after: float = 30.0,
+        site: str = "lock",
     ) -> None:
         self.path = Path(path)
         self.timeout = timeout
         self.poll = poll
         self.stale_after = stale_after
+        self.site = site
         self._fd: int | None = None
 
     def acquire(self) -> "FileLock":
@@ -76,12 +96,20 @@ class FileLock:
                     )
                 time.sleep(self.poll)
                 continue
-            os.write(fd, f"{os.getpid()} {time.time()}\n".encode())
+            os.write(
+                fd,
+                f"{os.getpid()} {time.time()} {socket.gethostname()}\n".encode(),
+            )
             self._fd = fd
+            _faults.on_lock(self.site, self.path)
             return self
 
     def release(self) -> None:
         if self._fd is None:
+            return
+        if _faults.crashed():
+            # A dead process releases nothing; leave the lock file for
+            # stale-breaking, exactly as a real crash would.
             return
         os.close(self._fd)
         self._fd = None
@@ -96,11 +124,35 @@ class FileLock:
             age = time.time() - self.path.stat().st_mtime
         except FileNotFoundError:
             return
-        if age > self.stale_after:
+        if age <= self.stale_after:
+            return
+        # Atomically claim the break: rename the suspect lock aside.
+        # os.rename of the same source succeeds for exactly one racer.
+        aside = self.path.with_name(
+            f"{self.path.name}.stale.{os.getpid()}.{time.monotonic_ns()}"
+        )
+        try:
+            os.rename(self.path, aside)
+        except FileNotFoundError:
+            return  # another waiter won the break (or the holder released)
+        # Re-check on the renamed file: between our stat and our rename
+        # the lock may have been broken and re-acquired by someone else,
+        # making what we grabbed a *fresh* lock.  If so, put it back —
+        # os.link fails if the path reappeared, in which case the fresh
+        # holder we displaced has been superseded anyway and our copy
+        # is redundant.
+        try:
+            fresh = time.time() - aside.stat().st_mtime <= self.stale_after
+        except FileNotFoundError:  # pragma: no cover - nothing renamed
+            return
+        if fresh:
             try:
-                self.path.unlink()
-            except FileNotFoundError:
+                os.link(aside, self.path)
+            except FileExistsError:
                 pass
+        else:
+            METRICS.count("locks.stale_broken")
+        aside.unlink(missing_ok=True)
 
     def __enter__(self) -> "FileLock":
         return self.acquire()
@@ -109,17 +161,34 @@ class FileLock:
         self.release()
 
 
-def atomic_write_text(path: str | Path, text: str) -> None:
+def atomic_write_text(
+    path: str | Path, text: str, site: str = "write"
+) -> None:
     """Write ``text`` to ``path`` atomically (unique temp + rename).
 
     The temp file lives in the target's directory so ``os.replace`` is
     a same-filesystem rename: readers see either the old content or the
     new, never a torn write — the invariant every concurrent consumer
-    of manifests, job records and heartbeats relies on.
+    of manifests, job records and heartbeats relies on.  ``site`` names
+    the fault-injection seam for this write (:mod:`repro.faults`).
     """
     target = Path(path)
     tmp = target.with_name(
         f".{target.name}.{os.getpid()}.{time.monotonic_ns()}.tmp"
     )
-    tmp.write_text(text)
+    data = _faults.on_write(site, target, text)
+    tmp.write_text(data)
+    _faults.on_replace(site, target)
     os.replace(tmp, target)
+    _faults.on_published(site, target)
+
+
+def read_text(path: str | Path, site: str = "read") -> str:
+    """Read ``path`` through the fault-injection read seam.
+
+    Persistent layers use this instead of ``Path.read_text`` so the
+    chaos suite can hand back corrupted payloads and verify the caller
+    detects them instead of trusting the bytes.
+    """
+    target = Path(path)
+    return _faults.on_read(site, target, target.read_text())

@@ -18,9 +18,19 @@ Conventions
   (``execute_many`` duplicates served without an engine run), and the
   job service's ``jobs.submitted`` / ``jobs.deduped`` /
   ``jobs.retried`` / ``jobs.failed`` / ``jobs.completed`` /
-  ``jobs.quarantined`` / ``jobs.lost_ownership`` — counted in whichever
-  process performed the transition; cross-process totals come from
-  :meth:`repro.jobs.queue.JobQueue.stats`.
+  ``jobs.quarantined`` / ``jobs.lost_ownership`` /
+  ``jobs.deadline_kills`` (watchdog-abandoned executions) — counted in
+  whichever process performed the transition; cross-process totals come
+  from :meth:`repro.jobs.queue.JobQueue.stats`.  Reliability counters
+  (DESIGN.md section 11) make degradation visible instead of silent:
+  ``faults.injected`` (fired fault-plan rules),
+  ``store.quarantined`` / ``store.manifest_rebuilt`` (artefact-store
+  corruption handling), ``cache.quarantined`` / ``cache.enospc_skips``
+  (engine-cache corruption and disk-full no-ops),
+  ``locks.stale_broken`` (atomically broken abandoned locks),
+  ``queue.recovered_orphans`` and the other ``queue.recovered_*``
+  counters (:meth:`repro.jobs.queue.JobQueue.recover` repairs), and
+  ``fsck.findings`` / ``fsck.repairs`` (``repro fsck``).
 * **Gauges** hold the latest value: ``engine.shard_seconds`` (the most
   recent shard's wall time; per-shard detail lives in spans).
 * **Peaks** hold the high-water mark: ``engine.state_peak_bytes`` — the

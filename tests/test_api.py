@@ -304,10 +304,17 @@ class TestArtifactStore:
         with pytest.raises(ArtifactError):
             ArtifactStore(tmp_path).latest("EXP-F4")
 
-    def test_corrupt_manifest_reported(self, tmp_path):
+    def test_corrupt_manifest_rebuilt_from_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(_result())
+        (tmp_path / "manifest.json").write_text("{not json")
+        records = store.records()
+        assert [record.key for record in records] == ["EXP-F4.fast.s0"]
+        assert store.load("EXP-F4.fast.s0").spec.experiment_id == "EXP-F4"
+        # fsck's read-only mode still reports the corruption verbatim.
         (tmp_path / "manifest.json").write_text("{not json")
         with pytest.raises(ArtifactError, match="corrupt manifest"):
-            ArtifactStore(tmp_path).records()
+            store._read_manifest(heal=False)
 
     def test_import_bundle_absorbs_legacy_archive(self, tmp_path):
         table = ResultTable("legacy", ["x"])

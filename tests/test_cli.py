@@ -347,6 +347,26 @@ class TestJobServiceParsers:
         args = build_cli_parser().parse_args(["jobs", "stop"])
         assert args.action == "stop"
 
+    def test_submit_timeout_s_flag(self):
+        args = build_cli_parser().parse_args(
+            ["submit", "EXP-F1", "--timeout-s", "2.5"]
+        )
+        assert args.timeout_s == 2.5
+        assert build_cli_parser().parse_args(
+            ["submit", "EXP-F1"]
+        ).timeout_s is None
+
+    def test_fsck_flags(self):
+        args = build_cli_parser().parse_args(
+            ["fsck", "--root", "jobs/", "--cache", "c/", "--repair",
+             "--grace", "0", "--json"]
+        )
+        assert args.command == "fsck"
+        assert args.root == "jobs/"
+        assert args.cache == "c/"
+        assert args.repair and args.json
+        assert args.grace == 0.0
+
 
 class TestJobServiceCommands:
     """Inline-worker coverage; full subprocess E2E lives in test_jobs.py."""
@@ -413,3 +433,61 @@ class TestJobServiceCommands:
         [entry] = json.loads(capsys.readouterr().out)
         assert main(["fetch", entry["job"], "--root", root]) == 2
         assert "not done" in capsys.readouterr().err
+
+    def test_submit_timeout_s_lands_on_spec(self, tmp_path, capsys):
+        root = str(tmp_path)
+        assert main(["submit", "EXP-F4", "--root", root,
+                     "--timeout-s", "7", "--json"]) == 0
+        [entry] = json.loads(capsys.readouterr().out)
+        from repro.jobs import JobQueue
+
+        job = JobQueue(root).get(entry["job"])
+        assert job.spec.timeout_s == 7.0
+
+
+class TestFsckCommand:
+    def test_clean_root_exits_zero(self, tmp_path, capsys):
+        root = str(tmp_path / "jobs")
+        assert main(["submit", "EXP-F4", "--root", root, "--json"]) == 0
+        capsys.readouterr()
+        from repro.jobs import Worker
+
+        Worker(root, poll=0.01).run(idle_exit=0.05)
+        assert main(["fsck", "--root", root, "--grace", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out and "-> clean" in out
+
+    def test_break_detect_repair_cycle(self, tmp_path, capsys):
+        root = tmp_path / "jobs"
+        assert main(["submit", "EXP-F4", "--root", str(root), "--json"]) == 0
+        capsys.readouterr()
+        (root / "queued" / "jtorn.json").write_text('{"torn": ')
+
+        # Read-only: report the damage, exit nonzero, touch nothing.
+        assert main(["fsck", "--root", str(root), "--grace", "0"]) == 1
+        out = capsys.readouterr().out
+        assert "unparseable record queued/jtorn.json" in out
+        assert "-> NOT clean" in out
+        assert (root / "queued" / "jtorn.json").exists()
+
+        # Repair: fix it, report convergence, exit zero.
+        assert main(["fsck", "--root", str(root), "--grace", "0",
+                     "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out and "-> clean" in out
+        assert not (root / "queued" / "jtorn.json").exists()
+        assert (root / "corrupt" / "jtorn.json").exists()  # set aside
+
+        assert main(["fsck", "--root", str(root), "--grace", "0"]) == 0
+        capsys.readouterr()
+
+    def test_json_report(self, tmp_path, capsys):
+        root = str(tmp_path / "jobs")
+        from repro.jobs import JobQueue
+
+        JobQueue(root).ensure_layout()
+        assert main(["fsck", "--root", root, "--grace", "0", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True
+        assert report["findings"] == []
+        assert "queue" in report and "store" in report

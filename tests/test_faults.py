@@ -1,0 +1,1061 @@
+"""Tests for repro.faults and the crash-consistency it enforces.
+
+Layered bottom-up: fault plans and the injector seams, the disabled
+fast path's overhead contract, crash-consistent behaviour of each
+persistent layer (FileLock stale-breaking, the engine cache, the
+artefact store, queue recovery, the worker's deadline watchdog and
+ENOSPC handling, fsck) — and finally the chaos suite: a seeded matrix
+of 100+ single-fault plans, each crashing / tearing / corrupting /
+filling-the-disk at one injection point of a full submit-run-fetch
+pipeline, after which recovery plus resubmission must converge to the
+exact fault-free results with a clean fsck and no lost, stuck or
+over-executed jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import textwrap
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import RunSpec, execute
+from repro.api.registry import REGISTRY
+from repro.api.store import ArtifactStore
+from repro.engine.cache import ResultCache
+from repro.exceptions import (
+    ArtifactError,
+    JobError,
+    SpecError,
+    StorageError,
+)
+from repro.faults import (
+    ALL_KINDS,
+    CRASH_KINDS,
+    FILTER_KINDS,
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    active,
+    crash_plans,
+    injected,
+    install,
+    observe,
+    seeded_plans,
+    uninstall,
+)
+from repro.faults import injector
+from repro.jobs import (
+    CLAIMED,
+    DONE,
+    FAILED,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobQueue,
+    Orchestrator,
+    Worker,
+    fsck,
+    queue_findings,
+)
+from repro.jobs.queue import CORRUPT_DIR
+from repro.locks import FileLock, LockTimeout, atomic_write_text, read_text
+from repro.obs.metrics import METRICS
+
+FAULT_EXPERIMENT_ID = "TEST-FLT"
+_TEST_MODULE = "repro_faults_testexp"
+_TEST_MODULE_SOURCE = textwrap.dedent(
+    '''
+    """Fault-suite probe experiment (written by tests/test_faults.py)."""
+    import os
+    import time
+
+    from repro.api.registry import ParamSpec, experiment
+    from repro.sim.results import ResultTable
+
+
+    @experiment(
+        "TEST-FLT",
+        artefact="fault-injection end-to-end probe",
+        params={
+            "touch_file": ParamSpec(
+                str, "append one line per engine invocation", default=""
+            ),
+            "block_file": ParamSpec(
+                str, "spin while this file exists", default=""
+            ),
+            "value": ParamSpec(int, "payload column", default=1),
+        },
+    )
+    def run_probe(seed=0, touch_file="", block_file="", value=1):
+        if touch_file:
+            with open(touch_file, "a") as handle:
+                handle.write(f"{os.getpid()}\\n")
+        while block_file and os.path.exists(block_file):
+            time.sleep(0.02)
+        table = ResultTable("probe", ["seed", "value"])
+        table.add_row(seed, value)
+        return [table]
+    '''
+)
+
+
+@pytest.fixture(scope="module")
+def probe_module(tmp_path_factory):
+    """The probe experiment, importable here AND by worker subprocesses."""
+    directory = tmp_path_factory.mktemp("faults_mod")
+    (directory / f"{_TEST_MODULE}.py").write_text(_TEST_MODULE_SOURCE)
+    sys.path.insert(0, str(directory))
+    extra = os.environ.get("PYTHONPATH", "")
+    os.environ["PYTHONPATH"] = (
+        f"{extra}{os.pathsep}{directory}" if extra else str(directory)
+    )
+    __import__(_TEST_MODULE)
+    yield _TEST_MODULE
+    sys.path.remove(str(directory))
+    os.environ["PYTHONPATH"] = extra
+    sys.modules.pop(_TEST_MODULE, None)
+    REGISTRY.pop(FAULT_EXPERIMENT_ID, None)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """A test that dies mid-injection must not poison its successors."""
+    yield
+    uninstall()
+
+
+def _drain(root, jobs=None):
+    """Process everything queued with an in-process worker.
+
+    The long heartbeat interval keeps the daemon thread from beating
+    during the (sub-second) drain, so fault-plan op counts stay
+    deterministic across runs.
+    """
+    return Worker(str(root), poll=0.002, heartbeat_interval=30.0).run(
+        max_jobs=jobs, idle_exit=0.02
+    )
+
+
+# ----------------------------------------------------------------------
+# Fault plans: rules, serialisation, firing semantics
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("site", 1, "meteor_strike")
+
+    def test_kind_universe(self):
+        assert CRASH_KINDS == {"crash_before", "crash_after", "torn"}
+        assert FILTER_KINDS == {"stale_clock", "pid_reuse"}
+        assert ALL_KINDS == CRASH_KINDS | FILTER_KINDS | {
+            "enospc", "corrupt"
+        }
+
+    def test_serialisation_round_trip(self):
+        plan = FaultPlan(
+            rules=[
+                FaultRule("queue.claim", 2, "crash_after"),
+                FaultRule("store.artifact", 1, "torn", arg=0.25),
+            ],
+            seed=42,
+            name="twofer",
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.rules == plan.rules
+        assert clone.seed == 42
+        assert clone.name == "twofer"
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ValueError, match="malformed fault plan"):
+            FaultPlan.from_payload({"rules": [{"nonsense": True}]})
+
+    def test_injected_crash_is_not_an_exception(self):
+        # Production `except Exception` clauses must NOT swallow a
+        # simulated death — that is the whole point of the simulation.
+        assert issubclass(InjectedCrash, BaseException)
+        assert not issubclass(InjectedCrash, Exception)
+
+    def test_crash_kills_every_later_seam_call(self):
+        plan = FaultPlan([FaultRule("write", 1, "crash_before")])
+        with pytest.raises(InjectedCrash):
+            plan.begin_write("write", "p", "data")
+            plan.at_replace("write", "p", op_start=False)
+        assert plan.crashed
+        # A dead process performs no further IO, on any site.
+        with pytest.raises(InjectedCrash):
+            plan.on_read("other_site", "p", "data")
+
+    def test_torn_write_truncates_then_crashes(self):
+        plan = FaultPlan([FaultRule("w", 1, "torn", arg=0.4)])
+        data = plan.begin_write("w", "p", "0123456789")
+        assert data == "0123"
+        plan.at_replace("w", "p", op_start=False)
+        with pytest.raises(InjectedCrash):
+            plan.at_published("w", "p")
+
+    def test_enospc_raises_oserror(self):
+        import errno
+
+        plan = FaultPlan([FaultRule("w", 1, "enospc")])
+        with pytest.raises(OSError) as info:
+            plan.begin_write("w", "p", "data")
+        assert info.value.errno == errno.ENOSPC
+        assert not plan.crashed  # disk-full is an error, not a death
+
+    def test_corrupt_read_is_deterministic(self):
+        plan_a = FaultPlan([FaultRule("r", 1, "corrupt")])
+        plan_b = FaultPlan([FaultRule("r", 1, "corrupt")])
+        text = json.dumps({"k": list(range(20))})
+        mangled_a = plan_a.on_read("r", "p", text)
+        mangled_b = plan_b.on_read("r", "p", text)
+        assert mangled_a == mangled_b
+        assert mangled_a != text
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(mangled_a)
+
+    def test_filters_apply_to_every_op(self):
+        plan = FaultPlan([
+            FaultRule("queue.heartbeat", 1, "stale_clock", arg=100.0),
+            FaultRule("queue.heartbeat", 1, "pid_reuse", arg=4242.0),
+        ])
+        now = time.time()
+        for _ in range(3):  # not one-shot
+            assert plan.heartbeat_time("queue.heartbeat", now) == now - 100.0
+            assert plan.heartbeat_pid("queue.heartbeat", 1) == 4242
+        assert plan.heartbeat_time("other", now) == now  # site-scoped
+
+    def test_observation_counts_ops_per_site(self):
+        plan = FaultPlan()
+        for _ in range(3):
+            plan.begin_write("a", "p", "x")
+            plan.at_published("a", "p")
+        plan.on_read("b", "p", "x")
+        assert plan.observed == {"a": 3, "b": 1}
+        assert plan.injected == []
+
+    def test_fired_faults_are_logged_and_counted(self):
+        before = METRICS.value("faults.injected")
+        plan = FaultPlan([FaultRule("w", 1, "enospc")])
+        with pytest.raises(OSError):
+            plan.begin_write("w", "p", "data")
+        assert plan.injected == [
+            {"site": "w", "op": 1, "kind": "enospc", "phase": "write"}
+        ]
+        assert METRICS.value("faults.injected") == before + 1
+
+
+class TestInjector:
+    def test_no_plan_is_passthrough(self):
+        assert active() is None
+        assert injector.on_write("s", "p", "data") == "data"
+        assert injector.on_read("s", "p", "data") == "data"
+        injector.on_replace("s", "p")
+        injector.on_published("s", "p")
+        assert injector.heartbeat_time("s", 7.0) == 7.0
+        assert injector.heartbeat_pid("s", 9) == 9
+
+    def test_injected_context_installs_and_uninstalls(self):
+        plan = FaultPlan()
+        with injected(plan) as installed:
+            assert installed is plan
+            assert active() is plan
+        assert active() is None
+
+    def test_install_uninstall(self):
+        plan = FaultPlan()
+        install(plan)
+        assert active() is plan
+        uninstall()
+        assert active() is None
+
+    def test_crash_before_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "x.json"
+        atomic_write_text(target, "old")
+        plan = FaultPlan([FaultRule("write", 1, "crash_before")])
+        with injected(plan):
+            with pytest.raises(InjectedCrash):
+                atomic_write_text(target, "new")
+        assert target.read_text() == "old"
+        assert list(tmp_path.glob(".*.tmp"))  # the orphaned temp file
+
+    def test_crash_after_publishes_first(self, tmp_path):
+        target = tmp_path / "x.json"
+        atomic_write_text(target, "old")
+        plan = FaultPlan([FaultRule("write", 1, "crash_after")])
+        with injected(plan):
+            with pytest.raises(InjectedCrash):
+                atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_torn_write_is_visible_as_truncation(self, tmp_path):
+        target = tmp_path / "x.json"
+        plan = FaultPlan([FaultRule("write", 1, "torn", arg=0.5)])
+        with injected(plan):
+            with pytest.raises(InjectedCrash):
+                atomic_write_text(target, "0123456789")
+        assert target.read_text() == "01234"
+
+    def test_read_seam_corrupts(self, tmp_path):
+        target = tmp_path / "x.json"
+        target.write_text('{"fine": true}')
+        plan = FaultPlan([FaultRule("read", 1, "corrupt")])
+        with injected(plan):
+            mangled = read_text(target)
+        assert mangled != '{"fine": true}'
+        assert target.read_text() == '{"fine": true}'  # disk untouched
+
+    def test_dying_while_holding_a_lock_leaves_it(self, tmp_path):
+        path = tmp_path / "x.lock"
+        plan = FaultPlan([FaultRule("lock", 1, "crash_after")])
+        with injected(plan):
+            with pytest.raises(InjectedCrash):
+                with FileLock(path):
+                    pass  # pragma: no cover - crash fires in acquire
+            assert path.exists()  # the dead holder released nothing
+        # With the plan gone a waiter can break it once it goes stale.
+        FileLock(path, stale_after=0.0)._break_if_stale()
+        assert not path.exists()
+
+
+# ----------------------------------------------------------------------
+# Overhead: the uninstalled seams are invisible on a persistence op
+# ----------------------------------------------------------------------
+def test_disabled_seam_overhead_under_two_percent(tmp_path):
+    """The off state must cost < 2% of one guarded persistence op.
+
+    A write-op consults the seams at most four times (write / replace /
+    published on the way out, read on the way back); their measured
+    unit cost must vanish against the atomic write of a realistic job
+    record — the cheapest thing the seams guard.
+    """
+    target = tmp_path / "record.json"
+    record = Job(spec=RunSpec("EXP-X", seed=3, overrides={"a": 1})).to_json()
+    atomic_write_text(target, record)  # warm
+    writes = 300
+    started = time.perf_counter()
+    for _ in range(writes):
+        atomic_write_text(target, record)
+    per_write = (time.perf_counter() - started) / writes
+
+    calls = 20_000
+    started = time.perf_counter()
+    for _ in range(calls):
+        injector.on_write("site", target, record)
+        injector.on_replace("site", target)
+        injector.on_published("site", target)
+        injector.on_read("site", target, record)
+    per_quartet = (time.perf_counter() - started) / calls
+
+    overhead = per_quartet / per_write
+    assert overhead < 0.02, (
+        f"disabled-seam overhead {overhead:.2%} of an atomic write "
+        f"(quartet {per_quartet * 1e9:.0f}ns, write {per_write * 1e6:.0f}us)"
+    )
+
+
+# ----------------------------------------------------------------------
+# FileLock: the stale-break is atomic under racing waiters
+# ----------------------------------------------------------------------
+class TestStaleBreakRace:
+    def test_concurrent_breakers_never_double_admit(self, tmp_path):
+        """Regression for the stat-then-unlink ABA race.
+
+        Eight waiters race to break one abandoned lock and then take
+        it; the rename-aside break admits exactly one holder at a time
+        no matter how the breaks interleave.
+        """
+        path = tmp_path / "x.lock"
+        path.write_text("99999 0 nowhere\n")
+        stale = time.time() - 3600
+        os.utime(path, (stale, stale))
+
+        occupancy = [0]
+        peak = [0]
+        guard = threading.Lock()
+        failures = []
+
+        def contend():
+            try:
+                lock = FileLock(
+                    path, timeout=10.0, poll=0.001, stale_after=0.5
+                )
+                with lock:
+                    with guard:
+                        occupancy[0] += 1
+                        peak[0] = max(peak[0], occupancy[0])
+                    time.sleep(0.01)
+                    with guard:
+                        occupancy[0] -= 1
+            except Exception as error:  # pragma: no cover - diagnostics
+                failures.append(error)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert peak[0] == 1
+        assert METRICS.value("locks.stale_broken") >= 1
+        assert not list(tmp_path.glob("*.stale.*"))  # asides cleaned up
+
+    def test_fresh_lock_is_not_broken(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            FileLock(path, stale_after=30.0)._break_if_stale()
+            assert path.exists()
+
+    def test_lock_file_records_pid_time_host(self, tmp_path):
+        import socket
+
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            pid, _stamp, host = path.read_text().split()
+            assert int(pid) == os.getpid()
+            assert host == socket.gethostname()
+
+
+# ----------------------------------------------------------------------
+# Engine cache: checksums, quarantine-as-miss, ENOSPC no-op
+# ----------------------------------------------------------------------
+class _StubSpec:
+    """Minimal EngineSpec stand-in: the cache only needs cache_token."""
+
+    def cache_token(self) -> str:
+        return "stub-token"
+
+
+class TestCacheCrashConsistency:
+    def _roundtrip(self, cache):
+        spec = _StubSpec()
+        array = np.arange(32, dtype=np.float64)
+        assert cache.store(spec, "p", 7, array)
+        loaded = cache.load(spec, "p", 7)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded, array)
+        return spec, array
+
+    def _entry_paths(self, cache):
+        (npy,) = cache.directory.glob("*.npy")
+        return npy, npy.with_suffix(".json")
+
+    def test_sidecar_records_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        self._roundtrip(cache)
+        _npy, sidecar = self._entry_paths(cache)
+        meta = json.loads(sidecar.read_text())
+        assert len(meta["sha256"]) == 64
+
+    def test_truncated_entry_is_quarantined_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec, _array = self._roundtrip(cache)
+        npy, _sidecar = self._entry_paths(cache)
+        npy.write_bytes(npy.read_bytes()[:16])  # torn write
+        before = METRICS.value("cache.quarantined")
+        assert cache.load(spec, "p", 7) is None
+        assert METRICS.value("cache.quarantined") == before + 1
+        quarantine = cache.directory / "quarantine"
+        assert (quarantine / npy.name).exists()  # kept, never deleted
+        assert not npy.exists()
+        # The slot is reusable: a fresh store round-trips again.
+        self._roundtrip(cache)
+
+    def test_bitflip_detected_by_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec, _array = self._roundtrip(cache)
+        npy, _sidecar = self._entry_paths(cache)
+        blob = bytearray(npy.read_bytes())
+        blob[-1] ^= 0xFF  # flip a payload byte: np.load would accept it
+        npy.write_bytes(bytes(blob))
+        assert cache.load(spec, "p", 7) is None
+        assert (cache.directory / "quarantine" / npy.name).exists()
+
+    def test_injected_corrupt_read_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec, _array = self._roundtrip(cache)
+        plan = FaultPlan([FaultRule("cache.npy", 1, "corrupt")])
+        with injected(plan):
+            assert cache.load(spec, "p", 7) is None
+        assert plan.injected  # the corruption actually happened
+
+    def test_legacy_entry_without_checksum_still_loads(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec, array = self._roundtrip(cache)
+        _npy, sidecar = self._entry_paths(cache)
+        meta = json.loads(sidecar.read_text())
+        del meta["sha256"]
+        sidecar.write_text(json.dumps(meta))
+        loaded = cache.load(spec, "p", 7)
+        np.testing.assert_array_equal(loaded, array)
+
+    def test_enospc_store_is_counted_noop(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        before = METRICS.value("cache.enospc_skips")
+        plan = FaultPlan([FaultRule("cache.npy", 1, "enospc")])
+        with injected(plan):
+            with pytest.warns(RuntimeWarning, match="disk full"):
+                written = cache.store(
+                    _StubSpec(), "p", 7, np.arange(4, dtype=np.float64)
+                )
+        assert written is False
+        assert METRICS.value("cache.enospc_skips") == before + 1
+        assert not list(cache.directory.glob("*.npy"))
+        assert not list(cache.directory.glob("*.tmp"))
+
+    def test_verify_repairs_temps_and_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec, _array = self._roundtrip(cache)
+        npy, _sidecar = self._entry_paths(cache)
+        npy.write_bytes(b"garbage")
+        debris = cache.directory / "dead.npy.tmp"
+        debris.write_bytes(b"x")
+        old = time.time() - 3600
+        os.utime(debris, (old, old))
+        report = cache.verify(repair=False, grace_s=0.0)
+        assert len(report["findings"]) == 2
+        assert report["repaired"] == 0
+        report = cache.verify(repair=True, grace_s=0.0)
+        assert report["repaired"] == 2
+        assert cache.verify(repair=False, grace_s=0.0)["findings"] == []
+
+    def test_chaos_crash_matrix_over_cache_ops(self, tmp_path):
+        """Crash on both sides of every cache IO op; verify() + a fresh
+        store must always restore a clean, correct cache."""
+        array = np.arange(16, dtype=np.float64)
+
+        def scenario(directory):
+            cache = ResultCache(directory)
+            cache.store(_StubSpec(), "p", 3, array)
+            return cache.load(_StubSpec(), "p", 3)
+
+        coverage = observe(lambda: scenario(tmp_path / "observe"))
+        assert set(coverage) == {"cache.npy", "cache.meta"}
+        problems = []
+        for index, plan in enumerate(crash_plans(coverage)):
+            directory = tmp_path / f"plan{index:02d}"
+            try:
+                with injected(plan):
+                    try:
+                        scenario(directory)
+                    except (InjectedCrash, OSError):
+                        pass
+                cache = ResultCache(directory)
+                cache.verify(repair=True, grace_s=0.0)
+                cache.store(_StubSpec(), "p", 3, array)
+                loaded = cache.load(_StubSpec(), "p", 3)
+                assert loaded is not None
+                np.testing.assert_array_equal(loaded, array)
+                residual = cache.verify(repair=False, grace_s=0.0)
+                assert residual["findings"] == []
+            except AssertionError as error:
+                problems.append(f"{plan.name}: {error}")
+        assert not problems, "\n".join(problems)
+
+
+# ----------------------------------------------------------------------
+# Artefact store: checksums, quarantine-and-recompute, self-healing
+# ----------------------------------------------------------------------
+class TestStoreCrashConsistency:
+    def _saved(self, tmp_path, probe_module):
+        store = ArtifactStore(tmp_path / "store")
+        spec = RunSpec(FAULT_EXPERIMENT_ID, seed=5, overrides={"value": 3})
+        store.save(execute(spec))
+        return store, spec.key()
+
+    def test_missing_artifact_drops_entry(self, tmp_path, probe_module):
+        store, key = self._saved(tmp_path, probe_module)
+        (store.root / f"{key}.json").unlink()
+        with pytest.raises(ArtifactError, match="resubmit to recompute"):
+            store.load(key)
+        # The dangling entry is gone: the next save re-indexes cleanly.
+        assert all(record.key != key for record in store.records())
+
+    def test_checksum_mismatch_quarantines(self, tmp_path, probe_module):
+        store, key = self._saved(tmp_path, probe_module)
+        artefact = store.root / f"{key}.json"
+        artefact.write_text(artefact.read_text() + " ")  # one stray byte
+        before = METRICS.value("store.quarantined")
+        with pytest.raises(ArtifactError, match="quarantined"):
+            store.load(key)
+        assert METRICS.value("store.quarantined") == before + 1
+        assert (store.root / "quarantine" / f"{key}.json").exists()
+        assert not artefact.exists()
+
+    def test_injected_corrupt_read_quarantines(self, tmp_path, probe_module):
+        store, key = self._saved(tmp_path, probe_module)
+        plan = FaultPlan([FaultRule("store.artifact", 1, "corrupt")])
+        with injected(plan):
+            with pytest.raises(ArtifactError):
+                store.load(key)
+        # The on-disk bytes were fine (the *read* was corrupted), but
+        # the store cannot tell rot from a bad read: quarantined either
+        # way, and recompute restores service.
+        spec = RunSpec(FAULT_EXPERIMENT_ID, seed=5, overrides={"value": 3})
+        store.save(execute(spec))
+        assert store.load(key).spec.seed == 5
+
+    def test_enospc_save_raises_storage_error(self, tmp_path, probe_module):
+        store = ArtifactStore(tmp_path / "store")
+        spec = RunSpec(FAULT_EXPERIMENT_ID, seed=6)
+        result = execute(spec)
+        plan = FaultPlan([FaultRule("store.artifact", 1, "enospc")])
+        with injected(plan):
+            with pytest.raises(StorageError, match="disk full"):
+                store.save(result)
+        # The failure is clean: the store still works once space exists.
+        store.save(result)
+        assert store.load(spec.key()).spec.seed == 6
+
+    def test_verify_reports_and_repairs(self, tmp_path, probe_module):
+        store, key = self._saved(tmp_path, probe_module)
+        artefact = store.root / f"{key}.json"
+        artefact.write_text(artefact.read_text() + " ")
+        stray = store.root / "stray.json"
+        stray.write_text(artefact.read_text())
+        report = store.verify(repair=False)
+        assert len(report["findings"]) == 2
+        report = store.verify(repair=True)
+        assert report["repaired"] == 2
+        assert store.verify(repair=False)["findings"] == []
+        assert any(record.key == "stray" for record in store.records())
+
+
+# ----------------------------------------------------------------------
+# RunSpec.timeout_s: an execution option, never identity
+# ----------------------------------------------------------------------
+class TestTimeoutSpec:
+    def test_rejected_values(self):
+        for bad in (0, -1.5, True, "3"):
+            with pytest.raises(SpecError):
+                RunSpec("EXP-X", timeout_s=bad)
+
+    def test_coerced_and_serialised(self):
+        spec = RunSpec("EXP-X", timeout_s=3)
+        assert spec.timeout_s == 3.0
+        clone = RunSpec.from_payload(spec.to_payload())
+        assert clone.timeout_s == 3.0
+
+    def test_never_part_of_key(self, probe_module):
+        bare = RunSpec(FAULT_EXPERIMENT_ID, seed=1)
+        timed = RunSpec(FAULT_EXPERIMENT_ID, seed=1, timeout_s=9.0)
+        assert bare.key() == timed.key()
+
+
+# ----------------------------------------------------------------------
+# Worker: deadline watchdog, ENOSPC, host-tagged identity
+# ----------------------------------------------------------------------
+class TestWorkerRobustness:
+    def test_deadline_kill_requeues_with_backoff(
+        self, tmp_path, probe_module
+    ):
+        root = tmp_path / "jobs"
+        block = tmp_path / "block"
+        block.write_text("")
+        queue = JobQueue(root)
+        job = queue.submit(
+            RunSpec(
+                FAULT_EXPERIMENT_ID,
+                seed=2,
+                overrides={"block_file": str(block)},
+                timeout_s=0.2,
+            )
+        )
+        before = METRICS.value("jobs.deadline_kills")
+        _drain(root, jobs=1)
+        block.unlink()  # release the (abandoned) spinning thread
+        requeued = queue.get(job.id)
+        assert requeued.state == QUEUED
+        assert requeued.attempts == 1
+        assert "deadline of 0.2s exceeded" in requeued.error
+        assert METRICS.value("jobs.deadline_kills") == before + 1
+        # After backoff the retry completes normally.
+        requeued.not_before = 0.0
+        queue.update(requeued)
+        _drain(root)
+        assert queue.get(job.id).state == DONE
+        assert queue.store.load(requeued.key).spec.seed == 2
+
+    def test_enospc_on_save_fails_job_cleanly(self, tmp_path, probe_module):
+        root = tmp_path / "jobs"
+        queue = JobQueue(root)
+        job = queue.submit(RunSpec(FAULT_EXPERIMENT_ID, seed=3))
+        plan = FaultPlan([FaultRule("store.artifact", 1, "enospc")])
+        with injected(plan):
+            _drain(root, jobs=1)
+        failed = queue.get(job.id)
+        assert failed.state == FAILED
+        assert failed.error.startswith("storage error:")
+        assert "Traceback" not in failed.error
+        # The key is recomputable: resubmit runs (marker was released).
+        retry = queue.submit(RunSpec(FAULT_EXPERIMENT_ID, seed=3))
+        assert retry.state == QUEUED
+        _drain(root)
+        assert queue.get(retry.id).state == DONE
+
+    def test_worker_id_and_heartbeat_carry_host(
+        self, tmp_path, probe_module
+    ):
+        import socket
+
+        root = tmp_path / "jobs"
+        queue = JobQueue(root)
+        queue.submit(RunSpec(FAULT_EXPERIMENT_ID, seed=4))
+        worker = Worker(str(root), poll=0.002)
+        host = socket.gethostname()
+        assert worker.id == f"{host}:{worker.pid}"
+        claimed = queue.claim(worker_pid=worker.pid)
+        assert claimed.worker_host == host
+        heartbeat = queue.read_heartbeat(claimed.id)
+        assert heartbeat["host"] == host
+        assert heartbeat["pid"] == worker.pid
+
+
+# ----------------------------------------------------------------------
+# Queue recovery: every crash-debris class is detected and repaired
+# ----------------------------------------------------------------------
+class TestQueueRecover:
+    def _submit(self, root, probe_module, seed=0):
+        queue = JobQueue(root)
+        return queue, queue.submit(RunSpec(FAULT_EXPERIMENT_ID, seed=seed))
+
+    def test_orphan_temps_reaped(self, tmp_path, probe_module):
+        queue, _job = self._submit(tmp_path / "jobs", probe_module)
+        debris = queue.root / "queued" / ".x.json.1.2.tmp"
+        debris.write_text("half")
+        aside = queue.root / "submit.lock.stale.1.2"
+        aside.write_text("x")
+        report = queue.recover(grace_s=0.0)
+        assert report["orphan_tmps"] == 2
+        assert not debris.exists() and not aside.exists()
+
+    def test_half_claimed_record_unclaimed(self, tmp_path, probe_module):
+        # Claim rename published, claimer died before the rewrite: the
+        # record sits in claimed/ still claiming state=queued.
+        queue, job = self._submit(tmp_path / "jobs", probe_module)
+        os.rename(
+            queue.root / "queued" / f"{job.id}.json",
+            queue.root / "claimed" / f"{job.id}.json",
+        )
+        report = queue.recover(grace_s=0.0)
+        assert report["rehomed"] == 1
+        recovered = queue.get(job.id)
+        assert recovered.state == QUEUED
+        assert recovered.worker_pid is None
+        assert (queue.root / "queued" / f"{job.id}.json").exists()
+
+    def test_half_finished_record_finalised(self, tmp_path, probe_module):
+        # Terminal rename published, worker died before the rewrite:
+        # the directory wins, bookkeeping is released.
+        queue, job = self._submit(tmp_path / "jobs", probe_module)
+        claimed = queue.claim()
+        os.rename(
+            queue.root / "claimed" / f"{claimed.id}.json",
+            queue.root / "done" / f"{claimed.id}.json",
+        )
+        report = queue.recover(grace_s=0.0)
+        assert report["rehomed"] == 1
+        finished = queue.get(job.id)
+        assert finished.state == DONE
+        assert finished.finished_at is not None
+        assert not queue.heartbeat_path(job.id).exists()
+        assert queue.dedup.markers() == []  # marker released
+        # The key is submittable again (no ghost primary).
+        again = queue.submit(RunSpec(FAULT_EXPERIMENT_ID, seed=0))
+        assert again.state == QUEUED
+
+    def test_crash_during_requeue_rehomed(self, tmp_path, probe_module):
+        queue, job = self._submit(tmp_path / "jobs", probe_module)
+        claimed = queue.claim()
+        plan = FaultPlan([FaultRule("queue.requeue", 1, "crash_after")])
+        with injected(plan):
+            with pytest.raises(InjectedCrash):
+                queue.requeue(claimed, "sweep test")
+        # Rename published (record in queued/), payload still claimed.
+        report = queue.recover(grace_s=0.0)
+        assert report["rehomed"] == 1
+        recovered = queue.get(job.id)
+        assert recovered.state == QUEUED
+        assert recovered.worker_pid is None
+
+    def test_corrupt_record_set_aside(self, tmp_path, probe_module):
+        queue, _job = self._submit(tmp_path / "jobs", probe_module)
+        bad = queue.root / "queued" / "jdeadbeef.json"
+        bad.write_text('{"torn": ')
+        report = queue.recover(grace_s=0.0)
+        assert report["corrupt_records"] == 1
+        assert not bad.exists()
+        assert (queue.root / CORRUPT_DIR / "jdeadbeef.json").exists()
+
+    def test_stale_marker_collected(self, tmp_path, probe_module):
+        queue = JobQueue(tmp_path / "jobs")
+        queue.ensure_layout()
+        queue.dedup.register("some-key", "jvanished0000")
+        report = queue.recover(grace_s=0.0)
+        assert report["stale_markers"] == 1
+        assert queue.dedup.markers() == []
+
+    def test_orphan_heartbeat_collected(self, tmp_path, probe_module):
+        queue = JobQueue(tmp_path / "jobs")
+        queue.ensure_layout()
+        queue.heartbeat_path("jghost000000").write_text("{}")
+        report = queue.recover(grace_s=0.0)
+        assert report["orphan_heartbeats"] == 1
+
+    def test_abandoned_locks_broken(self, tmp_path, probe_module):
+        queue = JobQueue(tmp_path / "jobs")
+        queue.ensure_layout()
+        (queue.root / "submit.lock").write_text("99999 0 nowhere\n")
+        report = queue.recover(grace_s=0.0, lock_grace_s=0.0)
+        assert report["stale_locks"] == 1
+        assert not (queue.root / "submit.lock").exists()
+
+    def test_recover_preserves_healthy_state(self, tmp_path, probe_module):
+        queue, job = self._submit(tmp_path / "jobs", probe_module)
+        report = queue.recover(grace_s=0.0)
+        assert all(count == 0 for key, count in report.items()
+                   if key != "stale_markers")
+        # The live job's marker points at an active primary: kept.
+        assert report["stale_markers"] == 0
+        assert queue.get(job.id).state == QUEUED
+        assert len(queue.dedup.markers()) == 1
+
+
+# ----------------------------------------------------------------------
+# fsck: read-only findings, --repair convergence
+# ----------------------------------------------------------------------
+class TestFsck:
+    def test_clean_root_is_clean(self, tmp_path, probe_module):
+        root = tmp_path / "jobs"
+        queue = JobQueue(root)
+        queue.submit(RunSpec(FAULT_EXPERIMENT_ID, seed=8))
+        _drain(root)
+        report = fsck(str(root), grace_s=0.0)
+        assert report["clean"] is True
+        assert report["findings"] == []
+        assert report["repaired"] == 0
+
+    def test_findings_then_repair_then_clean(self, tmp_path, probe_module):
+        root = tmp_path / "jobs"
+        queue = JobQueue(root)
+        job = queue.submit(RunSpec(FAULT_EXPERIMENT_ID, seed=9))
+        _drain(root)
+        # Break three layers at once.
+        (root / "queued" / "jbad.json").write_text("{")
+        artefact = root / "store" / f"{job.key}.json"
+        artefact.write_text(artefact.read_text() + " ")
+        (root / "submit.lock").write_text("99999 0 nowhere\n")
+        stale = time.time() - 3600
+        os.utime(root / "submit.lock", (stale, stale))
+
+        report = fsck(str(root), grace_s=0.0)
+        assert report["clean"] is False
+        assert len(report["findings"]) == 3
+        # Read-only really was read-only.
+        assert (root / "queued" / "jbad.json").exists()
+
+        repaired = fsck(str(root), repair=True, grace_s=0.0)
+        assert repaired["repaired"] >= 3
+        assert repaired["clean"] is True
+        assert repaired["residual"] == []
+        assert fsck(str(root), grace_s=0.0)["clean"] is True
+
+    def test_queue_findings_cover_each_class(self, tmp_path, probe_module):
+        root = tmp_path / "jobs"
+        queue = JobQueue(root)
+        queue.ensure_layout()
+        (root / "queued" / ".x.json.1.2.tmp").write_text("half")
+        (root / "queued" / "jbad.json").write_text("{")
+        queue.dedup.register("k", "jgone0000000")
+        queue.heartbeat_path("jghost000000").write_text("{}")
+        findings = queue_findings(queue, grace_s=0.0, lock_stale_s=0.0)
+        text = "\n".join(findings)
+        assert "orphan temp file" in text
+        assert "unparseable record" in text
+        assert "points at inactive job" in text
+        assert "orphan heartbeat" in text
+
+    def test_fsck_includes_cache_dir(self, tmp_path, probe_module):
+        root = tmp_path / "jobs"
+        JobQueue(root).ensure_layout()
+        cache = ResultCache(tmp_path / "cache")
+        cache.store(_StubSpec(), "p", 1, np.arange(4, dtype=np.float64))
+        (npy,) = cache.directory.glob("*.npy")
+        npy.write_bytes(b"junk")
+        report = fsck(
+            str(root), cache_dir=cache.directory, repair=True, grace_s=0.0
+        )
+        assert report["repaired"] >= 1
+        assert report["clean"] is True
+        assert "cache" in report
+
+
+# ----------------------------------------------------------------------
+# The chaos suite: 100+ seeded fault plans over the full pipeline
+# ----------------------------------------------------------------------
+class TestChaos:
+    """Crash/tear/corrupt/fill-the-disk at every pipeline injection
+    point; recovery + resubmission must converge to fault-free results.
+
+    The scenario is the full service life of two distinct
+    configurations plus one duplicate submission: submit x3, drain with
+    an inline worker, fetch both artefacts.  Per-key touch files count
+    *engine executions*, which bounds duplicated work: a single fault
+    may cost at most one re-execution of one key.
+    """
+
+    def _specs(self, root):
+        return [
+            RunSpec(
+                FAULT_EXPERIMENT_ID,
+                seed=0,
+                overrides={
+                    "touch_file": str(root / "touch_a.txt"), "value": 7
+                },
+            ),
+            RunSpec(
+                FAULT_EXPERIMENT_ID,
+                seed=1,
+                overrides={
+                    "touch_file": str(root / "touch_b.txt"), "value": 9
+                },
+            ),
+            RunSpec(
+                FAULT_EXPERIMENT_ID,
+                seed=0,
+                overrides={
+                    "touch_file": str(root / "touch_a.txt"), "value": 7
+                },
+            ),
+        ]
+
+    def _pipeline(self, root):
+        """Submit (with one duplicate), drain, fetch.  Returns
+        seed -> tables payload for the two distinct configurations."""
+        specs = self._specs(root)
+        queue = JobQueue(root)
+        for spec in specs:
+            queue.submit(spec)
+        _drain(root)
+        fetched = {}
+        for spec in specs[:2]:
+            result = queue.store.load(spec.key())
+            fetched[spec.seed] = [t.to_payload() for t in result.tables]
+        return fetched
+
+    def _recover_and_finish(self, root):
+        """What an operator (or serve-start) does after a crash."""
+        queue = JobQueue(root)
+        queue.recover(grace_s=0.0, lock_grace_s=0.0)
+        time.sleep(0.01)  # heartbeats must be strictly older than now
+        Orchestrator(str(root), workers=0, heartbeat_timeout=0.0).sweep()
+        for spec in self._specs(root):
+            queue.submit(spec)
+        for job in queue.jobs(states=(QUEUED,)):
+            if job.not_before:
+                job.not_before = 0.0  # lift retry backoff for the test
+                queue.update(job)
+        _drain(root)
+        return queue
+
+    def _check_invariants(self, root, reference, plan):
+        queue = JobQueue(root)
+        stuck = queue.jobs(states=(QUEUED, CLAIMED, RUNNING))
+        assert not stuck, f"jobs left active: {[j.id for j in stuck]}"
+        assert not queue.jobs(states=(QUARANTINED,)), (
+            "a single fault must never exhaust retries"
+        )
+        for job in queue.jobs(states=(FAILED,)):
+            assert "storage error" in (job.error or ""), (
+                f"unexpected failure mode: {job.error!r}"
+            )
+        for spec in self._specs(root)[:2]:
+            result = queue.store.load(spec.key())
+            tables = [t.to_payload() for t in result.tables]
+            assert tables == reference[spec.seed], (
+                f"seed {spec.seed} diverged from the fault-free run"
+            )
+            touch = root / f"touch_{'a' if spec.seed == 0 else 'b'}.txt"
+            executions = len(touch.read_text().splitlines())
+            assert 1 <= executions <= 2, (
+                f"seed {spec.seed} executed {executions} times"
+            )
+        report = fsck(str(root), grace_s=0.0)
+        assert report["clean"], f"fsck findings: {report['findings']}"
+
+    def test_chaos_matrix(self, tmp_path, probe_module):
+        # 1. Fault-free reference: the results every chaos run must
+        #    reproduce bit-for-bit, and the coverage map.
+        reference = self._pipeline(tmp_path / "reference")
+        assert set(reference) == {0, 1}
+        coverage = observe(lambda: self._pipeline(tmp_path / "observe"))
+        assert coverage, "observing run saw no injection sites"
+        for site in ("lock", "queue.record", "queue.claim",
+                     "queue.transition", "queue.heartbeat",
+                     "dedup.marker", "store.artifact", "store.manifest"):
+            assert site in coverage, f"pipeline never exercised {site}"
+
+        # 2. The plan matrix: a crash on both sides of every observed
+        #    op, padded with seeded random single-fault plans to 100+.
+        plans = crash_plans(coverage)
+        plans += seeded_plans(
+            coverage, count=max(0, 110 - len(plans)) + 10, seed=1
+        )
+        assert len(plans) >= 100
+
+        # 3. Run every plan: inject, (maybe) crash, recover, converge.
+        problems = []
+        for index, plan in enumerate(plans):
+            root = tmp_path / f"plan{index:03d}"
+            completed = False
+            try:
+                with injected(plan):
+                    try:
+                        self._pipeline(root)
+                        completed = True
+                    except (InjectedCrash, OSError, ArtifactError,
+                            JobError, LockTimeout):
+                        pass
+                if completed:
+                    # Even a run that *finished* may carry benign debris
+                    # (e.g. a corrupted release read leaves a stale dedup
+                    # marker); the serve-start recovery pass collects it.
+                    JobQueue(root).recover(grace_s=0.0, lock_grace_s=0.0)
+                else:
+                    self._recover_and_finish(root)
+                if plan.seed is None and not plan.injected:
+                    problems.append(f"{plan.name}: crash plan never fired")
+                    continue
+                self._check_invariants(root, reference, plan)
+            except AssertionError as error:
+                problems.append(f"plan {index} [{plan.name}]: {error}")
+            except BaseException as error:  # noqa: BLE001 - diagnostics
+                problems.append(
+                    f"plan {index} [{plan.name}]: "
+                    f"{type(error).__name__}: {error}"
+                )
+        assert not problems, (
+            f"{len(problems)}/{len(plans)} chaos plans failed:\n"
+            + "\n".join(problems[:20])
+        )
+
+    def test_filter_faults_do_not_kill_live_workers(
+        self, tmp_path, probe_module
+    ):
+        """stale_clock / pid_reuse heartbeats: the sweep must requeue on
+        the skewed evidence without the pipeline losing the result."""
+        for kind in ("stale_clock", "pid_reuse"):
+            root = tmp_path / kind
+            plan = FaultPlan([FaultRule("queue.heartbeat", 1, kind)])
+            with injected(plan):
+                fetched = self._pipeline(root)
+            assert set(fetched) == {0, 1}
+            assert plan.injected, f"{kind} filter never applied"
+            report = fsck(str(root), grace_s=0.0)
+            assert report["clean"], report["findings"]
