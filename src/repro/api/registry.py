@@ -101,8 +101,22 @@ class ParamSpec:
         return value
 
 
-def engine_param() -> ParamSpec:
-    """The shared ``engine`` parameter of the Monte-Carlo experiments."""
+def engine_param(include_exact: bool = False) -> ParamSpec:
+    """The shared ``engine`` parameter of the Monte-Carlo experiments.
+
+    Experiments whose quantities have an absorbing-chain analytic
+    backend (:mod:`repro.theory.absorbing`) pass ``include_exact=True``
+    to additionally accept ``engine="exact"``, which replaces sampling
+    with the fundamental-matrix expectation where feasible.
+    """
+    if include_exact:
+        return ParamSpec(
+            str,
+            "replica simulator: vectorized batch engine, per-replica "
+            "loop, or the exact absorbing-chain solver",
+            default="batch",
+            choices=("batch", "loop", "exact"),
+        )
     return ParamSpec(
         str,
         "replica simulator: vectorized batch engine or per-replica loop",

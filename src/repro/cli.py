@@ -33,8 +33,11 @@ cyclic|random|rewire``, ``--switch-every N`` and ``--snapshots N``
 the parameter).  The dual-side experiments (EXP-F1, EXP-F4, EXP-L57,
 EXP-COAL) honour ``--engine batch|loop`` too — their duality checks,
 two-walk occupancy estimates and coalescence-time samples run through
-:mod:`repro.engine.dual` by default — and the duality harness of
-EXP-F1/EXP-F4 honours ``--kernel`` for its primal forward runs.
+:mod:`repro.engine.dual` by default — and EXP-COAL additionally takes
+``--engine exact``, replacing Monte-Carlo with the absorbing-chain
+expectations of :mod:`repro.theory.absorbing` where feasible.  The
+duality harness of EXP-F1/EXP-F4 honours ``--kernel`` for its primal
+forward runs.
 ``diff`` exits 0 when the runs match within tolerance, 1 otherwise.
 
 The pre-subcommand invocation ``python -m repro.cli [ids...] [--slow]
@@ -106,11 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
         "--engine",
-        choices=("batch", "loop"),
+        choices=("batch", "loop", "exact"),
         default="batch",
         help=(
             "replica simulator for Monte-Carlo experiments: the vectorized "
-            "batch engine (default) or the legacy per-replica loop"
+            "batch engine (default), the legacy per-replica loop, or the "
+            "exact absorbing-chain solver (experiments that support it)"
         ),
     )
     parser.add_argument(
@@ -154,8 +158,11 @@ def build_cli_parser() -> argparse.ArgumentParser:
     run.add_argument("--full", action="store_true",
                      help="shorthand for --preset full")
     run.add_argument("--seed", type=int, default=0, help="experiment seed")
-    run.add_argument("--engine", choices=("batch", "loop"), default=None,
-                     help="replica simulator for Monte-Carlo experiments")
+    run.add_argument("--engine", choices=("batch", "loop", "exact"),
+                     default=None,
+                     help="replica simulator for Monte-Carlo experiments "
+                          "('exact' where the experiment supports the "
+                          "absorbing-chain solver)")
     run.add_argument("--kernel", choices=KERNEL_CHOICES, default=None,
                      help="stepping kernel of the batch engine")
     run.add_argument("--schedule", dest="graph_schedule",
@@ -196,7 +203,8 @@ def build_cli_parser() -> argparse.ArgumentParser:
                      ))
     swp.add_argument("--preset", choices=("fast", "full"), default="fast")
     swp.add_argument("--seed", type=int, default=0)
-    swp.add_argument("--engine", choices=("batch", "loop"), default=None)
+    swp.add_argument("--engine", choices=("batch", "loop", "exact"),
+                     default=None)
     swp.add_argument("--kernel", choices=KERNEL_CHOICES, default=None)
     swp.add_argument("--schedule", dest="graph_schedule",
                      choices=SCHEDULE_KINDS, default=None)
@@ -297,7 +305,8 @@ def build_cli_parser() -> argparse.ArgumentParser:
     add_root(sbm)
     sbm.add_argument("--preset", choices=("fast", "full"), default="fast")
     sbm.add_argument("--seed", type=int, default=0)
-    sbm.add_argument("--engine", choices=("batch", "loop"), default=None)
+    sbm.add_argument("--engine", choices=("batch", "loop", "exact"),
+                     default=None)
     sbm.add_argument("--kernel", choices=KERNEL_CHOICES, default=None)
     sbm.add_argument("--schedule", dest="graph_schedule",
                      choices=SCHEDULE_KINDS, default=None)

@@ -38,6 +38,7 @@ from repro.dual.qchain import (
 )
 from repro.dual.verification import (
     MomentCheck,
+    check_coalescence_exact,
     check_lemma_52,
     check_lemma_53,
     check_lemma_55,
@@ -53,6 +54,7 @@ __all__ = [
     "QChain",
     "RandomWalkProcess",
     "averaging_step_matrix",
+    "check_coalescence_exact",
     "check_lemma_52",
     "check_lemma_53",
     "check_lemma_55",

@@ -245,6 +245,42 @@ def check_proposition_54(
     )
 
 
+def check_coalescence_exact(
+    graph: nx.Graph | Adjacency,
+    alpha: float = 0.5,
+    replicas: int = 2_000,
+    seed: SeedLike = None,
+    engine: str = "batch",
+    max_steps: int = 100_000_000,
+) -> MomentCheck:
+    """Monte-Carlo coalescence time against the absorbing-chain solve.
+
+    Samples full-coalescence times with the requested Monte-Carlo
+    ``engine`` and compares the empirical mean to
+    :func:`repro.theory.absorbing.exact_coalescence_time` — the
+    analytic backend acting as correctness oracle for the batch dual
+    engine (and vice versa).  Only meaningful where the exact solve is
+    feasible (:func:`repro.theory.absorbing.exact_coalescence_feasible`).
+    """
+    if replicas < 2:
+        raise ParameterError("replicas must be at least 2")
+    _validate_engine(engine)
+    from repro.sim.montecarlo import sample_meeting_times
+    from repro.theory.absorbing import exact_coalescence_time
+
+    adjacency = graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
+    reference = exact_coalescence_time(adjacency, alpha=alpha)
+    samples = sample_meeting_times(
+        adjacency, replicas, seed=seed, alpha=alpha, max_steps=max_steps,
+        engine=engine,
+    )
+    return MomentCheck(
+        estimate=float(samples.mean()),
+        reference=reference,
+        standard_error=float(samples.std(ddof=1) / np.sqrt(replicas)),
+    )
+
+
 def check_lemma_55(
     graph: nx.Graph | Adjacency,
     cost: np.ndarray,

@@ -16,6 +16,18 @@ meeting happens on the ``n log n`` scale while the variance envelope
 decays like ``1/n`` — the quantitative face of "the dual walks meet
 fast enough for ``Var(F)`` to stay small".  A second table shows the
 ``1/(1 - alpha)`` slowdown of the lazy variant.
+
+Where the absorbing-chain solver is feasible
+(:func:`repro.theory.absorbing.exact_coalescence_feasible` — complete
+graphs at any ``n``, anything else at small ``n``) each row also
+carries the exact expectation ``exact_T_coal`` and an ``exact_in_ci``
+agreement flag: the exact value must sit inside the 99% bootstrap CI
+of the Monte-Carlo mean.  ``engine="exact"`` replaces sampling with
+the solver outright (every cell must then be feasible — use a small
+``n``).  The voter dual runs at ``alpha = 0``, which is ill-defined on
+bipartite graphs (parity lock — see
+:func:`repro.sim.sample_meeting_times`), so the cycle row uses an odd
+cycle.
 """
 
 from __future__ import annotations
@@ -32,11 +44,56 @@ from repro.graphs.generators import (
     cycle_graph,
     random_regular_graph,
 )
-from repro.sim.montecarlo import sample_meeting_times
+from repro.graphs.properties import is_bipartite
+from repro.sim.montecarlo import estimate_moments, sample_meeting_times
 from repro.sim.results import ResultTable
+from repro.theory.absorbing import (
+    exact_coalescence_feasible,
+    exact_coalescence_time,
+)
 from repro.theory.variance import variance_envelope
 
 ALPHA_AVG = 0.5  # self-weight of the averaging process the envelope is for
+
+#: Confidence of the bootstrap CI the exact column is checked against.
+EXACT_CI_CONFIDENCE = 0.99
+
+
+def _nonbipartite_regular(n: int, d: int, seed: int) -> Adjacency:
+    """A connected ``d``-regular graph with an odd cycle.
+
+    Random regular graphs are almost never bipartite at ``d >= 3``, but
+    the voter dual (``alpha = 0``) hard-rejects bipartite graphs, so an
+    unlucky draw is retried with a shifted seed rather than crashing
+    the experiment.
+    """
+    for attempt in range(16):
+        adjacency = Adjacency.from_graph(
+            random_regular_graph(n, d, seed=seed + 1000 * attempt)
+        )
+        if not is_bipartite(adjacency):
+            return adjacency
+    raise RuntimeError(f"no non-bipartite {d}-regular graph at n={n} in 16 draws")
+
+
+def _exact_cells(adjacency: Adjacency, alpha: float, times: np.ndarray):
+    """``(exact_T_coal, exact_in_ci)`` for one sampled cell, or Nones.
+
+    The agreement check asks the exact expectation to sit inside the
+    99% bootstrap CI of the empirical mean — the acceptance contract
+    of the analytic backend against the Monte-Carlo engines.
+    """
+    if not exact_coalescence_feasible(adjacency):
+        return None, None
+    exact = exact_coalescence_time(adjacency, alpha=alpha)
+    lower, upper = estimate_moments(
+        times, confidence=EXACT_CI_CONFIDENCE
+    ).mean_ci
+    # Degenerate samples (engine="exact" returns identical replicas)
+    # collapse the CI to float-summation width; pad by relative noise
+    # so agreement is not decided by the last bits of a reduction.
+    pad = 1e-9 * max(1.0, abs(exact))
+    return exact, bool(lower - pad <= exact <= upper + pad)
 
 
 @experiment(
@@ -46,7 +103,7 @@ ALPHA_AVG = 0.5  # self-weight of the averaging process the envelope is for
         "n": ParamSpec(int, "number of nodes per graph"),
         "replicas": ParamSpec(int, "coalescence-time replicas per graph"),
         "alphas": ParamSpec("floats", "laziness grid of the slowdown table"),
-        "engine": engine_param(),
+        "engine": engine_param(include_exact=True),
     },
     presets={
         "fast": {"n": 24, "replicas": 200, "alphas": [0.0, 0.5]},
@@ -61,10 +118,10 @@ def run(
     engine: str = "batch",
 ) -> list[ResultTable]:
     """Meeting-time statistics and the variance envelope, side by side."""
+    n_cycle = n if n % 2 else n - 1  # even cycles are bipartite: no voter dual
     graphs = [
-        ("cycle", Adjacency.from_graph(cycle_graph(n))),
-        ("random_regular(d=4)",
-         Adjacency.from_graph(random_regular_graph(n, 4, seed=seed))),
+        ("cycle", Adjacency.from_graph(cycle_graph(n_cycle))),
+        ("random_regular(d=4)", _nonbipartite_regular(n, 4, seed)),
         ("complete", Adjacency.from_graph(complete_graph(n))),
     ]
 
@@ -72,7 +129,8 @@ def run(
         title="Coalescence time of n walks vs the Theorem 2.2(2) Var(F) envelope",
         columns=[
             "graph", "n", "d", "replicas", "mean_T_coal", "se",
-            "T_coal/(n ln n)", "var_lower", "var_upper",
+            "T_coal/(n ln n)", "exact_T_coal", "exact_in_ci",
+            "var_lower", "var_upper",
         ],
     )
     initial = center_simple(rademacher_values(n, seed=seed))
@@ -81,28 +139,38 @@ def run(
         times = sample_meeting_times(
             adjacency, replicas, seed=seed, engine=engine
         )
+        nodes = adjacency.n
         mean = float(times.mean())
         se = float(times.std(ddof=1) / math.sqrt(replicas))
+        exact, exact_in_ci = _exact_cells(adjacency, 0.0, times)
         lower, upper = variance_envelope(
-            n, adjacency.degree, 1, ALPHA_AVG, norm_sq
+            nodes, adjacency.degree, 1, ALPHA_AVG, norm_sq
         )
         table.add_row(
-            name, n, adjacency.degree, replicas, mean, se,
-            mean / (n * math.log(n)), lower, upper,
+            name, nodes, adjacency.degree, replicas, mean, se,
+            mean / (nodes * math.log(nodes)), exact, exact_in_ci,
+            lower, upper,
         )
     table.add_note(
-        "coalescence runs the voter dual (alpha=0); the envelope is the "
-        f"graph-independent Var(F) band of the averaging process at "
-        f"alpha={ALPHA_AVG}, k=1 for ||xi(0)||^2 = {norm_sq:g}"
+        "coalescence runs the voter dual (alpha=0); the cycle is odd "
+        "because bipartite graphs have no alpha=0 dual (parity lock); "
+        "exact_T_coal is the absorbing-chain expectation where feasible "
+        f"and exact_in_ci checks it against the "
+        f"{EXACT_CI_CONFIDENCE:.0%} bootstrap CI of the mean; "
+        f"the envelope is the graph-independent Var(F) band of the "
+        f"averaging process at alpha={ALPHA_AVG}, k=1 for "
+        f"||xi(0)||^2 = {norm_sq:g}"
     )
 
     slowdown = ResultTable(
         title="Lazy coalescing: mean meeting time scales like 1/(1 - alpha)",
         columns=[
-            "alpha", "mean_T_coal", "se", "x_vs_alpha0", "1/(1-alpha)",
+            "alpha", "mean_T_coal", "se", "exact_T_coal", "x_vs_alpha0",
+            "1/(1-alpha)",
         ],
     )
     adjacency = graphs[1][1]
+    slowdown_exact = exact_coalescence_feasible(adjacency)
     base = None
     for i, alpha in enumerate(alphas):
         times = sample_meeting_times(
@@ -111,10 +179,16 @@ def run(
         )
         mean = float(times.mean())
         se = float(times.std(ddof=1) / math.sqrt(replicas))
+        exact = (
+            exact_coalescence_time(adjacency, alpha=float(alpha))
+            if slowdown_exact
+            else None
+        )
         if base is None:
             base = mean
         slowdown.add_row(
-            float(alpha), mean, se, mean / base, 1.0 / (1.0 - float(alpha)),
+            float(alpha), mean, se, exact, mean / base,
+            1.0 / (1.0 - float(alpha)),
         )
     slowdown.add_note("measured on the random_regular(d=4) graph above")
     return [table, slowdown]

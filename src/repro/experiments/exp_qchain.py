@@ -15,6 +15,13 @@ closed-form masses ``n mu_0, n d mu_1, n (n - d - 1) mu_+``.  With
 ``engine="batch"`` all replicas run as two
 :class:`~repro.engine.dual.BatchWalks` batches; ``engine="loop"`` keeps
 the scalar per-replica loop as the oracle.
+
+Each occupancy row also carries the *exact* finite-horizon occupancy
+``P_T(S0)`` — the ``(0, 0)`` start distribution propagated ``horizon``
+steps through the Q-chain transition matrix — plus an ``exact_in_ci``
+flag checking every empirical occupancy against its binomial CI around
+the exact value.  ``engine="exact"`` skips sampling and reports the
+propagated occupancies themselves.
 """
 
 from __future__ import annotations
@@ -127,6 +134,29 @@ def _pair_positions_loop(
     return pos_a, pos_b
 
 
+def _exact_occupancies(
+    adjacency: Adjacency, alpha: float, k: int, horizon: int,
+    dense_adjacent: np.ndarray,
+) -> tuple[float, float, float]:
+    """Exact ``(P_T(S0), P_T(S1), P_T(S+))`` of the two-walk pair.
+
+    Propagates the deterministic ``(0, 0)`` start through ``horizon``
+    applications of the Q-chain transition matrix — the analytic
+    counterpart of the Monte-Carlo occupancy estimate, exact at the
+    *finite* horizon rather than in the stationary limit.
+    """
+    n = adjacency.n
+    q = QChain(adjacency, alpha=alpha, k=k).transition_matrix()
+    rho = np.zeros(n * n)
+    rho[0] = 1.0  # state (0, 0): both tagged walks start on node 0
+    for _ in range(horizon):
+        rho = rho @ q
+    grid = rho.reshape(n, n)
+    p0 = float(np.trace(grid))
+    p1 = float(grid[dense_adjacent].sum())
+    return p0, p1, max(0.0, 1.0 - p0 - p1)
+
+
 def _occupancy_table(
     graphs, alphas: list, horizon: int, replicas: int, seed: int, engine: str
 ) -> ResultTable:
@@ -137,8 +167,8 @@ def _occupancy_table(
         ),
         columns=[
             "graph", "alpha", "k", "engine",
-            "P(S0)", "n*mu_0", "P(S1)", "n*d*mu_1", "P(S+)", "mass_+",
-            "max|dev|",
+            "P(S0)", "P(S0)_exact", "n*mu_0", "P(S1)", "n*d*mu_1",
+            "P(S+)", "mass_+", "exact_in_ci", "max|dev|",
         ],
     )
     sample = _pair_positions_batch if engine == "batch" else _pair_positions_loop
@@ -149,14 +179,25 @@ def _occupancy_table(
         dense[adjacency.edge_tails, adjacency.edge_heads] = True
         for alpha in alphas:
             k = 1
-            pos_a, pos_b = sample(
-                adjacency, alpha, k, horizon, replicas, seed
-            )
-            same = pos_a == pos_b
-            adjacent = dense[pos_a, pos_b]
-            p0 = float(same.mean())
-            p1 = float(adjacent.mean())
-            p_plus = float((~same & ~adjacent).mean())
+            exact = _exact_occupancies(adjacency, alpha, k, horizon, dense)
+            if engine == "exact":
+                p0, p1, p_plus = exact
+                exact_in_ci = True
+            else:
+                pos_a, pos_b = sample(
+                    adjacency, alpha, k, horizon, replicas, seed
+                )
+                same = pos_a == pos_b
+                adjacent = dense[pos_a, pos_b]
+                p0 = float(same.mean())
+                p1 = float(adjacent.mean())
+                p_plus = float((~same & ~adjacent).mean())
+                exact_in_ci = all(
+                    abs(est - ref)
+                    <= 3.5 * np.sqrt(max(ref * (1.0 - ref), 1e-12) / replicas)
+                    + 1e-9
+                    for est, ref in zip((p0, p1, p_plus), exact)
+                )
             mu0, mu1, mu_plus = mu_closed_form(n, d, k, alpha)
             masses = (n * mu0, n * d * mu1, n * (n - d - 1) * mu_plus)
             deviation = max(
@@ -164,12 +205,15 @@ def _occupancy_table(
             )
             table.add_row(
                 name, alpha, k, engine,
-                p0, masses[0], p1, masses[1], p_plus, masses[2],
-                deviation,
+                p0, exact[0], masses[0], p1, masses[1], p_plus, masses[2],
+                exact_in_ci, deviation,
             )
     table.add_note(
         "the two tagged walks start on one node (an S_0 state) and share "
-        "their selection stream; past the mixing time the pair law is mu"
+        "their selection stream; past the mixing time the pair law is mu; "
+        "P(S0)_exact propagates the (0,0) start through Q^T and "
+        "exact_in_ci checks each empirical occupancy against a 3.5-sigma "
+        "binomial band around its exact finite-horizon value"
     )
     return table
 
@@ -184,7 +228,7 @@ def _occupancy_table(
         ),
         "replicas": ParamSpec(int, "Monte-Carlo replicas of the occupancy check"),
         "horizon": ParamSpec(int, "steps the two tagged walks run"),
-        "engine": engine_param(),
+        "engine": engine_param(include_exact=True),
     },
     presets={
         "fast": {

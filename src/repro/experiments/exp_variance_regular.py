@@ -28,6 +28,7 @@ from repro.graphs.generators import (
 )
 from repro.sim.montecarlo import estimate_moments, sample_f_values
 from repro.sim.results import ResultTable
+from repro.theory.exact import exact_limit_variance
 from repro.theory.variance import variance_bounds, variance_envelope
 
 ALPHA = 0.5
@@ -93,6 +94,8 @@ def run(
             "Var_measured",
             "ci_low",
             "ci_high",
+            "Var_exact",
+            "exact_in_ci",
             "prop58_core",
             "env_low",
             "env_high",
@@ -106,6 +109,10 @@ def run(
         bounds = variance_bounds(graph, base_values, alpha=ALPHA, k=1)
         env_low, env_high = variance_envelope(n, d, 1, ALPHA, norm_sq)
         lo, hi = estimate.variance_ci
+        # The Lemma 5.5 quadratic form is Var(F) exactly (no 1/n^5
+        # slack) — the absorbing-backend column the Monte-Carlo CI must
+        # cover.
+        exact = exact_limit_variance(graph, base_values, alpha=ALPHA, k=1)
         # Consistency = the bootstrap CI intersects the theory interval
         # [lower, upper] union the Theta envelope (the CI itself already
         # carries the Monte-Carlo uncertainty).
@@ -116,6 +123,8 @@ def run(
             estimate.variance,
             lo,
             hi,
+            exact,
+            bool(lo <= exact <= hi),
             bounds.core,
             env_low,
             env_high,
@@ -123,7 +132,9 @@ def run(
         )
     structure.add_note(
         f"same initial multiset on all graphs; ||xi||^2 = {norm_sq:.3g}; "
-        f"Theta(||xi||^2/n^2) = {norm_sq / n**2:.3g}"
+        f"Theta(||xi||^2/n^2) = {norm_sq / n**2:.3g}; Var_exact is the "
+        "Lemma 5.5 quadratic form in the Q-chain stationary law and "
+        "exact_in_ci checks it against the 99% bootstrap CI"
     )
 
     # k-sweep on one graph.
@@ -133,7 +144,8 @@ def run(
     values_k = center_simple(rademacher_values(nk, seed=rng))
     k_table = ResultTable(
         title="Theorem 2.2(2): Var(F) independent of k",
-        columns=["k", "Var_measured", "ci_low", "ci_high", "prop58_core"],
+        columns=["k", "Var_measured", "ci_low", "ci_high", "Var_exact",
+                 "prop58_core"],
     )
     k_replicas = max(80, replicas // 2)
     for k in (1, 2, 4, 8):
@@ -142,7 +154,11 @@ def run(
         )
         bounds = variance_bounds(graph_k, values_k, alpha=ALPHA, k=k)
         lo, hi = estimate.variance_ci
-        k_table.add_row(k, estimate.variance, lo, hi, bounds.core)
+        k_table.add_row(
+            k, estimate.variance, lo, hi,
+            exact_limit_variance(graph_k, values_k, alpha=ALPHA, k=k),
+            bounds.core,
+        )
 
     # Placement independence: permute the same values.
     placement = ResultTable(

@@ -37,6 +37,7 @@ from repro.graphs.generators import (
 from repro.graphs.properties import (
     degree_vector,
     distance_classes,
+    is_bipartite,
     is_regular,
     isoperimetric_lower_bound,
     require_connected,
@@ -65,6 +66,7 @@ __all__ = [
     "eigenvalue_gap",
     "erdos_renyi_graph",
     "hypercube_graph",
+    "is_bipartite",
     "is_regular",
     "isoperimetric_lower_bound",
     "laplacian_matrix",

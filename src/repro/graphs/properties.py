@@ -48,6 +48,18 @@ def is_regular(graph: GraphLike) -> bool:
     return bool(degrees.min() == degrees.max())
 
 
+def is_bipartite(graph: GraphLike) -> bool:
+    """Whether the graph is two-colourable (no odd cycle).
+
+    Bipartiteness is the structural obstruction the synchronous-coupling
+    analyses hit at ``alpha = 0`` (a parity invariant on the product
+    chain), which is why the dual samplers refuse ``alpha == 0`` on
+    bipartite graphs — see
+    :func:`repro.sim.montecarlo.sample_meeting_times`.
+    """
+    return bool(nx.is_bipartite(_as_networkx(graph)))
+
+
 def require_connected(graph: GraphLike) -> None:
     """Raise :class:`NotConnectedError` unless ``graph`` is connected."""
     g = _as_networkx(graph)

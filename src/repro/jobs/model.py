@@ -26,6 +26,7 @@ half-written.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 import uuid
@@ -57,6 +58,8 @@ ALL_STATES = ACTIVE_STATES | TERMINAL_STATES | {COALESCED}
 DEFAULT_MAX_RETRIES = 3
 BACKOFF_BASE_S = 0.5
 BACKOFF_CAP_S = 30.0
+#: Largest fraction of the capped delay the per-job jitter subtracts.
+BACKOFF_JITTER_FRACTION = 0.5
 
 
 def new_job_id() -> str:
@@ -65,9 +68,24 @@ def new_job_id() -> str:
 
 
 def backoff_seconds(attempt: int, base: float = BACKOFF_BASE_S,
-                    cap: float = BACKOFF_CAP_S) -> float:
-    """Capped exponential backoff before retry number ``attempt`` (>= 1)."""
-    return min(cap, base * (2.0 ** max(attempt - 1, 0)))
+                    cap: float = BACKOFF_CAP_S,
+                    job_id: Optional[str] = None) -> float:
+    """Capped exponential backoff before retry number ``attempt`` (>= 1).
+
+    With a ``job_id`` the delay is de-synchronised: a dead-worker sweep
+    requeues a whole batch at one instant, and identical delays would
+    make every retry claim the queue simultaneously (a claim stampede).
+    The jitter subtracts up to ``BACKOFF_JITTER_FRACTION`` of the
+    capped delay, keyed off ``sha256(job_id:attempt)`` — deterministic
+    per (job, attempt), so records and tests stay reproducible, while
+    distinct jobs spread over ``[delay/2, delay]``.
+    """
+    delay = min(cap, base * (2.0 ** max(attempt - 1, 0)))
+    if job_id is None:
+        return delay
+    digest = hashlib.sha256(f"{job_id}:{attempt}".encode()).digest()
+    unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return delay * (1.0 - BACKOFF_JITTER_FRACTION * unit)
 
 
 @dataclass

@@ -245,7 +245,9 @@ class JobQueue:
         job_after.worker_pid = None
         job_after.worker_host = None
         job_after.error = reason
-        job_after.not_before = time.time() + backoff_seconds(job_after.attempts)
+        job_after.not_before = time.time() + backoff_seconds(
+            job_after.attempts, job_id=job_after.id
+        )
         target = self._path(job_after)
         _faults.on_replace("queue.requeue", target, op_start=True)
         try:

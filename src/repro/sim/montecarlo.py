@@ -32,14 +32,21 @@ from repro.exceptions import ParameterError
 from repro.rng import SeedLike, as_generator, spawn
 
 
-def validate_engine(engine: str) -> str:
-    """Check an ``engine=`` selection (``"batch"`` or ``"loop"``).
+def validate_engine(engine: str, allow_exact: bool = False) -> str:
+    """Check an ``engine=`` selection.
 
     The single home of the validation every engine-switchable sampler
-    and verification check shares.
+    and verification check shares.  ``"batch"`` and ``"loop"`` are the
+    Monte-Carlo engines; samplers with an analytic backend (currently
+    :func:`sample_meeting_times`) additionally accept ``"exact"`` and
+    pass ``allow_exact=True``.
     """
-    if engine not in ("batch", "loop"):
-        raise ParameterError(f"engine must be 'batch' or 'loop', got {engine!r}")
+    choices = ("batch", "loop", "exact") if allow_exact else ("batch", "loop")
+    if engine not in choices:
+        raise ParameterError(
+            f"engine must be one of {', '.join(map(repr, choices))}, "
+            f"got {engine!r}"
+        )
     return engine
 
 
@@ -216,16 +223,43 @@ def sample_meeting_times(
     replicas as one :class:`~repro.engine.dual.BatchCoalescing` batch,
     sharded / multiprocessed / disk-cached exactly like
     :func:`sample_f_values`; ``engine="loop"`` runs one scalar
-    :class:`~repro.dual.CoalescingWalks` per replica (the oracle).
+    :class:`~repro.dual.CoalescingWalks` per replica (the oracle);
+    ``engine="exact"`` skips sampling entirely and returns the
+    absorbing-chain expectation
+    (:func:`repro.theory.absorbing.exact_coalescence_time`) repeated
+    ``replicas`` times, so downstream moment code sees a constant
+    column (zero-variance) at the true mean.
+
+    ``alpha == 0`` on a bipartite graph is rejected with a
+    :class:`~repro.exceptions.ParameterError` for every engine: the
+    non-lazy coupling inherits the product chain's two-colour parity
+    obstruction, which voids the meeting-time guarantees the sampler
+    exists to measure (and the synchronous variants deadlock outright,
+    burning the whole ``max_steps`` budget before dying in
+    ``run_to_coalescence``).  Pass any ``alpha > 0`` to restore
+    aperiodicity.
     """
-    validate_engine(engine)
+    validate_engine(engine, allow_exact=True)
     if replicas < 1:
         raise ParameterError(f"replicas must be positive, got {replicas}")
     from repro.graphs.adjacency import Adjacency
+    from repro.graphs.properties import is_bipartite
 
     adjacency = (
         graph if isinstance(graph, Adjacency) else Adjacency.from_graph(graph)
     )
+    if alpha == 0.0 and is_bipartite(adjacency):
+        raise ParameterError(
+            "alpha=0.0 on a bipartite graph parity-locks walk pairs that "
+            "start at odd distance (the two-colour invariant of the "
+            "non-lazy coupling) — meeting times are not well-defined; "
+            "use alpha > 0 (any laziness restores aperiodicity)"
+        )
+    if engine == "exact":
+        from repro.theory.absorbing import exact_coalescence_time
+
+        expectation = exact_coalescence_time(adjacency, alpha=alpha)
+        return np.full(replicas, expectation)
     if engine == "batch":
         from repro.engine.cache import ResultCache
         from repro.engine.dual import DualSpec, sample_coalescence_times

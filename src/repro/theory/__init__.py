@@ -10,9 +10,21 @@ can print *predicted vs measured* rows:
 * :mod:`repro.theory.variance` — Lemma 5.7 / Proposition 5.8 variance
   bounds and the time-dependent envelopes of Corollary E.2,
 * :mod:`repro.theory.martingale` — the expected one-step update matrices
-  behind Lemma 4.1 and Proposition D.1(i).
+  behind Lemma 4.1 and Proposition D.1(i),
+* :mod:`repro.theory.absorbing` — exact mean-first-passage, pairwise
+  meeting-time and full-coalescence-time expectations for the Section-5
+  dual chains via absorbing-chain fundamental-matrix solves (the
+  ``engine="exact"`` backend).
 """
 
+from repro.theory.absorbing import (
+    exact_coalescence_feasible,
+    exact_coalescence_time,
+    expected_meeting_time,
+    mean_first_passage_times,
+    meeting_time_matrix,
+    walk_transition_matrix,
+)
 from repro.theory.contraction import (
     edge_model_contraction_factor,
     node_model_contraction_factor,
@@ -52,8 +64,14 @@ __all__ = [
     "edge_model_expected_update",
     "empirical_mixing_time",
     "exact_avg_variance",
+    "exact_coalescence_feasible",
+    "exact_coalescence_time",
     "exact_limit_variance",
     "exact_variance_trajectory",
+    "expected_meeting_time",
+    "mean_first_passage_times",
+    "meeting_time_matrix",
+    "walk_transition_matrix",
     "edge_model_lower_bound",
     "edge_model_upper_bound",
     "node_model_contraction_factor",

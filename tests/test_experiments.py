@@ -89,6 +89,60 @@ class TestCoalescingExperiment:
         assert factors[0] == 1.0
         assert factors[1] > 1.3  # ~2x in expectation at alpha = 0.5
 
+    def test_exact_column_agrees_at_small_n(self):
+        """At n = 11 every graph admits the absorbing-chain solve: the
+        exact column fills in and sits inside the bootstrap CI."""
+        tables = exp_coalescing.run(
+            fast=True, seed=0, n=11, replicas=200, alphas=[0.0, 0.5]
+        )
+        meeting = tables[0]
+        exact = meeting.column("exact_T_coal")
+        assert all(value is not None and value > 0 for value in exact)
+        assert all(meeting.column("exact_in_ci"))
+        slowdown_exact = tables[1].column("exact_T_coal")
+        assert slowdown_exact[1] == pytest.approx(2.0 * slowdown_exact[0])
+
+    def test_exact_column_none_when_infeasible(self):
+        """At the fast preset's n = 24 only the complete graph is
+        solvable; the other cells stay None rather than crashing."""
+        tables = exp_coalescing.run(
+            fast=True, seed=0, replicas=30, alphas=[0.0]
+        )
+        meeting = tables[0]
+        graphs = meeting.column("graph")
+        exact = meeting.column("exact_T_coal")
+        assert exact[graphs.index("cycle")] is None
+        assert exact[graphs.index("complete")] == pytest.approx(23.0**2)
+
+    def test_engine_exact_replaces_sampling(self):
+        tables = exp_coalescing.run(
+            fast=True, seed=0, n=11, replicas=3, alphas=[0.0, 0.5],
+            engine="exact",
+        )
+        meeting = tables[0]
+        # The replica column is filled with identical copies of the
+        # expectation; only float summation noise separates the mean
+        # (and se) from the exact cell.
+        assert all(se < 1e-9 for se in meeting.column("se"))
+        for mean, exact in zip(
+            meeting.column("mean_T_coal"), meeting.column("exact_T_coal")
+        ):
+            assert mean == pytest.approx(exact, rel=1e-12)
+        assert all(meeting.column("exact_in_ci"))
+
+    def test_cycle_row_is_odd(self):
+        """Even cycles are bipartite and have no alpha = 0 voter dual;
+        the experiment must use an odd cycle (regression for the
+        bipartite parity guard)."""
+        tables = exp_coalescing.run(
+            fast=True, seed=0, n=12, replicas=20, alphas=[0.5]
+        )
+        meeting = tables[0]
+        graphs = meeting.column("graph")
+        sizes = meeting.column("n")
+        assert sizes[graphs.index("cycle")] == 11
+        assert sizes[graphs.index("complete")] == 12
+
 
 class TestMartingaleExperiment:
     def test_exact_drift_zero(self):

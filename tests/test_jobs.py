@@ -176,6 +176,34 @@ class TestJobModel:
         assert delays == sorted(delays)
         assert max(delays) == 30.0
 
+    def test_backoff_jitter_is_deterministic_per_job(self):
+        """Same (job, attempt) always yields the same delay — records
+        and replays stay reproducible."""
+        first = backoff_seconds(3, job_id="jdeadbeef0001")
+        again = backoff_seconds(3, job_id="jdeadbeef0001")
+        assert first == again
+        assert first != backoff_seconds(4, job_id="jdeadbeef0001")
+
+    def test_backoff_jitter_spreads_a_requeued_batch(self):
+        """Regression: a dead-worker sweep requeues many jobs at one
+        instant; jittered delays must not collide (claim stampede)."""
+        from repro.jobs.model import BACKOFF_JITTER_FRACTION, new_job_id
+
+        base = backoff_seconds(4)  # un-jittered: 4.0s for every job
+        delays = [
+            backoff_seconds(4, job_id=new_job_id()) for _ in range(64)
+        ]
+        assert len(set(delays)) == len(delays)  # all distinct
+        floor = base * (1.0 - BACKOFF_JITTER_FRACTION)
+        assert all(floor <= delay <= base for delay in delays)
+        # The spread actually uses the band, not a corner of it.
+        assert max(delays) - min(delays) > 0.1 * base
+
+    def test_backoff_jitter_respects_the_cap(self):
+        for attempt in range(1, 16):
+            delay = backoff_seconds(attempt, job_id="jfeedface0002")
+            assert delay <= 30.0
+
 
 # ----------------------------------------------------------------------
 # Queue

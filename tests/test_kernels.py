@@ -75,7 +75,23 @@ class TestKernelResolution:
     def test_auto_and_jit_follow_numba(self):
         expected = "jit" if numba_available() else "fused"
         assert resolve_kernel("auto") == expected
-        assert resolve_kernel("jit") == expected  # silent fused fallback
+        # Without numba this would fire the one-shot fallback warning,
+        # but conftest pre-arms the flag so the suite stays clean under
+        # filterwarnings = error::RuntimeWarning.
+        assert resolve_kernel("jit") == expected
+
+    def test_jit_fallback_warning_is_captured(self, monkeypatch):
+        """Regression: the fallback RuntimeWarning fires exactly where
+        expected and is captured by ``pytest.warns`` — never escaping
+        into the suite (which runs with RuntimeWarning promoted to an
+        error by pytest.ini)."""
+        from repro.engine import kernels as kernels_mod
+
+        monkeypatch.setitem(kernels_mod._NUMBA_STATE, "ok", False)
+        monkeypatch.setattr(kernels_mod, "_FALLBACK_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="numba is not importable"):
+            assert resolve_kernel("jit") == "fused"
+        assert kernels_mod._FALLBACK_WARNED  # re-armed: once per process
 
     def test_batch_rejects_unknown_kernel(self, regular64, values64):
         with pytest.raises(ParameterError):
