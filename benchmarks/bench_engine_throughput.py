@@ -7,8 +7,8 @@ from the :data:`~repro.obs.METRICS` registry delta, so the benchmark
 reports the work the engine actually did rather than the work the
 script assumed it would do.
 
-Four measurement blocks land in ``BENCH_engine.json`` (schema 4) at the
-repo root so the performance trajectory is tracked across PRs:
+Seven measurement blocks land in ``BENCH_engine.json`` (schema 5) at
+the repo root so the performance trajectory is tracked across PRs:
 
 * **baseline** — the PR-1 acceptance workload (512-node 4-regular graph,
   1k replicas) comparing the legacy per-replica loop against the batch
@@ -18,10 +18,24 @@ repo root so the performance trajectory is tracked across PRs:
   ``n in {512, 4096, 32768} x B in {64, 1024} x {node, node-k2, edge}``
   with
   per-kernel replica-step throughput (``numpy`` = the PR-1 per-round
-  path, ``fused`` = multi-round NumPy blocks, ``jit`` = numba, reported
-  as null when numba is absent).  The small-B / long-horizon cells are
-  where per-round interpreter overhead dominates and the fused kernel
-  must hold a >= 5x advantage over the per-round path.
+  path, ``fused`` = multi-round NumPy blocks, ``jit`` / ``jit-par`` =
+  numba serial/threaded, reported as null when numba is absent,
+  ``cupy`` = the array-API backend, shim-backed without CuPy).  The
+  small-B / long-horizon cells are where per-round interpreter overhead
+  dominates and the fused kernel must hold a >= 5x advantage over the
+  per-round path.
+* **backends** — the fused host kernel against the array-API backend at
+  one mid-sized shape, labelled with the namespace that actually backed
+  it (``cupy`` on a GPU runner, ``numpy-shim`` here) and whether the
+  final state matched fused bit-for-bit (always true under the shim;
+  statistical parity only on a real device).
+* **threads** — the ``jit-par`` thread-scaling curve
+  (``threads in {1, 2, cpu_count}``), rates null without numba, each
+  point carrying the *effective* thread count after capping.
+* **calibration** — a :class:`~repro.engine.calibration.CalibrationTable`
+  derived from the sweep block's measured rates, plus what
+  ``kernel="auto"`` picks per cell with that table installed.  The
+  recorded pick must never be slower than fused (the acceptance gate).
 * **dual** — the dual-engine workloads: batch diffusion (``(B, n, r)``
   load replicas), batch correlated walks (``(B, n)`` positions) and
   batch coalescing walks versus the single-replica scalar loop the
@@ -59,15 +73,26 @@ from repro.dual.coalescing import CoalescingWalks
 from repro.dual.diffusion import DiffusionProcess
 from repro.dual.walks import RandomWalkProcess
 from repro.engine import (
+    STREAM_EXACT_KERNELS,
     BatchCoalescing,
     BatchDiffusion,
     BatchEdgeModel,
     BatchNodeModel,
     BatchWalks,
     EngineSpec,
+    autopick_kernel,
+    cupy_available,
+    effective_thread_count,
     numba_available,
     sample_t_eps_batch,
 )
+from repro.engine.calibration import (
+    CalibrationCell,
+    CalibrationTable,
+    clear_calibration_cache,
+    set_calibration,
+)
+from repro.engine.kernels import array_namespace
 from repro.graphs.adjacency import Adjacency
 from repro.graphs.generators import random_regular_graph
 from repro.obs import METRICS, Tracer, activate, build_telemetry, summarize
@@ -92,7 +117,17 @@ SWEEP_NS = (64,) if SMOKE else (512, 4_096, 32_768)
 SWEEP_BS = (8,) if SMOKE else (64, 1_024)
 SWEEP_ROUNDS = {8: 50, 64: 20_000, 1_024: 3_000}
 
-KERNELS = ("numpy", "fused", "jit")
+KERNELS = ("numpy", "fused", "jit", "jit-par", "cupy")
+
+# Backend comparison: fused host blocks vs the array-API backend.
+BACKEND_N = 64 if SMOKE else 1_024
+BACKEND_B = 8 if SMOKE else 256
+BACKEND_ROUNDS = 50 if SMOKE else 2_000
+
+# jit-par thread-scaling curve (rates null without numba).
+THREADS_N = 64 if SMOKE else 4_096
+THREADS_B = 8 if SMOKE else 256
+THREADS_ROUNDS = 50 if SMOKE else 4_000
 
 # Dual workloads: batch diffusion / walks / coalescing vs the scalar loop.
 DUAL_N = 32 if SMOKE else 256
@@ -155,7 +190,7 @@ def _measure_kernels(kind, adjacency, values, replicas, rounds):
     """Replica-steps/sec per kernel for one (kind, n, B) workload."""
     out = {}
     for kernel in KERNELS:
-        if kernel == "jit" and not numba_available():
+        if kernel in ("jit", "jit-par") and not numba_available():
             out[kernel] = None
             continue
         batch = _make_batch(kind, adjacency, values, replicas, kernel)
@@ -228,6 +263,133 @@ def measure_sweep(seed: int = 0) -> list:
                     "best_vs_numpy": best / kernels["numpy"],
                 })
     return cells
+
+
+def measure_backends(seed: int = 0) -> dict:
+    """Fused host blocks vs the array-API backend at one shape.
+
+    On this runner the backend resolves to the NumPy shim (no CuPy), so
+    the final state must match fused bit-for-bit; on a GPU runner the
+    contract weakens to statistical parity and ``bit_identical_to_fused``
+    records whatever actually held.
+    """
+    graph = random_regular_graph(BACKEND_N, DEGREE, seed=seed)
+    adjacency = Adjacency.from_graph(graph)
+    values = center_simple(rademacher_values(BACKEND_N, seed=seed + 1))
+    _, device = array_namespace()
+    rates, states = {}, {}
+    for kernel in ("fused", "cupy"):
+        batch = _make_batch("node", adjacency, values, BACKEND_B, kernel)
+        batch.run(min(BACKEND_ROUNDS, 200))
+        rates[kernel] = _best_rate(
+            2, lambda b=batch: b.run(BACKEND_ROUNDS), BACKEND_B * BACKEND_ROUNDS
+        )
+        check = _make_batch("node", adjacency, values, BACKEND_B, kernel)
+        check.run(BACKEND_ROUNDS)
+        states[kernel] = check.values.copy()
+    return {
+        "workload": {
+            "graph": f"random_regular(n={BACKEND_N}, d={DEGREE})",
+            "replicas": BACKEND_B,
+            "steps_per_replica": BACKEND_ROUNDS,
+            "kind": "node",
+            "k": 1,
+        },
+        "device": device,
+        "cupy_installed": cupy_available(),
+        "kernels_replica_steps_per_sec": rates,
+        "cupy_vs_fused": rates["cupy"] / rates["fused"],
+        "bit_identical_to_fused": bool(
+            np.array_equal(states["cupy"], states["fused"])
+        ),
+    }
+
+
+def measure_threads(seed: int = 0) -> dict:
+    """The jit-par thread-scaling curve (rates null without numba)."""
+    counts = sorted({1, 2, os.cpu_count() or 1})
+    graph = random_regular_graph(THREADS_N, DEGREE, seed=seed)
+    adjacency = Adjacency.from_graph(graph)
+    values = center_simple(rademacher_values(THREADS_N, seed=seed + 1))
+    curve = []
+    for threads in counts:
+        point = {
+            "threads": threads,
+            "effective_threads": effective_thread_count(threads),
+            "replica_steps_per_sec": None,
+        }
+        if numba_available():
+            batch = BatchNodeModel(
+                adjacency, values, alpha=ALPHA, k=1, replicas=THREADS_B,
+                seed=2, kernel="jit-par", threads=threads,
+            )
+            batch.run(min(THREADS_ROUNDS, 200))
+            point["replica_steps_per_sec"] = _best_rate(
+                2, lambda b=batch: b.run(THREADS_ROUNDS),
+                THREADS_B * THREADS_ROUNDS,
+            )
+        curve.append(point)
+    return {
+        "workload": {
+            "graph": f"random_regular(n={THREADS_N}, d={DEGREE})",
+            "replicas": THREADS_B,
+            "steps_per_replica": THREADS_ROUNDS,
+            "kernel": "jit-par",
+        },
+        "cpu_count": os.cpu_count(),
+        "numba": numba_available(),
+        "curve": curve,
+    }
+
+
+def derive_calibration(sweep: list) -> dict:
+    """Calibration table from the sweep rates + the auto picks it drives.
+
+    Installs the derived table for this process (without touching the
+    user's persisted one), records what ``kernel="auto"`` would resolve
+    per sweep cell and how the pick's measured rate compares to fused.
+    The benchmark asserts ``picked_vs_fused >= 1`` — auto must never
+    select slower-than-fused in its own recorded sweep.
+    """
+    cells = [
+        CalibrationCell(
+            kind="edge" if c["kind"] == "edge" else "node",
+            k=c["k"],
+            n=c["n"],
+            replicas=c["replicas"],
+            rates=dict(c["kernels_replica_steps_per_sec"]),
+        )
+        for c in sweep
+    ]
+    table = CalibrationTable(
+        cells=cells,
+        machine={"cpu_count": os.cpu_count(), "numba": numba_available()},
+        source="bench_engine_throughput sweep",
+    )
+    set_calibration(table)
+    try:
+        picks = []
+        for c, cell in zip(sweep, cells):
+            pick, reason = autopick_kernel(
+                cell.kind, cell.k, cell.n, cell.replicas
+            )
+            fused = cell.rates.get("fused")
+            rate = cell.rates.get(pick)
+            picks.append({
+                "kind": c["kind"],
+                "k": cell.k,
+                "n": cell.n,
+                "replicas": cell.replicas,
+                "picked": pick,
+                "reason": reason,
+                "picked_vs_fused": (
+                    rate / fused if rate and fused else None
+                ),
+            })
+    finally:
+        set_calibration(None)
+        clear_calibration_cache()
+    return {"table": table.to_payload(), "auto_picks": picks}
 
 
 def measure_dual(seed: int = 0) -> dict:
@@ -342,23 +504,42 @@ def measure_telemetry(seed: int = 0) -> dict:
     }
 
 
-def write_report(baseline: dict, sweep: list, dual: dict, telemetry: dict) -> dict:
+def write_report(
+    baseline: dict,
+    sweep: list,
+    backends: dict,
+    threads: dict,
+    calibration: dict,
+    dual: dict,
+    telemetry: dict,
+) -> dict:
     report = {
-        "schema": 4,
+        "schema": 5,
         "machine": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "numba": numba_available(),
+            "cupy": cupy_available(),
+            "cpu_count": os.cpu_count(),
             "platform": platform.platform(),
         },
         "baseline": baseline,
         "sweep": sweep,
+        "backends": backends,
+        "threads": threads,
+        "calibration": calibration,
         "dual": dual,
         "telemetry": telemetry,
         "notes": [
             "kernels_replica_steps_per_sec: numpy = PR-1 per-round batch "
-            "path, fused = multi-round NumPy blocks, jit = numba "
-            "(null when numba is not installed)",
+            "path, fused = multi-round NumPy blocks, jit/jit-par = numba "
+            "serial/threaded (null when numba is not installed), cupy = "
+            "array-API backend (NumPy shim when CuPy is absent)",
+            "threads: jit-par scaling curve; effective_threads is the "
+            "post-cap count provenance records",
+            "calibration: table derived from the sweep rates; auto_picks "
+            "is what kernel='auto' resolves per cell with that table "
+            "installed and must never be slower than fused",
             "small-B cells (replicas=64) are the long-horizon regime "
             "where per-round interpreter overhead dominates",
             "dual: batch diffusion/walks/coalescing (repro.engine.dual) "
@@ -377,9 +558,39 @@ def test_engine_throughput_regimes():
     """Baseline stays fast; fused wins small-B; dual engine beats the loop."""
     baseline = measure_baseline()
     sweep = measure_sweep()
+    backends = measure_backends()
+    threads = measure_threads()
+    calibration = derive_calibration(sweep)
     dual = measure_dual()
     telemetry = measure_telemetry()
-    write_report(baseline, sweep, dual, telemetry)
+    write_report(
+        baseline, sweep, backends, threads, calibration, dual, telemetry
+    )
+
+    # Schema-5 structural gates (asserted in smoke mode too).
+    # jit columns must be measured whenever numba imports (CI satellite).
+    if numba_available():
+        for cell in sweep:
+            ks = cell["kernels_replica_steps_per_sec"]
+            assert ks["jit"] is not None and ks["jit-par"] is not None
+        assert all(
+            p["replica_steps_per_sec"] is not None
+            for p in threads["curve"]
+        )
+    # The array-API backend always runs (shim without CuPy) and the shim
+    # must be bit-identical to fused.
+    assert backends["kernels_replica_steps_per_sec"]["cupy"] is not None
+    if not cupy_available():
+        assert backends["device"] == "numpy-shim"
+        assert backends["bit_identical_to_fused"]
+    # kernel="auto" under the derived table: stream-exact picks only,
+    # from the calibration table, never slower than fused.
+    assert calibration["auto_picks"]
+    for pick in calibration["auto_picks"]:
+        assert pick["picked"] in STREAM_EXACT_KERNELS
+        assert pick["reason"] == "calibrated"
+        assert pick["picked_vs_fused"] is not None
+        assert pick["picked_vs_fused"] >= 0.999, pick
 
     for cell in sweep:
         ks = cell["kernels_replica_steps_per_sec"]
@@ -421,8 +632,10 @@ def test_engine_throughput_regimes():
 
 
 if __name__ == "__main__":
+    sweep = measure_sweep()
     report = write_report(
-        measure_baseline(), measure_sweep(), measure_dual(), measure_telemetry()
+        measure_baseline(), sweep, measure_backends(), measure_threads(),
+        derive_calibration(sweep), measure_dual(), measure_telemetry(),
     )
     print(json.dumps(report, indent=2))
     print(f"wrote -> {OUTPUT}")

@@ -37,6 +37,7 @@ from repro.api.registry import (
     engine_param,
     graph_schedule_param,
     kernel_param,
+    threads_param,
     experiment,
     experiment_ids,
     get_experiment,
@@ -73,4 +74,5 @@ __all__ = [
     "resolve_spec",
     "submit",
     "summary_table",
+    "threads_param",
 ]

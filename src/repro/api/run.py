@@ -28,38 +28,64 @@ from repro.graphs.adjacency import collect_content_hashes
 def resolve_spec(spec: RunSpec) -> Dict[str, Any]:
     """Resolved parameter dict for ``spec`` (defaults < preset < overrides).
 
-    ``spec.engine``, ``spec.kernel`` and ``spec.graph_schedule`` are
-    folded in per :func:`repro.api.registry.merge_engine`: each
-    participates only for experiments that declare the corresponding
-    parameter, and explicit keys in ``spec.overrides`` win.
+    ``spec.engine``, ``spec.kernel``, ``spec.threads`` and
+    ``spec.graph_schedule`` are folded in per
+    :func:`repro.api.registry.merge_engine`: each participates only for
+    experiments that declare the corresponding parameter, and explicit
+    keys in ``spec.overrides`` win.
     """
     experiment = get_experiment(spec.experiment_id)
     return experiment.resolve(
         spec.preset,
         merge_engine(
             experiment, spec.overrides, spec.engine, spec.kernel,
-            spec.graph_schedule,
+            spec.graph_schedule, threads=spec.threads,
         ),
     )
 
 
-def _effective_kernel(parameters: Dict[str, Any]) -> str | None:
-    """The kernel the engine will actually dispatch, or ``None``.
+def _kernel_provenance(
+    parameters: Dict[str, Any],
+) -> tuple[str | None, str | None, int | None]:
+    """``(kernel, reason, threads)`` the engine will actually dispatch.
 
     Experiments that do not declare a ``kernel`` parameter report none;
     for the rest the requested name is resolved exactly as the batch
     models resolve it, so provenance records ``"fused"`` when a ``"jit"``
-    request degraded (satellite of the silent-fallback fix).
+    request degraded (the silent-fallback fix), the auto-pick reason
+    (``"calibrated"`` / ``"heuristic"``), and the post-cap effective
+    thread count when a thread count was requested or a threaded kernel
+    selected.
     """
     requested = parameters.get("kernel")
     if requested is None:
-        return None
-    from repro.engine.kernels import resolve_kernel
+        return None, None, None
+    from repro.engine.kernels import (
+        autopick_kernel,
+        effective_thread_count,
+        resolve_kernel,
+    )
 
+    requested_threads = parameters.get("threads")
     try:
-        return resolve_kernel(str(requested))
+        if str(requested) == "auto":
+            kernel, reason = autopick_kernel(
+                "node",
+                int(parameters.get("k") or 1),
+                int(parameters.get("n") or 1),
+                int(parameters.get("replicas") or 1),
+            )
+        else:
+            kernel = resolve_kernel(str(requested))
+            reason = "explicit" if kernel == str(requested) else "fallback"
     except Exception:
-        return None
+        return None, None, None
+    threads = None
+    if kernel == "jit-par" or requested_threads is not None:
+        threads = effective_thread_count(
+            None if requested_threads is None else int(requested_threads)
+        )
+    return kernel, reason, threads
 
 
 def execute(spec: RunSpec) -> RunResult:
@@ -89,6 +115,7 @@ def execute(spec: RunSpec) -> RunResult:
             started = time.perf_counter()
             tables = experiment.fn(seed=spec.seed, **parameters)
             wall_time = time.perf_counter() - started
+    kernel, kernel_reason, threads = _kernel_provenance(parameters)
     return RunResult(
         spec=spec,
         tables=list(tables),
@@ -99,7 +126,9 @@ def execute(spec: RunSpec) -> RunResult:
             graph_hashes=sorted(set(hashes)),
             wall_time_s=wall_time,
             timestamp=time.time(),
-            kernel=_effective_kernel(parameters),
+            kernel=kernel,
+            kernel_reason=kernel_reason,
+            threads=threads,
         ),
         telemetry=telemetry,
     )

@@ -24,8 +24,8 @@ from repro.exceptions import SpecError
 from repro.sim.results import ResultTable
 
 _SPEC_FIELDS = (
-    "experiment_id", "preset", "seed", "engine", "kernel", "graph_schedule",
-    "overrides", "markdown", "trace", "timeout_s",
+    "experiment_id", "preset", "seed", "engine", "kernel", "threads",
+    "graph_schedule", "overrides", "markdown", "trace", "timeout_s",
 )
 
 
@@ -47,6 +47,7 @@ class RunSpec:
     seed: int = 0
     engine: str | None = None
     kernel: str | None = None
+    threads: int | None = None
     graph_schedule: str | None = None
     overrides: Dict[str, Any] = field(default_factory=dict)
     markdown: bool = False
@@ -66,6 +67,16 @@ class RunSpec:
             raise SpecError("experiment_id must be a non-empty string")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise SpecError(f"seed must be an int, got {self.seed!r}")
+        if self.threads is not None:
+            if (
+                isinstance(self.threads, bool)
+                or not isinstance(self.threads, int)
+                or self.threads < 1
+            ):
+                raise SpecError(
+                    f"threads must be a positive int or None, "
+                    f"got {self.threads!r}"
+                )
         if self.timeout_s is not None:
             if isinstance(self.timeout_s, bool) or not isinstance(
                 self.timeout_s, (int, float)
@@ -134,13 +145,15 @@ class RunSpec:
             fallback["engine"] = self.engine
         if self.kernel is not None and "kernel" not in fallback:
             fallback["kernel"] = self.kernel
+        if self.threads is not None and "threads" not in fallback:
+            fallback["threads"] = self.threads
         if self.graph_schedule is not None and "graph_schedule" not in fallback:
             fallback["graph_schedule"] = self.graph_schedule
         try:
             experiment = get_experiment(self.experiment_id)
             merged = merge_engine(
                 experiment, self.overrides, self.engine, self.kernel,
-                self.graph_schedule,
+                self.graph_schedule, threads=self.threads,
             )
             resolved = experiment.resolve(self.preset, merged)
             baseline = experiment.resolve(self.preset)
@@ -175,6 +188,8 @@ class RunSpec:
             extras.append(f"engine={self.engine}")
         if self.kernel is not None:
             extras.append(f"kernel={self.kernel}")
+        if self.threads is not None:
+            extras.append(f"threads={self.threads}")
         if self.graph_schedule is not None:
             extras.append(f"schedule={self.graph_schedule}")
         extras += [f"{k}={v}" for k, v in sorted(self.overrides.items())]
@@ -194,6 +209,13 @@ class Provenance:
     #: The *effective* kernel the engine resolved to (e.g. a requested
     #: ``"jit"`` that degraded to ``"fused"``), when the run used one.
     kernel: str | None = None
+    #: Why that kernel was picked: ``"explicit"`` (the caller named it),
+    #: ``"calibrated"`` / ``"heuristic"`` (the two ``kernel="auto"``
+    #: paths) or ``"fallback"`` (requested backend unavailable).
+    kernel_reason: str | None = None
+    #: Effective kernel threads (after the oversubscription cap), when
+    #: the run requested a threaded kernel.
+    threads: int | None = None
 
     def to_payload(self) -> dict:
         return _normalise(asdict(self))
@@ -209,6 +231,8 @@ class Provenance:
                 wall_time_s=float(payload["wall_time_s"]),
                 timestamp=float(payload["timestamp"]),
                 kernel=payload.get("kernel"),
+                kernel_reason=payload.get("kernel_reason"),
+                threads=payload.get("threads"),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise SpecError(f"malformed provenance payload: {error}") from error

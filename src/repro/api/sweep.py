@@ -26,6 +26,7 @@ def expand_grid(
     seed: int = 0,
     engine: str | None = None,
     kernel: str | None = None,
+    threads: int | None = None,
     graph_schedule: str | None = None,
     overrides: Mapping[str, Any] | None = None,
 ) -> List[RunSpec]:
@@ -62,6 +63,7 @@ def expand_grid(
             seed=seed,
             engine=engine,
             kernel=kernel,
+            threads=threads,
             graph_schedule=graph_schedule,
             overrides={**common, **point},
         )
@@ -69,7 +71,7 @@ def expand_grid(
             preset,
             merge_engine(
                 experiment, spec.overrides, spec.engine, spec.kernel,
-                spec.graph_schedule,
+                spec.graph_schedule, threads=spec.threads,
             ),
         )
         specs.append(spec)

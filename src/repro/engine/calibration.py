@@ -1,0 +1,339 @@
+"""Measured kernel calibration: the ``kernel="auto"`` regime picker.
+
+The block kernels trade off differently per regime: the fused NumPy
+kernel wins small batches (dispatch-bound), the serial jit loop wins
+mid sizes, and the ``prange`` jit-par loop wins the memory/gather-bound
+large-``n`` cells — exactly the sweep BENCH_engine.json records.  This
+module persists that measurement as a small *calibration table* keyed
+on ``(model kind, k, n, B)`` so ``kernel="auto"`` picks the measured
+winner instead of a hardcoded preference, falling back to the old
+jit-if-numba heuristic when no table exists.
+
+Table location: ``$REPRO_CALIBRATION`` when set, else
+``~/.cache/repro/kernel_calibration.json``.  Refresh it with ``repro
+bench calibrate`` (``--smoke`` for a seconds-scale CI-sized grid); the
+BENCH harness embeds the same table derived from its full sweep.
+
+File format (schema 1)::
+
+    {
+      "schema": 1,
+      "source": "repro bench calibrate",
+      "machine": {"cpu_count": 8, "numba": true, "cupy": false},
+      "cells": [
+        {"kind": "node", "k": 1, "n": 4096, "replicas": 1024,
+         "rates": {"fused": 11.2e6, "jit": 30.1e6, "jit-par": 54.0e6}}
+      ]
+    }
+
+``rates`` are replica-steps per second (``null`` = not measured, e.g.
+jit columns on a runner without numba).  Lookup picks the cell nearest
+in log-space ``(n, B)`` within the same ``(kind, k)`` and returns that
+cell's fastest kernel among the *stream-exact, currently-available*
+candidates — the picker can therefore never select an unavailable
+backend, never pick a slower-than-``fused`` backend in its own cell,
+and never change a cache key's RNG stream class
+(:data:`~repro.engine.kernels.STREAM_EXACT_KERNELS` only).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ParameterError
+
+#: Environment variable overriding the table location.
+CALIBRATION_ENV = "REPRO_CALIBRATION"
+
+#: On-disk format version.
+CALIBRATION_SCHEMA = 1
+
+#: Kernels a calibration run measures (the auto-pickable set; the
+#: ``cupy`` backend is statistical-parity and never auto-picked, so it
+#: is benchmarked by BENCH's backend-comparison section instead).
+CALIBRATED_KERNELS = ("fused", "jit", "jit-par")
+
+#: Module-level cache: {"table": CalibrationTable | None, "path": str}.
+_CACHE: dict = {}
+
+
+def calibration_path() -> Path:
+    """Where the persisted table lives for this process."""
+    override = os.environ.get(CALIBRATION_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "kernel_calibration.json"
+
+
+@dataclass(frozen=True)
+class CalibrationCell:
+    """One measured sweep cell: a workload key plus per-kernel rates."""
+
+    kind: str
+    k: int
+    n: int
+    replicas: int
+    rates: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": self.kind,
+            "k": self.k,
+            "n": self.n,
+            "replicas": self.replicas,
+            "rates": dict(self.rates),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CalibrationCell":
+        return cls(
+            kind=str(payload["kind"]),
+            k=int(payload["k"]),
+            n=int(payload["n"]),
+            replicas=int(payload["replicas"]),
+            rates={
+                str(name): (None if rate is None else float(rate))
+                for name, rate in dict(payload.get("rates", {})).items()
+            },
+        )
+
+
+@dataclass
+class CalibrationTable:
+    """A set of measured cells plus the machine they were measured on."""
+
+    cells: List[CalibrationCell]
+    machine: Dict[str, object] = field(default_factory=dict)
+    source: str = ""
+    schema: int = CALIBRATION_SCHEMA
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def nearest_cell(
+        self, kind: str, k: int, n: int, replicas: int
+    ) -> Optional[CalibrationCell]:
+        """The measured cell closest to the workload, or ``None``.
+
+        Same ``kind`` required; distance is log-space over ``(n, B)``
+        with a fixed penalty for a ``k`` mismatch (so an exact-``k``
+        cell always beats a different-``k`` one at equal shape).
+        """
+        best, best_dist = None, math.inf
+        for cell in self.cells:
+            if cell.kind != kind:
+                continue
+            dist = (
+                abs(math.log(max(n, 1) / max(cell.n, 1)))
+                + abs(math.log(max(replicas, 1) / max(cell.replicas, 1)))
+                + (0.0 if cell.k == k else 10.0)
+            )
+            if dist < best_dist:
+                best, best_dist = cell, dist
+        return best
+
+    def pick(
+        self,
+        kind: str,
+        k: int,
+        n: int,
+        replicas: int,
+        available: Sequence[str],
+    ) -> Optional[str]:
+        """Fastest measured kernel among ``available``, or ``None``.
+
+        ``available`` must already be restricted to the stream-exact
+        set (:func:`repro.engine.kernels.autopick_kernel` does this);
+        kernels without a measured rate in the nearest cell are
+        skipped, and ``None`` (→ heuristic fallback) is returned when
+        nothing usable was measured.
+        """
+        cell = self.nearest_cell(kind, k, n, replicas)
+        if cell is None:
+            return None
+        best_name, best_rate = None, -math.inf
+        for name in available:
+            rate = cell.rates.get(name)
+            if rate is not None and rate > best_rate:
+                best_name, best_rate = name, rate
+        return best_name
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "schema": self.schema,
+            "source": self.source,
+            "machine": dict(self.machine),
+            "cells": [cell.to_payload() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CalibrationTable":
+        if not isinstance(payload, dict):
+            raise ParameterError(
+                f"calibration payload must be a mapping, got {payload!r}"
+            )
+        schema = int(payload.get("schema", -1))
+        if schema != CALIBRATION_SCHEMA:
+            raise ParameterError(
+                f"unsupported calibration schema {schema} "
+                f"(this version reads schema {CALIBRATION_SCHEMA})"
+            )
+        return cls(
+            cells=[
+                CalibrationCell.from_payload(entry)
+                for entry in payload.get("cells", [])
+            ],
+            machine=dict(payload.get("machine", {})),
+            source=str(payload.get("source", "")),
+            schema=schema,
+        )
+
+    def save(self, path: Optional[Path] = None) -> Path:
+        path = Path(path) if path is not None else calibration_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.to_payload(), indent=2, sort_keys=True))
+        os.replace(tmp, path)
+        clear_calibration_cache()
+        return path
+
+
+# ----------------------------------------------------------------------
+# Process-wide load cache (what ``kernel="auto"`` consults per batch)
+# ----------------------------------------------------------------------
+def load_calibration(
+    path: Optional[Path] = None,
+) -> Optional[CalibrationTable]:
+    """The persisted table, or ``None`` when absent/unreadable (cached).
+
+    A missing or malformed file is *not* an error — ``kernel="auto"``
+    simply falls back to the heuristic — but the result is cached so
+    batch construction never pays repeated filesystem probes.
+    """
+    target = Path(path) if path is not None else calibration_path()
+    key = str(target)
+    if _CACHE.get("path") == key and "table" in _CACHE:
+        return _CACHE["table"]
+    table: Optional[CalibrationTable] = None
+    try:
+        table = CalibrationTable.from_payload(
+            json.loads(target.read_text())
+        )
+    except (OSError, ValueError, ParameterError, KeyError, TypeError):
+        table = None
+    _CACHE["path"] = key
+    _CACHE["table"] = table
+    return table
+
+
+def set_calibration(table: Optional[CalibrationTable]) -> None:
+    """Install a table for this process without touching disk (tests)."""
+    _CACHE["path"] = str(calibration_path())
+    _CACHE["table"] = table
+
+
+def clear_calibration_cache() -> None:
+    """Forget the cached table so the next load re-reads the file."""
+    _CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Measurement (``repro bench calibrate``)
+# ----------------------------------------------------------------------
+#: (kind, k) x (n, replicas) grid of the full calibration sweep.
+_FULL_GRID: Tuple[Tuple[str, int], ...] = (("node", 1), ("node", 2), ("edge", 1))
+_FULL_SHAPES = ((256, 1024), (4096, 1024), (32768, 256))
+_SMOKE_GRID: Tuple[Tuple[str, int], ...] = (("node", 1), ("edge", 1))
+_SMOKE_SHAPES = ((64, 64),)
+
+
+def _measure_rate(kind: str, k: int, n: int, replicas: int, kernel: str,
+                  rounds: int, repeats: int) -> float:
+    """Best observed replica-steps/s of one (workload, kernel) cell."""
+    import numpy as np
+
+    from repro.engine.batch import BatchEdgeModel, BatchNodeModel
+    from repro.graphs.generators import cycle_graph
+
+    graph = cycle_graph(n)
+    initial = np.linspace(-1.0, 1.0, n)
+    best = 0.0
+    for repeat in range(repeats):
+        if kind == "node":
+            batch = BatchNodeModel(
+                graph, initial, alpha=0.5, k=k, replicas=replicas,
+                seed=1234 + repeat, kernel=kernel,
+            )
+        else:
+            batch = BatchEdgeModel(
+                graph, initial, alpha=0.5, replicas=replicas,
+                seed=1234 + repeat, kernel=kernel,
+            )
+        batch.run(8)  # warm up (jit compilation, device upload)
+        t0 = time.perf_counter()
+        batch.run(rounds)
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            best = max(best, rounds * replicas / elapsed)
+    return best
+
+
+def calibrate(
+    smoke: bool = False,
+    out: Optional[Path] = None,
+    rounds: Optional[int] = None,
+    repeats: int = 2,
+) -> Tuple[CalibrationTable, Path]:
+    """Measure the kernel grid and persist the table; returns (table, path).
+
+    ``smoke=True`` shrinks the grid to one tiny shape per model kind
+    (seconds, not minutes — the CI ``bench-calibrate-smoke`` job).
+    Kernels that cannot run in this process (jit/jit-par without numba)
+    are recorded as ``null`` so the picker skips them.
+    """
+    from repro.engine.kernels import cupy_available, numba_available
+
+    grid = _SMOKE_GRID if smoke else _FULL_GRID
+    shapes = _SMOKE_SHAPES if smoke else _FULL_SHAPES
+    if rounds is None:
+        rounds = 64 if smoke else 512
+    measurable = tuple(
+        name
+        for name in CALIBRATED_KERNELS
+        if name == "fused" or numba_available()
+    )
+    cells: List[CalibrationCell] = []
+    for kind, k in grid:
+        for n, replicas in shapes:
+            rates: Dict[str, Optional[float]] = {
+                name: None for name in CALIBRATED_KERNELS
+            }
+            for name in measurable:
+                rates[name] = _measure_rate(
+                    kind, k, n, replicas, name, rounds, repeats
+                )
+            cells.append(
+                CalibrationCell(
+                    kind=kind, k=k, n=n, replicas=replicas, rates=rates
+                )
+            )
+    table = CalibrationTable(
+        cells=cells,
+        machine={
+            "cpu_count": os.cpu_count(),
+            "numba": numba_available(),
+            "cupy": cupy_available(),
+        },
+        source="repro bench calibrate" + (" --smoke" if smoke else ""),
+    )
+    path = table.save(out)
+    return table, path

@@ -28,6 +28,7 @@ from repro.api import (
     experiment,
     graph_schedule_param,
     kernel_param,
+    threads_param,
 )
 from repro.core.initial import center_simple, rademacher_values
 from repro.engine.cache import ResultCache
@@ -52,6 +53,7 @@ DEGREE = 4
         "replicas": ParamSpec(int, "Monte-Carlo replicas per cell"),
         "graph_schedule": graph_schedule_param(),
         "kernel": kernel_param(),
+        "threads": threads_param(),
         "cache_dir": ParamSpec(
             str,
             "on-disk engine result cache; re-runs at the same seed "
@@ -72,6 +74,7 @@ def run(
     seed: int = 0,
     graph_schedule: str = "cyclic",
     kernel: str = "auto",
+    threads: int | None = None,
     cache_dir: str = "",
 ) -> list[ResultTable]:
     """Measure ``T_eps`` on a snapshot schedule vs the static baseline."""
@@ -101,10 +104,12 @@ def run(
     )
     for kind in ("node", "edge"):
         static_spec = EngineSpec(
-            kind, schedule.snapshots[0], initial, ALPHA, k=1, kernel=kernel
+            kind, schedule.snapshots[0], initial, ALPHA, k=1,
+            kernel=kernel, threads=threads
         )
         dynamic_spec = EngineSpec.for_schedule(
-            kind, schedule, initial, ALPHA, k=1, kernel=kernel
+            kind, schedule, initial, ALPHA, k=1, kernel=kernel,
+            threads=threads
         )
         t_static = sample_t_eps_batch(
             static_spec, EPSILON, replicas, seed=seed + 11,

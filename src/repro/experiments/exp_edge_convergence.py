@@ -13,7 +13,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.fits import ratio_statistics
-from repro.api import ParamSpec, engine_param, experiment, kernel_param
+from repro.api import (
+    ParamSpec,
+    engine_param,
+    experiment,
+    kernel_param,
+    threads_param,
+)
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import center_simple, linear_ramp
 from repro.graphs.generators import (
@@ -40,6 +46,7 @@ EPSILON = 1e-8
         "replicas": ParamSpec(int, "replicas per (family, size) cell"),
         "engine": engine_param(),
         "kernel": kernel_param(),
+        "threads": threads_param(),
     },
     presets={
         "fast": {"sizes": [16, 32], "replicas": 5},
@@ -52,6 +59,7 @@ def run(
     seed: int = 0,
     engine: str = "batch",
     kernel: str = "auto",
+    threads: int | None = None,
 ) -> list[ResultTable]:
     """Measure EdgeModel T_eps across regular and irregular graphs."""
     table = ResultTable(
@@ -80,7 +88,7 @@ def run(
 
             times = sample_t_eps(
                 make, EPSILON, replicas, seed=seed + n, max_steps=500_000_000,
-                engine=engine, kernel=kernel,
+                engine=engine, kernel=kernel, threads=threads,
             )
             measured = float(times.mean())
             table.add_row(family, nn, m, lambda2_l, measured, bound, measured / bound)

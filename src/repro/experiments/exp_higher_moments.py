@@ -14,7 +14,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment, kernel_param
+from repro.api import (
+    ParamSpec,
+    engine_param,
+    experiment,
+    kernel_param,
+    threads_param,
+)
 from repro.core.initial import (
     center_simple,
     indicator_values,
@@ -37,6 +43,7 @@ ALPHA = 0.5
         "tol": ParamSpec(float, "consensus discrepancy tolerance"),
         "engine": engine_param(),
         "kernel": kernel_param(),
+        "threads": threads_param(),
     },
     presets={
         "fast": {"n": 30, "replicas": 250, "tol": 1e-6},
@@ -50,6 +57,7 @@ def run(
     seed: int = 0,
     engine: str = "batch",
     kernel: str = "auto",
+    threads: int | None = None,
 ) -> list[ResultTable]:
     """Skewness and excess kurtosis of F across settings."""
     table = ResultTable(
@@ -72,7 +80,7 @@ def run(
 
             sample = sample_f_values(
                 make, replicas, seed=seed, discrepancy_tol=tol,
-                max_steps=500_000_000, engine=engine, kernel=kernel,
+                max_steps=500_000_000, engine=engine, kernel=kernel, threads=threads,
             )
             estimate = estimate_moments(sample, seed=seed)
             table.add_row(

@@ -12,7 +12,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment, kernel_param
+from repro.api import (
+    ParamSpec,
+    engine_param,
+    experiment,
+    kernel_param,
+    threads_param,
+)
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import fiedler_aligned, second_eigenvector_aligned
 from repro.core.node_model import NodeModel
@@ -37,6 +43,7 @@ EPSILON = 1e-6
         "replicas": ParamSpec(int, "replicas per (model, graph, size) cell"),
         "engine": engine_param(),
         "kernel": kernel_param(),
+        "threads": threads_param(),
     },
     presets={
         "fast": {"sizes": [16, 32], "replicas": 5},
@@ -49,6 +56,7 @@ def run(
     seed: int = 0,
     engine: str = "batch",
     kernel: str = "auto",
+    threads: int | None = None,
 ) -> list[ResultTable]:
     """Measure T_eps from the Prop. B.2 worst-case initial states."""
     table = ResultTable(
@@ -71,7 +79,7 @@ def run(
 
             times = sample_t_eps(
                 make_node, EPSILON, replicas, seed=seed + n,
-                max_steps=500_000_000, engine=engine, kernel=kernel,
+                max_steps=500_000_000, engine=engine, kernel=kernel, threads=threads,
             )
             table.add_row("node", name, n, float(times.mean()), bound,
                           float(times.mean()) / bound)
@@ -90,7 +98,7 @@ def run(
 
             times_e = sample_t_eps(
                 make_edge, EPSILON, replicas, seed=seed + n + 1,
-                max_steps=500_000_000, engine=engine, kernel=kernel,
+                max_steps=500_000_000, engine=engine, kernel=kernel, threads=threads,
             )
             table.add_row("edge", name, n, float(times_e.mean()), bound_e,
                           float(times_e.mean()) / bound_e)

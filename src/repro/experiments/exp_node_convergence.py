@@ -13,7 +13,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment, kernel_param
+from repro.api import (
+    ParamSpec,
+    engine_param,
+    experiment,
+    kernel_param,
+    threads_param,
+)
 from repro.analysis.fits import ratio_statistics
 from repro.core.initial import center_degree_weighted, linear_ramp
 from repro.core.node_model import NodeModel
@@ -50,6 +56,7 @@ def _families(sizes: list, seed: int):
         "replicas": ParamSpec(int, "replicas per (family, size) cell"),
         "engine": engine_param(),
         "kernel": kernel_param(),
+        "threads": threads_param(),
     },
     presets={
         "fast": {"sizes": [16, 32, 64], "replicas": 5},
@@ -62,6 +69,7 @@ def run(
     seed: int = 0,
     engine: str = "batch",
     kernel: str = "auto",
+    threads: int | None = None,
 ) -> list[ResultTable]:
     """Measure ``T_eps`` across graph families and compare to the bound."""
     table = ResultTable(
@@ -89,7 +97,7 @@ def run(
 
             times = sample_t_eps(
                 make, EPSILON, replicas, seed=seed + n, max_steps=200_000_000,
-                engine=engine, kernel=kernel,
+                engine=engine, kernel=kernel, threads=threads,
             )
             measured = float(times.mean())
             table.add_row(

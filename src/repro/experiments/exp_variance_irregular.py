@@ -14,7 +14,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment, kernel_param
+from repro.api import (
+    ParamSpec,
+    engine_param,
+    experiment,
+    kernel_param,
+    threads_param,
+)
 from repro.core.edge_model import EdgeModel
 from repro.core.initial import (
     center_degree_weighted,
@@ -39,6 +45,7 @@ ALPHA = 0.5
         "tol": ParamSpec(float, "consensus discrepancy tolerance"),
         "engine": engine_param(),
         "kernel": kernel_param(),
+        "threads": threads_param(),
     },
     presets={
         "fast": {"n": 30, "replicas": 150, "tol": 1e-6},
@@ -52,6 +59,7 @@ def run(
     seed: int = 0,
     engine: str = "batch",
     kernel: str = "auto",
+    threads: int | None = None,
 ) -> list[ResultTable]:
     """Empirical Var(F) on irregular graphs vs mean-degree envelope."""
     base = rademacher_values(n, seed=seed)
@@ -98,7 +106,7 @@ def run(
 
             sample = sample_f_values(
                 make, replicas, seed=seed, discrepancy_tol=tol,
-                max_steps=500_000_000, engine=engine, kernel=kernel,
+                max_steps=500_000_000, engine=engine, kernel=kernel, threads=threads,
             )
             estimate = estimate_moments(sample, seed=seed)
             table.add_row(

@@ -17,7 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api import ParamSpec, engine_param, experiment, kernel_param
+from repro.api import (
+    ParamSpec,
+    engine_param,
+    experiment,
+    kernel_param,
+    threads_param,
+)
 from repro.core.initial import center_simple, rademacher_values
 from repro.core.node_model import NodeModel
 from repro.graphs.generators import (
@@ -35,13 +41,13 @@ ALPHA = 0.5
 
 
 def _mc_variance(graph, initial, k, replicas, seed, tol, engine="batch",
-                 kernel="auto"):
+                 kernel="auto", threads=None):
     def make(rng):
         return NodeModel(graph, initial, alpha=ALPHA, k=k, seed=rng)
 
     values = sample_f_values(
         make, replicas, seed=seed, discrepancy_tol=tol, max_steps=500_000_000,
-        engine=engine, kernel=kernel,
+        engine=engine, kernel=kernel, threads=threads,
     )
     # 99% CIs: the envelope-consistency check below should fail on a real
     # discrepancy, not on a 1-in-20 bootstrap miss.
@@ -57,6 +63,7 @@ def _mc_variance(graph, initial, k, replicas, seed, tol, engine="batch",
         "tol": ParamSpec(float, "consensus discrepancy tolerance"),
         "engine": engine_param(),
         "kernel": kernel_param(),
+        "threads": threads_param(),
     },
     presets={
         "fast": {"n": 36, "replicas": 160, "tol": 1e-6},
@@ -70,6 +77,7 @@ def run(
     seed: int = 0,
     engine: str = "batch",
     kernel: str = "auto",
+    threads: int | None = None,
 ) -> list[ResultTable]:
     """Monte-Carlo Var(F) vs the Proposition 5.8 envelope.
 
@@ -104,7 +112,8 @@ def run(
     )
     for name, graph, d in graphs:
         estimate = _mc_variance(
-            graph, base_values, 1, replicas, seed + d, tol, engine, kernel
+            graph, base_values, 1, replicas, seed + d, tol, engine, kernel,
+            threads
         )
         bounds = variance_bounds(graph, base_values, alpha=ALPHA, k=1)
         env_low, env_high = variance_envelope(n, d, 1, ALPHA, norm_sq)
@@ -150,7 +159,8 @@ def run(
     k_replicas = max(80, replicas // 2)
     for k in (1, 2, 4, 8):
         estimate = _mc_variance(
-            graph_k, values_k, k, k_replicas, seed + 100 + k, tol, engine, kernel
+            graph_k, values_k, k, k_replicas, seed + 100 + k, tol, engine,
+            kernel, threads
         )
         bounds = variance_bounds(graph_k, values_k, alpha=ALPHA, k=k)
         lo, hi = estimate.variance_ci
@@ -177,7 +187,8 @@ def run(
     ]:
         values = center_simple(values)
         estimate = _mc_variance(
-            graph_p, values, 1, k_replicas, seed + 200, tol, engine, kernel
+            graph_p, values, 1, k_replicas, seed + 200, tol, engine, kernel,
+            threads
         )
         lo, hi = estimate.variance_ci
         placement.add_row(label, estimate.variance, lo, hi)

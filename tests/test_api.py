@@ -131,6 +131,7 @@ class TestRegistry:
             "tol": 1e-6,
             "engine": "batch",
             "kernel": "auto",
+            "threads": None,
         }
         assert full["n"] == 100 and full["replicas"] == 600
 

@@ -1,0 +1,272 @@
+"""Calibration-table tests: the measured ``kernel="auto"`` regime picker.
+
+Covers the table's own contract (round-trip, nearest-cell lookup,
+availability restriction), the process-wide load cache and its
+``$REPRO_CALIBRATION`` override, the ``repro bench calibrate`` smoke
+measurement, and the autopick layer on top: reasons (``calibrated`` /
+``heuristic`` / ``explicit`` / ``fallback``), the obs counters, and
+provenance visibility through the declarative API.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.initial import center_simple, rademacher_values
+from repro.engine import (
+    STREAM_EXACT_KERNELS,
+    BatchNodeModel,
+    autopick_kernel,
+    numba_available,
+)
+from repro.engine.calibration import (
+    CALIBRATION_ENV,
+    CalibrationCell,
+    CalibrationTable,
+    calibrate,
+    calibration_path,
+    clear_calibration_cache,
+    load_calibration,
+    set_calibration,
+)
+from repro.exceptions import ParameterError
+from repro.graphs.generators import random_regular_graph
+from repro.obs import METRICS
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    """Every test starts and ends without a cached table installed."""
+    clear_calibration_cache()
+    yield
+    clear_calibration_cache()
+
+
+def _table(cells=None):
+    return CalibrationTable(
+        cells=cells if cells is not None else [
+            CalibrationCell(
+                kind="node", k=1, n=512, replicas=64,
+                rates={"fused": 2.0, "jit": 3.0, "jit-par": 1.0},
+            ),
+            CalibrationCell(
+                kind="node", k=1, n=32768, replicas=1024,
+                rates={"fused": 1.0, "jit": 2.0, "jit-par": 5.0},
+            ),
+            CalibrationCell(
+                kind="node", k=2, n=512, replicas=64,
+                rates={"fused": 9.0, "jit": 1.0, "jit-par": None},
+            ),
+            CalibrationCell(
+                kind="edge", k=1, n=512, replicas=64,
+                rates={"fused": 1.0, "jit": None, "jit-par": None},
+            ),
+        ],
+        machine={"cpu_count": 8},
+        source="unit test",
+    )
+
+
+class TestTableContract:
+    def test_payload_round_trip(self):
+        table = _table()
+        clone = CalibrationTable.from_payload(table.to_payload())
+        assert clone.cells == table.cells
+        assert clone.machine == table.machine
+        assert clone.source == table.source
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ParameterError):
+            CalibrationTable.from_payload({"schema": 999, "cells": []})
+        with pytest.raises(ParameterError):
+            CalibrationTable.from_payload([1, 2])
+
+    def test_nearest_cell(self):
+        table = _table()
+        # Exact key hits its own cell.
+        cell = table.nearest_cell("node", 1, 512, 64)
+        assert (cell.n, cell.replicas) == (512, 64)
+        # Log-space distance: a large workload maps to the large cell.
+        cell = table.nearest_cell("node", 1, 16384, 2048)
+        assert (cell.n, cell.replicas) == (32768, 1024)
+        # Same-k cells beat different-k cells at equal shape.
+        assert table.nearest_cell("node", 2, 512, 64).k == 2
+        # kind never crosses.
+        assert table.nearest_cell("edge", 1, 512, 64).kind == "edge"
+        assert _table([]).nearest_cell("node", 1, 512, 64) is None
+
+    def test_pick_restricted_to_available(self):
+        table = _table()
+        # jit is the measured winner of the small cell ...
+        assert table.pick(
+            "node", 1, 512, 64, ("fused", "jit", "jit-par")
+        ) == "jit"
+        # ... but an availability-restricted candidate list wins out.
+        assert table.pick("node", 1, 512, 64, ("fused",)) == "fused"
+        # Null rates are skipped; nothing measured -> None.
+        assert table.pick("node", 2, 512, 64, ("jit-par",)) is None
+        assert table.pick("edge", 1, 512, 64, ("jit", "jit-par")) is None
+        assert _table([]).pick("node", 1, 512, 64, ("fused",)) is None
+
+
+class TestLoadCache:
+    def test_env_override_and_round_trip(self, tmp_path, monkeypatch):
+        target = tmp_path / "cal.json"
+        monkeypatch.setenv(CALIBRATION_ENV, str(target))
+        clear_calibration_cache()
+        assert calibration_path() == target
+        assert load_calibration() is None  # absent file is not an error
+        path = _table().save()
+        assert path == target
+        loaded = load_calibration()
+        assert loaded is not None and len(loaded.cells) == 4
+
+    def test_malformed_file_loads_as_none(self, tmp_path, monkeypatch):
+        target = tmp_path / "cal.json"
+        target.write_text("{not json")
+        monkeypatch.setenv(CALIBRATION_ENV, str(target))
+        clear_calibration_cache()
+        assert load_calibration() is None
+
+    def test_set_calibration_bypasses_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CALIBRATION_ENV, str(tmp_path / "missing.json"))
+        clear_calibration_cache()
+        table = _table()
+        set_calibration(table)
+        assert load_calibration() is table
+        set_calibration(None)
+        assert load_calibration() is None
+
+
+class TestCalibrateSmoke:
+    def test_smoke_measurement(self, tmp_path, monkeypatch):
+        target = tmp_path / "cal.json"
+        monkeypatch.setenv(CALIBRATION_ENV, str(target))
+        clear_calibration_cache()
+        table, path = calibrate(smoke=True, rounds=8, repeats=1)
+        assert path == target
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == 1
+        assert {cell.kind for cell in table.cells} == {"node", "edge"}
+        for cell in table.cells:
+            assert cell.rates["fused"] > 0
+            if not numba_available():
+                assert cell.rates["jit"] is None
+                assert cell.rates["jit-par"] is None
+        # The persisted table round-trips into the auto picker: the
+        # pick is calibrated, stream-exact and runnable right now.
+        pick, reason = autopick_kernel("node", 1, 64, 64)
+        assert reason == "calibrated"
+        assert pick in STREAM_EXACT_KERNELS
+        from repro.engine import available_kernels
+
+        assert pick in available_kernels()
+
+    def test_explicit_out_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CALIBRATION_ENV, str(tmp_path / "default.json"))
+        clear_calibration_cache()
+        out = tmp_path / "elsewhere.json"
+        _, path = calibrate(smoke=True, out=out, rounds=8, repeats=1)
+        assert path == out and out.exists()
+
+
+class TestAutopick:
+    def test_heuristic_without_table(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CALIBRATION_ENV, str(tmp_path / "missing.json"))
+        clear_calibration_cache()
+        pick, reason = autopick_kernel("node", 1, 512, 64)
+        assert reason == "heuristic"
+        assert pick == ("jit" if numba_available() else "fused")
+
+    def test_calibrated_pick_never_leaves_stream_exact(self):
+        # A table that (bogusly) claims numpy and cupy are fastest must
+        # still never steer auto off the stream-exact set.
+        set_calibration(_table([CalibrationCell(
+            kind="node", k=1, n=512, replicas=64,
+            rates={"numpy": 99.0, "cupy": 98.0, "fused": 1.0},
+        )]))
+        pick, reason = autopick_kernel("node", 1, 512, 64)
+        assert pick == "fused" if not numba_available() else pick in (
+            "fused", "jit", "jit-par"
+        )
+        assert reason == "calibrated"
+
+    def test_batch_counters_fire_for_auto_only(self):
+        graph = random_regular_graph(32, 4, seed=0)
+        values = center_simple(rademacher_values(32, seed=1))
+        set_calibration(_table())
+        baseline = METRICS.snapshot()
+        batch = BatchNodeModel(
+            graph, values, alpha=0.5, k=1, replicas=2, seed=0, kernel="auto"
+        )
+        delta = METRICS.delta(baseline)["counters"]
+        assert delta.get("engine.kernel_autopick") == 1
+        key = f"engine.kernel_autopick.{batch.kernel}.{batch.kernel_reason}"
+        assert delta.get(key) == 1
+        assert batch.kernel_reason == "calibrated"
+
+        baseline = METRICS.snapshot()
+        explicit = BatchNodeModel(
+            graph, values, alpha=0.5, k=1, replicas=2, seed=0, kernel="fused"
+        )
+        assert explicit.kernel_reason == "explicit"
+        delta = METRICS.delta(baseline)["counters"]
+        assert "engine.kernel_autopick" not in delta
+
+    def test_auto_trajectory_matches_fused(self):
+        """Whatever auto picks, the realized trajectory is the fused one."""
+        graph = random_regular_graph(32, 4, seed=0)
+        values = center_simple(rademacher_values(32, seed=1))
+        set_calibration(_table())
+        auto = BatchNodeModel(
+            graph, values, alpha=0.5, k=1, replicas=4, seed=3, kernel="auto"
+        )
+        fused = BatchNodeModel(
+            graph, values, alpha=0.5, k=1, replicas=4, seed=3, kernel="fused"
+        )
+        auto.run(300)
+        fused.run(300)
+        np.testing.assert_array_equal(auto.values, fused.values)
+
+
+class TestProvenanceVisibility:
+    def test_provenance_kernel_reason_and_threads(self):
+        from repro.api import Provenance, RunSpec, execute
+
+        result = execute(RunSpec(
+            "EXP-T222", preset="fast", kernel="jit-par", threads=2,
+            overrides={"replicas": 8, "n": 16},
+        ))
+        prov = result.provenance
+        expected = "jit-par" if numba_available() else "fused"
+        assert prov.kernel == expected
+        assert prov.kernel_reason == (
+            "explicit" if numba_available() else "fallback"
+        )
+        assert prov.threads >= 1
+        clone = Provenance.from_payload(prov.to_payload())
+        assert clone.kernel_reason == prov.kernel_reason
+        assert clone.threads == prov.threads
+
+    def test_auto_reason_lands_in_provenance(self, tmp_path, monkeypatch):
+        from repro.api import RunSpec, execute
+
+        monkeypatch.setenv(CALIBRATION_ENV, str(tmp_path / "missing.json"))
+        clear_calibration_cache()
+        result = execute(RunSpec(
+            "EXP-T222", preset="fast",
+            overrides={"replicas": 8, "n": 16},
+        ))
+        assert result.provenance.kernel_reason == "heuristic"
+
+    def test_autopick_counter_in_telemetry(self):
+        from repro.api import RunSpec, execute
+
+        set_calibration(_table())
+        result = execute(RunSpec(
+            "EXP-T222", preset="fast", trace=True,
+            overrides={"replicas": 8, "n": 16},
+        ))
+        counters = result.telemetry["counters"]
+        assert counters.get("engine.kernel_autopick", 0) > 0

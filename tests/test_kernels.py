@@ -65,9 +65,28 @@ def values30():
 
 class TestKernelResolution:
     def test_choices_and_invalid(self):
-        assert set(KERNEL_CHOICES) == {"auto", "numpy", "fused", "jit"}
+        assert set(KERNEL_CHOICES) == {
+            "auto", "numpy", "fused", "jit", "jit-par", "cupy"
+        }
         with pytest.raises(ParameterError):
             resolve_kernel("warp")
+
+    def test_jit_par_and_cupy_resolution(self):
+        assert resolve_kernel("jit-par") == (
+            "jit-par" if numba_available() else "fused"
+        )
+        # cupy always resolves to itself: the NumPy shim backs it when
+        # CuPy is absent, so there is no fallback to warn about.
+        assert resolve_kernel("cupy") == "cupy"
+
+    def test_available_kernels(self):
+        from repro.engine import available_kernels
+
+        names = available_kernels()
+        assert "auto" not in names
+        assert "numpy" in names and "fused" in names and "cupy" in names
+        assert ("jit" in names) == numba_available()
+        assert ("jit-par" in names) == numba_available()
 
     def test_numpy_is_identity(self):
         assert resolve_kernel("numpy") == "numpy"
@@ -230,6 +249,209 @@ class TestJitBitEquivalence:
         np.testing.assert_array_equal(
             fused.run_until_phi(1e-4, 500_000),
             jit.run_until_phi(1e-4, 500_000),
+        )
+
+
+class TestJitParBitEquality:
+    """jit-par shards the replica axis only: bit-identical to fused at
+    every thread count (each replica's round loop is sequential and
+    touches disjoint state)."""
+
+    def _threads_grid(self):
+        import os
+
+        return sorted({1, 2, os.cpu_count() or 1})
+
+    @needs_numba
+    def test_node_k1_across_thread_counts(self, regular64, values64):
+        fused = BatchNodeModel(
+            regular64, values64, alpha=0.5, k=1, replicas=8, seed=11,
+            kernel="fused",
+        )
+        fused.run(500)
+        for threads in self._threads_grid():
+            par = BatchNodeModel(
+                regular64, values64, alpha=0.5, k=1, replicas=8, seed=11,
+                kernel="jit-par", threads=threads,
+            )
+            assert par.kernel == "jit-par"
+            par.run(500)
+            np.testing.assert_array_equal(par.values, fused.values)
+
+    @needs_numba
+    def test_edge_lazy_across_thread_counts(self, regular64, values64):
+        fused = BatchEdgeModel(
+            regular64, values64, alpha=0.5, replicas=8, seed=11,
+            kernel="fused", lazy=True,
+        )
+        fused.run(500)
+        for threads in self._threads_grid():
+            par = BatchEdgeModel(
+                regular64, values64, alpha=0.5, replicas=8, seed=11,
+                kernel="jit-par", threads=threads, lazy=True,
+            )
+            par.run(500)
+            np.testing.assert_array_equal(par.values, fused.values)
+
+    @needs_numba
+    def test_backdating_invariance(self, regular64, values64):
+        """run_until_phi hitting times are exact under jit-par too."""
+
+        def make(kernel, **kw):
+            return BatchNodeModel(
+                regular64, values64, alpha=0.5, k=1, replicas=16, seed=13,
+                kernel=kernel, **kw,
+            )
+
+        reference = make("fused")
+        reference.block_rounds = 1
+        hits = reference.run_until_phi(1e-4, 500_000)
+        for threads in self._threads_grid():
+            par = make("jit-par", threads=threads)
+            np.testing.assert_array_equal(
+                par.run_until_phi(1e-4, 500_000), hits
+            )
+            np.testing.assert_array_equal(par.values, reference.values)
+
+    def test_fallback_without_numba_matches_fused(
+        self, regular64, values64, monkeypatch
+    ):
+        """threads is inert once jit-par degrades to fused (this is the
+        path this CPU-only suite actually exercises)."""
+        from repro.engine import kernels as kernels_mod
+
+        monkeypatch.setitem(kernels_mod._NUMBA_STATE, "ok", False)
+        monkeypatch.setattr(kernels_mod, "_FALLBACK_WARNED", True)
+        fused = BatchNodeModel(
+            regular64, values64, alpha=0.5, k=1, replicas=6, seed=17,
+            kernel="fused",
+        )
+        par = BatchNodeModel(
+            regular64, values64, alpha=0.5, k=1, replicas=6, seed=17,
+            kernel="jit-par", threads=4,
+        )
+        assert par.kernel == "fused" and par.kernel_requested == "jit-par"
+        fused.run(400)
+        par.run(400)
+        np.testing.assert_array_equal(par.values, fused.values)
+
+
+class TestArrayApiBackend:
+    """kernel='cupy': device-resident blocks behind the array namespace.
+
+    Without CuPy the namespace is the NumPy shim, which strengthens the
+    statistical-parity contract to bit-equality — the residency logic
+    (upload, device blocks, download-on-read) still runs end to end.
+    """
+
+    def _pair(self, cls, *args, **kwargs):
+        fused = cls(*args, kernel="fused", **kwargs)
+        dev = cls(*args, kernel="cupy", **kwargs)
+        assert dev.kernel == "cupy"
+        return fused, dev
+
+    def test_node_k1_shim_bit_equal(self, regular64, values64):
+        from repro.engine import cupy_available
+
+        fused, dev = self._pair(
+            BatchNodeModel, regular64, values64, 0.5, 1, 8, 11
+        )
+        fused.run(500)
+        dev.run(500)
+        if cupy_available():
+            # Real device: statistical parity only — compare moments.
+            assert abs(dev.values.mean() - fused.values.mean()) < 0.1
+        else:
+            np.testing.assert_array_equal(dev.values, fused.values)
+            np.testing.assert_allclose(dev.phi, fused.phi, atol=1e-13)
+
+    def test_node_k2_and_edge_shim_bit_equal(
+        self, irregular30, values30, regular64, values64
+    ):
+        from repro.engine import cupy_available
+
+        if cupy_available():
+            pytest.skip("bit-equality contract only holds under the shim")
+        fused_n, dev_n = self._pair(
+            BatchNodeModel, irregular30, values30, 0.4, 2, 5, 7
+        )
+        fused_n.run(400)
+        dev_n.run(400)
+        np.testing.assert_array_equal(dev_n.values, fused_n.values)
+        fused_e, dev_e = self._pair(
+            BatchEdgeModel, regular64, values64, 0.5, 6, 9
+        )
+        fused_e.run(400)
+        dev_e.run(400)
+        np.testing.assert_array_equal(dev_e.values, fused_e.values)
+
+    def test_chunk_invariance(self, regular64, values64):
+        one = BatchNodeModel(
+            regular64, values64, alpha=0.5, k=1, replicas=6, seed=5,
+            kernel="cupy",
+        )
+        one.run(703)
+        chunked = BatchNodeModel(
+            regular64, values64, alpha=0.5, k=1, replicas=6, seed=5,
+            kernel="cupy",
+        )
+        for chunk in (1, 3, 130, 17, 256, 296):
+            chunked.run(chunk)
+        np.testing.assert_array_equal(one.values, chunked.values)
+
+    def test_hitting_times_match_fused_under_shim(self, regular64, values64):
+        from repro.engine import cupy_available
+
+        if cupy_available():
+            pytest.skip("bit-equality contract only holds under the shim")
+        fused, dev = self._pair(
+            BatchNodeModel, regular64, values64, 0.5, 1, 16, 13
+        )
+        np.testing.assert_array_equal(
+            fused.run_until_phi(1e-4, 500_000),
+            dev.run_until_phi(1e-4, 500_000),
+        )
+
+    def test_statistical_parity_vs_loop(self):
+        """The contract the cupy kernel must satisfy on *any* backend."""
+        small = random_regular_graph(36, 4, seed=0)
+        initial = center_simple(rademacher_values(36, seed=1))
+
+        def make(rng):
+            return NodeModel(small, initial, alpha=0.5, k=1, seed=rng)
+
+        loop = sample_f_values(
+            make, 200, seed=5, discrepancy_tol=1e-6, engine="loop"
+        )
+        dev = sample_f_values(
+            make, 200, seed=5, discrepancy_tol=1e-6, engine="batch",
+            kernel="cupy",
+        )
+        stderr = np.hypot(loop.std() / np.sqrt(200), dev.std() / np.sqrt(200))
+        assert abs(loop.mean() - dev.mean()) < 5 * stderr
+        ratio = dev.var(ddof=1) / loop.var(ddof=1)
+        assert 0.5 < ratio < 2.0
+
+    def test_dual_diffusion_device_path(self, regular64, values64):
+        """BatchDiffusion(kernel='cupy') keeps loads on-device across a
+        selection block and still conserves mass."""
+        from repro.engine import BatchDiffusion, cupy_available
+
+        adjacency = Adjacency.from_graph(regular64)
+        host = BatchDiffusion(
+            adjacency, cost=values64, alpha=0.5, k=1, replicas=4, seed=2,
+        )
+        dev = BatchDiffusion(
+            adjacency, cost=values64, alpha=0.5, k=1, replicas=4, seed=2,
+            kernel="cupy",
+        )
+        host.run(300)
+        dev.run(300)
+        if not cupy_available():
+            np.testing.assert_allclose(dev.loads, host.loads, atol=1e-12)
+        np.testing.assert_allclose(
+            dev.loads.sum(axis=(1, 2)), host.loads.sum(axis=(1, 2)),
+            atol=1e-9,
         )
 
 
@@ -432,16 +654,75 @@ class TestEngineSpecKernel:
         assert a != c
 
     def test_cache_token_splits_stream_classes(self, regular64, values64):
-        """fused/jit/auto share one stream class; numpy is its own."""
+        """fused/jit/jit-par/auto share one stream class; numpy and cupy
+        are each their own."""
         adjacency = Adjacency.from_graph(regular64)
         tokens = {
             kernel: EngineSpec(
                 "node", adjacency, values64, 0.5, 1, kernel=kernel
             ).cache_token()
-            for kernel in ("auto", "fused", "jit", "numpy")
+            for kernel in ("auto", "fused", "jit", "jit-par", "numpy", "cupy")
         }
-        assert tokens["auto"] == tokens["fused"] == tokens["jit"]
+        assert (
+            tokens["auto"] == tokens["fused"] == tokens["jit"]
+            == tokens["jit-par"]
+        )
         assert tokens["numpy"] != tokens["fused"]
+        assert tokens["cupy"] != tokens["fused"]
+        assert tokens["cupy"] != tokens["numpy"]
+        assert "|stream=cupy" in tokens["cupy"]
+
+    def test_cache_token_threads(self, regular64, values64):
+        """threads=None leaves tokens byte-identical to the pre-threads
+        era; an explicit thread count splits only block-stream tokens."""
+        adjacency = Adjacency.from_graph(regular64)
+
+        def token(**kwargs):
+            return EngineSpec(
+                "node", adjacency, values64, 0.5, 1, **kwargs
+            ).cache_token()
+
+        assert token(kernel="fused") == token(kernel="fused", threads=None)
+        assert "|th=" not in token(kernel="fused")
+        two = token(kernel="fused", threads=2)
+        assert two.endswith("|th=2")
+        assert two != token(kernel="fused")
+        assert two != token(kernel="fused", threads=4)
+        # numpy's legacy stream is per-round and thread-free: threads
+        # never fragments its key space.
+        assert token(kernel="numpy", threads=2) == token(kernel="numpy")
+
+    def test_cache_token_calibration_independent(self, regular64, values64):
+        """Installing a calibration table must not move any cache key:
+        auto only ever picks stream-exact kernels, which share the
+        block token."""
+        from repro.engine.calibration import (
+            CalibrationCell,
+            CalibrationTable,
+            clear_calibration_cache,
+            set_calibration,
+        )
+
+        adjacency = Adjacency.from_graph(regular64)
+        spec = EngineSpec("node", adjacency, values64, 0.5, 1, kernel="auto")
+        before = spec.cache_token()
+        table = CalibrationTable(cells=[CalibrationCell(
+            kind="node", k=1, n=64, replicas=8,
+            rates={"numpy": 9e9, "fused": 1.0, "jit": None, "jit-par": None,
+                   "cupy": 9e9},
+        )])
+        set_calibration(table)
+        try:
+            assert spec.cache_token() == before
+            from repro.engine import autopick_kernel
+
+            pick, reason = autopick_kernel("node", 1, 64, 8)
+            # numpy/cupy rates dominate the table yet are never eligible.
+            assert pick in ("fused", "jit", "jit-par")
+            assert reason == "calibrated"
+        finally:
+            set_calibration(None)
+            clear_calibration_cache()
 
     def test_cache_round_trip_per_kernel(self, tmp_path, regular64, values64):
         spec = EngineSpec(
@@ -555,3 +836,47 @@ class TestRunSpecKernel:
         assert RunSpec("EXP-T222").key() != RunSpec(
             "EXP-T222", kernel="numpy"
         ).key()
+
+
+class TestRunSpecThreads:
+    def test_round_trip_label_and_key(self):
+        from repro.api import RunSpec
+
+        spec = RunSpec("EXP-T222", kernel="jit-par", threads=2)
+        assert RunSpec.from_json(spec.to_json()) == spec
+        assert "threads=2" in spec.label()
+        assert spec.key() != RunSpec("EXP-T222", kernel="jit-par").key()
+        # The default is absent everywhere: old specs keep their keys.
+        bare = RunSpec("EXP-T222")
+        assert "threads" not in bare.label()
+        assert bare.key() == RunSpec("EXP-T222", threads=None).key()
+
+    def test_validation(self):
+        from repro.api import RunSpec
+        from repro.exceptions import SpecError
+
+        with pytest.raises(SpecError):
+            RunSpec("EXP-T222", threads=0)
+        with pytest.raises(SpecError):
+            RunSpec("EXP-T222", threads=True)
+
+    def test_resolution_folds_threads(self):
+        from repro.api import RunSpec, resolve_spec
+
+        spec = RunSpec("EXP-T222", threads=3)
+        assert resolve_spec(spec)["threads"] == 3
+        # Unset, the declared parameter resolves to its None default —
+        # exactly how engine/kernel defaults materialise.
+        assert resolve_spec(RunSpec("EXP-T222"))["threads"] is None
+        # Experiments without the parameter ignore the field.
+        assert "threads" not in resolve_spec(RunSpec("EXP-VT", threads=2))
+
+    def test_threads_param_declaration(self):
+        from repro.api import get_experiment, threads_param
+
+        param = threads_param()
+        assert param.default is None
+        assert param.coerce("threads", "4") == 4
+        experiment = get_experiment("EXP-T222")
+        assert "threads" in experiment.params
+        assert experiment.accepts_threads
